@@ -1,0 +1,773 @@
+//! Two-pass assembler: source text → [`Program`].
+//!
+//! Pass 1 walks the token stream assigning addresses to labels (pseudo-
+//! instruction expansions have deterministic sizes, so this is exact).
+//! Pass 2 emits encoded words with all label references resolved.
+
+use crate::error::{AsmError, AsmResult};
+use crate::lexer::{parse_int, tokenize, Line};
+use std::collections::BTreeMap;
+use t1000_isa::program::{DATA_BASE, TEXT_BASE};
+use t1000_isa::{encode, Instr, Op, Program, Reg};
+
+/// Assembles source text into a program image.
+pub fn assemble(src: &str) -> AsmResult<Program> {
+    Assembler::new().assemble(src)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+struct Assembler {
+    text_base: u32,
+    data_base: u32,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    fn assemble(mut self, src: &str) -> AsmResult<Program> {
+        let lines = tokenize(src)?;
+        self.pass1(&lines)?;
+        self.pass2(&lines)
+    }
+
+    /// Pass 1: compute label addresses.
+    fn pass1(&mut self, lines: &[Line]) -> AsmResult<()> {
+        let mut section = Section::Text;
+        let mut text_pc = self.text_base;
+        let mut data_pc = self.data_base;
+        for line in lines {
+            let pc = match section {
+                Section::Text => &mut text_pc,
+                Section::Data => &mut data_pc,
+            };
+            // Apply implicit alignment of data directives *before* binding
+            // labels, so a label names the aligned datum.
+            if section == Section::Data {
+                if let Some(m) = line.mnemonic.as_deref() {
+                    match m {
+                        ".word" => *pc = align_up(*pc, 4),
+                        ".half" => *pc = align_up(*pc, 2),
+                        _ => {}
+                    }
+                }
+            }
+            for label in &line.labels {
+                if self.symbols.insert(label.clone(), *pc).is_some() {
+                    return Err(AsmError::new(line.num, format!("duplicate label `{label}`")));
+                }
+            }
+            let Some(m) = line.mnemonic.as_deref() else { continue };
+            if let Some(dir) = m.strip_prefix('.') {
+                match dir {
+                    "text" => {
+                        section = Section::Text;
+                        if let Some(a) = line.operands.first() {
+                            // An explicit address is only honoured before any
+                            // code has been emitted: pass 2 lays the segment
+                            // out contiguously, so a mid-stream re-base would
+                            // silently misplace code.
+                            if text_pc != self.text_base {
+                                return Err(AsmError::new(
+                                    line.num,
+                                    ".text with an address must precede all instructions",
+                                ));
+                            }
+                            text_pc = parse_int(a, line.num)? as u32;
+                            self.text_base = text_pc;
+                        }
+                    }
+                    "data" => {
+                        section = Section::Data;
+                        if let Some(a) = line.operands.first() {
+                            if data_pc != self.data_base {
+                                return Err(AsmError::new(
+                                    line.num,
+                                    ".data with an address must precede all data",
+                                ));
+                            }
+                            data_pc = parse_int(a, line.num)? as u32;
+                            self.data_base = data_pc;
+                        }
+                    }
+                    "word" => data_pc += 4 * line.operands.len() as u32,
+                    "half" => data_pc += 2 * line.operands.len() as u32,
+                    "byte" => data_pc += line.operands.len() as u32,
+                    "space" => data_pc += parse_int(&line.operands[0], line.num)? as u32,
+                    "align" => {
+                        let n = parse_int(&line.operands[0], line.num)? as u32;
+                        let pc = match section {
+                            Section::Text => &mut text_pc,
+                            Section::Data => &mut data_pc,
+                        };
+                        *pc = align_up(*pc, 1 << n);
+                    }
+                    "asciiz" | "ascii" => {
+                        let s = parse_string(&line.operands[0], line.num)?;
+                        data_pc += s.len() as u32 + u32::from(dir == "asciiz");
+                    }
+                    "globl" | "global" | "entry" => {}
+                    _ => return Err(AsmError::new(line.num, format!("unknown directive `{m}`"))),
+                }
+            } else {
+                if section != Section::Text {
+                    return Err(AsmError::new(line.num, "instruction outside .text"));
+                }
+                text_pc += 4 * instr_size(m, &line.operands, line.num)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pass 2: emit text and data with labels resolved.
+    fn pass2(&mut self, lines: &[Line]) -> AsmResult<Program> {
+        let mut section = Section::Text;
+        let mut text: Vec<u32> = Vec::new();
+        let mut text_pc = self.text_base;
+        let mut data: Vec<u8> = Vec::new();
+        let mut data_pc = self.data_base;
+        let mut entry: Option<u32> = None;
+
+        for line in lines {
+            let Some(m) = line.mnemonic.as_deref() else { continue };
+            if let Some(dir) = m.strip_prefix('.') {
+                match dir {
+                    "text" => section = Section::Text,
+                    "data" => section = Section::Data,
+                    "entry" => {
+                        let a = self.lookup(&line.operands[0], line.num)?;
+                        entry = Some(a);
+                    }
+                    "globl" | "global" => {}
+                    _ if section == Section::Data => {
+                        self.emit_data(dir, line, &mut data, &mut data_pc)?
+                    }
+                    "align" => {
+                        // .align in .text pads with nops.
+                        let n = parse_int(&line.operands[0], line.num)? as u32;
+                        while text_pc % (1 << n) != 0 {
+                            text.push(encode(&Instr::NOP));
+                            text_pc += 4;
+                        }
+                    }
+                    _ => return Err(AsmError::new(line.num, format!("directive `{m}` outside .data"))),
+                }
+                continue;
+            }
+            if section != Section::Text {
+                return Err(AsmError::new(line.num, "instruction outside .text"));
+            }
+            let instrs = self.expand(m, &line.operands, text_pc, line.num)?;
+            for i in &instrs {
+                text.push(encode(i));
+                text_pc += 4;
+            }
+        }
+
+        let entry = entry
+            .or_else(|| self.symbols.get("main").copied())
+            .unwrap_or(self.text_base);
+        Ok(Program {
+            text_base: self.text_base,
+            text,
+            data_base: self.data_base,
+            data,
+            entry,
+            symbols: std::mem::take(&mut self.symbols),
+        })
+    }
+
+    fn emit_data(
+        &self,
+        dir: &str,
+        line: &Line,
+        data: &mut Vec<u8>,
+        data_pc: &mut u32,
+    ) -> AsmResult<()> {
+        let pad_to = |data: &mut Vec<u8>, pc: &mut u32, align: u32| {
+            while *pc % align != 0 {
+                data.push(0);
+                *pc += 1;
+            }
+        };
+        match dir {
+            "word" => {
+                pad_to(data, data_pc, 4);
+                for operand in &line.operands {
+                    let v = self.value(operand, line.num)?;
+                    data.extend_from_slice(&(v as u32).to_le_bytes());
+                    *data_pc += 4;
+                }
+            }
+            "half" => {
+                pad_to(data, data_pc, 2);
+                for operand in &line.operands {
+                    let v = self.value(operand, line.num)?;
+                    data.extend_from_slice(&(v as u16).to_le_bytes());
+                    *data_pc += 2;
+                }
+            }
+            "byte" => {
+                for operand in &line.operands {
+                    let v = self.value(operand, line.num)?;
+                    data.push(v as u8);
+                    *data_pc += 1;
+                }
+            }
+            "space" => {
+                let n = parse_int(&line.operands[0], line.num)? as u32;
+                data.extend(std::iter::repeat(0u8).take(n as usize));
+                *data_pc += n;
+            }
+            "align" => {
+                let n = parse_int(&line.operands[0], line.num)? as u32;
+                pad_to(data, data_pc, 1 << n);
+            }
+            "asciiz" | "ascii" => {
+                let s = parse_string(&line.operands[0], line.num)?;
+                data.extend_from_slice(s.as_bytes());
+                *data_pc += s.len() as u32;
+                if dir == "asciiz" {
+                    data.push(0);
+                    *data_pc += 1;
+                }
+            }
+            _ => return Err(AsmError::new(line.num, format!("unknown directive `.{dir}`"))),
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, line: usize) -> AsmResult<u32> {
+        self.symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::new(line, format!("undefined label `{name}`")))
+    }
+
+    /// An operand that is either an integer literal or a label.
+    fn value(&self, s: &str, line: usize) -> AsmResult<i64> {
+        if let Ok(v) = parse_int(s, line) {
+            return Ok(v);
+        }
+        self.lookup(s, line).map(|a| a as i64)
+    }
+
+    /// Expands one statement into concrete instructions at address `pc`.
+    fn expand(&self, m: &str, ops: &[String], pc: u32, line: usize) -> AsmResult<Vec<Instr>> {
+        let reg = |s: &str| -> AsmResult<Reg> {
+            Reg::parse(s).ok_or_else(|| AsmError::new(line, format!("bad register `{s}`")))
+        };
+        let arity = |n: usize| -> AsmResult<()> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError::new(line, format!("`{m}` expects {n} operands, got {}", ops.len())))
+            }
+        };
+        // Signed-immediate ops: accept [-0x8000, 0x7fff] plus the common
+        // assembler convention of writing 0x8000..=0xffff for the same bit
+        // patterns (reinterpreted as negative).
+        let imm16 = |v: i64| -> AsmResult<i32> {
+            match v {
+                -0x8000..=0x7fff => Ok(v as i32),
+                0x8000..=0xffff => Ok((v - 0x1_0000) as i32),
+                _ => Err(AsmError::new(line, format!("immediate {v} does not fit in 16 bits"))),
+            }
+        };
+        // Zero-extended ops: accept [0, 0xffff] plus negative bit patterns.
+        let uimm16 = |v: i64| -> AsmResult<i32> {
+            match v {
+                0..=0xffff => Ok(v as i32),
+                -0x8000..=-1 => Ok((v + 0x1_0000) as i32),
+                _ => Err(AsmError::new(line, format!("immediate {v} does not fit in 16 bits"))),
+            }
+        };
+        // Branch displacement from the *end* of the branch instruction.
+        let branch_off = |target: u32, at_pc: u32| -> AsmResult<i32> {
+            let delta = target as i64 - (at_pc as i64 + 4);
+            if delta % 4 != 0 {
+                return Err(AsmError::new(line, "unaligned branch target"));
+            }
+            let words = delta / 4;
+            if !(-(1 << 15)..(1 << 15)).contains(&words) {
+                return Err(AsmError::new(line, "branch target out of range"));
+            }
+            Ok(words as i32)
+        };
+
+        use Op::*;
+        let three_r = |op: Op| -> AsmResult<Vec<Instr>> {
+            arity(3)?;
+            Ok(vec![Instr::rtype(op, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?)])
+        };
+        let shift_c = |op: Op| -> AsmResult<Vec<Instr>> {
+            arity(3)?;
+            let sh = parse_int(&ops[2], line)?;
+            if !(0..32).contains(&sh) {
+                return Err(AsmError::new(line, format!("shift amount {sh} out of range")));
+            }
+            Ok(vec![Instr::shift(op, reg(&ops[0])?, reg(&ops[1])?, sh as u32)])
+        };
+        let shift_v = |op: Op| -> AsmResult<Vec<Instr>> {
+            arity(3)?;
+            // sllv rd, rt, rs — value in rt, amount in rs.
+            let (rd, rt, rs) = (reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?);
+            Ok(vec![Instr { op, rd, rs, rt, imm: 0, target: 0 }])
+        };
+        let itype = |op: Op| -> AsmResult<Vec<Instr>> {
+            arity(3)?;
+            let v = self.value(&ops[2], line)?;
+            let imm = if matches!(op, Op::Andi | Op::Ori | Op::Xori) {
+                uimm16(v)?
+            } else {
+                imm16(v)?
+            };
+            Ok(vec![Instr::itype(op, reg(&ops[0])?, reg(&ops[1])?, imm)])
+        };
+        let mem = |op: Op| -> AsmResult<Vec<Instr>> {
+            arity(2)?;
+            let (off, base) = parse_mem(&ops[1], line)?;
+            Ok(vec![Instr::itype(op, reg(&ops[0])?, base, imm16(off)?)])
+        };
+        let br2 = |op: Op| -> AsmResult<Vec<Instr>> {
+            arity(3)?;
+            let t = self.value(&ops[2], line)? as u32;
+            Ok(vec![Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: reg(&ops[0])?,
+                rt: reg(&ops[1])?,
+                imm: branch_off(t, pc)?,
+                target: 0,
+            }])
+        };
+        let br1 = |op: Op| -> AsmResult<Vec<Instr>> {
+            arity(2)?;
+            let t = self.value(&ops[1], line)? as u32;
+            Ok(vec![Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: reg(&ops[0])?,
+                rt: Reg::ZERO,
+                imm: branch_off(t, pc)?,
+                target: 0,
+            }])
+        };
+        // Compare-and-branch pseudos: slt into $at, then branch on $at.
+        let cmp_br = |swap: bool, br: Op| -> AsmResult<Vec<Instr>> {
+            arity(3)?;
+            let (a, b) = (reg(&ops[0])?, reg(&ops[1])?);
+            let (x, y) = if swap { (b, a) } else { (a, b) };
+            let t = self.value(&ops[2], line)? as u32;
+            Ok(vec![
+                Instr::rtype(Slt, Reg::AT, x, y),
+                Instr {
+                    op: br,
+                    rd: Reg::ZERO,
+                    rs: Reg::AT,
+                    rt: Reg::ZERO,
+                    imm: branch_off(t, pc + 4)?,
+                    target: 0,
+                },
+            ])
+        };
+
+        match m {
+            "add" => three_r(Add),
+            "addu" => three_r(Addu),
+            "sub" => three_r(Sub),
+            "subu" => three_r(Subu),
+            "and" => three_r(And),
+            "or" => three_r(Or),
+            "xor" => three_r(Xor),
+            "nor" => three_r(Nor),
+            "slt" => three_r(Slt),
+            "sltu" => three_r(Sltu),
+            "sll" => shift_c(Sll),
+            "srl" => shift_c(Srl),
+            "sra" => shift_c(Sra),
+            "sllv" => shift_v(Sllv),
+            "srlv" => shift_v(Srlv),
+            "srav" => shift_v(Srav),
+            "addi" => itype(Addi),
+            "addiu" => itype(Addiu),
+            "slti" => itype(Slti),
+            "sltiu" => itype(Sltiu),
+            "andi" => itype(Andi),
+            "ori" => itype(Ori),
+            "xori" => itype(Xori),
+            "lui" => {
+                arity(2)?;
+                let v = self.value(&ops[1], line)?;
+                Ok(vec![Instr::itype(Lui, reg(&ops[0])?, Reg::ZERO, uimm16(v)?)])
+            }
+            "mult" | "multu" | "div" | "divu" => {
+                arity(2)?;
+                let op = match m {
+                    "mult" => Mult,
+                    "multu" => Multu,
+                    "div" => Div,
+                    _ => Divu,
+                };
+                Ok(vec![Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs: reg(&ops[0])?,
+                    rt: reg(&ops[1])?,
+                    imm: 0,
+                    target: 0,
+                }])
+            }
+            "mfhi" | "mflo" => {
+                arity(1)?;
+                let op = if m == "mfhi" { Mfhi } else { Mflo };
+                Ok(vec![Instr { op, rd: reg(&ops[0])?, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 }])
+            }
+            "mthi" | "mtlo" => {
+                arity(1)?;
+                let op = if m == "mthi" { Mthi } else { Mtlo };
+                Ok(vec![Instr { op, rd: Reg::ZERO, rs: reg(&ops[0])?, rt: Reg::ZERO, imm: 0, target: 0 }])
+            }
+            "lb" => mem(Lb),
+            "lbu" => mem(Lbu),
+            "lh" => mem(Lh),
+            "lhu" => mem(Lhu),
+            "lw" => mem(Lw),
+            "sb" => mem(Sb),
+            "sh" => mem(Sh),
+            "sw" => mem(Sw),
+            "beq" => br2(Beq),
+            "bne" => br2(Bne),
+            "blez" => br1(Blez),
+            "bgtz" => br1(Bgtz),
+            "bltz" => br1(Bltz),
+            "bgez" => br1(Bgez),
+            "j" | "jal" => {
+                arity(1)?;
+                let t = self.value(&ops[0], line)? as u32;
+                if t % 4 != 0 {
+                    return Err(AsmError::new(line, "unaligned jump target"));
+                }
+                let op = if m == "j" { J } else { Jal };
+                Ok(vec![Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: (t >> 2) & 0x03ff_ffff,
+                }])
+            }
+            "jr" => {
+                arity(1)?;
+                Ok(vec![Instr { op: Jr, rd: Reg::ZERO, rs: reg(&ops[0])?, rt: Reg::ZERO, imm: 0, target: 0 }])
+            }
+            "jalr" => {
+                let (rd, rs) = match ops.len() {
+                    1 => (Reg::RA, reg(&ops[0])?),
+                    2 => (reg(&ops[0])?, reg(&ops[1])?),
+                    _ => return Err(AsmError::new(line, "`jalr` expects 1 or 2 operands")),
+                };
+                Ok(vec![Instr { op: Jalr, rd, rs, rt: Reg::ZERO, imm: 0, target: 0 }])
+            }
+            "syscall" => Ok(vec![Instr { op: Syscall, ..Instr::NOP }]),
+            "break" => Ok(vec![Instr { op: Break, ..Instr::NOP }]),
+            "ext" => {
+                arity(4)?;
+                let conf = parse_int(&ops[3], line)?;
+                if !(0..(1 << 11)).contains(&conf) {
+                    return Err(AsmError::new(line, "conf id out of range (11 bits)"));
+                }
+                Ok(vec![Instr::ext(conf as u16, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?)])
+            }
+            // ---- pseudo-instructions ----
+            "nop" => {
+                arity(0)?;
+                Ok(vec![Instr::NOP])
+            }
+            "move" => {
+                arity(2)?;
+                Ok(vec![Instr::rtype(Addu, reg(&ops[0])?, Reg::ZERO, reg(&ops[1])?)])
+            }
+            "not" => {
+                arity(2)?;
+                Ok(vec![Instr::rtype(Nor, reg(&ops[0])?, reg(&ops[1])?, Reg::ZERO)])
+            }
+            "neg" | "negu" => {
+                arity(2)?;
+                Ok(vec![Instr::rtype(Subu, reg(&ops[0])?, Reg::ZERO, reg(&ops[1])?)])
+            }
+            "li" => {
+                arity(2)?;
+                let rd = reg(&ops[0])?;
+                let v = parse_int(&ops[1], line)?;
+                Ok(expand_li(rd, v, line)?)
+            }
+            "la" => {
+                arity(2)?;
+                let rd = reg(&ops[0])?;
+                let a = self.value(&ops[1], line)? as u32;
+                Ok(vec![
+                    Instr::itype(Lui, rd, Reg::ZERO, (a >> 16) as i32),
+                    Instr::itype(Ori, rd, rd, (a & 0xffff) as i32),
+                ])
+            }
+            "b" => {
+                arity(1)?;
+                let t = self.value(&ops[0], line)? as u32;
+                Ok(vec![Instr {
+                    op: Beq,
+                    rd: Reg::ZERO,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm: branch_off(t, pc)?,
+                    target: 0,
+                }])
+            }
+            "beqz" | "bnez" => {
+                arity(2)?;
+                let op = if m == "beqz" { Beq } else { Bne };
+                let t = self.value(&ops[1], line)? as u32;
+                Ok(vec![Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs: reg(&ops[0])?,
+                    rt: Reg::ZERO,
+                    imm: branch_off(t, pc)?,
+                    target: 0,
+                }])
+            }
+            "blt" => cmp_br(false, Bne),
+            "bge" => cmp_br(false, Beq),
+            "bgt" => cmp_br(true, Bne),
+            "ble" => cmp_br(true, Beq),
+            _ => Err(AsmError::new(line, format!("unknown mnemonic `{m}`"))),
+        }
+    }
+}
+
+/// Number of words a statement expands to (used by pass 1).
+fn instr_size(m: &str, ops: &[String], line: usize) -> AsmResult<u32> {
+    Ok(match m {
+        "la" | "blt" | "bge" | "bgt" | "ble" => 2,
+        "li" => {
+            let v = parse_int(ops.get(1).map(String::as_str).unwrap_or(""), line)?;
+            expand_li(Reg::AT, v, line)?.len() as u32
+        }
+        _ => 1,
+    })
+}
+
+/// `li rd, imm` expansion: one instruction when the constant fits a 16-bit
+/// field, otherwise `lui` + `ori`.
+fn expand_li(rd: Reg, v: i64, line: usize) -> AsmResult<Vec<Instr>> {
+    if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+        return Err(AsmError::new(line, format!("constant {v} does not fit in 32 bits")));
+    }
+    let w = v as u32;
+    if (-(1 << 15)..(1 << 15)).contains(&v) {
+        return Ok(vec![Instr::itype(Op::Addiu, rd, Reg::ZERO, v as i32)]);
+    }
+    if (0..(1 << 16)).contains(&v) {
+        return Ok(vec![Instr::itype(Op::Ori, rd, Reg::ZERO, v as i32)]);
+    }
+    let mut out = vec![Instr::itype(Op::Lui, rd, Reg::ZERO, (w >> 16) as i32)];
+    if w & 0xffff != 0 {
+        out.push(Instr::itype(Op::Ori, rd, rd, (w & 0xffff) as i32));
+    }
+    Ok(out)
+}
+
+/// Parses `imm(reg)`, `(reg)`, or `imm` memory-operand syntax.
+fn parse_mem(s: &str, line: usize) -> AsmResult<(i64, Reg)> {
+    if let Some(open) = s.find('(') {
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
+        let off = s[..open].trim();
+        let base = Reg::parse(s[open + 1..close].trim())
+            .ok_or_else(|| AsmError::new(line, format!("bad base register in `{s}`")))?;
+        let off = if off.is_empty() { 0 } else { parse_int(off, line)? };
+        Ok((off, base))
+    } else {
+        Ok((parse_int(s, line)?, Reg::ZERO))
+    }
+}
+
+/// Parses a double-quoted string literal with `\n`, `\t`, `\0`, `\\`, `\"`
+/// escapes.
+fn parse_string(s: &str, line: usize) -> AsmResult<String> {
+    let body = s
+        .trim()
+        .strip_prefix('"')
+        .and_then(|b| b.strip_suffix('"'))
+        .ok_or_else(|| AsmError::new(line, format!("expected string literal, got `{s}`")))?;
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            other => return Err(AsmError::new(line, format!("bad escape `\\{other:?}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn align_up(v: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_isa::program::TEXT_BASE;
+
+    #[test]
+    fn minimal_program_assembles() {
+        let p = assemble(
+            "main: addiu $v0, $zero, 10\n      syscall\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.entry, TEXT_BASE);
+        let i = p.instr_at(TEXT_BASE).unwrap();
+        assert_eq!(i.op, Op::Addiu);
+    }
+
+    #[test]
+    fn branches_resolve_forward_and_backward() {
+        let p = assemble(
+            "loop: addiu $t0, $t0, 1\n bne $t0, $t1, loop\n beq $t0, $t1, done\n nop\ndone: syscall\n",
+        )
+        .unwrap();
+        let bne = p.instr_at(TEXT_BASE + 4).unwrap();
+        assert_eq!(bne.imm, -2); // back to loop
+        let beq = p.instr_at(TEXT_BASE + 8).unwrap();
+        assert_eq!(beq.imm, 1); // skip the nop
+    }
+
+    #[test]
+    fn li_expansion_sizes_match_pass1() {
+        let p = assemble("main: li $t0, 5\n li $t1, 0x12345678\n li $t2, 0xffff\nafter: nop\n").unwrap();
+        // 1 + 2 + 1 instructions before `after`.
+        assert_eq!(p.symbol("after"), Some(TEXT_BASE + 16));
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn li_lui_only_when_low_half_zero() {
+        let p = assemble("li $t0, 0x10000\n").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.instr_at(TEXT_BASE).unwrap().op, Op::Lui);
+    }
+
+    #[test]
+    fn la_loads_data_address() {
+        let p = assemble(".data\nbuf: .space 8\n.text\nmain: la $a0, buf\n").unwrap();
+        let lui = p.instr_at(TEXT_BASE).unwrap();
+        let ori = p.instr_at(TEXT_BASE + 4).unwrap();
+        let addr = ((lui.imm as u32) << 16) | (ori.imm as u32);
+        assert_eq!(Some(addr), p.symbol("buf"));
+    }
+
+    #[test]
+    fn data_directives_lay_out_correctly() {
+        let p = assemble(
+            ".data\na: .byte 1, 2\nb: .half 0x1234\nc: .word 0xdeadbeef\nd: .asciiz \"hi\"\n",
+        )
+        .unwrap();
+        let base = p.data_base;
+        assert_eq!(p.symbol("a"), Some(base));
+        assert_eq!(p.symbol("b"), Some(base + 2)); // aligned to 2
+        assert_eq!(p.symbol("c"), Some(base + 4)); // aligned to 4
+        assert_eq!(p.symbol("d"), Some(base + 8));
+        assert_eq!(&p.data[0..2], &[1, 2]);
+        assert_eq!(&p.data[2..4], &0x1234u16.to_le_bytes());
+        assert_eq!(&p.data[4..8], &0xdeadbeefu32.to_le_bytes());
+        assert_eq!(&p.data[8..11], b"hi\0");
+    }
+
+    #[test]
+    fn word_can_reference_labels() {
+        let p = assemble(".data\nptr: .word tgt\ntgt: .word 7\n").unwrap();
+        let tgt = p.symbol("tgt").unwrap();
+        assert_eq!(&p.data[0..4], &tgt.to_le_bytes());
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let p = assemble("lw $t0, 8($sp)\nlw $t1, ($sp)\n").unwrap();
+        assert_eq!(p.instr_at(TEXT_BASE).unwrap().imm, 8);
+        assert_eq!(p.instr_at(TEXT_BASE + 4).unwrap().imm, 0);
+    }
+
+    #[test]
+    fn cmp_branch_pseudos_expand_to_two_instructions() {
+        let p = assemble("main: blt $t0, $t1, main\n").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.instr_at(TEXT_BASE).unwrap().op, Op::Slt);
+        let br = p.instr_at(TEXT_BASE + 4).unwrap();
+        assert_eq!(br.op, Op::Bne);
+        assert_eq!(br.imm, -2);
+    }
+
+    #[test]
+    fn ext_instruction_assembles() {
+        let p = assemble("ext $v0, $a0, $a1, 42\n").unwrap();
+        let i = p.instr_at(TEXT_BASE).unwrap();
+        assert_eq!(i.op, Op::Ext);
+        assert_eq!(i.conf(), 42);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus $1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("addu $1, $2\n").unwrap_err();
+        assert!(e.msg.contains("expects 3 operands"));
+        let e = assemble("j undefined_label\n").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate label"));
+    }
+
+    #[test]
+    fn immediate_range_checks() {
+        assert!(assemble("addiu $1, $2, 0x8000").is_ok()); // 32768 fits unsigned-style reinterp
+        assert!(assemble("addiu $1, $2, 0x10000").is_err());
+        assert!(assemble("sll $1, $2, 32").is_err());
+    }
+
+    #[test]
+    fn entry_defaults_to_main_or_directive() {
+        let p = assemble("start: nop\nmain: nop\n").unwrap();
+        assert_eq!(p.entry, TEXT_BASE + 4);
+        let p = assemble(".entry start\nstart: nop\nmain: nop\n").unwrap();
+        assert_eq!(p.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn instruction_in_data_section_rejected() {
+        assert!(assemble(".data\nnop\n").is_err());
+    }
+}

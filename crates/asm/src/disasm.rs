@@ -1,0 +1,111 @@
+//! Disassembler producing re-assemblable source text.
+//!
+//! Branch and jump targets are rendered as generated `L_<addr>` labels so
+//! the output can be fed back through [`crate::assemble`]; the round trip
+//! is exercised by property tests.
+
+use std::collections::BTreeSet;
+use t1000_isa::{Instr, Op, Program};
+
+/// Disassembles a full program into assembly source text.
+pub fn disassemble(p: &Program) -> String {
+    let decoded: Vec<(u32, Instr)> = p
+        .decode_all()
+        .expect("program contains undecodable words");
+
+    // Collect every control-flow target that lands inside the text segment.
+    let mut targets: BTreeSet<u32> = BTreeSet::new();
+    for &(pc, i) in &decoded {
+        if i.op.is_branch() {
+            targets.insert(i.branch_target(pc));
+        } else if matches!(i.op, Op::J | Op::Jal) {
+            targets.insert(i.jump_target(pc));
+        }
+    }
+    targets.retain(|t| p.contains_pc(*t));
+
+    let mut out = String::new();
+    out.push_str(&format!(".text 0x{:x}\n", p.text_base));
+    for &(pc, i) in &decoded {
+        if targets.contains(&pc) {
+            out.push_str(&format!("L_{pc:x}:\n"));
+        }
+        out.push_str("    ");
+        out.push_str(&render(pc, &i, p));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one instruction, using labels for in-text control transfers.
+pub fn render(pc: u32, i: &Instr, p: &Program) -> String {
+    use Op::*;
+    match i.op {
+        Beq | Bne => {
+            let t = i.branch_target(pc);
+            format!("{} {}, {}, {}", i.op.mnemonic(), i.rs, i.rt, label_or_addr(t, p))
+        }
+        Blez | Bgtz | Bltz | Bgez => {
+            let t = i.branch_target(pc);
+            format!("{} {}, {}", i.op.mnemonic(), i.rs, label_or_addr(t, p))
+        }
+        J | Jal => {
+            let t = i.jump_target(pc);
+            format!("{} {}", i.op.mnemonic(), label_or_addr(t, p))
+        }
+        _ => i.to_string().replace('$', "$"),
+    }
+}
+
+fn label_or_addr(t: u32, p: &Program) -> String {
+    if p.contains_pc(t) {
+        format!("L_{t:x}")
+    } else {
+        format!("0x{t:x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+
+    #[test]
+    fn round_trip_preserves_encoding() {
+        let src = "\
+main:
+    addiu $t0, $zero, 8
+loop:
+    addiu $t0, $t0, -1
+    sll $t1, $t0, 2
+    addu $t2, $t2, $t1
+    bne $t0, $zero, loop
+    jal helper
+    j end
+helper:
+    jr $ra
+end:
+    syscall
+";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.text, p2.text, "round-trip changed encodings:\n{text}");
+    }
+
+    #[test]
+    fn branch_targets_become_labels() {
+        let p = assemble("main: bne $t0, $zero, main\n nop\n").unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("L_400000:"), "{text}");
+        assert!(text.contains("bne $t0, $zero, L_400000"), "{text}");
+    }
+
+    #[test]
+    fn out_of_text_targets_render_as_addresses() {
+        // A jump to an address beyond the text segment.
+        let p = assemble("main: j 0x400100\n").unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("j 0x400100"), "{text}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Assembler diagnostics.
+
+use std::fmt;
+
+/// An assembly error with source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl AsmError {
+    pub fn new(line: usize, msg: impl Into<String>) -> AsmError {
+        AsmError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Result alias used throughout the assembler.
+pub type AsmResult<T> = Result<T, AsmError>;

@@ -1,0 +1,181 @@
+//! Line-oriented tokenizer for T1000 assembly.
+//!
+//! Grammar is deliberately simple: one statement per line, of the form
+//! `[label:] [mnemonic operands...] [# comment]`. Operands are separated by
+//! commas; memory operands use `imm(reg)` syntax. `#`, `;` and `//` start
+//! comments.
+
+use crate::error::{AsmError, AsmResult};
+
+/// One tokenized source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number in the source.
+    pub num: usize,
+    /// Labels defined on this line (a line may carry several, e.g. `a: b:`).
+    pub labels: Vec<String>,
+    /// Mnemonic or directive (directives keep their leading dot).
+    pub mnemonic: Option<String>,
+    /// Comma-separated operand strings, trimmed.
+    pub operands: Vec<String>,
+}
+
+fn strip_comment(s: &str) -> &str {
+    let mut end = s.len();
+    for (i, c) in s.char_indices() {
+        if c == '#' || c == ';' {
+            end = i;
+            break;
+        }
+        if c == '/' && s[i + 1..].starts_with('/') {
+            end = i;
+            break;
+        }
+    }
+    &s[..end]
+}
+
+/// Tokenizes the whole source. Blank/comment-only lines are dropped.
+pub fn tokenize(src: &str) -> AsmResult<Vec<Line>> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let num = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        let mut labels = Vec::new();
+        // Peel off leading `name:` labels.
+        while let Some(colon) = text.find(':') {
+            let head = text[..colon].trim();
+            if head.is_empty() {
+                return Err(AsmError::new(num, "empty label"));
+            }
+            if !head
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+                || head.contains(char::is_whitespace)
+            {
+                break; // not a label; ':' belongs to something else
+            }
+            labels.push(head.to_string());
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            if !labels.is_empty() {
+                out.push(Line { num, labels, mnemonic: None, operands: Vec::new() });
+            }
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(sp) => (&text[..sp], text[sp..].trim()),
+            None => (text, ""),
+        };
+        let operands = if rest.is_empty() {
+            Vec::new()
+        } else if mnemonic == ".asciiz" || mnemonic == ".ascii" {
+            // String operand: keep verbatim (a single operand).
+            vec![rest.to_string()]
+        } else {
+            rest.split(',').map(|o| o.trim().to_string()).collect()
+        };
+        if operands.iter().any(|o| o.is_empty()) {
+            return Err(AsmError::new(num, "empty operand"));
+        }
+        out.push(Line {
+            num,
+            labels,
+            mnemonic: Some(mnemonic.to_ascii_lowercase()),
+            operands,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses an integer literal: decimal, `0x…` hex, `0b…` binary, optional
+/// leading `-`, or a `'c'` character literal.
+pub fn parse_int(s: &str, line: usize) -> AsmResult<i64> {
+    let t = s.trim();
+    if let Some(body) = t.strip_prefix('\'').and_then(|b| b.strip_suffix('\'')) {
+        let mut chars = body.chars();
+        let c = match (chars.next(), chars.next(), chars.next()) {
+            (Some('\\'), Some('n'), None) => '\n',
+            (Some('\\'), Some('t'), None) => '\t',
+            (Some('\\'), Some('0'), None) => '\0',
+            (Some('\\'), Some('\\'), None) => '\\',
+            (Some(c), None, _) => c,
+            _ => return Err(AsmError::new(line, format!("bad char literal {t}"))),
+        };
+        return Ok(c as i64);
+    }
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| AsmError::new(line, format!("bad integer literal `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_mnemonics_and_operands_split() {
+        let lines = tokenize("start:  addu $v0, $v1, $a0  # sum\n\nloop: done:\n  j loop").unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].labels, vec!["start"]);
+        assert_eq!(lines[0].mnemonic.as_deref(), Some("addu"));
+        assert_eq!(lines[0].operands, vec!["$v0", "$v1", "$a0"]);
+        assert_eq!(lines[1].labels, vec!["loop", "done"]);
+        assert_eq!(lines[1].mnemonic, None);
+        assert_eq!(lines[2].operands, vec!["loop"]);
+    }
+
+    #[test]
+    fn comments_in_all_styles_are_stripped() {
+        for src in ["nop # x", "nop ; x", "nop // x"] {
+            let l = tokenize(src).unwrap();
+            assert_eq!(l[0].mnemonic.as_deref(), Some("nop"));
+            assert!(l[0].operands.is_empty());
+        }
+    }
+
+    #[test]
+    fn memory_operands_stay_joined() {
+        let l = tokenize("lw $t0, 8($sp)").unwrap();
+        assert_eq!(l[0].operands, vec!["$t0", "8($sp)"]);
+    }
+
+    #[test]
+    fn empty_label_is_an_error() {
+        assert!(tokenize(" : nop").is_err());
+    }
+
+    #[test]
+    fn trailing_comma_is_an_error() {
+        assert!(tokenize("addu $1, $2,").is_err());
+    }
+
+    #[test]
+    fn integer_literals_parse() {
+        assert_eq!(parse_int("42", 1).unwrap(), 42);
+        assert_eq!(parse_int("-7", 1).unwrap(), -7);
+        assert_eq!(parse_int("0x10", 1).unwrap(), 16);
+        assert_eq!(parse_int("-0x10", 1).unwrap(), -16);
+        assert_eq!(parse_int("0b101", 1).unwrap(), 5);
+        assert_eq!(parse_int("'A'", 1).unwrap(), 65);
+        assert_eq!(parse_int("'\\n'", 1).unwrap(), 10);
+        assert!(parse_int("zz", 1).is_err());
+    }
+
+    #[test]
+    fn mnemonics_are_lowercased() {
+        let l = tokenize("ADDU $1, $2, $3").unwrap();
+        assert_eq!(l[0].mnemonic.as_deref(), Some("addu"));
+    }
+}

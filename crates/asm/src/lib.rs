@@ -1,0 +1,29 @@
+//! # t1000-asm — assembler and disassembler for the T1000 ISA
+//!
+//! A two-pass assembler for a MIPS-flavoured assembly dialect
+//! (`.text`/`.data` sections, labels, the usual data directives, and a set
+//! of convenience pseudo-instructions), plus a disassembler whose output is
+//! re-assemblable. All T1000 workloads (`t1000-workloads`) are written in
+//! this dialect.
+//!
+//! ```
+//! let program = t1000_asm::assemble("
+//! main:
+//!     li   $t0, 6
+//!     li   $t1, 7
+//!     mult $t0, $t1
+//!     mflo $a0
+//!     li   $v0, 10      # exit(42)
+//!     syscall
+//! ").unwrap();
+//! assert_eq!(program.len(), 6);
+//! ```
+
+pub mod assembler;
+pub mod disasm;
+pub mod error;
+pub mod lexer;
+
+pub use assembler::assemble;
+pub use disasm::disassemble;
+pub use error::{AsmError, AsmResult};

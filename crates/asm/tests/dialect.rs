@@ -1,0 +1,184 @@
+//! Integration tests for the assembler dialect: every mnemonic, every
+//! directive, and the diagnostic quality a user depends on.
+
+use t1000_asm::{assemble, disassemble};
+use t1000_isa::{Op, Reg};
+
+#[test]
+fn every_real_mnemonic_assembles() {
+    let src = "
+.data
+word: .word 42
+.text
+main:
+    add   $t0, $t1, $t2
+    addu  $t0, $t1, $t2
+    sub   $t0, $t1, $t2
+    subu  $t0, $t1, $t2
+    and   $t0, $t1, $t2
+    or    $t0, $t1, $t2
+    xor   $t0, $t1, $t2
+    nor   $t0, $t1, $t2
+    slt   $t0, $t1, $t2
+    sltu  $t0, $t1, $t2
+    sll   $t0, $t1, 3
+    srl   $t0, $t1, 3
+    sra   $t0, $t1, 3
+    sllv  $t0, $t1, $t2
+    srlv  $t0, $t1, $t2
+    srav  $t0, $t1, $t2
+    addi  $t0, $t1, -5
+    addiu $t0, $t1, -5
+    slti  $t0, $t1, 7
+    sltiu $t0, $t1, 7
+    andi  $t0, $t1, 7
+    ori   $t0, $t1, 7
+    xori  $t0, $t1, 7
+    lui   $t0, 0x1234
+    mult  $t1, $t2
+    multu $t1, $t2
+    div   $t1, $t2
+    divu  $t1, $t2
+    mfhi  $t0
+    mflo  $t0
+    mthi  $t1
+    mtlo  $t1
+    lb    $t0, 0($t1)
+    lbu   $t0, 1($t1)
+    lh    $t0, 2($t1)
+    lhu   $t0, 4($t1)
+    lw    $t0, 8($t1)
+    sb    $t0, 0($t1)
+    sh    $t0, 2($t1)
+    sw    $t0, 4($t1)
+    beq   $t0, $t1, main
+    bne   $t0, $t1, main
+    blez  $t0, main
+    bgtz  $t0, main
+    bltz  $t0, main
+    bgez  $t0, main
+    j     main
+    jal   main
+    jr    $ra
+    jalr  $t1
+    jalr  $t0, $t1
+    ext   $t0, $t1, $t2, 7
+    syscall
+    break
+";
+    let p = assemble(src).unwrap();
+    assert!(p.len() > 50);
+}
+
+#[test]
+fn every_pseudo_expands_correctly() {
+    let src = "
+main:
+    nop
+    move $t0, $t1
+    not  $t0, $t1
+    neg  $t0, $t1
+    li   $t0, 123456789
+    la   $t0, main
+    b    main
+    beqz $t0, main
+    bnez $t0, main
+    blt  $t0, $t1, main
+    bge  $t0, $t1, main
+    bgt  $t0, $t1, main
+    ble  $t0, $t1, main
+";
+    let p = assemble(src).unwrap();
+    let decoded = p.decode_all().unwrap();
+    // nop is sll $0,$0,0
+    assert_eq!(decoded[0].1, t1000_isa::Instr::NOP);
+    // move is addu with $zero source.
+    assert_eq!(decoded[1].1.op, Op::Addu);
+    assert!(decoded[1].1.rs.is_zero());
+    // li of a 27-bit constant takes lui+ori.
+    assert_eq!(decoded[4].1.op, Op::Lui);
+    assert_eq!(decoded[5].1.op, Op::Ori);
+    // Each cmp-branch pseudo expands to slt + branch through $at.
+    let slt_count = decoded.iter().filter(|(_, i)| i.op == Op::Slt).count();
+    assert_eq!(slt_count, 4);
+    for (_, i) in decoded.iter().filter(|(_, i)| i.op == Op::Slt) {
+        assert_eq!(i.rd, Reg::AT);
+    }
+}
+
+#[test]
+fn round_trip_of_a_real_workload_is_stable() {
+    // The biggest assembly source we have: mpeg2_dec.
+    let w = t1000_workloads::by_name("mpeg2_dec", t1000_workloads::Scale::Test).unwrap();
+    let p1 = assemble(&w.asm).unwrap();
+    let p2 = assemble(&disassemble(&p1)).unwrap();
+    assert_eq!(p1.text, p2.text);
+}
+
+#[test]
+fn all_workload_sources_assemble_without_at_clobber_hazards() {
+    // $at is reserved for pseudo expansion; workload sources must not use
+    // it directly (keeps them portable to strict assemblers).
+    for w in t1000_workloads::all(t1000_workloads::Scale::Test) {
+        assert!(
+            !w.asm.contains("$at"),
+            "{} uses $at directly",
+            w.name
+        );
+        assemble(&w.asm).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let cases = [
+        ("main: addu $t0, $t1\n", "expects 3 operands"),
+        ("main: lw $t0, 4($nope)\n", "bad base register"),
+        ("main: sll $t0, $t1, 99\n", "out of range"),
+        ("main: j faraway\n", "undefined label"),
+        ("dup: nop\ndup: nop\n", "duplicate label"),
+        ("main: .bogus 1\n", "unknown directive"),
+        ("main: frob $t0\n", "unknown mnemonic"),
+    ];
+    for (src, expect) in cases {
+        let e = assemble(src).unwrap_err();
+        assert!(
+            e.to_string().contains(expect),
+            "source {src:?} produced `{e}`, expected to contain `{expect}`"
+        );
+    }
+}
+
+#[test]
+fn branch_range_limits_are_enforced() {
+    // A branch 40,000 instructions away exceeds the 16-bit word offset.
+    let mut src = String::from("main: beq $t0, $t1, far\n");
+    for _ in 0..40_000 {
+        src.push_str("    nop\n");
+    }
+    src.push_str("far: nop\n");
+    let e = assemble(&src).unwrap_err();
+    assert!(e.to_string().contains("out of range"), "{e}");
+}
+
+#[test]
+fn data_and_text_can_interleave() {
+    let p = assemble(
+        "
+.data
+a: .word 1
+.text
+main: la $t0, a
+      lw $t1, 0($t0)
+.data
+b: .word 2
+.text
+      la $t2, b
+      li $v0, 10
+      syscall
+",
+    )
+    .unwrap();
+    assert_eq!(p.symbol("b").unwrap(), p.symbol("a").unwrap() + 4);
+    assert!(p.len() >= 7);
+}

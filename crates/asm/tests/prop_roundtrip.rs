@@ -1,0 +1,63 @@
+//! Property tests for the assembler: random structured programs assemble,
+//! disassemble, and re-assemble to identical machine code.
+
+use proptest::prelude::*;
+use t1000_asm::{assemble, disassemble};
+
+/// A random straight-line ALU statement using temporaries only.
+fn arb_alu_line() -> impl Strategy<Value = String> {
+    let reg = (8u8..16).prop_map(|n| format!("$t{}", n - 8));
+    let r3 = prop::sample::select(vec!["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"]);
+    let sh = prop::sample::select(vec!["sll", "srl", "sra"]);
+    let im = prop::sample::select(vec!["addiu", "andi", "ori", "xori", "slti"]);
+    prop_oneof![
+        (r3, reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(m, a, b, c)| format!("    {m} {a}, {b}, {c}")),
+        (sh, reg.clone(), reg.clone(), 0u32..32)
+            .prop_map(|(m, a, b, s)| format!("    {m} {a}, {b}, {s}")),
+        (im, reg.clone(), reg.clone(), 0i32..0x7fff)
+            .prop_map(|(m, a, b, v)| format!("    {m} {a}, {b}, {v}")),
+        (reg.clone(), 0i32..0x7fff).prop_map(|(a, v)| format!("    lui {a}, {v}")),
+    ]
+}
+
+/// A random program: a label, a body of ALU lines, a loop-back branch, exit.
+fn arb_program() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_alu_line(), 1..40).prop_map(|body| {
+        format!(
+            "main:\n    li $t0, 100\nloop:\n{}\n    addiu $t0, $t0, -1\n    bne $t0, $zero, loop\n    li $v0, 10\n    syscall\n",
+            body.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assemble_disassemble_reassemble_is_stable(src in arb_program()) {
+        let p1 = assemble(&src).expect("generated program must assemble");
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).expect("disassembly must re-assemble");
+        prop_assert_eq!(p1.text, p2.text);
+        prop_assert_eq!(p1.text_base, p2.text_base);
+    }
+
+    #[test]
+    fn label_addresses_are_monotone_in_source_order(n in 1usize..20) {
+        let mut src = String::from("main:\n");
+        for i in 0..n {
+            src.push_str(&format!("l{i}:\n    nop\n"));
+        }
+        src.push_str("    syscall\n");
+        let p = assemble(&src).unwrap();
+        let mut prev = None;
+        for i in 0..n {
+            let a = p.symbol(&format!("l{i}")).unwrap();
+            if let Some(pa) = prev {
+                prop_assert!(a > pa);
+            }
+            prev = Some(a);
+        }
+    }
+}

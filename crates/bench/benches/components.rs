@@ -1,0 +1,119 @@
+//! Criterion micro-benches of the library's building blocks: simulator
+//! throughput, assembler, cache model, selection analyses, LUT mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use t1000_core::{Analysis, ExtractConfig, SelectConfig};
+use t1000_cpu::{execute, simulate, CpuConfig};
+use t1000_hwcost::cost_of;
+use t1000_isa::{FusionMap, Instr, Op, Reg};
+use t1000_mem::{Cache, CacheConfig, MemConfig, MemHierarchy, Replacement};
+use t1000_workloads::{by_name, Scale};
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = by_name("g721_enc", Scale::Test).unwrap();
+    let p = w.program().unwrap();
+    let fusion = FusionMap::new();
+    let (_, icount) = execute(&p, &fusion, 0).unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(icount));
+    g.bench_function("functional", |b| {
+        b.iter(|| execute(&p, &fusion, 0).unwrap().1)
+    });
+    g.bench_function("cycle_level", |b| {
+        b.iter(|| simulate(&p, &fusion, CpuConfig::baseline()).unwrap().timing.cycles)
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let w = by_name("mpeg2_dec", Scale::Test).unwrap();
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Bytes(w.asm.len() as u64));
+    g.bench_function("assemble_mpeg2_dec", |b| {
+        b.iter(|| t1000_asm::assemble(&w.asm).unwrap().len())
+    });
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_model");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("l1_hits", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            sets: 128,
+            ways: 4,
+            line_bytes: 32,
+            replacement: Replacement::Lru,
+            write_back: true,
+        });
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..100_000u32 {
+                if cache.access((i % 512) * 8, false).hit {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("full_hierarchy", |b| {
+        let mut m = MemHierarchy::new(MemConfig::default());
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for i in 0..100_000u32 {
+                cycles += u64::from(m.data(0x1000_0000 + (i % 4096) * 16, i % 7 == 0));
+            }
+            cycles
+        })
+    });
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let w = by_name("gsm_dec", Scale::Test).unwrap();
+    let p = w.program().unwrap();
+    let a = Analysis::build(&p).unwrap();
+    let xc = ExtractConfig::default();
+
+    let mut g = c.benchmark_group("selection");
+    g.bench_function("extract_maximal", |b| {
+        b.iter(|| t1000_core::maximal_sites(&p, &a, &xc).len())
+    });
+    g.bench_function("greedy", |b| {
+        b.iter(|| t1000_core::greedy(&p, &a, &xc).num_confs())
+    });
+    g.bench_function("selective_2pfu", |b| {
+        b.iter(|| {
+            t1000_core::selective(&p, &a, &xc, &SelectConfig { pfus: Some(2), gain_threshold: 0.005 })
+                .num_confs()
+        })
+    });
+    g.finish();
+}
+
+fn bench_hwcost(c: &mut Criterion) {
+    let seq: Vec<Instr> = vec![
+        Instr::shift(Op::Sll, Reg::new(10), Reg::new(8), 4),
+        Instr::rtype(Op::Addu, Reg::new(10), Reg::new(10), Reg::new(9)),
+        Instr::rtype(Op::Xor, Reg::new(10), Reg::new(10), Reg::new(8)),
+        Instr::rtype(Op::Subu, Reg::new(10), Reg::new(10), Reg::new(9)),
+        Instr::rtype(Op::Slt, Reg::new(10), Reg::new(10), Reg::new(9)),
+    ];
+    let mut g = c.benchmark_group("hwcost");
+    g.bench_function("map_5op_18bit", |b| {
+        b.iter(|| cost_of(&seq, 18).luts)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_simulator,
+    bench_assembler,
+    bench_caches,
+    bench_selection,
+    bench_hwcost
+);
+criterion_main!(components);

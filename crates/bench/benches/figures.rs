@@ -1,0 +1,99 @@
+//! Criterion benches regenerating each paper artefact (at test scale, so
+//! iterations stay tractable): one group per figure/table. These measure
+//! the end-to-end cost of the pipeline that produces each artefact —
+//! profile → select → simulate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t1000_bench::{prepare, run_verified};
+use t1000_core::SelectConfig;
+use t1000_cpu::CpuConfig;
+use t1000_workloads::{by_name, Scale};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_greedy");
+    g.sample_size(10);
+    for name in ["g721_enc", "gsm_dec", "mpeg2_dec"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        let p = prepare(&w).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let sel = p.session.greedy();
+                let unl = run_verified(&p, &sel, CpuConfig::unlimited_pfus().reconfig(0));
+                let two = run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10));
+                (unl.timing.cycles, two.timing.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_selective");
+    g.sample_size(10);
+    for name in ["g721_enc", "gsm_dec", "mpeg2_dec"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        let p = prepare(&w).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let sel = p
+                    .session
+                    .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+                run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10))
+                    .timing
+                    .cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_hwcost");
+    g.sample_size(10);
+    let w = by_name("g721_enc", Scale::Test).unwrap();
+    let p = prepare(&w).unwrap();
+    g.bench_function("select_and_map", |b| {
+        b.iter(|| {
+            let sel = p
+                .session
+                .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+            sel.confs.iter().map(|c| c.cost.luts).max()
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_greedy_stats");
+    g.sample_size(10);
+    let w = by_name("gsm_enc", Scale::Test).unwrap();
+    let p = prepare(&w).unwrap();
+    g.bench_function("greedy_selection", |b| {
+        b.iter(|| p.session.greedy().num_confs())
+    });
+    g.finish();
+}
+
+fn bench_reconfig_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconfig_sweep");
+    g.sample_size(10);
+    let w = by_name("epic", Scale::Test).unwrap();
+    let p = prepare(&w).unwrap();
+    let sel = p
+        .session
+        .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+    g.bench_function("selective_500cy", |b| {
+        b.iter(|| run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(500)).timing.cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig6,
+    bench_fig7,
+    bench_table_greedy,
+    bench_reconfig_sweep
+);
+criterion_main!(figures);

@@ -1,0 +1,56 @@
+//! Ablation — the candidate bitwidth threshold.
+//!
+//! The paper fixes candidates at "bitwidths of 18 bits or less, but this
+//! is a parameter that can be varied" (§4). This sweep varies it and
+//! reports selective-algorithm speedups at 4 PFUs: narrow thresholds
+//! exclude profitable sequences; beyond the workloads' natural widths the
+//! curve saturates.
+
+use t1000_bench::{run_verified, scale_from_env, speedup, Timer};
+use t1000_core::{ExtractConfig, SelectConfig, Session};
+use t1000_cpu::CpuConfig;
+
+const WIDTHS: [u8; 5] = [8, 12, 18, 24, 32];
+
+fn main() {
+    let _t = Timer::start("bitwidth-threshold sweep");
+    let workloads = t1000_workloads::all(scale_from_env());
+
+    println!("# Bitwidth-threshold ablation, selective algorithm, 4 PFUs");
+    print!("{:>10}", "bench");
+    for w in WIDTHS {
+        print!("  {:>7}b", w);
+    }
+    println!("  (speedup over baseline)");
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut cells = Vec::new();
+                    for width in WIDTHS {
+                        let program = w.program().unwrap();
+                        let extract = ExtractConfig { max_width: width, ..Default::default() };
+                        let session = Session::with_extract(program, extract).unwrap();
+                        let baseline = session.run_baseline(CpuConfig::baseline()).unwrap();
+                        let sel = session
+                            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+                        let p = t1000_bench::Prepared { name: w.name, session, baseline };
+                        let run = run_verified(&p, &sel, CpuConfig::with_pfus(4).reconfig(10));
+                        cells.push(speedup(&p, &run));
+                    }
+                    (w.name, cells)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (name, cells) = h.join().unwrap();
+            let mut row = format!("{name:>10}");
+            for c in cells {
+                row.push_str(&format!("  {c:>8.3}"));
+            }
+            println!("{row}");
+        }
+    });
+}

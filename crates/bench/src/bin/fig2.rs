@@ -1,0 +1,38 @@
+//! Figure 2 — speedups using PFUs with the **greedy** selection algorithm.
+//!
+//! Three bars per benchmark, as in the paper:
+//! 1. the baseline superscalar (normalised to 1),
+//! 2. T1000 with unlimited PFUs and zero reconfiguration cost
+//!    (best case: paper reports 4.5 %–44 % speedups),
+//! 3. T1000 with 2 PFUs and a 10-cycle reconfiguration penalty
+//!    (the greedy algorithm thrashes: "substantially worse than the
+//!    original processor", §4.1).
+
+use t1000_bench::{fmt_row, prepare_all, run_verified, speedup, scale_from_env, Timer};
+use t1000_cpu::CpuConfig;
+
+fn main() {
+    let _t = Timer::start("Fig. 2 (greedy selection)");
+    let prepared = prepare_all(scale_from_env());
+
+    println!("# Figure 2: execution-time speedup, greedy selection");
+    println!("# columns: baseline | T1000 unlimited PFUs (0-cycle reconfig) | T1000 2 PFUs (10-cycle reconfig)");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}   {:>8} {:>12}",
+        "bench", "base", "unlim", "2pfu", "#confs", "reconfigs@2"
+    );
+    for p in &prepared {
+        let sel = p.session.greedy();
+        let unlimited = run_verified(p, &sel, CpuConfig::unlimited_pfus().reconfig(0));
+        let two = run_verified(p, &sel, CpuConfig::with_pfus(2).reconfig(10));
+        println!(
+            "{}   {:>7} {:>12}",
+            fmt_row(
+                p.name,
+                &[1.0, speedup(p, &unlimited), speedup(p, &two)]
+            ),
+            sel.num_confs(),
+            two.timing.pfu.reconfigurations,
+        );
+    }
+}

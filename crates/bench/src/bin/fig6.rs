@@ -1,0 +1,42 @@
+//! Figure 6 — speedups achieved using the **selective** algorithm.
+//!
+//! Four bars per benchmark, as in the paper: baseline, T1000 with 2 PFUs,
+//! with 4 PFUs, and with unlimited PFUs — all with a 10-cycle
+//! reconfiguration cost. The paper reports 2 %–27 % speedups at 2 PFUs and
+//! "four PFUs are typically enough to achieve almost the same performance
+//! improvement as the optimistic speed-ups" (§5.2).
+
+use t1000_bench::{fmt_row, prepare_all, run_verified, scale_from_env, speedup, Timer};
+use t1000_core::SelectConfig;
+use t1000_cpu::CpuConfig;
+
+fn main() {
+    let _t = Timer::start("Fig. 6 (selective selection)");
+    let prepared = prepare_all(scale_from_env());
+
+    println!("# Figure 6: execution-time speedup, selective algorithm (10-cycle reconfig)");
+    println!("# columns: baseline | 2 PFUs | 4 PFUs | unlimited PFUs");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}  {:>8}   {:>12}",
+        "bench", "base", "2pfu", "4pfu", "unlim", "reconfigs@2"
+    );
+    for p in &prepared {
+        let mut cells = vec![1.0];
+        let mut reconf2 = 0;
+        for pfus in [Some(2usize), Some(4), None] {
+            let sel = p
+                .session
+                .selective(&SelectConfig { pfus, gain_threshold: 0.005 });
+            let cpu = match pfus {
+                Some(n) => CpuConfig::with_pfus(n).reconfig(10),
+                None => CpuConfig::unlimited_pfus().reconfig(10),
+            };
+            let run = run_verified(p, &sel, cpu);
+            if pfus == Some(2) {
+                reconf2 = run.timing.pfu.reconfigurations;
+            }
+            cells.push(speedup(p, &run));
+        }
+        println!("{}   {:>12}", fmt_row(p.name, &cells), reconf2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 7 — distribution of hardware requirements (4-LUT counts) for
+//! the extended instructions extracted from the 8 benchmarks by the
+//! selective algorithm.
+//!
+//! The paper reports that "quite a few of the extended instructions need
+//! very little hardware" thanks to narrow-bitwidth profiling, with the
+//! most area-intensive instruction at 105 LUTs — comfortably inside a
+//! 150-LUT PFU.
+
+use t1000_bench::{prepare_all, scale_from_env, Timer};
+use t1000_core::SelectConfig;
+
+fn main() {
+    let _t = Timer::start("Fig. 7 (hardware cost distribution)");
+    let prepared = prepare_all(scale_from_env());
+
+    let mut costs: Vec<(String, u32, u32, u8, usize)> = Vec::new();
+    for p in &prepared {
+        // Fig. 7 uses the selective algorithm's instructions (4 PFUs).
+        let sel = p
+            .session
+            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+        for c in &sel.confs {
+            costs.push((p.name.to_string(), c.cost.luts, c.cost.depth, c.width, c.seq_len));
+        }
+    }
+
+    println!("# Figure 7: LUT requirements of selected extended instructions");
+    println!("# histogram over all benchmarks (bucket = 10 LUTs)");
+    let max = costs.iter().map(|c| c.1).max().unwrap_or(0);
+    for lo in (0..=max).step_by(10) {
+        let n = costs.iter().filter(|c| c.1 >= lo && c.1 < lo + 10).count();
+        println!("{:>3}-{:<3} LUTs: {:>2} {}", lo, lo + 9, n, "#".repeat(n));
+    }
+    println!();
+    println!("# per-instruction detail");
+    println!("{:>10} {:>6} {:>6} {:>6} {:>4}", "bench", "luts", "depth", "width", "len");
+    costs.sort_by_key(|c| std::cmp::Reverse(c.1));
+    for (name, luts, depth, width, len) in &costs {
+        println!("{name:>10} {luts:>6} {depth:>6} {width:>6} {len:>4}");
+    }
+    println!();
+    println!(
+        "# max = {} LUTs across {} instructions (paper: max 105, all < 150)",
+        max,
+        costs.len()
+    );
+    assert!(max < 150, "an instruction exceeded the paper's PFU area budget");
+}

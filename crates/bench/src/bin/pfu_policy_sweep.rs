@@ -1,0 +1,34 @@
+//! Ablation — PFU configuration replacement policy.
+//!
+//! The paper specifies LRU replacement (§2.2). This sweep compares LRU,
+//! FIFO and random replacement for the *greedy* selection at 2 PFUs
+//! (where replacement actually matters — the selective algorithm barely
+//! reconfigures at all).
+
+use t1000_bench::{prepare_all, run_verified, scale_from_env, speedup, Timer};
+use t1000_cpu::{CpuConfig, PfuReplacement};
+
+fn main() {
+    let _t = Timer::start("PFU replacement-policy sweep");
+    let prepared = prepare_all(scale_from_env());
+
+    println!("# PFU replacement ablation: greedy selection, 2 PFUs, 10-cy reconfig");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}   (speedup; reconfigs in parens)",
+        "bench", "lru", "fifo", "random"
+    );
+    for p in &prepared {
+        let sel = p.session.greedy();
+        let mut cells = Vec::new();
+        for policy in [PfuReplacement::Lru, PfuReplacement::Fifo, PfuReplacement::Random] {
+            let mut cfg = CpuConfig::with_pfus(2).reconfig(10);
+            cfg.pfu_replacement = policy;
+            let run = run_verified(p, &sel, cfg);
+            cells.push((speedup(p, &run), run.timing.pfu.reconfigurations));
+        }
+        println!(
+            "{:>10}  {:>8.3}  {:>8.3}  {:>8.3}   ({} / {} / {})",
+            p.name, cells[0].0, cells[1].0, cells[2].0, cells[0].1, cells[1].1, cells[2].1
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation — the PFU input-port budget.
+//!
+//! The paper limits sequences to "at most two input registers and ... one
+//! output" because extra PFU inputs cost register-file ports (§1, §4).
+//! This sweep relaxes the limit to show what that constraint costs:
+//! 3- and 4-input PFUs admit longer sequences and higher speedups — the
+//! performance the architect pays ports for.
+
+use t1000_bench::{run_verified, scale_from_env, speedup, Timer};
+use t1000_core::{ExtractConfig, SelectConfig, Session};
+use t1000_cpu::CpuConfig;
+
+const PORTS: [usize; 3] = [2, 3, 4];
+
+fn main() {
+    let _t = Timer::start("input-port sweep");
+    let workloads = t1000_workloads::all(scale_from_env());
+
+    println!("# Input-port ablation, selective algorithm, 4 PFUs");
+    print!("{:>10}", "bench");
+    for p in PORTS {
+        print!("  {p:>6}-in");
+    }
+    println!("  (speedup over baseline)");
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut cells = Vec::new();
+                    for ports in PORTS {
+                        let program = w.program().unwrap();
+                        let extract = ExtractConfig { max_inputs: ports, ..Default::default() };
+                        let session = Session::with_extract(program, extract).unwrap();
+                        let baseline = session.run_baseline(CpuConfig::baseline()).unwrap();
+                        let sel = session
+                            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+                        let p = t1000_bench::Prepared { name: w.name, session, baseline };
+                        let run = run_verified(&p, &sel, CpuConfig::with_pfus(4).reconfig(10));
+                        cells.push(speedup(&p, &run));
+                    }
+                    (w.name, cells)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (name, cells) = h.join().unwrap();
+            let mut row = format!("{name:>10}");
+            for c in cells {
+                row.push_str(&format!("  {c:>8.3}"));
+            }
+            println!("{row}");
+        }
+    });
+}

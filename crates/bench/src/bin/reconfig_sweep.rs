@@ -1,0 +1,45 @@
+//! §5.2 claim — "our experiments show that we retain our excellent
+//! speedups even with reconfiguration times as high as 500 cycles."
+//!
+//! Sweeps the PFU reconfiguration penalty for the selective algorithm at
+//! 2 PFUs, and contrasts with the greedy algorithm, whose performance
+//! collapses as the penalty grows.
+
+use t1000_bench::{prepare_all, run_verified, scale_from_env, speedup, Timer};
+use t1000_core::SelectConfig;
+use t1000_cpu::CpuConfig;
+
+const PENALTIES: [u32; 6] = [0, 10, 50, 100, 250, 500];
+
+fn main() {
+    let _t = Timer::start("reconfiguration-cost sweep (§5.2)");
+    let prepared = prepare_all(scale_from_env());
+
+    println!("# Reconfiguration-penalty sweep, 2 PFUs");
+    println!("# selective speedups should stay nearly flat; greedy collapses");
+    print!("{:>10} {:>9}", "bench", "algo");
+    for c in PENALTIES {
+        print!("  {c:>8}");
+    }
+    println!();
+    for p in &prepared {
+        let sel = p
+            .session
+            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+        let greedy = p.session.greedy();
+        for (label, s) in [("selective", &sel), ("greedy", &greedy)] {
+            let cells: Vec<f64> = PENALTIES
+                .iter()
+                .map(|&c| {
+                    let run = run_verified(p, s, CpuConfig::with_pfus(2).reconfig(c));
+                    speedup(p, &run)
+                })
+                .collect();
+            let mut row = format!("{:>10} {label:>9}", p.name);
+            for c in &cells {
+                row.push_str(&format!("  {c:>8.3}"));
+            }
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! §4.1 statistics table — "the greedy algorithm identifies between 6 and
+//! 43 distinct extended instructions, and sequence lengths range from 2
+//! to 8 instructions."
+
+use t1000_bench::{prepare_all, scale_from_env, Timer};
+
+fn main() {
+    let _t = Timer::start("greedy selection statistics (§4.1)");
+    let prepared = prepare_all(scale_from_env());
+
+    println!("# Greedy selection statistics (paper §4.1)");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "bench", "#confs", "#sites", "min len", "max len", "dyn cover"
+    );
+    let mut all_min = usize::MAX;
+    let mut all_max = 0usize;
+    for p in &prepared {
+        let sel = p.session.greedy();
+        let min_len = sel.confs.iter().map(|c| c.seq_len).min().unwrap_or(0);
+        let max_len = sel.confs.iter().map(|c| c.seq_len).max().unwrap_or(0);
+        all_min = all_min.min(min_len);
+        all_max = all_max.max(max_len);
+        // Fraction of dynamic base instructions covered by fused sequences.
+        let total_gain: u64 = sel.confs.iter().map(|c| c.total_gain).sum();
+        let cover = total_gain as f64 / p.baseline.timing.base_instructions as f64;
+        println!(
+            "{:>10} {:>8} {:>8} {:>8} {:>8} {:>9.1}%",
+            p.name,
+            sel.num_confs(),
+            sel.fusion.num_sites(),
+            min_len,
+            max_len,
+            100.0 * cover
+        );
+    }
+    println!();
+    println!(
+        "# sequence lengths span {all_min}–{all_max} (paper: 2–8); conf counts per benchmark above (paper: 6–43)"
+    );
+}

@@ -1,0 +1,111 @@
+//! # t1000-bench — experiment harness
+//!
+//! Regenerates every figure and table of the paper's evaluation. Each
+//! binary prints one artefact:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig2` | Fig. 2 — greedy speedups (unlimited PFUs; 2 PFUs thrash) |
+//! | `table_greedy_stats` | §4.1 — greedy instruction counts and lengths |
+//! | `fig6` | Fig. 6 — selective speedups with 2/4/unlimited PFUs |
+//! | `fig7` | Fig. 7 — LUT-count histogram of selected instructions |
+//! | `reconfig_sweep` | §5.2 — robustness up to 500-cycle reconfiguration |
+//! | `bitwidth_sweep` | ablation: candidate bitwidth threshold |
+//! | `ports_sweep` | ablation: PFU input-port budget |
+//! | `run_all` | everything above, for EXPERIMENTS.md |
+//!
+//! Run with `--release`; full-scale runs simulate millions of cycles.
+
+use std::time::Instant;
+use t1000_core::{Error, Selection, Session};
+use t1000_cpu::{CpuConfig, RunResult};
+use t1000_workloads::{Scale, Workload};
+
+/// Scale selection from the environment: `T1000_SCALE=test` switches the
+/// harness to small inputs (used by integration tests and CI smoke runs).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("T1000_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        _ => Scale::Full,
+    }
+}
+
+/// One benchmark's sessions and baseline run, shared across experiments.
+pub struct Prepared {
+    pub name: &'static str,
+    pub session: Session,
+    pub baseline: RunResult,
+}
+
+/// Assembles, profiles and baselines one workload.
+pub fn prepare(w: &Workload) -> Result<Prepared, Error> {
+    let program = w.program().map_err(Error::Asm)?;
+    let session = Session::new(program)?;
+    let baseline = session.run_baseline(CpuConfig::baseline())?;
+    // The harness refuses to report results for an incorrect simulation.
+    assert_eq!(
+        baseline.sys.checksum,
+        w.expected_checksum(),
+        "{}: simulator checksum diverges from the Rust reference",
+        w.name
+    );
+    Ok(Prepared { name: w.name, session, baseline })
+}
+
+/// Prepares every benchmark at `scale`, in parallel (one thread each).
+pub fn prepare_all(scale: Scale) -> Vec<Prepared> {
+    let workloads = t1000_workloads::all(scale);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| s.spawn(move || prepare(w).unwrap_or_else(|e| panic!("{}: {e}", w.name))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Runs one selection on one machine configuration and verifies
+/// architectural results against the baseline.
+pub fn run_verified(p: &Prepared, sel: &Selection, cpu: CpuConfig) -> RunResult {
+    let run = p
+        .session
+        .run_with(sel, cpu)
+        .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    assert_eq!(
+        run.sys, p.baseline.sys,
+        "{}: fused run changed architectural results",
+        p.name
+    );
+    run
+}
+
+/// Execution-time speedup over the prepared baseline (1.0 = no change,
+/// >1 = faster), the y-axis of Figs. 2 and 6.
+pub fn speedup(p: &Prepared, run: &RunResult) -> f64 {
+    p.baseline.timing.cycles as f64 / run.timing.cycles as f64
+}
+
+/// Formats a speedup table row.
+pub fn fmt_row(name: &str, cells: &[f64]) -> String {
+    let mut s = format!("{name:>10}");
+    for c in cells {
+        s.push_str(&format!("  {c:>8.3}"));
+    }
+    s
+}
+
+/// Simple wall-clock section timer for harness progress output.
+pub struct Timer(Instant, String);
+
+impl Timer {
+    pub fn start(label: &str) -> Timer {
+        eprintln!("[t1000-bench] {label}...");
+        Timer(Instant::now(), label.to_string())
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        eprintln!("[t1000-bench] {} done in {:.1}s", self.1, self.0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,408 @@
+//! # t1000-cli — the `t1000` command-line driver
+//!
+//! Subcommands:
+//!
+//! ```text
+//! t1000 asm     <file.s> [--out file.tobj]      assemble to a text object
+//! t1000 disasm  <file.s|.tobj>                  disassemble
+//! t1000 run     <file.s|.tobj> [--pfus N|unlimited] [--reconfig C]
+//!               [--greedy] [--threshold F] [--max-instr N]
+//!                                               select + simulate
+//! t1000 profile <file.s|.tobj>                  sim_profile-style report
+//! t1000 select  <file.s|.tobj> [--pfus N] [--greedy] [--threshold F]
+//!                                               show chosen ext. instructions
+//! t1000 bench   <name> [--scale test|full] [--pfus N]
+//!                                               run a MediaBench-style kernel
+//! ```
+//!
+//! All command logic lives in this library so it is unit-testable; the
+//! binary is a two-line wrapper.
+
+pub mod args;
+
+use args::{parse, ArgError, Parsed};
+use std::fmt::Write as _;
+use t1000_core::{SelectConfig, Selection, Session};
+use t1000_cpu::{CpuConfig, PfuCount};
+use t1000_isa::Program;
+
+/// CLI error: message already formatted for the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> CliError {
+        CliError(e.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Entry point: executes `args` and returns the text to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return Ok(usage());
+    };
+    let rest = &args[1..];
+    match cmd {
+        "asm" => cmd_asm(rest),
+        "disasm" => cmd_disasm(rest),
+        "run" => cmd_run(rest),
+        "profile" => cmd_profile(rest),
+        "select" => cmd_select(rest),
+        "bench" => cmd_bench(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => err(format!("unknown command `{other}` (try `t1000 help`)")),
+    }
+}
+
+fn usage() -> String {
+    "t1000 — configurable extended instructions toolchain\n\
+     usage:\n\
+     \x20 t1000 asm     <file.s> [--out file.tobj]\n\
+     \x20 t1000 disasm  <file.s|.tobj>\n\
+     \x20 t1000 run     <file> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
+     \x20 t1000 profile <file>\n\
+     \x20 t1000 select  <file> [--pfus N] [--greedy] [--threshold F]\n\
+     \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n"
+        .to_string()
+}
+
+/// Loads a program from assembly (`.s`) or text-object (`.tobj`) source.
+fn load(path: &str) -> Result<Program, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    load_str(path, &src)
+}
+
+/// Path-extension dispatch, separated for tests.
+fn load_str(path: &str, src: &str) -> Result<Program, CliError> {
+    if path.ends_with(".tobj") {
+        t1000_isa::read_object(src).map_err(|e| CliError(format!("{path}: {e}")))
+    } else {
+        t1000_asm::assemble(src).map_err(|e| CliError(format!("{path}: {e}")))
+    }
+}
+
+fn cmd_asm(args: &[String]) -> Result<String, CliError> {
+    let p = parse(args, &["out"], &[])?;
+    let [path] = p.positional.as_slice() else {
+        return err("asm: expected exactly one input file");
+    };
+    let program = load(path)?;
+    let object = t1000_isa::write_object(&program);
+    match p.get("out") {
+        Some(out) => {
+            std::fs::write(out, &object)
+                .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+            Ok(format!(
+                "wrote {out}: {} instructions, {} data bytes\n",
+                program.len(),
+                program.data.len()
+            ))
+        }
+        None => Ok(object),
+    }
+}
+
+fn cmd_disasm(args: &[String]) -> Result<String, CliError> {
+    let p = parse(args, &[], &[])?;
+    let [path] = p.positional.as_slice() else {
+        return err("disasm: expected exactly one input file");
+    };
+    Ok(t1000_asm::disassemble(&load(path)?))
+}
+
+fn machine_config(p: &Parsed) -> Result<(CpuConfig, Option<usize>), CliError> {
+    let (pfus, count) = match p.get("pfus") {
+        None => (PfuCount::Fixed(0), None),
+        Some("unlimited") => (PfuCount::Unlimited, None),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| CliError(format!("--pfus: `{v}` is not a count")))?;
+            (PfuCount::Fixed(n), Some(n))
+        }
+    };
+    let mut cfg = CpuConfig { pfus, ..CpuConfig::default() };
+    if let Some(c) = p.get_u32("reconfig")? {
+        cfg.reconfig_cycles = c;
+    }
+    if let Some(m) = p.get_u32("max-instr")? {
+        cfg.max_instructions = u64::from(m);
+    }
+    Ok((cfg, count))
+}
+
+fn select_for(session: &Session, p: &Parsed, pfus: Option<usize>) -> Result<Selection, CliError> {
+    let threshold = p.get_f64("threshold")?.unwrap_or(0.005);
+    Ok(if p.flag("greedy") {
+        session.greedy()
+    } else {
+        session.selective(&SelectConfig { pfus, gain_threshold: threshold })
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let p = parse(args, &["pfus", "reconfig", "threshold", "max-instr"], &["greedy"])?;
+    let [path] = p.positional.as_slice() else {
+        return err("run: expected exactly one input file");
+    };
+    let (cfg, pfu_count) = machine_config(&p)?;
+    let program = load(path)?;
+    let has_pfus = cfg.pfus != PfuCount::Fixed(0);
+    // The profiling run honours --max-instr too, so a non-terminating
+    // input errors out instead of hanging.
+    let session = Session::with_limits(
+        program,
+        t1000_core::ExtractConfig::default(),
+        cfg.max_instructions,
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+
+    let mut out = String::new();
+    if has_pfus {
+        let sel = select_for(&session, &p, pfu_count)?;
+        let (base, run) = session
+            .verify_selection(&sel, cfg)
+            .map_err(|e| CliError(e.to_string()))?;
+        writeln!(out, "extended instructions: {}", sel.num_confs()).unwrap();
+        writeln!(
+            out,
+            "baseline: {} cycles | T1000: {} cycles | speedup {:.3}x",
+            base.timing.cycles,
+            run.timing.cycles,
+            run.speedup_over(&base)
+        )
+        .unwrap();
+        write_run_stats(&mut out, &run);
+    } else {
+        let run = session
+            .run_baseline(cfg)
+            .map_err(|e| CliError(e.to_string()))?;
+        write_run_stats(&mut out, &run);
+    }
+    Ok(out)
+}
+
+fn write_run_stats(out: &mut String, run: &t1000_cpu::RunResult) {
+    let t = &run.timing;
+    writeln!(
+        out,
+        "cycles {} | instrs {} | base IPC {:.2} | ext execs {} | reconfigs {}",
+        t.cycles, t.base_instructions, t.base_ipc, t.pfu.ext_executed, t.pfu.reconfigurations
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "il1 miss {:.2}% | dl1 miss {:.2}% | ul2 miss {:.2}%",
+        100.0 * t.mem.il1.miss_rate(),
+        100.0 * t.mem.dl1.miss_rate(),
+        100.0 * t.mem.ul2.miss_rate()
+    )
+    .unwrap();
+    if let Some(code) = run.sys.exit_code {
+        writeln!(out, "exit {code} | checksum 0x{:016x}", run.sys.checksum).unwrap();
+    }
+    if !run.sys.output.is_empty() {
+        writeln!(out, "--- program output ---").unwrap();
+        out.push_str(&run.sys.output);
+    }
+}
+
+fn cmd_profile(args: &[String]) -> Result<String, CliError> {
+    let p = parse(args, &[], &[])?;
+    let [path] = p.positional.as_slice() else {
+        return err("profile: expected exactly one input file");
+    };
+    let program = load(path)?;
+    let cfg = t1000_profile::Cfg::build(&program)
+        .map_err(|e| CliError(e.to_string()))?;
+    let profile = t1000_profile::ExecProfile::collect(&program, 0)
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(t1000_profile::report::render(&program, &cfg, &profile))
+}
+
+fn cmd_select(args: &[String]) -> Result<String, CliError> {
+    let p = parse(args, &["pfus", "threshold"], &["greedy"])?;
+    let [path] = p.positional.as_slice() else {
+        return err("select: expected exactly one input file");
+    };
+    let pfus = p.get_u32("pfus")?.map(|n| n as usize);
+    let program = load(path)?;
+    let session = Session::new(program).map_err(|e| CliError(e.to_string()))?;
+    let sel = select_for(&session, &p, pfus.or(Some(4)))?;
+
+    let mut out = String::new();
+    writeln!(out, "{} configuration(s), {} site(s)", sel.num_confs(), sel.fusion.num_sites()).unwrap();
+    for c in &sel.confs {
+        writeln!(
+            out,
+            "conf {:>2}: len {} | {} site(s) | {:>3} LUTs depth {} @ {:>2} bits | latency {} | gain ~{}",
+            c.conf, c.seq_len, c.num_sites, c.cost.luts, c.cost.depth, c.width, c.latency, c.total_gain
+        )
+        .unwrap();
+        for i in &c.canon.skeleton {
+            writeln!(out, "    {i}").unwrap();
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let p = parse(args, &["scale", "pfus"], &[])?;
+    let [name] = p.positional.as_slice() else {
+        return err(format!(
+            "bench: expected one benchmark name (one of {:?})",
+            t1000_workloads::NAMES
+        ));
+    };
+    let scale = match p.get("scale") {
+        Some("full") => t1000_workloads::Scale::Full,
+        Some("test") | None => t1000_workloads::Scale::Test,
+        Some(other) => return err(format!("--scale: `{other}` is not test|full")),
+    };
+    let Some(w) = t1000_workloads::by_name(name, scale) else {
+        return err(format!("unknown benchmark `{name}` (one of {:?})", t1000_workloads::NAMES));
+    };
+    let pfus = p.get_u32("pfus")?.map(|n| n as usize).unwrap_or(2);
+    let program = w.program().map_err(|e| CliError(e.to_string()))?;
+    let session = Session::new(program).map_err(|e| CliError(e.to_string()))?;
+    let base = session
+        .run_baseline(CpuConfig::baseline())
+        .map_err(|e| CliError(e.to_string()))?;
+    if base.sys.checksum != w.expected_checksum() {
+        return err(format!("{name}: simulator checksum diverges from reference"));
+    }
+    let sel = session.selective(&SelectConfig { pfus: Some(pfus), gain_threshold: 0.005 });
+    let run = session
+        .run_with(&sel, CpuConfig::with_pfus(pfus))
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "{name} ({:?}): baseline {} cycles, T1000/{pfus}-PFU {} cycles, speedup {:.3}x, {} confs, checksum ok\n",
+        scale,
+        base.timing.cycles,
+        run.timing.cycles,
+        run.speedup_over(&base),
+        sel.num_confs()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("t1000_cli_test_{}_{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const KERNEL: &str = "
+main:
+    li  $s0, 300
+    li  $t0, 3
+    li  $t1, 5
+loop:
+    sll  $t2, $t0, 4
+    addu $t2, $t2, $t1
+    xor  $t1, $t1, $t2
+    andi $t1, $t1, 1023
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    move $a0, $t1
+    li   $v0, 30
+    syscall
+    li   $a0, 0
+    li   $v0, 10
+    syscall
+";
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("usage:"));
+        assert!(run(&s(&["help"])).unwrap().contains("t1000 bench"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn asm_emits_an_object_that_disasm_reads() {
+        let src = tmp("asm.s", KERNEL);
+        let obj_text = run(&s(&["asm", &src])).unwrap();
+        assert!(obj_text.starts_with("T1000OBJ v1"));
+        let obj = tmp("asm.tobj", &obj_text);
+        let listing = run(&s(&["disasm", &obj])).unwrap();
+        assert!(listing.contains("addu $t2, $t2, $t1"), "{listing}");
+    }
+
+    #[test]
+    fn run_reports_speedup_and_checksum() {
+        let src = tmp("run.s", KERNEL);
+        let out = run(&s(&["run", &src, "--pfus", "2"])).unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("checksum 0x"), "{out}");
+        // Baseline-only run.
+        let out = run(&s(&["run", &src])).unwrap();
+        assert!(out.contains("IPC"), "{out}");
+        assert!(!out.contains("speedup"));
+    }
+
+    #[test]
+    fn profile_shows_hot_loop() {
+        let src = tmp("prof.s", KERNEL);
+        let out = run(&s(&["profile", &src])).unwrap();
+        assert!(out.contains("hottest blocks:"), "{out}");
+        assert!(out.contains("loops (innermost first):"), "{out}");
+    }
+
+    #[test]
+    fn select_lists_configurations() {
+        let src = tmp("sel.s", KERNEL);
+        let out = run(&s(&["select", &src, "--pfus", "2"])).unwrap();
+        assert!(out.contains("conf  0"), "{out}");
+        assert!(out.contains("LUTs"), "{out}");
+        let greedy = run(&s(&["select", &src, "--greedy"])).unwrap();
+        assert!(greedy.contains("configuration"), "{greedy}");
+    }
+
+    #[test]
+    fn bench_runs_a_registry_kernel() {
+        let out = run(&s(&["bench", "g721_enc", "--scale", "test"])).unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("checksum ok"), "{out}");
+        assert!(run(&s(&["bench", "nope"])).is_err());
+    }
+
+    #[test]
+    fn run_rejects_bad_machine_options() {
+        let src = tmp("bad.s", KERNEL);
+        assert!(run(&s(&["run", &src, "--pfus", "many"])).is_err());
+        assert!(run(&s(&["run", &src, "--reconfig", "x"])).is_err());
+    }
+
+    #[test]
+    fn max_instr_guards_infinite_programs() {
+        let src = tmp("inf.s", "main: j main\n");
+        let e = run(&s(&["run", &src, "--max-instr", "5000"])).unwrap_err();
+        assert!(e.0.contains("limit"), "{e}");
+    }
+}

@@ -1,0 +1,12 @@
+//! `t1000` — command-line driver for the T1000 toolchain.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match t1000_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("t1000: {e}");
+            std::process::exit(1);
+        }
+    }
+}

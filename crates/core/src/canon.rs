@@ -1,0 +1,170 @@
+//! Canonical forms of instruction sequences.
+//!
+//! Two code sites can share one PFU configuration exactly when their
+//! sequences compute the same function of their inputs — in the paper's
+//! example (Fig. 3) the latter two sequences "perform the same operation,
+//! they share an identical PFU configuration". We canonicalise a sequence
+//! by renaming registers in order of first appearance; opcode, operand
+//! positions, shift amounts and immediates are part of the identity.
+
+use t1000_isa::{Instr, Reg};
+
+/// A canonical sequence: the structural identity of a PFU configuration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonSeq {
+    /// Instructions with registers renamed to $t0.. in first-appearance
+    /// order (uses before defs, program order).
+    pub skeleton: Vec<Instr>,
+}
+
+/// First canonical register index (we rename into $t0, $t1, … = $8, $9, …).
+const CANON_BASE: u8 = 8;
+
+/// Canonicalises `seq`.
+///
+/// # Panics
+/// Panics if the sequence needs more canonical registers than exist
+/// (cannot happen for valid candidate sequences, which have ≤ 2 inputs and
+/// ≤ 8 instructions).
+pub fn canonicalize(seq: &[Instr]) -> CanonSeq {
+    let mut map: Vec<(Reg, Reg)> = Vec::new();
+    let rename = |r: Reg, map: &mut Vec<(Reg, Reg)>| -> Reg {
+        if r.is_zero() {
+            return r;
+        }
+        if let Some(&(_, c)) = map.iter().find(|(orig, _)| *orig == r) {
+            return c;
+        }
+        let c = Reg::new(CANON_BASE + map.len() as u8);
+        map.push((r, c));
+        c
+    };
+    let skeleton = seq
+        .iter()
+        .map(|i| {
+            let mut out = *i;
+            // Rename uses first so inputs get the lowest indices, then the
+            // def (which may introduce a fresh name or reuse an input's).
+            let uses: Vec<Reg> = i.uses().collect();
+            for u in uses {
+                rename(u, &mut map);
+            }
+            if let Some(d) = i.def() {
+                rename(d, &mut map);
+            }
+            out.rs = rename_field(i.rs, &map);
+            out.rt = rename_field(i.rt, &map);
+            out.rd = rename_field(i.rd, &map);
+            out
+        })
+        .collect();
+    CanonSeq { skeleton }
+}
+
+fn rename_field(r: Reg, map: &[(Reg, Reg)]) -> Reg {
+    if r.is_zero() {
+        return r;
+    }
+    map.iter()
+        .find(|(orig, _)| *orig == r)
+        .map(|&(_, c)| c)
+        // Fields not semantically read/written (e.g. rs of a constant
+        // shift) are normalised to $zero.
+        .unwrap_or(Reg::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_isa::Op;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn register_renaming_is_structural() {
+        // sll r2, r3, 4 ; addu r2, r2, r1   vs   sll r9, r7, 4 ; addu r9, r9, r5
+        let a = vec![
+            Instr::shift(Op::Sll, r(2), r(3), 4),
+            Instr::rtype(Op::Addu, r(2), r(2), r(1)),
+        ];
+        let b = vec![
+            Instr::shift(Op::Sll, r(9), r(7), 4),
+            Instr::rtype(Op::Addu, r(9), r(9), r(5)),
+        ];
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn different_shift_amounts_differ() {
+        let a = vec![Instr::shift(Op::Sll, r(2), r(3), 4)];
+        let b = vec![Instr::shift(Op::Sll, r(2), r(3), 5)];
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn different_immediates_differ() {
+        let a = vec![Instr::itype(Op::Addiu, r(2), r(3), 1)];
+        let b = vec![Instr::itype(Op::Addiu, r(2), r(3), 2)];
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn operand_order_is_positional() {
+        // subu r2, r3, r4 and subu r2, r4, r3 both compute "first input
+        // minus second input"; since each fused site wires its own inputs
+        // to the PFU ports in first-use order, they legitimately share one
+        // configuration.
+        let a = vec![Instr::rtype(Op::Subu, r(2), r(3), r(4))];
+        let b = vec![Instr::rtype(Op::Subu, r(2), r(4), r(3))];
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        // But when the same register feeds both ports the shape changes.
+        let c = vec![Instr::rtype(Op::Subu, r(2), r(3), r(3))];
+        assert_ne!(canonicalize(&a), canonicalize(&c));
+    }
+
+    #[test]
+    fn commutative_dataflow_shapes_share_when_registers_align() {
+        // x+x vs y+y: same shape.
+        let a = vec![Instr::rtype(Op::Addu, r(2), r(3), r(3))];
+        let b = vec![Instr::rtype(Op::Addu, r(7), r(9), r(9))];
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        // x+x vs x+y: different shape.
+        let c = vec![Instr::rtype(Op::Addu, r(2), r(3), r(4))];
+        assert_ne!(canonicalize(&a), canonicalize(&c));
+    }
+
+    #[test]
+    fn paper_figure3_sequences_share_one_configuration() {
+        // Fig. 3: `sll r2, r3, 4 ; addu r2, r2, r1` appears twice (as the
+        // tail of the maximal sequence and standalone) — same config.
+        let tail = vec![
+            Instr::shift(Op::Sll, r(2), r(3), 4),
+            Instr::rtype(Op::Addu, r(2), r(2), r(1)),
+        ];
+        let standalone = vec![
+            Instr::shift(Op::Sll, r(2), r(3), 4),
+            Instr::rtype(Op::Addu, r(2), r(2), r(1)),
+        ];
+        assert_eq!(canonicalize(&tail), canonicalize(&standalone));
+    }
+
+    #[test]
+    fn canonical_skeleton_starts_at_t0() {
+        let a = vec![Instr::rtype(Op::Addu, r(20), r(21), r(22))];
+        let c = canonicalize(&a);
+        let i = c.skeleton[0];
+        // Uses renamed first: rs → $t0, rt → $t1, def → $t2.
+        assert_eq!(i.rs, r(8));
+        assert_eq!(i.rt, r(9));
+        assert_eq!(i.rd, r(10));
+    }
+
+    #[test]
+    fn zero_register_is_preserved() {
+        let a = vec![Instr::rtype(Op::Addu, r(2), Reg::ZERO, r(4))];
+        let c = canonicalize(&a);
+        assert!(c.skeleton[0].rs.is_zero());
+    }
+}

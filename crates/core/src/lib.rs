@@ -1,0 +1,59 @@
+//! # t1000-core — configurable extended-instruction selection
+//!
+//! The primary contribution of Zhou & Martonosi's IPPS 2000 paper: given a
+//! program, automatically identify application-specific *extended
+//! instructions* — dependent runs of narrow arithmetic/logic operations —
+//! and decide which to implement on the T1000 processor's programmable
+//! functional units (PFUs).
+//!
+//! * [`extract`] — liveness-checked candidate-sequence extraction under
+//!   the 2-input/1-output port constraint;
+//! * [`canon`] — structural canonicalisation (configuration sharing);
+//! * [`select`] — the **greedy** (§4) and **selective** (§5) algorithms,
+//!   the latter built on the k×k subsequence [`matrix`];
+//! * [`session::Session`] — the end-to-end pipeline
+//!   (assemble → profile → select → simulate → verify).
+
+pub mod canon;
+pub mod extract;
+pub mod matrix;
+pub mod select;
+pub mod session;
+
+pub use canon::{canonicalize, CanonSeq};
+pub use extract::{maximal_sites, subwindows, Analysis, CandidateSite, ExtractConfig};
+pub use matrix::SubseqMatrix;
+pub use select::{greedy, selective, ChosenConf, SelectConfig, Selection};
+pub use session::Session;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// Assembly failed.
+    Asm(t1000_asm::AsmError),
+    /// The program text contains undecodable words.
+    Decode(t1000_isa::DecodeError),
+    /// Functional execution failed (bad PC, misalignment, runaway...).
+    Exec(t1000_cpu::ExecError),
+    /// A selection changed architectural results — a selector bug caught
+    /// by the differential check.
+    SemanticsChanged {
+        baseline: Box<t1000_cpu::SyscallState>,
+        fused: Box<t1000_cpu::SyscallState>,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Asm(e) => write!(f, "assembly error: {e}"),
+            Error::Decode(e) => write!(f, "decode error: {e}"),
+            Error::Exec(e) => write!(f, "execution error: {e}"),
+            Error::SemanticsChanged { .. } => {
+                write!(f, "selection changed architectural results")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

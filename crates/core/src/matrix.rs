@@ -1,0 +1,130 @@
+//! The k×k subsequence matrix of the selective algorithm (paper §5.1,
+//! Figs. 3–4).
+//!
+//! For one loop with `k` distinct candidate sequence forms, entry `[I, J]`
+//! counts the appearances of form `I` *within* occurrences of form `J`
+//! across the loop; the diagonal `[I, I]` counts maximal (standalone)
+//! appearances. The sum along row `I` is therefore the total number of
+//! appearances of `I` throughout the loop — the invariant the paper uses
+//! to reason about common subsequences.
+
+use crate::canon::CanonSeq;
+use std::collections::HashMap;
+
+/// The subsequence matrix for one loop.
+#[derive(Clone, Debug)]
+pub struct SubseqMatrix {
+    /// The distinct forms, indexed by matrix row/column.
+    pub forms: Vec<CanonSeq>,
+    /// `m[i][j]` = appearances of form `i` inside occurrences of form `j`
+    /// (diagonal: maximal appearances).
+    pub m: Vec<Vec<u64>>,
+    index: HashMap<CanonSeq, usize>,
+}
+
+impl SubseqMatrix {
+    /// Creates an empty matrix over the given set of forms.
+    pub fn new(forms: Vec<CanonSeq>) -> SubseqMatrix {
+        let index = forms
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, f)| (f, i))
+            .collect();
+        let k = forms.len();
+        SubseqMatrix { forms, m: vec![vec![0; k]; k], index }
+    }
+
+    /// Index of a form, if present.
+    pub fn index_of(&self, f: &CanonSeq) -> Option<usize> {
+        self.index.get(f).copied()
+    }
+
+    /// Records one maximal appearance of `f`.
+    pub fn record_maximal(&mut self, f: &CanonSeq) {
+        if let Some(i) = self.index_of(f) {
+            self.m[i][i] += 1;
+        }
+    }
+
+    /// Records one appearance of `inner` as a proper subsequence of an
+    /// occurrence of `outer`.
+    pub fn record_subseq(&mut self, inner: &CanonSeq, outer: &CanonSeq) {
+        if let (Some(i), Some(j)) = (self.index_of(inner), self.index_of(outer)) {
+            debug_assert_ne!(i, j, "a form is not a proper subsequence of itself");
+            self.m[i][j] += 1;
+        }
+    }
+
+    /// Total appearances of form `i` throughout the loop (row sum).
+    pub fn appearances(&self, i: usize) -> u64 {
+        self.m[i].iter().sum()
+    }
+
+    /// Number of distinct forms (k).
+    pub fn k(&self) -> usize {
+        self.forms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonicalize;
+    use t1000_isa::{Instr, Op, Reg};
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    /// The paper's Fig. 3 example: form I = sll;addu;sll (maximal, once),
+    /// form J = sll;addu (maximal twice, and once inside I).
+    fn figure3() -> (CanonSeq, CanonSeq, SubseqMatrix) {
+        let i_form = canonicalize(&[
+            Instr::shift(Op::Sll, r(2), r(3), 4),
+            Instr::rtype(Op::Addu, r(2), r(2), r(1)),
+            Instr::shift(Op::Sll, r(2), r(2), 2),
+        ]);
+        let j_form = canonicalize(&[
+            Instr::shift(Op::Sll, r(2), r(3), 4),
+            Instr::rtype(Op::Addu, r(2), r(2), r(1)),
+        ]);
+        let mut m = SubseqMatrix::new(vec![i_form.clone(), j_form.clone()]);
+        // One maximal appearance of I; J appears within it once.
+        m.record_maximal(&i_form);
+        m.record_subseq(&j_form, &i_form);
+        // Two standalone appearances of J.
+        m.record_maximal(&j_form);
+        m.record_maximal(&j_form);
+        (i_form, j_form, m)
+    }
+
+    #[test]
+    fn figure4_matrix_is_reproduced() {
+        let (i_form, j_form, m) = figure3();
+        let i = m.index_of(&i_form).unwrap();
+        let j = m.index_of(&j_form).unwrap();
+        assert_eq!(m.m[i][i], 1, "[I,I]: one maximal appearance of I");
+        assert_eq!(m.m[j][j], 2, "[J,J]: two maximal appearances of J");
+        assert_eq!(m.m[j][i], 1, "[J,I]: J appears once inside I");
+        assert_eq!(m.m[i][j], 0, "I never appears inside J");
+    }
+
+    #[test]
+    fn row_sums_count_total_appearances() {
+        let (i_form, j_form, m) = figure3();
+        let i = m.index_of(&i_form).unwrap();
+        let j = m.index_of(&j_form).unwrap();
+        assert_eq!(m.appearances(i), 1);
+        assert_eq!(m.appearances(j), 3, "J appears 3 times total in the loop");
+    }
+
+    #[test]
+    fn unknown_forms_are_ignored() {
+        let (_, j_form, mut m) = figure3();
+        let other = canonicalize(&[Instr::rtype(Op::Xor, r(2), r(3), r(4))]);
+        m.record_maximal(&other); // silently ignored
+        m.record_subseq(&other, &j_form);
+        assert_eq!(m.k(), 2);
+    }
+}

@@ -1,0 +1,599 @@
+//! Extended-instruction selection: the greedy algorithm of §4 and the
+//! selective algorithm of §5 — the paper's main contribution.
+//!
+//! **Greedy** turns *every* maximal candidate sequence into an extended
+//! instruction. With unlimited PFUs and free reconfiguration this is the
+//! best case; with few PFUs it thrashes (Fig. 2).
+//!
+//! **Selective** (Fig. 5) constrains the choice:
+//! 1. profile the program and keep only sequence forms responsible for at
+//!    least a threshold share (0.5 %) of total execution;
+//! 2. if the surviving distinct forms fit in the PFUs, select them all;
+//! 3. otherwise process loop bodies one at a time: within a loop whose
+//!    distinct forms exceed the PFU count, enumerate common subsequences,
+//!    build the k×k subsequence matrix, and keep the ≤ #PFU forms with the
+//!    highest total gain across the loop — choosing a shared common
+//!    subsequence over several maximal sequences when that wins (Fig. 3).
+
+use crate::canon::{canonicalize, CanonSeq};
+use crate::extract::{maximal_sites, subwindows, Analysis, CandidateSite, ExtractConfig};
+use crate::matrix::SubseqMatrix;
+use std::collections::{BTreeMap, HashMap};
+use t1000_hwcost::{cost_of, ExtCost};
+use t1000_isa::{ConfDef, ConfId, FusedSite, FusionMap, Program};
+use t1000_profile::{natural_loops, Dominators, NaturalLoop};
+
+/// Selection-algorithm parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectConfig {
+    /// PFUs available (`None` = unlimited). The selective algorithm never
+    /// picks more distinct forms per loop than this.
+    pub pfus: Option<usize>,
+    /// Minimum share of total dynamic execution a form must save to be
+    /// considered (paper: 0.5 %).
+    pub gain_threshold: f64,
+}
+
+impl Default for SelectConfig {
+    fn default() -> SelectConfig {
+        SelectConfig { pfus: Some(4), gain_threshold: 0.005 }
+    }
+}
+
+/// One chosen PFU configuration, with its bookkeeping.
+#[derive(Clone, Debug)]
+pub struct ChosenConf {
+    pub conf: ConfId,
+    pub canon: CanonSeq,
+    /// Datapath width (max over all fused sites sharing the config).
+    pub width: u8,
+    /// LUT count / depth at that width.
+    pub cost: ExtCost,
+    /// PFU execution latency in cycles (1 unless the extraction config
+    /// allows deeper, multi-cycle logic).
+    pub latency: u32,
+    /// Instructions fused per execution.
+    pub seq_len: usize,
+    /// Static code sites rewritten to use this configuration.
+    pub num_sites: usize,
+    /// Estimated dynamic cycles saved across the program.
+    pub total_gain: u64,
+}
+
+/// A complete selection: the fusion map to hand to the simulator plus the
+/// configuration catalogue for reporting (Fig. 7's histogram input).
+#[derive(Clone, Debug, Default)]
+pub struct Selection {
+    pub fusion: FusionMap,
+    pub confs: Vec<ChosenConf>,
+    /// Subsequence matrices of the loops the selective algorithm had to
+    /// arbitrate (empty for greedy selections).
+    pub matrices: Vec<SubseqMatrix>,
+}
+
+impl Selection {
+    /// Distinct extended instructions chosen.
+    pub fn num_confs(&self) -> usize {
+        self.confs.len()
+    }
+}
+
+/// The greedy algorithm (§4): every maximal candidate sequence becomes an
+/// extended instruction.
+pub fn greedy(program: &Program, a: &Analysis, cfg_x: &ExtractConfig) -> Selection {
+    let sites = maximal_sites(program, a, cfg_x);
+    build_selection(sites, Vec::new())
+}
+
+/// The selective algorithm (§5, Fig. 5).
+pub fn selective(
+    program: &Program,
+    a: &Analysis,
+    cfg_x: &ExtractConfig,
+    cfg_s: &SelectConfig,
+) -> Selection {
+    let all_sites = maximal_sites(program, a, cfg_x);
+    let total_time = a.profile.total.max(1);
+
+    // Step 1-2: group maximal sites by form; keep forms above the gain
+    // threshold.
+    let mut by_form: BTreeMap<usize, Vec<CandidateSite>> = BTreeMap::new();
+    let mut form_ids: HashMap<CanonSeq, usize> = HashMap::new();
+    let mut forms: Vec<CanonSeq> = Vec::new();
+    for site in all_sites {
+        let c = canonicalize(&site.instrs);
+        let id = *form_ids.entry(c.clone()).or_insert_with(|| {
+            forms.push(c);
+            forms.len() - 1
+        });
+        by_form.entry(id).or_default().push(site);
+    }
+    let surviving: Vec<usize> = by_form
+        .iter()
+        .filter(|(_, sites)| {
+            let gain: u64 = sites.iter().map(|s| s.total_gain()).sum();
+            gain as f64 / total_time as f64 >= cfg_s.gain_threshold
+        })
+        .map(|(&id, _)| id)
+        .collect();
+
+    // Step 3: few enough distinct forms → select everything surviving.
+    let Some(pfu_budget) = cfg_s.pfus else {
+        let chosen: Vec<CandidateSite> = surviving
+            .iter()
+            .flat_map(|id| by_form[id].clone())
+            .collect();
+        return build_selection(chosen, Vec::new());
+    };
+    if surviving.len() <= pfu_budget {
+        let chosen: Vec<CandidateSite> = surviving
+            .iter()
+            .flat_map(|id| by_form[id].clone())
+            .collect();
+        return build_selection(chosen, Vec::new());
+    }
+
+    // Step 4: loop bodies one at a time. The paper's constraint — "the
+    // number of extended instructions selected within each loop never
+    // exceeds the number of PFUs" — must hold for *every* loop, outer
+    // loops included: if two sibling inner loops inside one outer loop
+    // chose disjoint configuration sets, every outer iteration would
+    // reload PFUs and thrashing would return at loop granularity. We
+    // therefore assign each site to its *outermost* containing loop and
+    // apply the budget there; inner-loop sites dominate the gain ranking
+    // through their execution counts. Sites outside all loops are dropped.
+    let doms = Dominators::compute(&a.cfg);
+    let loops = natural_loops(&a.cfg, &doms); // innermost first
+    let outermost_loop = |block: usize| -> Option<usize> {
+        loops.iter().rposition(|l| l.blocks.contains(&block))
+    };
+
+    let mut per_loop: BTreeMap<usize, Vec<CandidateSite>> = BTreeMap::new();
+    for id in &surviving {
+        for site in &by_form[id] {
+            if let Some(l) = outermost_loop(site.block) {
+                per_loop.entry(l).or_default().push(site.clone());
+            }
+        }
+    }
+
+    let mut fused: Vec<CandidateSite> = Vec::new();
+    let mut matrices = Vec::new();
+    for (l, sites) in per_loop {
+        let (mut picked, matrix) =
+            select_in_loop(a, cfg_x, &loops[l], sites, pfu_budget);
+        fused.append(&mut picked);
+        if let Some(m) = matrix {
+            matrices.push(m);
+        }
+    }
+    build_selection(fused, matrices)
+}
+
+/// Selects at most `budget` distinct forms within one loop and returns the
+/// concrete windows to fuse (paper Fig. 5, bottom path).
+fn select_in_loop(
+    a: &Analysis,
+    cfg_x: &ExtractConfig,
+    _lp: &NaturalLoop,
+    sites: Vec<CandidateSite>,
+    budget: usize,
+) -> (Vec<CandidateSite>, Option<SubseqMatrix>) {
+    // Distinct forms among the maximal sites of this loop.
+    let mut maximal_forms: Vec<CanonSeq> = Vec::new();
+    for s in &sites {
+        let c = canonicalize(&s.instrs);
+        if !maximal_forms.contains(&c) {
+            maximal_forms.push(c);
+        }
+    }
+    if maximal_forms.len() <= budget {
+        return (sites, None);
+    }
+
+    // Too many forms: consider every valid subsequence as an alternative
+    // (paper: "extracting common subsequences instead of maximal
+    // sequences", Fig. 3).
+    // candidate form → (total dynamic gain, per-site non-overlapping hits)
+    #[derive(Default)]
+    struct FormInfo {
+        gain: u64,
+        len: usize,
+    }
+    let mut info: HashMap<CanonSeq, FormInfo> = HashMap::new();
+    let mut all_forms: Vec<CanonSeq> = Vec::new();
+    // For the matrix: every appearance (including overlapping ones).
+    let mut appearances: Vec<(CanonSeq, CanonSeq)> = Vec::new(); // (inner, outer)
+
+    let site_windows: Vec<(usize, Vec<(CandidateSite, CanonSeq)>)> = sites
+        .iter()
+        .enumerate()
+        .map(|(si, s)| {
+            let subs = subwindows(a, cfg_x, s)
+                .into_iter()
+                .map(|w| {
+                    let c = canonicalize(&w.instrs);
+                    (w, c)
+                })
+                .collect();
+            (si, subs)
+        })
+        .collect();
+
+    for (si, subs) in &site_windows {
+        let outer = canonicalize(&sites[*si].instrs);
+        for (w, c) in subs {
+            if !all_forms.contains(c) {
+                all_forms.push(c.clone());
+            }
+            let e = info.entry(c.clone()).or_default();
+            e.len = w.len();
+            if w.len() == sites[*si].len() {
+                appearances.push((c.clone(), c.clone())); // maximal
+            } else {
+                appearances.push((c.clone(), outer.clone()));
+            }
+        }
+    }
+
+    // Gains from non-overlapping coverage, form by form.
+    for form in &all_forms {
+        let mut gain = 0u64;
+        for (si, subs) in &site_windows {
+            let hits = cover_count(&sites[*si], subs, form);
+            gain += hits as u64
+                * (info[form].len as u64 - 1)
+                * sites[*si].exec_count;
+        }
+        info.get_mut(form).unwrap().gain = gain;
+    }
+
+    // Build the subsequence matrix for reporting.
+    let mut matrix = SubseqMatrix::new(all_forms.clone());
+    for (inner, outer) in &appearances {
+        if inner == outer {
+            matrix.record_maximal(inner);
+        } else {
+            matrix.record_subseq(inner, outer);
+        }
+    }
+
+    // Pick up to `budget` forms by *marginal* gain: each round adds the
+    // form whose inclusion increases the total covered saving the most,
+    // given the forms already chosen (greedy set cover). This is the
+    // paper's "highest total gain across the loop" rule, refined so that
+    // two forms covering the same instructions are not both selected.
+    let coverage_gain = |chosen: &[CanonSeq]| -> u64 {
+        site_windows
+            .iter()
+            .map(|(si, subs)| {
+                cover_site(&sites[*si], subs, chosen)
+                    .iter()
+                    .map(|w| (w.len() as u64 - 1) * sites[*si].exec_count)
+                    .sum::<u64>()
+            })
+            .sum()
+    };
+    let mut chosen: Vec<CanonSeq> = Vec::new();
+    let mut covered = 0u64;
+    for _ in 0..budget {
+        let mut best: Option<(u64, &CanonSeq)> = None;
+        for f in &all_forms {
+            if chosen.contains(f) {
+                continue;
+            }
+            let mut trial = chosen.clone();
+            trial.push(f.clone());
+            let marginal = coverage_gain(&trial).saturating_sub(covered);
+            let better = match best {
+                None => true,
+                Some((bg, bf)) => {
+                    marginal > bg
+                        || (marginal == bg && info[f].len > info[bf].len)
+                }
+            };
+            if marginal > 0 && better {
+                best = Some((marginal, f));
+            }
+        }
+        let Some((marginal, f)) = best else { break };
+        covered += marginal;
+        chosen.push(f.clone());
+    }
+
+    // Rewrite each site: cover it with windows of chosen forms, longest
+    // chosen form first, left to right, non-overlapping.
+    let mut picked: Vec<CandidateSite> = Vec::new();
+    for (si, subs) in &site_windows {
+        picked.extend(cover_site(&sites[*si], subs, &chosen));
+    }
+    (picked, Some(matrix))
+}
+
+/// Number of non-overlapping occurrences of `form` in `site`, greedy
+/// left-to-right.
+fn cover_count(
+    site: &CandidateSite,
+    windows: &[(CandidateSite, CanonSeq)],
+    form: &CanonSeq,
+) -> usize {
+    let len = form.skeleton.len() as u32;
+    let mut count = 0;
+    let mut pc = site.pc;
+    let end = site.pc + 4 * site.len() as u32;
+    while pc + 4 * len <= end {
+        if windows.iter().any(|(w, c)| w.pc == pc && c == form) {
+            count += 1;
+            pc += 4 * len;
+        } else {
+            pc += 4;
+        }
+    }
+    count
+}
+
+/// Concrete windows fusing `site` with the chosen forms (longest first,
+/// left-to-right, non-overlapping).
+fn cover_site(
+    site: &CandidateSite,
+    windows: &[(CandidateSite, CanonSeq)],
+    chosen: &[CanonSeq],
+) -> Vec<CandidateSite> {
+    let mut by_len: Vec<&CanonSeq> = chosen.iter().collect();
+    by_len.sort_by_key(|c| std::cmp::Reverse(c.skeleton.len()));
+    let mut out = Vec::new();
+    let mut pc = site.pc;
+    let end = site.pc + 4 * site.len() as u32;
+    'outer: while pc < end {
+        for form in &by_len {
+            let len = form.skeleton.len() as u32;
+            if pc + 4 * len > end {
+                continue;
+            }
+            if let Some((w, _)) = windows.iter().find(|(w, c)| w.pc == pc && c == *form) {
+                out.push(w.clone());
+                pc += 4 * len;
+                continue 'outer;
+            }
+        }
+        pc += 4;
+    }
+    out
+}
+
+/// Assigns configuration ids and builds the [`FusionMap`] from the chosen
+/// windows. Windows sharing a canonical form share a configuration.
+fn build_selection(windows: Vec<CandidateSite>, matrices: Vec<SubseqMatrix>) -> Selection {
+    // Group by form.
+    let mut order: Vec<CanonSeq> = Vec::new();
+    let mut grouped: HashMap<CanonSeq, Vec<CandidateSite>> = HashMap::new();
+    for w in windows {
+        let c = canonicalize(&w.instrs);
+        if !grouped.contains_key(&c) {
+            order.push(c.clone());
+        }
+        grouped.entry(c).or_default().push(w);
+    }
+    // Deterministic conf numbering: by descending total gain.
+    order.sort_by_key(|c| {
+        let g: u64 = grouped[c].iter().map(|s| s.total_gain()).sum();
+        (std::cmp::Reverse(g), grouped[c][0].pc)
+    });
+    assert!(order.len() < (1 << 11), "Conf field is 11 bits");
+
+    let mut fusion = FusionMap::new();
+    let mut confs = Vec::new();
+    for (conf, canon) in order.into_iter().enumerate() {
+        let conf = conf as ConfId;
+        let sites = &grouped[&canon];
+        let width = sites.iter().map(|s| s.width).max().unwrap_or(1).max(1);
+        let seq_len = canon.skeleton.len();
+        let cost = cost_of(&canon.skeleton, width);
+        let latency = cost.depth.div_ceil(t1000_hwcost::SINGLE_CYCLE_DEPTH).max(1);
+        fusion.define(ConfDef {
+            conf,
+            skeleton: canon.skeleton.clone(),
+            base_cycles: seq_len as u32,
+            pfu_latency: latency,
+        });
+        for s in sites {
+            fusion.add_site(FusedSite {
+                pc: s.pc,
+                len: s.len() as u32,
+                conf,
+                inputs: s.inputs.clone(),
+                output: s.output,
+            });
+        }
+        confs.push(ChosenConf {
+            conf,
+            cost,
+            canon,
+            width,
+            latency,
+            seq_len,
+            num_sites: sites.len(),
+            total_gain: sites.iter().map(|s| s.total_gain()).sum(),
+        });
+    }
+    Selection { fusion, confs, matrices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_asm::assemble;
+
+    fn setup(src: &str) -> (Program, Analysis) {
+        let p = assemble(src).unwrap();
+        let a = Analysis::build(&p).unwrap();
+        (p, a)
+    }
+
+    /// A loop with three distinct hot chain forms and the Fig. 3 structure:
+    /// form A (`sll;addu;sll;xor`, once) contains form B (`sll;addu`) as a
+    /// prefix, and B also appears three times standalone. All values stay
+    /// narrow because results are folded into `$s1` with xor (bitwise ops
+    /// never grow operand width), and the 3-input `xor $s1, $s1, ...`
+    /// consumers keep each chain's maximal site at the intended length.
+    const THREE_FORM_LOOP: &str = "
+main:
+    li  $s0, 10000
+    li  $t0, 3
+    li  $t3, 9
+    li  $s1, 0
+loop:
+    andi $t1, $s0, 255
+    # form A: sll;addu;sll;xor — contains form B as a prefix
+    sll  $t2, $t0, 4
+    addu $t2, $t2, $t1
+    sll  $t2, $t2, 2
+    xor  $t8, $t1, $t2
+    xor  $s1, $s1, $t8
+    # form B standalone, three times
+    sll  $t4, $t0, 4
+    addu $t4, $t4, $t1
+    xor  $s1, $s1, $t4
+    sll  $t5, $t0, 4
+    addu $t5, $t5, $t1
+    xor  $s1, $s1, $t5
+    sll  $t7, $t0, 4
+    addu $t7, $t7, $t1
+    xor  $s1, $s1, $t7
+    # form C: xor;srl
+    xor  $t6, $t1, $t3
+    srl  $t6, $t6, 3
+    xor  $s1, $s1, $t6
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    move $a0, $s1
+    li   $v0, 30
+    syscall
+    li   $v0, 10
+    syscall
+";
+
+    #[test]
+    fn greedy_selects_every_maximal_form() {
+        let (p, a) = setup(THREE_FORM_LOOP);
+        let sel = greedy(&p, &a, &ExtractConfig::default());
+        assert!(sel.num_confs() >= 3, "got {} confs", sel.num_confs());
+        assert!(sel.fusion.num_sites() >= 4);
+        // All confs fit the PFU area budget of the paper.
+        for c in &sel.confs {
+            assert!(c.cost.luts < 150, "conf {} needs {} LUTs", c.conf, c.cost.luts);
+            assert!(c.cost.single_cycle());
+        }
+    }
+
+    #[test]
+    fn selective_with_unlimited_pfus_matches_greedy_hot_forms() {
+        let (p, a) = setup(THREE_FORM_LOOP);
+        let sel = selective(
+            &p,
+            &a,
+            &ExtractConfig::default(),
+            &SelectConfig { pfus: None, gain_threshold: 0.005 },
+        );
+        assert!(sel.num_confs() >= 3);
+    }
+
+    #[test]
+    fn selective_respects_the_pfu_budget_per_loop() {
+        let (p, a) = setup(THREE_FORM_LOOP);
+        for budget in [1usize, 2, 3] {
+            let sel = selective(
+                &p,
+                &a,
+                &ExtractConfig::default(),
+                &SelectConfig { pfus: Some(budget), gain_threshold: 0.005 },
+            );
+            // One loop → at most `budget` distinct configurations.
+            assert!(
+                sel.num_confs() <= budget,
+                "budget {budget} but {} confs chosen",
+                sel.num_confs()
+            );
+            assert!(sel.num_confs() > 0, "budget {budget} selected nothing");
+        }
+    }
+
+    #[test]
+    fn selective_prefers_the_shared_subsequence_under_pressure() {
+        // With one PFU, the paper's arithmetic (§5.1) favours the common
+        // subsequence B (4 appearances × 1 cycle = 4 cycles/iteration) over
+        // the maximal A (1 appearance × 3 cycles).
+        let (p, a) = setup(THREE_FORM_LOOP);
+        let sel = selective(
+            &p,
+            &a,
+            &ExtractConfig::default(),
+            &SelectConfig { pfus: Some(1), gain_threshold: 0.005 },
+        );
+        assert_eq!(sel.num_confs(), 1);
+        let c = &sel.confs[0];
+        assert_eq!(c.seq_len, 2, "the shared 2-op subsequence must win");
+        // 3 standalone B sites + the prefix of A's site.
+        assert_eq!(c.num_sites, 4, "chose {:?}", c.canon);
+    }
+
+    #[test]
+    fn selective_emits_matrices_only_under_pressure() {
+        let (p, a) = setup(THREE_FORM_LOOP);
+        let relaxed = selective(
+            &p,
+            &a,
+            &ExtractConfig::default(),
+            &SelectConfig { pfus: Some(8), gain_threshold: 0.005 },
+        );
+        assert!(relaxed.matrices.is_empty());
+        let pressured = selective(
+            &p,
+            &a,
+            &ExtractConfig::default(),
+            &SelectConfig { pfus: Some(1), gain_threshold: 0.005 },
+        );
+        assert_eq!(pressured.matrices.len(), 1);
+        let m = &pressured.matrices[0];
+        assert!(m.k() > 3, "subsequences must enlarge the form set");
+    }
+
+    #[test]
+    fn threshold_filters_cold_forms() {
+        // The same chains, but the loop runs once: nothing passes 0.5 %.
+        let src = THREE_FORM_LOOP.replace("li  $s0, 10000", "li  $s0, 1");
+        let (p, a) = setup(&src);
+        let sel = selective(
+            &p,
+            &a,
+            &ExtractConfig::default(),
+            &SelectConfig { pfus: Some(2), gain_threshold: 0.5 },
+        );
+        assert_eq!(sel.num_confs(), 0);
+    }
+
+    #[test]
+    fn shared_forms_reuse_one_configuration() {
+        let (p, a) = setup(THREE_FORM_LOOP);
+        let sel = greedy(&p, &a, &ExtractConfig::default());
+        // Form B occurs at two standalone sites: they must share a conf.
+        let b_conf = sel
+            .confs
+            .iter()
+            .find(|c| c.num_sites >= 2)
+            .expect("the duplicated form must share a configuration");
+        assert!(b_conf.num_sites >= 2);
+        assert_eq!(sel.fusion.defs().count(), sel.num_confs());
+    }
+
+    #[test]
+    fn conf_ids_are_dense_and_deterministic() {
+        let (p, a) = setup(THREE_FORM_LOOP);
+        let s1 = greedy(&p, &a, &ExtractConfig::default());
+        let s2 = greedy(&p, &a, &ExtractConfig::default());
+        let ids1: Vec<_> = s1.confs.iter().map(|c| c.conf).collect();
+        let ids2: Vec<_> = s2.confs.iter().map(|c| c.conf).collect();
+        assert_eq!(ids1, ids2);
+        assert_eq!(ids1, (0..ids1.len() as u16).collect::<Vec<_>>());
+    }
+}

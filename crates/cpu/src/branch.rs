@@ -1,0 +1,166 @@
+//! Branch prediction models.
+//!
+//! The paper's evaluation machine uses *perfect* branch prediction (§3.1).
+//! To study how sensitive the PFU speedups are to that assumption, the
+//! simulator also offers a classic bimodal predictor (a table of 2-bit
+//! saturating counters indexed by branch PC) with a fixed misprediction
+//! redirect penalty. Unconditional jumps and calls are always predicted;
+//! indirect jumps (`jr`) are assumed to be returns handled by a perfect
+//! return-address stack.
+
+/// Which predictor the fetch stage consults.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchModel {
+    /// Fetch always follows the committed path (the paper's assumption).
+    Perfect,
+    /// Bimodal 2-bit counters.
+    Bimodal {
+        /// Table entries (power of two).
+        entries: u32,
+        /// Cycles fetch stalls after a misprediction.
+        penalty: u32,
+    },
+}
+
+impl Default for BranchModel {
+    fn default() -> BranchModel {
+        BranchModel::Perfect
+    }
+}
+
+/// Prediction statistics.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Conditional branches fetched.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredictions: u64,
+}
+
+impl BranchStats {
+    /// Fraction of conditional branches predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredictions as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Runtime predictor state.
+pub struct Predictor {
+    model: BranchModel,
+    /// 2-bit counters (0..=3; ≥2 predicts taken). Initialised weakly taken
+    /// (2) — loop branches warm up instantly.
+    counters: Vec<u8>,
+    stats: BranchStats,
+}
+
+impl Predictor {
+    /// Builds a predictor for the chosen model.
+    ///
+    /// # Panics
+    /// Panics if a bimodal table size is not a power of two.
+    pub fn new(model: BranchModel) -> Predictor {
+        let counters = match model {
+            BranchModel::Perfect => Vec::new(),
+            BranchModel::Bimodal { entries, .. } => {
+                assert!(entries.is_power_of_two(), "predictor entries must be a power of two");
+                vec![2u8; entries as usize]
+            }
+        };
+        Predictor { model, counters, stats: BranchStats::default() }
+    }
+
+    /// Records one conditional branch at `pc` with actual direction
+    /// `taken`; returns the misprediction penalty to charge (0 on a
+    /// correct prediction or under perfect prediction).
+    pub fn observe(&mut self, pc: u32, taken: bool) -> u32 {
+        self.stats.branches += 1;
+        match self.model {
+            BranchModel::Perfect => 0,
+            BranchModel::Bimodal { entries, penalty } => {
+                let idx = ((pc >> 2) & (entries - 1)) as usize;
+                let ctr = &mut self.counters[idx];
+                let predicted = *ctr >= 2;
+                if taken {
+                    *ctr = (*ctr + 1).min(3);
+                } else {
+                    *ctr = ctr.saturating_sub(1);
+                }
+                if predicted == taken {
+                    0
+                } else {
+                    self.stats.mispredictions += 1;
+                    penalty
+                }
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BranchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_never_mispredicts() {
+        let mut p = Predictor::new(BranchModel::Perfect);
+        for i in 0..100 {
+            assert_eq!(p.observe(0x400000 + i * 4, i % 3 == 0), 0);
+        }
+        assert_eq!(p.stats().mispredictions, 0);
+        assert_eq!(p.stats().branches, 100);
+        assert_eq!(p.stats().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn bimodal_learns_a_loop_branch() {
+        let mut p = Predictor::new(BranchModel::Bimodal { entries: 64, penalty: 5 });
+        let mut penalty = 0;
+        // A loop branch taken 99 times then falling through once.
+        for _ in 0..99 {
+            penalty += p.observe(0x400100, true);
+        }
+        penalty += p.observe(0x400100, false);
+        // Weakly-taken init: no warm-up misses; exactly the exit mispredicts.
+        assert_eq!(penalty, 5);
+        assert_eq!(p.stats().mispredictions, 1);
+        assert!(p.stats().accuracy() > 0.98);
+    }
+
+    #[test]
+    fn bimodal_struggles_with_alternating_branches() {
+        let mut p = Predictor::new(BranchModel::Bimodal { entries: 64, penalty: 5 });
+        let mut misses = 0;
+        for i in 0..100 {
+            if p.observe(0x400200, i % 2 == 0) > 0 {
+                misses += 1;
+            }
+        }
+        assert!(misses >= 45, "alternation defeats a bimodal predictor, got {misses}");
+    }
+
+    #[test]
+    fn distinct_branches_use_distinct_counters() {
+        let mut p = Predictor::new(BranchModel::Bimodal { entries: 64, penalty: 5 });
+        // Train one branch strongly not-taken...
+        for _ in 0..10 {
+            p.observe(0x400300, false);
+        }
+        // ...a different branch is unaffected (still weakly taken).
+        assert_eq!(p.observe(0x400304, true), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_table_size_panics() {
+        Predictor::new(BranchModel::Bimodal { entries: 100, penalty: 5 });
+    }
+}

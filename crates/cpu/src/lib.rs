@@ -1,0 +1,30 @@
+//! # t1000-cpu — the T1000 processor simulator
+//!
+//! An execute-at-fetch simulator of the T1000 architecture: a 4-issue
+//! out-of-order superscalar (RUU-based, perfect branch prediction,
+//! realistic caches and TLBs) whose datapath contains programmable
+//! functional units (PFUs) executing compile-time-selected *extended
+//! instructions* in a single cycle.
+//!
+//! * [`func::FuncCore`] — architectural execution with exact semantics,
+//!   producing the dynamic instruction stream (fusion applied at fetch);
+//! * [`ooo::OooCore`] — the cycle-level timing model;
+//! * [`pfu::PfuArray`] — PFU configuration residency, LRU replacement and
+//!   reconfiguration penalties;
+//! * [`machine::simulate`] — one-call program → [`machine::RunResult`].
+
+pub mod branch;
+pub mod config;
+pub mod func;
+pub mod machine;
+pub mod ooo;
+pub mod pfu;
+pub mod syscall;
+
+pub use branch::{BranchModel, BranchStats, Predictor};
+pub use config::{CpuConfig, PfuCount};
+pub use func::{DynInstr, ExecError, FuncCore};
+pub use machine::{execute, simulate, RunResult};
+pub use ooo::{OooCore, TimingStats};
+pub use pfu::{PfuArray, PfuReplacement, PfuStats};
+pub use syscall::{Syscall, SyscallState};

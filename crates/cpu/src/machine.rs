@@ -1,0 +1,117 @@
+//! One-call simulation entry points combining the functional core and the
+//! timing model.
+
+use crate::config::CpuConfig;
+use crate::func::{ExecError, FuncCore};
+use crate::ooo::{OooCore, TimingStats};
+use crate::syscall::SyscallState;
+use t1000_isa::{FusionMap, Program};
+
+/// The complete result of simulating one program on one machine
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Timing statistics (cycles, IPC, PFU and cache behaviour).
+    pub timing: TimingStats,
+    /// Architectural side effects (output, checksum, exit code).
+    pub sys: SyscallState,
+}
+
+impl RunResult {
+    /// Execution-time speedup of this run relative to `baseline`
+    /// (>1 = faster), the metric of the paper's Figures 2 and 6.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.timing.cycles as f64 / self.timing.cycles as f64
+    }
+}
+
+/// Simulates `program` (with extended instructions per `fusion`) on the
+/// machine described by `cfg`, running it to completion.
+pub fn simulate(
+    program: &Program,
+    fusion: &FusionMap,
+    cfg: CpuConfig,
+) -> Result<RunResult, ExecError> {
+    let mut func = FuncCore::new(program, fusion);
+    let limit = cfg.max_instructions;
+    let ooo = OooCore::new(cfg);
+    let timing = ooo.run(|| {
+        if limit != 0 && func.icount >= limit {
+            return Err(ExecError::InstrLimit(limit));
+        }
+        func.step()
+    })?;
+    Ok(RunResult { timing, sys: func.sys })
+}
+
+/// Functionally executes `program` without timing (fast path for
+/// profiling, differential tests and checksum oracles).
+pub fn execute(
+    program: &Program,
+    fusion: &FusionMap,
+    max_instructions: u64,
+) -> Result<(SyscallState, u64), ExecError> {
+    let mut func = FuncCore::new(program, fusion);
+    while !func.finished() {
+        if max_instructions != 0 && func.icount >= max_instructions {
+            return Err(ExecError::InstrLimit(max_instructions));
+        }
+        func.step()?;
+    }
+    Ok((func.sys, func.icount))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_asm::assemble;
+
+    #[test]
+    fn simulate_and_execute_agree_on_architecture() {
+        let p = assemble(
+            "
+main:
+    li   $t0, 25
+    li   $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    move $a0, $t1
+    li   $v0, 30
+    syscall
+    li   $v0, 10
+    syscall
+",
+        )
+        .unwrap();
+        let fusion = FusionMap::new();
+        let timed = simulate(&p, &fusion, CpuConfig::baseline()).unwrap();
+        let (sys, icount) = execute(&p, &fusion, 0).unwrap();
+        assert_eq!(timed.sys, sys);
+        assert_eq!(timed.timing.base_instructions, icount);
+        assert!(timed.timing.cycles > 0);
+    }
+
+    #[test]
+    fn instruction_limit_aborts_infinite_loops() {
+        let p = assemble("main: j main\n").unwrap();
+        let fusion = FusionMap::new();
+        let mut cfg = CpuConfig::baseline();
+        cfg.max_instructions = 10_000;
+        assert!(matches!(
+            simulate(&p, &fusion, cfg),
+            Err(ExecError::InstrLimit(10_000))
+        ));
+        assert!(execute(&p, &fusion, 5_000).is_err());
+    }
+
+    #[test]
+    fn speedup_metric_is_ratio_of_cycles() {
+        let p = assemble("main:\n li $v0, 10\n syscall\n").unwrap();
+        let fusion = FusionMap::new();
+        let a = simulate(&p, &fusion, CpuConfig::baseline()).unwrap();
+        let b = a.clone();
+        assert!((a.speedup_over(&b) - 1.0).abs() < 1e-12);
+    }
+}

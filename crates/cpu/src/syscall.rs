@@ -1,0 +1,128 @@
+//! System-call interface of the simulated machine.
+//!
+//! Calling convention: `$v0` selects the service, `$a0` carries the
+//! argument. Output is captured into in-memory buffers so tests and the
+//! differential harness can assert on it. The `ChecksumUpdate` service
+//! folds a word into a running FNV-style accumulator — every workload ends
+//! by reporting its architectural checksum through it, which is how we
+//! prove that fusing sequences into extended instructions preserves
+//! semantics bit-for-bit.
+
+/// Syscall numbers (MIPS-like where applicable).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Syscall {
+    /// `$v0 = 1`: print `$a0` as a signed decimal integer.
+    PrintInt,
+    /// `$v0 = 10`: exit with code `$a0`.
+    Exit,
+    /// `$v0 = 11`: print the low byte of `$a0` as a character.
+    PrintChar,
+    /// `$v0 = 30`: fold `$a0` into the running checksum.
+    ChecksumUpdate,
+}
+
+impl Syscall {
+    /// Decodes the `$v0` selector.
+    pub fn from_code(code: u32) -> Option<Syscall> {
+        match code {
+            1 => Some(Syscall::PrintInt),
+            10 => Some(Syscall::Exit),
+            11 => Some(Syscall::PrintChar),
+            30 => Some(Syscall::ChecksumUpdate),
+            _ => None,
+        }
+    }
+}
+
+/// Captured side effects of a program run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyscallState {
+    /// Everything printed by `PrintInt`/`PrintChar`.
+    pub output: String,
+    /// Running checksum maintained by `ChecksumUpdate`.
+    pub checksum: u64,
+    /// Exit code, once `Exit` has been called.
+    pub exit_code: Option<u32>,
+}
+
+impl SyscallState {
+    /// Creates a fresh state with the FNV-1a offset basis as the checksum
+    /// seed.
+    pub fn new() -> SyscallState {
+        SyscallState { checksum: 0xcbf2_9ce4_8422_2325, ..SyscallState::default() }
+    }
+
+    /// Executes one syscall. Returns `true` when the program has exited.
+    pub fn execute(&mut self, code: u32, arg: u32) -> Result<bool, BadSyscall> {
+        match Syscall::from_code(code).ok_or(BadSyscall { code })? {
+            Syscall::PrintInt => {
+                self.output.push_str(&(arg as i32).to_string());
+                self.output.push('\n');
+            }
+            Syscall::PrintChar => self.output.push((arg & 0xff) as u8 as char),
+            Syscall::ChecksumUpdate => {
+                // FNV-1a over the four little-endian bytes of the argument.
+                for b in arg.to_le_bytes() {
+                    self.checksum ^= u64::from(b);
+                    self.checksum = self.checksum.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            Syscall::Exit => {
+                self.exit_code = Some(arg);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Error raised on an unknown `$v0` selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BadSyscall {
+    pub code: u32,
+}
+
+impl std::fmt::Display for BadSyscall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown syscall code {}", self.code)
+    }
+}
+
+impl std::error::Error for BadSyscall {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_services_append_to_output() {
+        let mut s = SyscallState::new();
+        assert_eq!(s.execute(1, -5i32 as u32), Ok(false));
+        assert_eq!(s.execute(11, b'x' as u32), Ok(false));
+        assert_eq!(s.output, "-5\nx");
+    }
+
+    #[test]
+    fn exit_sets_code_and_stops() {
+        let mut s = SyscallState::new();
+        assert_eq!(s.execute(10, 3), Ok(true));
+        assert_eq!(s.exit_code, Some(3));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = SyscallState::new();
+        a.execute(30, 1).unwrap();
+        a.execute(30, 2).unwrap();
+        let mut b = SyscallState::new();
+        b.execute(30, 2).unwrap();
+        b.execute(30, 1).unwrap();
+        assert_ne!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn unknown_codes_are_reported() {
+        let mut s = SyscallState::new();
+        assert_eq!(s.execute(99, 0), Err(BadSyscall { code: 99 }));
+    }
+}

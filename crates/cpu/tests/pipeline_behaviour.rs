@@ -1,0 +1,166 @@
+//! Behavioural tests of the out-of-order pipeline model against
+//! first-principles cycle counts on tiny hand-analysed programs.
+
+use t1000_asm::assemble;
+use t1000_cpu::{simulate, CpuConfig, PfuCount};
+use t1000_isa::FusionMap;
+
+fn cycles(src: &str, cfg: CpuConfig) -> u64 {
+    let p = assemble(src).unwrap();
+    simulate(&p, &FusionMap::new(), cfg).unwrap().timing.cycles
+}
+
+/// A warmed loop iteration bounded by its loop-carried dependence chain:
+/// the measured cycles-per-iteration must match the chain depth.
+#[test]
+fn loop_carried_chain_sets_the_iteration_time() {
+    for depth in [1usize, 2, 4, 6] {
+        let mut body = String::new();
+        for _ in 0..depth {
+            body.push_str("    addu $t0, $t0, $t1\n");
+        }
+        let src = format!(
+            "main:\n    li $s0, 2000\n    li $t0, 1\n    li $t1, 1\nloop:\n{body}    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    li $v0, 10\n    syscall\n"
+        );
+        let total = cycles(&src, CpuConfig::baseline());
+        let per_iter = total as f64 / 2000.0;
+        assert!(
+            (per_iter - depth as f64).abs() < 0.75,
+            "depth {depth}: measured {per_iter:.2} cycles/iter"
+        );
+    }
+}
+
+/// Multiply latency (3 cycles) appears on dependent chains.
+#[test]
+fn multiply_latency_is_observable() {
+    let mul = "
+main:
+    li $s0, 1000
+    li $t0, 3
+loop:
+    mult $t0, $t0
+    mflo $t0
+    andi $t0, $t0, 255
+    ori  $t0, $t0, 1
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 10
+    syscall
+";
+    let add = &mul.replace("mult $t0, $t0", "addu $t9, $t0, $t0")
+        .replace("mflo $t0", "addu $t0, $t9, $zero");
+    let c_mul = cycles(mul, CpuConfig::baseline());
+    let c_add = cycles(add, CpuConfig::baseline());
+    assert!(
+        c_mul >= c_add + 1500,
+        "3-cycle multiplies must cost ≈2 extra cycles/iter: {c_mul} vs {c_add}"
+    );
+}
+
+/// ALU-port contention: 5 independent ALU ops per cycle cannot all issue
+/// on 4 ALUs even though fetch could supply them.
+#[test]
+fn alu_ports_limit_issue() {
+    let mut body = String::new();
+    for i in 0..8 {
+        body.push_str(&format!("    addiu $t{}, $zero, {}\n", i % 8, i));
+    }
+    let src = format!(
+        "main:\n    li $s0, 1000\nloop:\n{body}    addiu $s0, $s0, -1\n    bgtz $s0, loop\n    li $v0, 10\n    syscall\n"
+    );
+    let four = cycles(&src, CpuConfig::baseline());
+    let two = {
+        let mut c = CpuConfig::baseline();
+        c.int_alus = 2;
+        cycles(&src, c)
+    };
+    assert!(two > four, "halving ALUs must cost cycles ({two} vs {four})");
+}
+
+/// The LSQ bounds memory parallelism: a tiny LSQ on a load-heavy loop is
+/// slower than the default.
+#[test]
+fn lsq_capacity_matters_for_memory_streams() {
+    let src = "
+.data
+buf: .space 4096
+.text
+main:
+    li  $s0, 500
+    la  $t9, buf
+loop:
+    lw  $t0, 0($t9)
+    lw  $t1, 4($t9)
+    lw  $t2, 8($t9)
+    lw  $t3, 12($t9)
+    sw  $t0, 16($t9)
+    sw  $t1, 20($t9)
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 10
+    syscall
+";
+    let big = cycles(src, CpuConfig::baseline());
+    let small = {
+        let mut c = CpuConfig::baseline();
+        c.lsq_size = 2;
+        cycles(src, c)
+    };
+    assert!(small > big, "2-entry LSQ must throttle ({small} vs {big})");
+}
+
+/// Syscalls serialize the pipeline: a syscall-per-iteration loop is far
+/// slower than the same loop without.
+#[test]
+fn syscalls_serialize() {
+    let chatty = "
+main:
+    li $s0, 200
+loop:
+    move $a0, $s0
+    li  $v0, 30
+    syscall
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 10
+    syscall
+";
+    let quiet = "
+main:
+    li $s0, 200
+loop:
+    move $a0, $s0
+    addiu $t0, $s0, 0
+    addu  $t1, $t0, $a0
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 10
+    syscall
+";
+    let c_chatty = cycles(chatty, CpuConfig::baseline());
+    let c_quiet = cycles(quiet, CpuConfig::baseline());
+    assert!(
+        c_chatty as f64 > 1.5 * c_quiet as f64,
+        "window-draining syscalls must dominate ({c_chatty} vs {c_quiet})"
+    );
+}
+
+/// A PFU-less machine and a PFU machine with no fused sites time
+/// identically: PFUs are invisible until used.
+#[test]
+fn unused_pfus_are_free() {
+    let src = "
+main:
+    li $s0, 500
+loop:
+    addu $t0, $t0, $t1
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 10
+    syscall
+";
+    let a = cycles(src, CpuConfig::baseline());
+    let b = cycles(src, CpuConfig { pfus: PfuCount::Fixed(4), ..CpuConfig::default() });
+    assert_eq!(a, b);
+}

@@ -1,0 +1,160 @@
+//! Property tests for the simulator: the functional core against an
+//! independent mini-interpreter, and timing-model sanity laws.
+
+use proptest::prelude::*;
+use t1000_asm::assemble;
+use t1000_cpu::{execute, simulate, CpuConfig};
+use t1000_isa::FusionMap;
+
+/// Straight-line random ALU programs over $t0..$t5, checked against a
+/// direct Rust evaluation of the same operations.
+#[derive(Clone, Debug)]
+enum Stmt {
+    R3(&'static str, u8, u8, u8),
+    Sh(&'static str, u8, u8, u32),
+    Imm(&'static str, u8, u8, i32),
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (
+            prop::sample::select(vec!["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"]),
+            0u8..6,
+            0u8..6,
+            0u8..6
+        )
+            .prop_map(|(m, d, s, t)| Stmt::R3(m, d, s, t)),
+        (prop::sample::select(vec!["sll", "srl", "sra"]), 0u8..6, 0u8..6, 0u32..32)
+            .prop_map(|(m, d, t, sh)| Stmt::Sh(m, d, t, sh)),
+        (
+            prop::sample::select(vec!["addiu", "andi", "ori", "xori", "slti", "sltiu"]),
+            0u8..6,
+            0u8..6,
+            0i32..0x7fff
+        )
+            .prop_map(|(m, d, s, v)| Stmt::Imm(m, d, s, v)),
+    ]
+}
+
+fn to_asm(stmts: &[Stmt]) -> String {
+    let mut src = String::from("main:\n");
+    for (i, init) in [3i32, -5, 100, 0x7ff, -1, 42].iter().enumerate() {
+        src.push_str(&format!("    li $t{i}, {init}\n"));
+    }
+    for s in stmts {
+        match s {
+            Stmt::R3(m, d, a, b) => src.push_str(&format!("    {m} $t{d}, $t{a}, $t{b}\n")),
+            Stmt::Sh(m, d, t, sh) => src.push_str(&format!("    {m} $t{d}, $t{t}, {sh}\n")),
+            Stmt::Imm(m, d, s_, v) => src.push_str(&format!("    {m} $t{d}, $t{s_}, {v}\n")),
+        }
+    }
+    for i in 0..6 {
+        src.push_str(&format!("    move $a0, $t{i}\n    li $v0, 30\n    syscall\n"));
+    }
+    src.push_str("    li $a0, 0\n    li $v0, 10\n    syscall\n");
+    src
+}
+
+/// Independent evaluation (deliberately written differently from the
+/// simulator's exec_alu).
+fn oracle(stmts: &[Stmt]) -> [u32; 6] {
+    let mut r: [u32; 6] = [3, (-5i32) as u32, 100, 0x7ff, u32::MAX, 42];
+    for s in stmts {
+        match *s {
+            Stmt::R3(m, d, a, b) => {
+                let (x, y) = (r[a as usize], r[b as usize]);
+                r[d as usize] = match m {
+                    "addu" => x.wrapping_add(y),
+                    "subu" => x.wrapping_sub(y),
+                    "and" => x & y,
+                    "or" => x | y,
+                    "xor" => x ^ y,
+                    "nor" => !(x | y),
+                    "slt" => ((x as i32) < (y as i32)) as u32,
+                    "sltu" => (x < y) as u32,
+                    _ => unreachable!(),
+                };
+            }
+            Stmt::Sh(m, d, t, sh) => {
+                let x = r[t as usize];
+                r[d as usize] = match m {
+                    "sll" => x << sh,
+                    "srl" => x >> sh,
+                    "sra" => ((x as i32) >> sh) as u32,
+                    _ => unreachable!(),
+                };
+            }
+            Stmt::Imm(m, d, s_, v) => {
+                let x = r[s_ as usize];
+                r[d as usize] = match m {
+                    "addiu" => x.wrapping_add(v as u32),
+                    "andi" => x & (v as u32),
+                    "ori" => x | (v as u32),
+                    "xori" => x ^ (v as u32),
+                    "slti" => ((x as i32) < v) as u32,
+                    "sltiu" => (x < v as u32) as u32,
+                    _ => unreachable!(),
+                };
+            }
+        }
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn functional_core_matches_an_independent_oracle(
+        stmts in prop::collection::vec(arb_stmt(), 1..40),
+    ) {
+        let p = assemble(&to_asm(&stmts)).unwrap();
+        let (sys, _) = execute(&p, &FusionMap::new(), 1_000_000).unwrap();
+        // Recompute the expected checksum from the oracle's registers.
+        let mut expect = t1000_cpu::SyscallState::new();
+        for v in oracle(&stmts) {
+            expect.execute(30, v).unwrap();
+        }
+        prop_assert_eq!(sys.checksum, expect.checksum);
+    }
+
+    #[test]
+    fn timing_is_deterministic(stmts in prop::collection::vec(arb_stmt(), 1..30)) {
+        let p = assemble(&to_asm(&stmts)).unwrap();
+        let a = simulate(&p, &FusionMap::new(), CpuConfig::baseline()).unwrap();
+        let b = simulate(&p, &FusionMap::new(), CpuConfig::baseline()).unwrap();
+        prop_assert_eq!(a.timing.cycles, b.timing.cycles);
+        prop_assert_eq!(a.timing.slots, b.timing.slots);
+    }
+
+    #[test]
+    fn cycles_bound_instructions_from_both_sides(
+        stmts in prop::collection::vec(arb_stmt(), 1..30),
+    ) {
+        let p = assemble(&to_asm(&stmts)).unwrap();
+        let r = simulate(&p, &FusionMap::new(), CpuConfig::baseline()).unwrap();
+        // A 4-wide machine commits at most 4 per cycle...
+        prop_assert!(r.timing.cycles * 4 >= r.timing.base_instructions);
+        // ...and straight-line ALU code cannot take more than a few
+        // hundred cycles per instruction even with cold caches.
+        prop_assert!(r.timing.cycles < r.timing.base_instructions * 100 + 10_000);
+    }
+
+    #[test]
+    fn bigger_windows_never_hurt(stmts in prop::collection::vec(arb_stmt(), 5..30)) {
+        let p = assemble(&to_asm(&stmts)).unwrap();
+        let small = {
+            let mut c = CpuConfig::baseline();
+            c.ruu_size = 8;
+            c.lsq_size = 4;
+            simulate(&p, &FusionMap::new(), c).unwrap()
+        };
+        let big = simulate(&p, &FusionMap::new(), CpuConfig::baseline()).unwrap();
+        prop_assert!(
+            big.timing.cycles <= small.timing.cycles,
+            "64-entry RUU ({}) beat by 8-entry ({})",
+            big.timing.cycles,
+            small.timing.cycles
+        );
+    }
+}

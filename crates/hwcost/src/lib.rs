@@ -1,0 +1,16 @@
+//! # t1000-hwcost — PFU hardware cost model
+//!
+//! Replaces the paper's VHDL + Xilinx Foundation CAD flow (§3.2, §6):
+//! every selected extended instruction is elaborated into a bit-level
+//! Boolean netlist at its profiled operand width and covered with 4-input
+//! LUTs (XC4000-style CLBs with dedicated carry chains). The result — LUT
+//! count and LUT depth — drives the Fig. 7 area histogram and the
+//! single-cycle feasibility check used during selection.
+
+pub mod cost;
+pub mod mapper;
+pub mod netlist;
+
+pub use cost::{cost_of, elaborate, ExtCost, SINGLE_CYCLE_DEPTH};
+pub use mapper::{map_to_luts, LutMapping};
+pub use netlist::{Gate, Netlist, NodeId};

@@ -1,0 +1,251 @@
+//! Greedy 4-LUT technology mapping.
+//!
+//! Covers a [`Netlist`] with 4-input lookup tables in the style of the
+//! XC4000 CLBs targeted by the paper. The algorithm is a classic greedy
+//! bottom-up cover (Chortle-like): every logic gate starts as its own LUT
+//! root and absorbs single-fanout fanin gates while the combined input
+//! support stays ≤ 4. Inverters are free (folded into the consuming LUT's
+//! truth table). `CarrySum` bits always cost exactly one LUT each and one
+//! chain contributes a single LUT level, modelling the dedicated carry
+//! hardware.
+
+use crate::netlist::{Gate, Netlist, NodeId};
+use std::collections::BTreeSet;
+
+/// Mapping result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LutMapping {
+    /// Number of 4-input LUTs required.
+    pub luts: u32,
+    /// LUT levels on the critical path (carry chains count as one level).
+    pub depth: u32,
+}
+
+/// Maps `n` onto 4-input LUTs.
+pub fn map_to_luts(n: &Netlist) -> LutMapping {
+    let num = n.nodes.len();
+    let mut fanout = vec![0u32; num];
+    for g in &n.nodes {
+        for f in fanins(g) {
+            fanout[f] += 1;
+        }
+    }
+    for &o in &n.outputs {
+        fanout[o] += 1;
+    }
+
+    // For each node: the leaf support of the LUT currently rooted at it,
+    // and whether it has been absorbed into a consumer.
+    let mut support: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); num];
+    let mut absorbed = vec![false; num];
+
+    // Helper: what a consumer sees when wiring `f` as an input — either the
+    // node itself (a LUT output / primary input / carry bit) or, for free
+    // inverters, the inverter's own input.
+    let resolve = |nodes: &Vec<Gate>, mut f: NodeId| -> Option<NodeId> {
+        loop {
+            match &nodes[f] {
+                Gate::Const(_) => return None, // constants are folded away
+                Gate::Not(x) => f = *x,        // inverters are free
+                _ => return Some(f),
+            }
+        }
+    };
+
+    for id in 0..num {
+        let g = &n.nodes[id];
+        if !is_logic(g) {
+            continue;
+        }
+        let mut sup: BTreeSet<NodeId> = BTreeSet::new();
+        for f in fanins(g) {
+            if let Some(r) = resolve(&n.nodes, f) {
+                sup.insert(r);
+            }
+        }
+        // Try to absorb each direct (resolved) fanin gate.
+        let candidates: Vec<NodeId> = sup.iter().copied().collect();
+        for f in candidates {
+            let fg = &n.nodes[f];
+            if !is_logic(fg) || matches!(fg, Gate::CarrySum { .. }) {
+                continue;
+            }
+            if fanout[f] != 1 {
+                continue;
+            }
+            let mut merged = sup.clone();
+            merged.remove(&f);
+            merged.extend(support[f].iter().copied());
+            if merged.len() <= 4 {
+                sup = merged;
+                absorbed[f] = true;
+            }
+        }
+        support[id] = sup;
+    }
+
+    // LUT count: unabsorbed logic nodes (inverters are free unless they
+    // directly drive an output with no logic in between — then they need a
+    // pass-through LUT, handled below).
+    let mut luts = 0u32;
+    for id in 0..num {
+        let g = &n.nodes[id];
+        if matches!(g, Gate::CarrySum { .. }) {
+            luts += 1;
+        } else if is_logic(g) && !matches!(g, Gate::Not(_)) && !absorbed[id] {
+            luts += 1;
+        }
+    }
+    for &o in &n.outputs {
+        if let Gate::Not(_) = n.nodes[o] {
+            luts += 1; // inverter visible at an output needs its own LUT
+        }
+    }
+
+    // Depth: one level per LUT root, carry chains one level total.
+    let mut depth = vec![0u32; num];
+    let mut chain_depth: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    for id in 0..num {
+        let g = &n.nodes[id];
+        let fan_depth = fanins(g).map(|f| depth[f]).max().unwrap_or(0);
+        depth[id] = match g {
+            Gate::Input { .. } | Gate::Const(_) => 0,
+            Gate::Not(_) => fan_depth, // free
+            Gate::CarrySum { chain, .. } => {
+                // All bits of one chain share a single level above the
+                // deepest input to the whole chain seen so far.
+                let d = chain_depth.entry(*chain).or_insert(0);
+                *d = (*d).max(fan_depth + 1);
+                *d
+            }
+            _ => {
+                if absorbed[id] {
+                    fan_depth // merged into the consuming LUT's level
+                } else {
+                    fan_depth + 1
+                }
+            }
+        };
+    }
+    let max_depth = n.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0);
+
+    LutMapping { luts, depth: max_depth }
+}
+
+fn is_logic(g: &Gate) -> bool {
+    !matches!(g, Gate::Input { .. } | Gate::Const(_))
+}
+
+fn fanins(g: &Gate) -> impl Iterator<Item = NodeId> {
+    let v: Vec<NodeId> = match g {
+        Gate::Input { .. } | Gate::Const(_) => vec![],
+        Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) | Gate::Nor(a, b) => vec![*a, *b],
+        Gate::Not(a) => vec![*a],
+        Gate::Mux { sel, a, b } => vec![*sel, *a, *b],
+        Gate::CarrySum { a, b, .. } => vec![*a, *b],
+    };
+    v.into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gate_is_one_lut_one_level() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 1);
+        let b = n.input("b", 1);
+        let g = n.and(a[0], b[0]);
+        n.set_outputs(&[g]);
+        assert_eq!(map_to_luts(&n), LutMapping { luts: 1, depth: 1 });
+    }
+
+    #[test]
+    fn two_chained_gates_pack_into_one_lut() {
+        // (a & b) ^ c: 3 inputs → a single 4-LUT.
+        let mut n = Netlist::new();
+        let a = n.input("a", 1);
+        let b = n.input("b", 1);
+        let c = n.input("c", 1);
+        let g1 = n.and(a[0], b[0]);
+        let g2 = n.xor(g1, c[0]);
+        n.set_outputs(&[g2]);
+        assert_eq!(map_to_luts(&n), LutMapping { luts: 1, depth: 1 });
+    }
+
+    #[test]
+    fn five_input_cone_needs_two_luts() {
+        // ((a&b)|(c&d)) ^ e: 5 leaves → 2 LUTs, 2 levels.
+        let mut n = Netlist::new();
+        let ins: Vec<_> = ["a", "b", "c", "d", "e"].iter().map(|s| n.input(s, 1)[0]).collect();
+        let g1 = n.and(ins[0], ins[1]);
+        let g2 = n.and(ins[2], ins[3]);
+        let g3 = n.or(g1, g2);
+        let g4 = n.xor(g3, ins[4]);
+        n.set_outputs(&[g4]);
+        let m = map_to_luts(&n);
+        assert_eq!(m.luts, 2);
+        assert_eq!(m.depth, 2);
+    }
+
+    #[test]
+    fn inverters_are_free() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 1);
+        let b = n.input("b", 1);
+        let na = n.not(a[0]);
+        let g = n.and(na, b[0]);
+        n.set_outputs(&[g]);
+        assert_eq!(map_to_luts(&n), LutMapping { luts: 1, depth: 1 });
+    }
+
+    #[test]
+    fn shared_subexpressions_are_not_absorbed() {
+        // g1 feeds two consumers: must remain its own LUT.
+        let mut n = Netlist::new();
+        let ins: Vec<_> = ["a", "b", "c", "d", "e", "f"].iter().map(|s| n.input(s, 1)[0]).collect();
+        let g1 = n.xor(ins[0], ins[1]);
+        let g2a = n.and(g1, ins[2]);
+        let g2b = n.or(g1, ins[3]);
+        let g3a = n.and(g2a, ins[4]);
+        let g3b = n.or(g2b, ins[5]);
+        n.set_outputs(&[g3a, g3b]);
+        let m = map_to_luts(&n);
+        assert_eq!(m.luts, 3, "g1 shared; each 3-input consumer cone is one LUT");
+    }
+
+    #[test]
+    fn adder_costs_one_lut_per_bit_one_level() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 16);
+        let b = n.input("b", 16);
+        let s = n.add_sub(&a, &b, false);
+        n.set_outputs(&s);
+        let m = map_to_luts(&n);
+        assert_eq!(m.luts, 16);
+        assert_eq!(m.depth, 1);
+    }
+
+    #[test]
+    fn chained_adders_stack_levels() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 8);
+        let b = n.input("b", 8);
+        let s1 = n.add_sub(&a, &b, false);
+        let s2 = n.add_sub(&s1, &a, false);
+        n.set_outputs(&s2);
+        let m = map_to_luts(&n);
+        assert_eq!(m.luts, 16);
+        assert_eq!(m.depth, 2);
+    }
+
+    #[test]
+    fn wiring_only_network_is_zero_cost() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 8);
+        let s = n.shl_const(&a, 3);
+        n.set_outputs(&s);
+        assert_eq!(map_to_luts(&n), LutMapping { luts: 0, depth: 0 });
+    }
+}

@@ -1,0 +1,113 @@
+//! Scenario tests for the LUT mapper on structures with known-good
+//! mappings, pinning down the cost model the Fig. 7 histogram rests on.
+
+use t1000_hwcost::{cost_of, map_to_luts, Netlist};
+use t1000_isa::{Instr, Op, Reg};
+
+fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+#[test]
+fn wide_xor_tree_packs_two_levels_per_lut_layer() {
+    // XOR of 16 single-bit inputs: a binary tree of 15 xors. Perfect
+    // 4-LUT packing gives ceil(15/3)=5 LUTs in 2 levels.
+    let mut n = Netlist::new();
+    let leaves: Vec<_> = (0..16).map(|i| n.input(&format!("x{i}"), 1)[0]).collect();
+    let mut layer = leaves;
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    n.xor(pair[0], pair[1])
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    n.set_outputs(&[layer[0]]);
+    let m = map_to_luts(&n);
+    assert!(m.luts <= 8, "greedy cover of a 16-xor tree took {} LUTs", m.luts);
+    assert!(m.depth <= 3, "depth {}", m.depth);
+    assert!(m.luts >= 5, "information bound: 16 inputs need ≥5 4-LUTs");
+}
+
+#[test]
+fn known_instruction_costs_are_stable() {
+    // Pin exact costs for representative instructions so accidental cost
+    // model changes are caught (these feed Fig. 7).
+    let cases: Vec<(Vec<Instr>, u32)> = vec![
+        // 16-bit add: one LUT per bit on the carry chain.
+        (vec![Instr::rtype(Op::Addu, r(10), r(8), r(9))], 16),
+        // add then xor with an input: 16 carry LUTs + 16 xor LUTs.
+        (
+            vec![
+                Instr::rtype(Op::Addu, r(10), r(8), r(9)),
+                Instr::rtype(Op::Xor, r(10), r(10), r(8)),
+            ],
+            32,
+        ),
+        // Constant shift: free.
+        (vec![Instr::shift(Op::Sll, r(10), r(8), 3)], 0),
+        // slt: one extended subtract chain (W+1 bits).
+        (vec![Instr::rtype(Op::Slt, r(10), r(8), r(9))], 17),
+    ];
+    for (seq, expect) in cases {
+        let c = cost_of(&seq, 16);
+        assert_eq!(c.luts, expect, "sequence {seq:?}");
+    }
+}
+
+#[test]
+fn paper_figure3_sequence_cost_is_modest() {
+    // The paper's running example: sll;addu;sll — at 18 bits this is one
+    // adder plus wiring.
+    let seq = vec![
+        Instr::shift(Op::Sll, r(10), r(8), 4),
+        Instr::rtype(Op::Addu, r(10), r(10), r(9)),
+        Instr::shift(Op::Sll, r(10), r(10), 2),
+    ];
+    let c = cost_of(&seq, 18);
+    assert_eq!(c.luts, 18, "only the addu consumes LUTs");
+    assert_eq!(c.depth, 1);
+    assert!(c.single_cycle());
+}
+
+#[test]
+fn variable_shift_is_much_more_expensive_than_constant() {
+    let constant = cost_of(&[Instr::shift(Op::Sll, r(10), r(8), 4)], 16);
+    let variable = cost_of(
+        &[Instr {
+            op: Op::Sllv,
+            rd: r(10),
+            rs: r(9),
+            rt: r(8),
+            imm: 0,
+            target: 0,
+        }],
+        16,
+    );
+    assert_eq!(constant.luts, 0);
+    assert!(
+        variable.luts >= 16 * 3,
+        "a 16-bit barrel shifter needs ≥3 mux stages, got {}",
+        variable.luts
+    );
+    assert!(variable.depth >= 3);
+}
+
+#[test]
+fn eight_op_chains_fit_the_single_cycle_budget_at_narrow_width() {
+    // The longest sequences the paper selects (8 ops) at narrow widths
+    // must still map within the single-cycle depth.
+    let mut seq = vec![Instr::rtype(Op::Addu, r(10), r(8), r(9))];
+    for k in 0..7 {
+        let op = [Op::Xor, Op::Addu, Op::And, Op::Subu, Op::Or, Op::Addu, Op::Xor][k];
+        seq.push(Instr::rtype(op, r(10), r(10), r(9)));
+    }
+    let c = cost_of(&seq, 12);
+    assert!(c.single_cycle(), "depth {} at 12 bits", c.depth);
+    assert!(c.luts < 150, "{} LUTs", c.luts);
+}

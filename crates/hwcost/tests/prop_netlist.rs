@@ -1,0 +1,118 @@
+//! Property tests for the hardware-cost model: elaborated netlists
+//! compute exactly the 32-bit ISA semantics whenever inputs and all
+//! intermediate results fit the datapath width — the soundness condition
+//! the bitwidth profile guarantees for selected sequences.
+
+use proptest::prelude::*;
+use t1000_hwcost::{cost_of, elaborate};
+use t1000_isa::{Instr, Op, Reg};
+
+fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+/// A random dependent chain: each instruction combines the running value
+/// (in $t2) with one of the two inputs ($t0, $t1).
+fn arb_chain() -> impl Strategy<Value = Vec<Instr>> {
+    let first = prop::sample::select(vec![Op::Addu, Op::Subu, Op::Xor, Op::And, Op::Or])
+        .prop_map(|op| Instr::rtype(op, r(10), r(8), r(9)));
+    let step = prop_oneof![
+        (prop::sample::select(vec![Op::Addu, Op::Subu, Op::Xor, Op::And, Op::Or, Op::Nor]), prop::bool::ANY)
+            .prop_map(|(op, use_b)| {
+                Instr::rtype(op, r(10), r(10), if use_b { r(9) } else { r(8) })
+            }),
+        (prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]), 1u32..3)
+            .prop_map(|(op, sh)| Instr::shift(op, r(10), r(10), sh)),
+        (0i32..255).prop_map(|imm| Instr::itype(Op::Addiu, r(10), r(10), imm)),
+        (1i32..4095).prop_map(|imm| Instr::itype(Op::Andi, r(10), r(10), imm)),
+    ];
+    (first, prop::collection::vec(step, 1..7))
+        .prop_map(|(f, rest)| std::iter::once(f).chain(rest).collect())
+}
+
+/// 32-bit software evaluation of the chain.
+fn soft_eval(chain: &[Instr], a: u32, b: u32) -> Vec<u32> {
+    let mut env = [0u32; 32];
+    env[8] = a;
+    env[9] = b;
+    let mut intermediates = Vec::new();
+    for i in chain {
+        let rs = env[i.rs.index()];
+        let rt = env[i.rt.index()];
+        let v = match i.op {
+            Op::Addu => rs.wrapping_add(rt),
+            Op::Subu => rs.wrapping_sub(rt),
+            Op::Xor => rs ^ rt,
+            Op::And => rs & rt,
+            Op::Or => rs | rt,
+            Op::Nor => !(rs | rt),
+            Op::Sll => rt << (i.imm & 31),
+            Op::Srl => rt >> (i.imm & 31),
+            Op::Sra => ((rt as i32) >> (i.imm & 31)) as u32,
+            Op::Addiu => rs.wrapping_add(i.imm as u32),
+            Op::Andi => rs & (i.imm as u32 & 0xffff),
+            _ => unreachable!(),
+        };
+        env[i.def().unwrap().index()] = v;
+        intermediates.push(v);
+    }
+    intermediates
+}
+
+/// Signed width of a value (mirror of the profiler's).
+fn width(v: u32) -> u32 {
+    let v = v as i32;
+    if v >= 0 {
+        33 - (v as u32).leading_zeros()
+    } else {
+        33 - (v as u32).leading_ones()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn netlist_matches_semantics_when_widths_fit(
+        chain in arb_chain(),
+        a in -2000i32..2000,
+        b in -2000i32..2000,
+    ) {
+        let w: u8 = 18;
+        let values = soft_eval(&chain, a as u32, b as u32);
+        // Soundness precondition: inputs and every intermediate fit.
+        prop_assume!(width(a as u32) <= w as u32 && width(b as u32) <= w as u32);
+        prop_assume!(values.iter().all(|&v| width(v) <= w as u32));
+
+        let (netlist, inputs) = elaborate(&chain, w);
+        prop_assume!(!inputs.is_empty());
+        let hw = netlist.evaluate(&|name, bit| {
+            // Inputs bind in first-use order.
+            let idx: usize = name.strip_prefix("in").unwrap().parse().unwrap();
+            let reg = inputs[idx];
+            let v = if reg == r(8) { a as u32 } else { b as u32 };
+            v >> bit & 1 == 1
+        });
+        let expect = u64::from(*values.last().unwrap()) & ((1u64 << w) - 1);
+        prop_assert_eq!(hw, expect, "chain: {:?}", chain);
+    }
+
+    #[test]
+    fn lut_cost_is_monotone_in_width(chain in arb_chain()) {
+        let narrow = cost_of(&chain, 8);
+        let wide = cost_of(&chain, 24);
+        prop_assert!(wide.luts >= narrow.luts);
+        prop_assert!(wide.depth >= narrow.depth);
+    }
+
+    #[test]
+    fn deeper_chains_never_get_shallower(chain in arb_chain()) {
+        // Appending an add must not reduce depth or LUTs.
+        let mut longer = chain.clone();
+        longer.push(Instr::rtype(Op::Addu, r(10), r(10), r(8)));
+        let base = cost_of(&chain, 16);
+        let more = cost_of(&longer, 16);
+        prop_assert!(more.luts >= base.luts);
+        prop_assert!(more.depth >= base.depth);
+    }
+}

@@ -1,0 +1,400 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! The encoding is MIPS-I-compatible where the operation exists in MIPS,
+//! plus one new primary opcode `0x3f` for extended (PFU) instructions:
+//!
+//! ```text
+//! R-type:  opcode(6)=0  rs(5) rt(5) rd(5) shamt(5) funct(6)
+//! I-type:  opcode(6)    rs(5) rt(5) imm(16)
+//! J-type:  opcode(6)    target(26)
+//! EXT:     opcode(6)=63 rs(5) rt(5) rd(5) conf(11)
+//! ```
+//!
+//! The `Conf` field (paper §2.2) controls the loading of configuration bits:
+//! at decode it is compared against the ID tags of the resident PFU
+//! configurations, and a mismatch triggers a reconfiguration.
+
+use crate::instr::Instr;
+use crate::op::Op;
+use crate::reg::Reg;
+
+/// Error produced when a 32-bit word is not a valid instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word 0x{:08x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_SPECIAL: u32 = 0x00;
+const OP_REGIMM: u32 = 0x01;
+const OP_EXT: u32 = 0x3f;
+
+fn funct_of(op: Op) -> Option<u32> {
+    use Op::*;
+    Some(match op {
+        Sll => 0,
+        Srl => 2,
+        Sra => 3,
+        Sllv => 4,
+        Srlv => 6,
+        Srav => 7,
+        Jr => 8,
+        Jalr => 9,
+        Syscall => 12,
+        Break => 13,
+        Mfhi => 16,
+        Mthi => 17,
+        Mflo => 18,
+        Mtlo => 19,
+        Mult => 24,
+        Multu => 25,
+        Div => 26,
+        Divu => 27,
+        Add => 32,
+        Addu => 33,
+        Sub => 34,
+        Subu => 35,
+        And => 36,
+        Or => 37,
+        Xor => 38,
+        Nor => 39,
+        Slt => 42,
+        Sltu => 43,
+        _ => return None,
+    })
+}
+
+fn op_of_funct(funct: u32) -> Option<Op> {
+    use Op::*;
+    Some(match funct {
+        0 => Sll,
+        2 => Srl,
+        3 => Sra,
+        4 => Sllv,
+        6 => Srlv,
+        7 => Srav,
+        8 => Jr,
+        9 => Jalr,
+        12 => Syscall,
+        13 => Break,
+        16 => Mfhi,
+        17 => Mthi,
+        18 => Mflo,
+        19 => Mtlo,
+        24 => Mult,
+        25 => Multu,
+        26 => Div,
+        27 => Divu,
+        32 => Add,
+        33 => Addu,
+        34 => Sub,
+        35 => Subu,
+        36 => And,
+        37 => Or,
+        38 => Xor,
+        39 => Nor,
+        42 => Slt,
+        43 => Sltu,
+        _ => return None,
+    })
+}
+
+fn primary_of(op: Op) -> Option<u32> {
+    use Op::*;
+    Some(match op {
+        J => 0x02,
+        Jal => 0x03,
+        Beq => 0x04,
+        Bne => 0x05,
+        Blez => 0x06,
+        Bgtz => 0x07,
+        Addi => 0x08,
+        Addiu => 0x09,
+        Slti => 0x0a,
+        Sltiu => 0x0b,
+        Andi => 0x0c,
+        Ori => 0x0d,
+        Xori => 0x0e,
+        Lui => 0x0f,
+        Lb => 0x20,
+        Lh => 0x21,
+        Lw => 0x23,
+        Lbu => 0x24,
+        Lhu => 0x25,
+        Sb => 0x28,
+        Sh => 0x29,
+        Sw => 0x2b,
+        _ => return None,
+    })
+}
+
+fn op_of_primary(primary: u32) -> Option<Op> {
+    use Op::*;
+    Some(match primary {
+        0x02 => J,
+        0x03 => Jal,
+        0x04 => Beq,
+        0x05 => Bne,
+        0x06 => Blez,
+        0x07 => Bgtz,
+        0x08 => Addi,
+        0x09 => Addiu,
+        0x0a => Slti,
+        0x0b => Sltiu,
+        0x0c => Andi,
+        0x0d => Ori,
+        0x0e => Xori,
+        0x0f => Lui,
+        0x20 => Lb,
+        0x21 => Lh,
+        0x23 => Lw,
+        0x24 => Lbu,
+        0x25 => Lhu,
+        0x28 => Sb,
+        0x29 => Sh,
+        0x2b => Sw,
+        _ => return None,
+    })
+}
+
+/// True when `op`'s 16-bit immediate is zero-extended rather than
+/// sign-extended (the MIPS logical immediates).
+fn zero_extends(op: Op) -> bool {
+    matches!(op, Op::Andi | Op::Ori | Op::Xori | Op::Lui)
+}
+
+/// Encodes an instruction to its 32-bit word.
+///
+/// # Panics
+/// Panics if a field is out of range for its encoding slot (e.g. an
+/// immediate that does not fit in 16 bits). The assembler validates ranges
+/// before calling this.
+pub fn encode(i: &Instr) -> u32 {
+    use Op::*;
+    let rs = (i.rs.index() as u32) << 21;
+    let rt = (i.rt.index() as u32) << 16;
+    let rd = (i.rd.index() as u32) << 11;
+    match i.op {
+        Sll | Srl | Sra => {
+            let shamt = i.imm as u32;
+            assert!(shamt < 32, "shift amount out of range: {}", i.imm);
+            rt | rd | (shamt << 6) | funct_of(i.op).unwrap()
+        }
+        Sllv | Srlv | Srav | Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu
+        | Jalr => rs | rt | rd | funct_of(i.op).unwrap(),
+        Jr | Mthi | Mtlo => rs | funct_of(i.op).unwrap(),
+        Mfhi | Mflo => rd | funct_of(i.op).unwrap(),
+        Mult | Multu | Div | Divu => rs | rt | funct_of(i.op).unwrap(),
+        Syscall | Break => funct_of(i.op).unwrap(),
+        Bltz | Bgez => {
+            let which = if i.op == Bgez { 1 } else { 0 };
+            assert!(
+                (-(1 << 15)..(1 << 15)).contains(&i.imm),
+                "branch offset out of range: {}",
+                i.imm
+            );
+            (OP_REGIMM << 26) | rs | (which << 16) | ((i.imm as u32) & 0xffff)
+        }
+        J | Jal => {
+            assert!(i.target < (1 << 26), "jump target out of range");
+            (primary_of(i.op).unwrap() << 26) | i.target
+        }
+        Ext => {
+            assert!(i.target < (1 << 11), "Conf field out of range");
+            (OP_EXT << 26) | rs | rt | rd | i.target
+        }
+        _ => {
+            // Remaining I-type ops.
+            let primary = primary_of(i.op).expect("unencodable op");
+            let imm = if zero_extends(i.op) {
+                assert!(
+                    (0..=0xffff).contains(&i.imm),
+                    "unsigned immediate out of range: {}",
+                    i.imm
+                );
+                i.imm as u32
+            } else {
+                assert!(
+                    (-(1 << 15)..(1 << 15)).contains(&i.imm),
+                    "signed immediate out of range: {}",
+                    i.imm
+                );
+                (i.imm as u32) & 0xffff
+            };
+            (primary << 26) | rs | rt | imm
+        }
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let primary = word >> 26;
+    let rs = Reg::from_field(word >> 21);
+    let rt = Reg::from_field(word >> 16);
+    let rd = Reg::from_field(word >> 11);
+    let shamt = (word >> 6) & 0x1f;
+    let err = DecodeError { word };
+
+    if primary == OP_SPECIAL {
+        let op = op_of_funct(word & 0x3f).ok_or(err)?;
+        let imm = if matches!(op, Op::Sll | Op::Srl | Op::Sra) {
+            shamt as i32
+        } else {
+            0
+        };
+        // Normalise fields the operation does not read or write, so that
+        // decode ∘ encode ∘ decode is the identity (don't-care bits in the
+        // word must not survive into the decoded form).
+        use Op::*;
+        let (rd, rs, rt) = match op {
+            Sll | Srl | Sra => (rd, Reg::ZERO, rt),
+            Jr | Mthi | Mtlo => (Reg::ZERO, rs, Reg::ZERO),
+            Mfhi | Mflo => (rd, Reg::ZERO, Reg::ZERO),
+            Mult | Multu | Div | Divu => (Reg::ZERO, rs, rt),
+            Jalr => (rd, rs, Reg::ZERO),
+            Syscall | Break => (Reg::ZERO, Reg::ZERO, Reg::ZERO),
+            _ => (rd, rs, rt),
+        };
+        return Ok(Instr { op, rd, rs, rt, imm, target: 0 });
+    }
+    if primary == OP_REGIMM {
+        let op = match rt.index() {
+            0 => Op::Bltz,
+            1 => Op::Bgez,
+            _ => return Err(err),
+        };
+        let imm = (word & 0xffff) as u16 as i16 as i32;
+        return Ok(Instr { op, rd: Reg::ZERO, rs, rt: Reg::ZERO, imm, target: 0 });
+    }
+    if primary == OP_EXT {
+        return Ok(Instr { op: Op::Ext, rd, rs, rt, imm: 0, target: word & 0x7ff });
+    }
+    let op = op_of_primary(primary).ok_or(err)?;
+    if matches!(op, Op::J | Op::Jal) {
+        return Ok(Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: word & 0x03ff_ffff });
+    }
+    let raw = word & 0xffff;
+    let imm = if zero_extends(op) {
+        raw as i32
+    } else {
+        raw as u16 as i16 as i32
+    };
+    Ok(Instr { op, rd: Reg::ZERO, rs, rt, imm, target: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn rtype_round_trip() {
+        let i = Instr::rtype(Op::Addu, r(2), r(3), r(4));
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn shift_round_trip() {
+        let i = Instr::shift(Op::Sra, r(9), r(10), 17);
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn itype_negative_immediate_round_trip() {
+        let i = Instr::itype(Op::Addiu, r(8), r(8), -1);
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn zero_extended_immediates_round_trip() {
+        let i = Instr::itype(Op::Ori, r(8), r(0), 0xbeef);
+        let d = decode(encode(&i)).unwrap();
+        assert_eq!(d.imm, 0xbeef);
+    }
+
+    #[test]
+    fn regimm_branches_round_trip() {
+        for op in [Op::Bltz, Op::Bgez] {
+            let i = Instr { op, rd: Reg::ZERO, rs: r(5), rt: Reg::ZERO, imm: -12, target: 0 };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn jump_round_trip() {
+        let i = Instr { op: Op::Jal, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0x12_3456 };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn ext_round_trip() {
+        let i = Instr::ext(0x7ff, r(2), r(3), r(4));
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn nop_encodes_to_zero_word() {
+        assert_eq!(encode(&Instr::NOP), 0);
+        assert_eq!(decode(0).unwrap(), Instr::NOP);
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // Unused primary opcode 0x3e.
+        assert!(decode(0x3e << 26).is_err());
+        // SPECIAL with unused funct 63.
+        assert!(decode(63).is_err());
+        // REGIMM with rt = 5.
+        assert!(decode((1 << 26) | (5 << 16)).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_immediate_panics() {
+        encode(&Instr::itype(Op::Addiu, r(1), r(1), 40000));
+    }
+
+    #[test]
+    fn all_encodable_ops_round_trip() {
+        // Build one representative instruction per op and check the
+        // encode/decode loop preserves it exactly.
+        for &op in Op::all() {
+            let i = representative(op);
+            let d = decode(encode(&i)).unwrap_or_else(|e| panic!("{op:?}: {e}"));
+            assert_eq!(d, i, "{op:?}");
+        }
+    }
+
+    fn representative(op: Op) -> Instr {
+        use Op::*;
+        match op {
+            Sll | Srl | Sra => Instr::shift(op, r(3), r(4), 5),
+            Sllv | Srlv | Srav | Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu => {
+                Instr::rtype(op, r(3), r(4), r(5))
+            }
+            Addi | Addiu | Slti | Sltiu => Instr::itype(op, r(3), r(4), -7),
+            Andi | Ori | Xori | Lui => Instr::itype(op, r(3), r(4), 7),
+            Mult | Multu | Div | Divu => Instr { op, rd: Reg::ZERO, rs: r(3), rt: r(4), imm: 0, target: 0 },
+            Mfhi | Mflo => Instr { op, rd: r(3), rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
+            Mthi | Mtlo | Jr => Instr { op, rd: Reg::ZERO, rs: r(3), rt: Reg::ZERO, imm: 0, target: 0 },
+            Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw => Instr::itype(op, r(3), r(4), 16),
+            Beq | Bne => Instr { op, rd: Reg::ZERO, rs: r(3), rt: r(4), imm: -3, target: 0 },
+            Blez | Bgtz | Bltz | Bgez => Instr { op, rd: Reg::ZERO, rs: r(3), rt: Reg::ZERO, imm: 9, target: 0 },
+            J | Jal => Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0x100 },
+            Jalr => Instr { op, rd: r(31), rs: r(3), rt: Reg::ZERO, imm: 0, target: 0 },
+            Syscall | Break => Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
+            Ext => Instr::ext(42, r(3), r(4), r(5)),
+        }
+    }
+}

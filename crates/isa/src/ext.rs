@@ -1,0 +1,255 @@
+//! Extended-instruction metadata shared between the compiler side (the
+//! selection algorithms in `t1000-core`) and the machine side (the
+//! simulator in `t1000-cpu`).
+//!
+//! In the paper an extended instruction is created at compile time by
+//! rewriting an instruction sequence into a single `ext` opcode whose
+//! `Conf` field names a PFU configuration. We keep the original text
+//! segment untouched and carry the rewriting as a side table (`FusionMap`):
+//! each *site* says "the `len` instructions starting at this PC execute as
+//! one extended instruction with configuration `conf`". This is exactly
+//! equivalent for simulation purposes (the simulator fuses at fetch) and
+//! keeps the binary runnable on a PFU-less machine for differential
+//! testing. Several sites may share one `conf` when their sequences are
+//! structurally identical — that sharing is what the selective algorithm's
+//! subsequence matrix exploits.
+
+use crate::instr::Instr;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+
+/// Identifier of one PFU configuration ("ID tag" in paper §2.2). Two sites
+/// with equal `ConfId` can reuse a resident configuration without
+/// reloading.
+pub type ConfId = u16;
+
+/// One fused code site: `len` consecutive instructions at `pc` execute as a
+/// single extended instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusedSite {
+    /// Byte address of the first instruction of the sequence.
+    pub pc: u32,
+    /// Number of fused instructions (≥ 2).
+    pub len: u32,
+    /// Which PFU configuration evaluates this site.
+    pub conf: ConfId,
+    /// Live-in registers. The paper's architecture allows 2 (the
+    /// register-port constraint of §1, matching the two source fields of
+    /// the `ext` encoding); up to 4 are representable here so the
+    /// input-port ablation can model hypothetical wider-port machines.
+    pub inputs: Vec<Reg>,
+    /// The single live-out register.
+    pub output: Reg,
+}
+
+impl FusedSite {
+    /// Byte address of the first instruction after the fused sequence.
+    pub fn end_pc(&self) -> u32 {
+        self.pc + 4 * self.len
+    }
+}
+
+/// A catalogued PFU configuration: the canonical instruction skeleton it
+/// implements, used for hardware-cost estimation and debugging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfDef {
+    pub conf: ConfId,
+    /// The instruction sequence in canonical (register-renamed) form.
+    pub skeleton: Vec<Instr>,
+    /// Cycles the sequence takes on the base machine (sum of latencies).
+    pub base_cycles: u32,
+    /// Cycles the PFU needs to evaluate it (1 in the paper's main
+    /// experiments; §3.1 notes varying execution times are straightforward
+    /// with out-of-order issue, and the selector can emit them when the
+    /// extraction config allows deeper logic).
+    pub pfu_latency: u32,
+}
+
+/// The complete fusion decision for one program: configurations plus the
+/// sites that use them.
+#[derive(Clone, Debug, Default)]
+pub struct FusionMap {
+    sites: BTreeMap<u32, FusedSite>,
+    defs: BTreeMap<ConfId, ConfDef>,
+}
+
+impl FusionMap {
+    /// An empty map (no extended instructions — the baseline machine).
+    pub fn new() -> FusionMap {
+        FusionMap::default()
+    }
+
+    /// Registers a configuration definition.
+    ///
+    /// # Panics
+    /// Panics on a duplicate `ConfId` with a different skeleton.
+    pub fn define(&mut self, def: ConfDef) {
+        if let Some(prev) = self.defs.get(&def.conf) {
+            assert_eq!(
+                prev.skeleton, def.skeleton,
+                "ConfId {} redefined with a different skeleton",
+                def.conf
+            );
+            return;
+        }
+        self.defs.insert(def.conf, def);
+    }
+
+    /// Adds a fused site.
+    ///
+    /// # Panics
+    /// Panics if the site overlaps an existing site or names an unknown
+    /// configuration — both are selector bugs worth failing loudly on.
+    pub fn add_site(&mut self, site: FusedSite) {
+        assert!(site.len >= 2, "a fused sequence must contain ≥ 2 instructions");
+        assert!(
+            self.defs.contains_key(&site.conf),
+            "site at 0x{:x} references undefined conf {}",
+            site.pc,
+            site.conf
+        );
+        assert!(
+            site.inputs.len() <= 4,
+            "site at 0x{:x} exceeds the representable input-port budget",
+            site.pc
+        );
+        // Overlap check against the previous and next site in PC order.
+        if let Some((_, prev)) = self.sites.range(..=site.pc).next_back() {
+            assert!(
+                prev.end_pc() <= site.pc,
+                "site at 0x{:x} overlaps site at 0x{:x}",
+                site.pc,
+                prev.pc
+            );
+        }
+        if let Some((_, next)) = self.sites.range(site.pc..).next() {
+            assert!(
+                site.end_pc() <= next.pc,
+                "site at 0x{:x} overlaps site at 0x{:x}",
+                site.pc,
+                next.pc
+            );
+        }
+        self.sites.insert(site.pc, site);
+    }
+
+    /// The fused site starting exactly at `pc`, if any.
+    pub fn site_at(&self, pc: u32) -> Option<&FusedSite> {
+        self.sites.get(&pc)
+    }
+
+    /// The configuration definition for `conf`.
+    pub fn def(&self, conf: ConfId) -> Option<&ConfDef> {
+        self.defs.get(&conf)
+    }
+
+    /// All sites in PC order.
+    pub fn sites(&self) -> impl Iterator<Item = &FusedSite> {
+        self.sites.values()
+    }
+
+    /// All configuration definitions in `ConfId` order.
+    pub fn defs(&self) -> impl Iterator<Item = &ConfDef> {
+        self.defs.values()
+    }
+
+    /// Number of distinct configurations.
+    pub fn num_confs(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Number of fused sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when no fusion is active.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    fn demo_def(conf: ConfId) -> ConfDef {
+        ConfDef {
+            conf,
+            skeleton: vec![
+                Instr::shift(Op::Sll, r(1), r(2), 4),
+                Instr::rtype(Op::Addu, r(1), r(1), r(3)),
+            ],
+            base_cycles: 2,
+            pfu_latency: 1,
+        }
+    }
+
+    fn demo_site(pc: u32, conf: ConfId, len: u32) -> FusedSite {
+        FusedSite { pc, len, conf, inputs: vec![r(2), r(3)], output: r(1) }
+    }
+
+    #[test]
+    fn sites_are_found_by_start_pc_only() {
+        let mut m = FusionMap::new();
+        m.define(demo_def(1));
+        m.add_site(demo_site(0x100, 1, 2));
+        assert!(m.site_at(0x100).is_some());
+        assert!(m.site_at(0x104).is_none());
+        assert_eq!(m.num_sites(), 1);
+        assert_eq!(m.num_confs(), 1);
+    }
+
+    #[test]
+    fn multiple_sites_can_share_a_configuration() {
+        let mut m = FusionMap::new();
+        m.define(demo_def(7));
+        m.add_site(demo_site(0x100, 7, 2));
+        m.add_site(demo_site(0x200, 7, 2));
+        assert_eq!(m.num_sites(), 2);
+        assert_eq!(m.num_confs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_sites_panic() {
+        let mut m = FusionMap::new();
+        m.define(demo_def(1));
+        m.add_site(demo_site(0x100, 1, 3));
+        m.add_site(demo_site(0x104, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_detected_against_following_site() {
+        let mut m = FusionMap::new();
+        m.define(demo_def(1));
+        m.add_site(demo_site(0x108, 1, 2));
+        m.add_site(demo_site(0x100, 1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined conf")]
+    fn site_with_unknown_conf_panics() {
+        let mut m = FusionMap::new();
+        m.add_site(demo_site(0x100, 9, 2));
+    }
+
+    #[test]
+    fn redefining_same_skeleton_is_idempotent() {
+        let mut m = FusionMap::new();
+        m.define(demo_def(1));
+        m.define(demo_def(1));
+        assert_eq!(m.num_confs(), 1);
+    }
+
+    #[test]
+    fn end_pc_accounts_for_length() {
+        assert_eq!(demo_site(0x100, 1, 3).end_pc(), 0x10c);
+    }
+}

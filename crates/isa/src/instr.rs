@@ -1,0 +1,256 @@
+//! Decoded instruction representation and operand accessors.
+//!
+//! `Instr` is a flat struct rather than a per-format enum: the cycle-level
+//! simulator touches millions of these per simulated second and benefits
+//! from a fixed-size, branch-light representation. The `def`/`uses`
+//! accessors encode the register semantics of every operation in one place,
+//! so the out-of-order scheduler, the liveness analysis and the sequence
+//! extractor all agree on dataflow.
+
+use crate::op::Op;
+use crate::reg::Reg;
+use std::fmt;
+
+/// A decoded instruction.
+///
+/// Field meaning varies by format (mirroring MIPS conventions):
+/// * R-type ALU: `rd = rs OP rt`; shifts-by-constant use `imm` as shamt and
+///   read only `rt`; variable shifts shift `rt` by the low 5 bits of `rs`.
+/// * I-type ALU: `rt = rs OP imm` (`lui` reads nothing).
+/// * Loads: `rt = mem[rs + imm]`; stores: `mem[rs + imm] = rt`.
+/// * Branches compare `rs`/`rt`; `imm` is the *word* offset from the
+///   following instruction.
+/// * `j`/`jal`: `target` is the absolute word index within the 256 MiB
+///   region of the delay-slot-free PC.
+/// * `ext`: `rd = PFU_conf(rs, rt)`; `target` carries the 11-bit `Conf`
+///   field selecting the PFU configuration (paper §2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Instr {
+    pub op: Op,
+    pub rd: Reg,
+    pub rs: Reg,
+    pub rt: Reg,
+    /// Immediate (sign-extended), shift amount, or branch word offset.
+    pub imm: i32,
+    /// Jump target field, or `Conf` id for `ext`.
+    pub target: u32,
+}
+
+impl Instr {
+    /// A canonical no-op (`sll $zero, $zero, 0`).
+    pub const NOP: Instr = Instr {
+        op: Op::Sll,
+        rd: Reg::ZERO,
+        rs: Reg::ZERO,
+        rt: Reg::ZERO,
+        imm: 0,
+        target: 0,
+    };
+
+    /// Builds an R-type `rd = rs OP rt` instruction.
+    pub fn rtype(op: Op, rd: Reg, rs: Reg, rt: Reg) -> Instr {
+        Instr { op, rd, rs, rt, imm: 0, target: 0 }
+    }
+
+    /// Builds a constant shift `rd = rt OP shamt`.
+    pub fn shift(op: Op, rd: Reg, rt: Reg, shamt: u32) -> Instr {
+        debug_assert!(matches!(op, Op::Sll | Op::Srl | Op::Sra));
+        debug_assert!(shamt < 32);
+        Instr { op, rd, rs: Reg::ZERO, rt, imm: shamt as i32, target: 0 }
+    }
+
+    /// Builds an I-type `rt = rs OP imm` instruction.
+    pub fn itype(op: Op, rt: Reg, rs: Reg, imm: i32) -> Instr {
+        Instr { op, rd: Reg::ZERO, rs, rt, imm, target: 0 }
+    }
+
+    /// Builds an extended (PFU) instruction `rd = conf(rs, rt)`.
+    pub fn ext(conf: u16, rd: Reg, rs: Reg, rt: Reg) -> Instr {
+        debug_assert!(conf < (1 << 11), "Conf field is 11 bits");
+        Instr { op: Op::Ext, rd, rs, rt, imm: 0, target: conf as u32 }
+    }
+
+    /// The general-purpose register written by this instruction, if any.
+    /// Writes to `$zero` are reported as `None` (they are architectural
+    /// no-ops and must not create dependences).
+    pub fn def(&self) -> Option<Reg> {
+        use Op::*;
+        let r = match self.op {
+            Sll | Srl | Sra | Sllv | Srlv | Srav | Add | Addu | Sub | Subu | And | Or | Xor
+            | Nor | Slt | Sltu | Mfhi | Mflo | Jalr | Ext => self.rd,
+            Addi | Addiu | Slti | Sltiu | Andi | Ori | Xori | Lui | Lb | Lbu | Lh | Lhu | Lw => {
+                self.rt
+            }
+            Jal => Reg::RA,
+            _ => return None,
+        };
+        (!r.is_zero()).then_some(r)
+    }
+
+    /// The general-purpose registers read by this instruction (deduplicated,
+    /// `$zero` omitted). At most two — the paper's port constraint comes
+    /// from exactly this property of the base ISA.
+    pub fn uses(&self) -> impl Iterator<Item = Reg> {
+        use Op::*;
+        let (a, b) = match self.op {
+            // Constant shifts read only rt.
+            Sll | Srl | Sra => (Some(self.rt), None),
+            // Variable shifts read the value (rt) and the amount (rs).
+            Sllv | Srlv | Srav => (Some(self.rt), Some(self.rs)),
+            Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu | Mult | Multu | Div
+            | Divu | Ext => (Some(self.rs), Some(self.rt)),
+            Addi | Addiu | Slti | Sltiu | Andi | Ori | Xori => (Some(self.rs), None),
+            Lui => (None, None),
+            Lb | Lbu | Lh | Lhu | Lw => (Some(self.rs), None),
+            Sb | Sh | Sw => (Some(self.rs), Some(self.rt)),
+            Beq | Bne => (Some(self.rs), Some(self.rt)),
+            Blez | Bgtz | Bltz | Bgez => (Some(self.rs), None),
+            Jr | Jalr | Mthi | Mtlo => (Some(self.rs), None),
+            // Syscalls read $v0 (selector) and $a0 (argument) by convention.
+            Syscall => (Some(Reg::V0), Some(Reg::A0)),
+            Mfhi | Mflo | J | Jal | Break => (None, None),
+        };
+        let dedup_b = if b == a { None } else { b };
+        a.into_iter()
+            .chain(dedup_b)
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Whether this instruction writes the HI/LO pair.
+    pub fn writes_hilo(&self) -> bool {
+        matches!(self.op, Op::Mult | Op::Multu | Op::Div | Op::Divu | Op::Mthi | Op::Mtlo)
+    }
+
+    /// Whether this instruction reads the HI/LO pair.
+    pub fn reads_hilo(&self) -> bool {
+        matches!(self.op, Op::Mfhi | Op::Mflo)
+    }
+
+    /// Branch target for a conditional branch at byte address `pc`.
+    pub fn branch_target(&self, pc: u32) -> u32 {
+        debug_assert!(self.op.is_branch());
+        pc.wrapping_add(4).wrapping_add((self.imm as u32) << 2)
+    }
+
+    /// Absolute target for `j`/`jal` issued at byte address `pc`.
+    pub fn jump_target(&self, pc: u32) -> u32 {
+        debug_assert!(matches!(self.op, Op::J | Op::Jal));
+        (pc.wrapping_add(4) & 0xf000_0000) | (self.target << 2)
+    }
+
+    /// The `Conf` field of an `ext` instruction.
+    pub fn conf(&self) -> u16 {
+        debug_assert_eq!(self.op, Op::Ext);
+        self.target as u16
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Op::*;
+        let m = self.op.mnemonic();
+        match self.op {
+            Sll | Srl | Sra => write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.imm),
+            Sllv | Srlv | Srav => write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.rs),
+            Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rs, self.rt)
+            }
+            Addi | Addiu | Slti | Sltiu | Andi | Ori | Xori => {
+                write!(f, "{m} {}, {}, {}", self.rt, self.rs, self.imm)
+            }
+            Lui => write!(f, "{m} {}, {}", self.rt, self.imm),
+            Mult | Multu | Div | Divu => write!(f, "{m} {}, {}", self.rs, self.rt),
+            Mfhi | Mflo => write!(f, "{m} {}", self.rd),
+            Mthi | Mtlo => write!(f, "{m} {}", self.rs),
+            Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw => {
+                write!(f, "{m} {}, {}({})", self.rt, self.imm, self.rs)
+            }
+            Beq | Bne => write!(f, "{m} {}, {}, {}", self.rs, self.rt, self.imm),
+            Blez | Bgtz | Bltz | Bgez => write!(f, "{m} {}, {}", self.rs, self.imm),
+            J | Jal => write!(f, "{m} 0x{:x}", self.target << 2),
+            Jr => write!(f, "{m} {}", self.rs),
+            Jalr => write!(f, "{m} {}, {}", self.rd, self.rs),
+            Syscall | Break => write!(f, "{m}"),
+            Ext => write!(f, "ext {}, {}, {}, conf={}", self.rd, self.rs, self.rt, self.target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn def_reports_correct_register_per_format() {
+        assert_eq!(Instr::rtype(Op::Addu, r(2), r(3), r(4)).def(), Some(r(2)));
+        assert_eq!(Instr::itype(Op::Addiu, r(5), r(3), 7).def(), Some(r(5)));
+        assert_eq!(Instr::itype(Op::Lw, r(6), r(29), 0).def(), Some(r(6)));
+        assert_eq!(Instr::itype(Op::Sw, r(6), r(29), 0).def(), None);
+        assert_eq!(Instr::itype(Op::Beq, r(1), r(2), 4).def(), None);
+        assert_eq!(
+            Instr { op: Op::Jal, ..Instr::NOP }.def(),
+            Some(Reg::RA)
+        );
+    }
+
+    #[test]
+    fn writes_to_zero_register_are_not_defs() {
+        assert_eq!(Instr::rtype(Op::Addu, Reg::ZERO, r(3), r(4)).def(), None);
+        assert_eq!(Instr::NOP.def(), None);
+    }
+
+    #[test]
+    fn uses_deduplicate_and_skip_zero() {
+        let i = Instr::rtype(Op::Addu, r(2), r(3), r(3));
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![r(3)]);
+        let i = Instr::rtype(Op::Addu, r(2), Reg::ZERO, r(4));
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![r(4)]);
+        assert_eq!(Instr::NOP.uses().count(), 0);
+    }
+
+    #[test]
+    fn constant_shift_reads_only_rt() {
+        let i = Instr::shift(Op::Sll, r(2), r(3), 4);
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![r(3)]);
+        assert_eq!(i.imm, 4);
+    }
+
+    #[test]
+    fn at_most_two_register_uses() {
+        // The paper's 2-input PFU port constraint relies on this ISA property.
+        let worst = Instr::rtype(Op::Addu, r(1), r(2), r(3));
+        assert!(worst.uses().count() <= 2);
+    }
+
+    #[test]
+    fn branch_and_jump_targets() {
+        let b = Instr::itype(Op::Beq, r(1), r(2), -2);
+        assert_eq!(b.branch_target(0x100), 0x100 + 4 - 8);
+        let j = Instr { op: Op::J, target: 0x40, ..Instr::NOP };
+        assert_eq!(j.jump_target(0x1000_0000), 0x1000_0100);
+    }
+
+    #[test]
+    fn ext_roundtrips_conf() {
+        let e = Instr::ext(0x2a, r(2), r(3), r(4));
+        assert_eq!(e.conf(), 0x2a);
+        assert_eq!(e.def(), Some(r(2)));
+        assert_eq!(e.uses().collect::<Vec<_>>(), vec![r(3), r(4)]);
+    }
+
+    #[test]
+    fn display_formats_readably() {
+        assert_eq!(
+            Instr::rtype(Op::Addu, r(2), r(3), r(4)).to_string(),
+            "addu $v0, $v1, $a0"
+        );
+        assert_eq!(
+            Instr::itype(Op::Lw, r(8), r(29), 16).to_string(),
+            "lw $t0, 16($sp)"
+        );
+    }
+}

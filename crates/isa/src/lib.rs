@@ -1,0 +1,33 @@
+//! # t1000-isa — the T1000 instruction-set architecture
+//!
+//! A MIPS-I/PISA-style 32-bit integer RISC ISA extended with a single new
+//! primary opcode, `ext`, whose 11-bit `Conf` field selects a programmable
+//! functional unit (PFU) configuration. This is the ISA of the T1000
+//! architecture from Zhou & Martonosi, *Augmenting Modern Superscalar
+//! Architectures with Configurable Extended Instructions* (IPPS 2000).
+//!
+//! The crate provides:
+//! * [`reg::Reg`] — architectural registers and ABI names;
+//! * [`op::Op`] — operations and their static properties (class, latency,
+//!   PFU-candidacy);
+//! * [`instr::Instr`] — decoded instructions with def/use accessors;
+//! * [`encode`] — 32-bit binary encoding and decoding;
+//! * [`ext`] — the [`ext::FusionMap`] describing which code sites execute
+//!   as extended instructions on which PFU configuration;
+//! * [`program::Program`] — an executable image (text/data/symbols).
+
+pub mod encode;
+pub mod ext;
+pub mod instr;
+pub mod object;
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use encode::{decode, encode, DecodeError};
+pub use ext::{ConfDef, ConfId, FusedSite, FusionMap};
+pub use instr::Instr;
+pub use object::{read_object, write_object, ObjError};
+pub use op::{Op, OpClass};
+pub use program::Program;
+pub use reg::Reg;

@@ -1,0 +1,222 @@
+//! A simple text object format (`.tobj`) for assembled programs.
+//!
+//! The toolchain's interchange format: the `t1000 asm` CLI writes it, the
+//! other subcommands read it, and it is diff-friendly for tests. Layout:
+//!
+//! ```text
+//! T1000OBJ v1
+//! entry 0x400000
+//! text 0x400000
+//!   3c011001 34210000 ...
+//! data 0x10000000
+//!   00 01 02 ...
+//! sym main 0x400000
+//! ```
+
+use crate::program::Program;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Error from parsing a text object file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjError {
+    /// 1-based line number.
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "object line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// Serialises a program to the text object format.
+pub fn write_object(p: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "T1000OBJ v1").unwrap();
+    writeln!(out, "entry 0x{:x}", p.entry).unwrap();
+    writeln!(out, "text 0x{:x}", p.text_base).unwrap();
+    for chunk in p.text.chunks(8) {
+        out.push(' ');
+        for w in chunk {
+            write!(out, " {w:08x}").unwrap();
+        }
+        out.push('\n');
+    }
+    writeln!(out, "data 0x{:x}", p.data_base).unwrap();
+    for chunk in p.data.chunks(16) {
+        out.push(' ');
+        for b in chunk {
+            write!(out, " {b:02x}").unwrap();
+        }
+        out.push('\n');
+    }
+    for (name, addr) in &p.symbols {
+        writeln!(out, "sym {name} 0x{addr:x}").unwrap();
+    }
+    out
+}
+
+fn parse_hex(tok: &str, line: usize) -> Result<u32, ObjError> {
+    let t = tok.strip_prefix("0x").unwrap_or(tok);
+    u32::from_str_radix(t, 16)
+        .map_err(|_| ObjError { line, msg: format!("bad hex value `{tok}`") })
+}
+
+/// Parses the text object format back into a [`Program`].
+pub fn read_object(src: &str) -> Result<Program, ObjError> {
+    let mut lines = src.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (ln, magic) = lines
+        .next()
+        .ok_or(ObjError { line: 1, msg: "empty object".into() })?;
+    if magic != "T1000OBJ v1" {
+        return Err(ObjError { line: ln, msg: format!("bad magic `{magic}`") });
+    }
+
+    let mut entry = None;
+    let mut text_base = None;
+    let mut data_base = None;
+    let mut text: Vec<u32> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut symbols = BTreeMap::new();
+
+    #[derive(PartialEq)]
+    enum Mode {
+        None,
+        Text,
+        Data,
+    }
+    let mut mode = Mode::None;
+
+    for (ln, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap();
+        match head {
+            "entry" => {
+                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing entry".into() })?;
+                entry = Some(parse_hex(v, ln)?);
+                mode = Mode::None;
+            }
+            "text" => {
+                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing base".into() })?;
+                text_base = Some(parse_hex(v, ln)?);
+                mode = Mode::Text;
+            }
+            "data" => {
+                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing base".into() })?;
+                data_base = Some(parse_hex(v, ln)?);
+                mode = Mode::Data;
+            }
+            "sym" => {
+                let name = toks.next().ok_or(ObjError { line: ln, msg: "missing name".into() })?;
+                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing addr".into() })?;
+                symbols.insert(name.to_string(), parse_hex(v, ln)?);
+                mode = Mode::None;
+            }
+            tok => {
+                // A continuation line of hex payload.
+                let all = std::iter::once(tok).chain(toks);
+                match mode {
+                    Mode::Text => {
+                        for t in all {
+                            text.push(parse_hex(t, ln)?);
+                        }
+                    }
+                    Mode::Data => {
+                        for t in all {
+                            let v = parse_hex(t, ln)?;
+                            if v > 0xff {
+                                return Err(ObjError { line: ln, msg: format!("data byte `{t}` out of range") });
+                            }
+                            data.push(v as u8);
+                        }
+                    }
+                    Mode::None => {
+                        return Err(ObjError { line: ln, msg: format!("unexpected token `{tok}`") })
+                    }
+                }
+            }
+        }
+    }
+
+    let text_base = text_base.ok_or(ObjError { line: 0, msg: "missing text section".into() })?;
+    Ok(Program {
+        text_base,
+        text,
+        data_base: data_base.unwrap_or(crate::program::DATA_BASE),
+        data,
+        entry: entry.unwrap_or(text_base),
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut p = Program::from_words(vec![
+            crate::encode(&Instr::itype(Op::Addiu, Reg::V0, Reg::ZERO, 10)),
+            crate::encode(&Instr { op: Op::Syscall, ..Instr::NOP }),
+        ]);
+        p.data = (0..40u8).collect();
+        p.symbols.insert("main".into(), p.text_base);
+        p.symbols.insert("buf".into(), p.data_base + 8);
+        p.entry = p.text_base;
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let p = sample();
+        let text = write_object(&p);
+        let q = read_object(&text).unwrap();
+        assert_eq!(p.text, q.text);
+        assert_eq!(p.text_base, q.text_base);
+        assert_eq!(p.data, q.data);
+        assert_eq!(p.data_base, q.data_base);
+        assert_eq!(p.entry, q.entry);
+        assert_eq!(p.symbols, q.symbols);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let e = read_object("NOPE v1\n").unwrap_err();
+        assert!(e.msg.contains("bad magic"));
+    }
+
+    #[test]
+    fn bad_payload_reports_line() {
+        let src = "T1000OBJ v1\ntext 0x400000\n  zzzz\n";
+        let e = read_object(src).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn oversized_data_byte_is_rejected() {
+        let src = "T1000OBJ v1\ntext 0x400000\ndata 0x10000000\n  1ff\n";
+        assert!(read_object(src).is_err());
+    }
+
+    #[test]
+    fn missing_text_section_is_rejected() {
+        assert!(read_object("T1000OBJ v1\nentry 0x400000\n").is_err());
+    }
+
+    #[test]
+    fn empty_sections_round_trip() {
+        let p = Program::from_words(vec![]);
+        let q = read_object(&write_object(&p)).unwrap();
+        assert!(q.text.is_empty());
+        assert!(q.data.is_empty());
+    }
+}

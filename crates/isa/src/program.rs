@@ -1,0 +1,136 @@
+//! Loaded-program image: text and data segments, entry point, symbols.
+
+use crate::encode::{decode, DecodeError};
+use crate::instr::Instr;
+use std::collections::BTreeMap;
+
+/// Default base address of the text segment (matches SimpleScalar PISA).
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Default base address of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+/// Default initial stack pointer (grows downward).
+pub const STACK_TOP: u32 = 0x7fff_c000;
+
+/// An executable program image produced by the assembler.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Base byte address of the text segment.
+    pub text_base: u32,
+    /// Encoded instruction words.
+    pub text: Vec<u32>,
+    /// Base byte address of the initialised data segment.
+    pub data_base: u32,
+    /// Initialised data bytes.
+    pub data: Vec<u8>,
+    /// Entry-point byte address.
+    pub entry: u32,
+    /// Label → byte address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Builds a program from raw instruction words at the default bases.
+    pub fn from_words(text: Vec<u32>) -> Program {
+        Program {
+            text_base: TEXT_BASE,
+            text,
+            data_base: DATA_BASE,
+            data: Vec::new(),
+            entry: TEXT_BASE,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when the text segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Byte address one past the last instruction.
+    pub fn text_end(&self) -> u32 {
+        self.text_base + 4 * self.text.len() as u32
+    }
+
+    /// Whether `pc` falls inside the text segment (4-byte aligned).
+    pub fn contains_pc(&self, pc: u32) -> bool {
+        pc % 4 == 0 && pc >= self.text_base && pc < self.text_end()
+    }
+
+    /// The encoded word at byte address `pc`.
+    ///
+    /// # Panics
+    /// Panics if `pc` is outside the text segment.
+    pub fn word_at(&self, pc: u32) -> u32 {
+        assert!(self.contains_pc(pc), "PC 0x{pc:x} outside text segment");
+        self.text[((pc - self.text_base) / 4) as usize]
+    }
+
+    /// Decodes the instruction at byte address `pc`.
+    pub fn instr_at(&self, pc: u32) -> Result<Instr, DecodeError> {
+        decode(self.word_at(pc))
+    }
+
+    /// Decodes the whole text segment as `(pc, instr)` pairs.
+    pub fn decode_all(&self) -> Result<Vec<(u32, Instr)>, DecodeError> {
+        self.text
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Ok((self.text_base + 4 * i as u32, decode(w)?)))
+            .collect()
+    }
+
+    /// Address of a label, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let words = vec![
+            encode(&Instr::itype(Op::Addiu, Reg::V0, Reg::ZERO, 10)),
+            encode(&Instr::rtype(Op::Addu, Reg::A0, Reg::ZERO, Reg::ZERO)),
+            encode(&Instr { op: Op::Syscall, ..Instr::NOP }),
+        ];
+        Program::from_words(words)
+    }
+
+    #[test]
+    fn pc_bounds_are_enforced() {
+        let p = sample();
+        assert!(p.contains_pc(TEXT_BASE));
+        assert!(p.contains_pc(TEXT_BASE + 8));
+        assert!(!p.contains_pc(TEXT_BASE + 12));
+        assert!(!p.contains_pc(TEXT_BASE + 2)); // unaligned
+        assert!(!p.contains_pc(TEXT_BASE - 4));
+    }
+
+    #[test]
+    fn instructions_decode_back() {
+        let p = sample();
+        let i = p.instr_at(TEXT_BASE).unwrap();
+        assert_eq!(i.op, Op::Addiu);
+        assert_eq!(i.imm, 10);
+        let all = p.decode_all().unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].1.op, Op::Syscall);
+        assert_eq!(all[1].0, TEXT_BASE + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside text segment")]
+    fn word_at_out_of_range_panics() {
+        sample().word_at(0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Architectural register file description.
+//!
+//! T1000 uses a MIPS-style integer register file: 32 general-purpose
+//! registers plus the `HI`/`LO` pair written by multiply/divide. Register
+//! `$zero` is hardwired to 0; writes to it are discarded.
+
+use std::fmt;
+
+/// Number of general-purpose architectural registers.
+pub const NUM_GPRS: usize = 32;
+
+/// A general-purpose register identifier (0..32).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `$zero`.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary `$at`.
+    pub const AT: Reg = Reg(1);
+    /// First return-value register `$v0` (also the syscall selector).
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register `$v1`.
+    pub const V1: Reg = Reg(3);
+    /// First argument register `$a0`.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register `$a1`.
+    pub const A1: Reg = Reg(5);
+    /// Global pointer `$gp`.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer `$sp`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer `$fp`.
+    pub const FP: Reg = Reg(30);
+    /// Return-address register `$ra`, written by `jal`/`jalr`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its 5-bit index.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn new(n: u8) -> Reg {
+        assert!(n < NUM_GPRS as u8, "register index {n} out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from the low 5 bits of an encoded field.
+    #[inline]
+    pub fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register's index (0..32).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for `$zero`, whose writes are discarded.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_GPRS as u8).map(Reg)
+    }
+
+    /// The conventional MIPS ABI name, without the `$` sigil.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parses a register name: `$t0`, `t0`, `$8`, or `8`.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let name = name.strip_prefix('$').unwrap_or(name);
+        if let Ok(n) = name.parse::<u8>() {
+            return (n < 32).then_some(Reg(n));
+        }
+        Reg::all().find(|r| r.abi_name() == name)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_round_trip_through_parse() {
+        for r in Reg::all() {
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("${}", r.abi_name())), Some(r));
+            assert_eq!(Reg::parse(&r.index().to_string()), Some(r));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert_eq!(Reg::parse("$t99"), None);
+        assert_eq!(Reg::parse("32"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse("$"), None);
+    }
+
+    #[test]
+    fn well_known_registers_have_expected_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::V0.index(), 2);
+        assert_eq!(Reg::A0.index(), 4);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn from_field_masks_to_five_bits() {
+        assert_eq!(Reg::from_field(0xffff_ffe3).index(), 3);
+    }
+}

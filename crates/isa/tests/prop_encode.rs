@@ -1,0 +1,109 @@
+//! Property tests: every well-formed instruction survives the
+//! encode → decode round trip bit-exactly, and decoding never panics on
+//! arbitrary words.
+
+use proptest::prelude::*;
+use t1000_isa::{decode, encode, Instr, Op, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+/// Strategy producing a well-formed instruction for any encodable op.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let ops = Op::all();
+    (0..ops.len(), arb_reg(), arb_reg(), arb_reg(), any::<i32>(), any::<u32>()).prop_map(
+        |(oi, rd, rs, rt, raw_imm, raw_t)| {
+            use Op::*;
+            let op = ops[oi];
+            match op {
+                Sll | Srl | Sra => Instr::shift(op, rd, rt, (raw_imm as u32) % 32),
+                Sllv | Srlv | Srav | Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt
+                | Sltu => Instr::rtype(op, rd, rs, rt),
+                Addi | Addiu | Slti | Sltiu => {
+                    Instr::itype(op, rt, rs, (raw_imm % (1 << 15)) as i32)
+                }
+                Andi | Ori | Xori | Lui => {
+                    Instr::itype(op, rt, rs, (raw_imm as u32 % (1 << 16)) as i32)
+                }
+                Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw => {
+                    Instr::itype(op, rt, rs, (raw_imm % (1 << 15)) as i32)
+                }
+                Beq | Bne => Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs,
+                    rt,
+                    imm: raw_imm % (1 << 15),
+                    target: 0,
+                },
+                Blez | Bgtz | Bltz | Bgez => Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs,
+                    rt: Reg::ZERO,
+                    imm: raw_imm % (1 << 15),
+                    target: 0,
+                },
+                Mult | Multu | Div | Divu => Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs,
+                    rt,
+                    imm: 0,
+                    target: 0,
+                },
+                Mfhi | Mflo => Instr { op, rd, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
+                Mthi | Mtlo | Jr => Instr { op, rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: 0, target: 0 },
+                Jalr => Instr { op, rd, rs, rt: Reg::ZERO, imm: 0, target: 0 },
+                J | Jal => Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: raw_t % (1 << 26),
+                },
+                Syscall | Break => Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
+                Ext => Instr::ext((raw_t % (1 << 11)) as u16, rd, rs, rt),
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(i in arb_instr()) {
+        let word = encode(&i);
+        let d = decode(word).expect("well-formed instruction must decode");
+        prop_assert_eq!(d, i);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word); // Ok or Err, but never a panic.
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_valid_words(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            // Some fields are don't-cares in the encoding (e.g. rs of a
+            // constant shift); re-encoding must still produce a word that
+            // decodes to the same instruction.
+            let w2 = encode(&i);
+            prop_assert_eq!(decode(w2).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn uses_never_exceed_two_registers(i in arb_instr()) {
+        prop_assert!(i.uses().count() <= 2);
+    }
+
+    #[test]
+    fn def_is_never_the_zero_register(i in arb_instr()) {
+        if let Some(d) = i.def() {
+            prop_assert!(!d.is_zero());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Property test: the text object format round-trips arbitrary programs.
+
+use proptest::prelude::*;
+use t1000_isa::{read_object, write_object, Program};
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(any::<u32>(), 0..200),
+        prop::collection::vec(any::<u8>(), 0..300),
+        prop::collection::btree_map("[a-z_][a-z0-9_]{0,12}", any::<u32>(), 0..10),
+        0u32..64,
+    )
+        .prop_map(|(text, data, symbols, entry_off)| {
+            let base = 0x0040_0000u32;
+            let entry = base + 4 * (entry_off % (text.len().max(1) as u32));
+            Program {
+                text_base: base,
+                text,
+                data_base: 0x1000_0000,
+                data,
+                entry,
+                symbols,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn object_format_round_trips(p in arb_program()) {
+        let text = write_object(&p);
+        let q = read_object(&text).expect("writer output must parse");
+        prop_assert_eq!(p.text, q.text);
+        prop_assert_eq!(p.data, q.data);
+        prop_assert_eq!(p.text_base, q.text_base);
+        prop_assert_eq!(p.data_base, q.data_base);
+        prop_assert_eq!(p.entry, q.entry);
+        prop_assert_eq!(p.symbols, q.symbols);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(noise in "[ -~\n]{0,400}") {
+        let _ = read_object(&noise);
+        let _ = read_object(&format!("T1000OBJ v1\n{noise}"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # t1000-mem — memory system substrate
+//!
+//! The data and timing models of the simulated machine's memory system:
+//!
+//! * [`memory::Memory`] — sparse little-endian backing store holding the
+//!   actual bytes;
+//! * [`cache::Cache`] — tag-only set-associative cache with LRU/FIFO/random
+//!   replacement and write-back dirty tracking;
+//! * [`tlb::Tlb`] — fully-associative LRU TLB;
+//! * [`hierarchy::MemHierarchy`] — split L1 I/D + unified L2 + I/D TLBs
+//!   composed with the latencies of the paper's evaluation machine.
+//!
+//! Data and timing are deliberately separated (as in SimpleScalar): the
+//! functional core reads and writes [`memory::Memory`], while the
+//! out-of-order timing model asks [`hierarchy::MemHierarchy`] how many
+//! cycles each access costs.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod memory;
+pub mod tlb;
+
+pub use cache::{AccessResult, Cache, CacheConfig, CacheStats, Replacement};
+pub use hierarchy::{MemConfig, MemHierarchy, MemStats};
+pub use memory::Memory;
+pub use tlb::{Tlb, TlbStats};

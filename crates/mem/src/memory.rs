@@ -1,0 +1,131 @@
+//! Sparse byte-addressable physical memory.
+//!
+//! The simulated machine has a 4 GiB little-endian address space backed by
+//! 4 KiB pages allocated on first touch, so even workloads with widely
+//! separated text/data/stack segments stay cheap to host.
+
+use std::collections::HashMap;
+use t1000_isa::Program;
+
+/// Size of one backing page in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Sparse little-endian memory.
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Creates a memory pre-loaded with a program's text and data segments.
+    pub fn with_program(p: &Program) -> Memory {
+        let mut m = Memory::new();
+        for (i, &w) in p.text.iter().enumerate() {
+            m.write_u32(p.text_base + 4 * i as u32, w);
+        }
+        for (i, &b) in p.data.iter().enumerate() {
+            m.write_u8(p.data_base + i as u32, b);
+        }
+        m
+    }
+
+    fn page(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte (unallocated memory reads as zero).
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.page(addr)[(addr % PAGE_SIZE) as usize] = v;
+    }
+
+    /// Reads a little-endian halfword (no alignment requirement here;
+    /// alignment faults are the CPU's concern).
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        let [a, b] = v.to_le_bytes();
+        self.write_u8(addr, a);
+        self.write_u8(addr.wrapping_add(1), b);
+    }
+
+    /// Reads a little-endian word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        for (i, b) in v.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Number of pages currently allocated (for footprint assertions).
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unallocated_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u32(0x1234_5678), 0);
+        assert_eq!(m.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn word_round_trip_is_little_endian() {
+        let mut m = Memory::new();
+        m.write_u32(0x1000, 0xdead_beef);
+        assert_eq!(m.read_u32(0x1000), 0xdead_beef);
+        assert_eq!(m.read_u8(0x1000), 0xef);
+        assert_eq!(m.read_u8(0x1003), 0xde);
+        assert_eq!(m.read_u16(0x1002), 0xdead);
+    }
+
+    #[test]
+    fn accesses_spanning_page_boundaries_work() {
+        let mut m = Memory::new();
+        m.write_u32(PAGE_SIZE - 2, 0x0102_0304);
+        assert_eq!(m.read_u32(PAGE_SIZE - 2), 0x0102_0304);
+        assert_eq!(m.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn program_image_is_loaded() {
+        use t1000_isa::program::{DATA_BASE, TEXT_BASE};
+        let mut p = Program::from_words(vec![0x1234_5678, 0x9abc_def0]);
+        p.data = vec![1, 2, 3];
+        let m = Memory::with_program(&p);
+        assert_eq!(m.read_u32(TEXT_BASE), 0x1234_5678);
+        assert_eq!(m.read_u32(TEXT_BASE + 4), 0x9abc_def0);
+        assert_eq!(m.read_u8(DATA_BASE + 2), 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! Control-flow graph construction over a program's text segment.
+//!
+//! Blocks are maximal straight-line runs: leaders are the entry point,
+//! every branch/jump target, and every instruction following a
+//! block-ending op. Indirect jumps (`jr`/`jalr`) have statically unknown
+//! successors; the graph marks such blocks [`BasicBlock::has_unknown_succ`]
+//! so downstream analyses (liveness) can be conservative.
+
+use std::collections::{BTreeMap, BTreeSet};
+use t1000_isa::{DecodeError, Instr, Op, Program};
+
+/// Index of a basic block within its [`Cfg`].
+pub type BlockId = usize;
+
+/// One basic block.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// Byte address of the first instruction.
+    pub start: u32,
+    /// Byte address one past the last instruction.
+    pub end: u32,
+    /// Successor blocks (fall-through and/or branch target).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+    /// True when the block ends in an indirect jump (`jr`/`jalr`) or a
+    /// syscall that may terminate — successors are not statically known.
+    pub has_unknown_succ: bool,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        ((self.end - self.start) / 4) as usize
+    }
+
+    /// True for an empty block (does not occur in well-formed CFGs).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates over the instruction addresses of the block.
+    pub fn pcs(&self) -> impl Iterator<Item = u32> {
+        (self.start..self.end).step_by(4)
+    }
+}
+
+/// A whole-program control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Blocks in ascending address order.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block id.
+    pub entry: BlockId,
+    by_start: BTreeMap<u32, BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Result<Cfg, DecodeError> {
+        let decoded = program.decode_all()?;
+        if decoded.is_empty() {
+            return Ok(Cfg { blocks: Vec::new(), entry: 0, by_start: BTreeMap::new() });
+        }
+
+        // 1. Find leaders.
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(program.entry);
+        leaders.insert(program.text_base);
+        for &(pc, i) in &decoded {
+            if i.op.is_branch() {
+                leaders.insert(i.branch_target(pc));
+                leaders.insert(pc + 4);
+            } else if matches!(i.op, Op::J | Op::Jal) {
+                leaders.insert(i.jump_target(pc));
+                leaders.insert(pc + 4);
+            } else if i.op.ends_block() {
+                leaders.insert(pc + 4);
+            }
+        }
+        leaders.retain(|pc| program.contains_pc(*pc));
+
+        // 2. Carve blocks.
+        let leader_list: Vec<u32> = leaders.iter().copied().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(leader_list.len());
+        let mut by_start = BTreeMap::new();
+        for (bi, &start) in leader_list.iter().enumerate() {
+            let next_leader = leader_list.get(bi + 1).copied().unwrap_or(program.text_end());
+            // A block also ends at its first block-ending instruction.
+            let mut end = next_leader;
+            let mut pc = start;
+            while pc < next_leader {
+                let i = program.instr_at(pc)?;
+                if i.op.ends_block() {
+                    end = pc + 4;
+                    break;
+                }
+                pc += 4;
+            }
+            by_start.insert(start, blocks.len());
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+                has_unknown_succ: false,
+            });
+        }
+
+        // 3. Wire edges.
+        let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for bi in 0..blocks.len() {
+            let last_pc = blocks[bi].end - 4;
+            let i = program.instr_at(last_pc)?;
+            let add = |edges: &mut Vec<_>, target: u32| {
+                if let Some(&t) = by_start.get(&target) {
+                    edges.push((bi, t));
+                }
+            };
+            let fall = blocks[bi].end;
+            match classify(&i) {
+                Flow::FallThrough => add(&mut edges, fall),
+                Flow::Branch => {
+                    add(&mut edges, i.branch_target(last_pc));
+                    add(&mut edges, fall);
+                }
+                Flow::Jump => add(&mut edges, i.jump_target(last_pc)),
+                Flow::Call => {
+                    // A call transfers to the callee and (by convention)
+                    // returns to the fall-through; both edges are kept so
+                    // loops spanning calls are still detected.
+                    add(&mut edges, i.jump_target(last_pc));
+                    add(&mut edges, fall);
+                }
+                Flow::Indirect => {
+                    blocks[bi].has_unknown_succ = true;
+                }
+                Flow::Stop => {
+                    // A syscall either exits (no registers observable
+                    // afterwards — its own uses of $v0/$a0 are modelled as
+                    // ordinary uses) or falls through.
+                    add(&mut edges, fall);
+                }
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+
+        let entry = *by_start
+            .get(&program.entry)
+            .expect("entry must start a block");
+        Ok(Cfg { blocks, entry, by_start })
+    }
+
+    /// The block whose range contains `pc`, if any.
+    pub fn block_containing(&self, pc: u32) -> Option<BlockId> {
+        let (_, &id) = self.by_start.range(..=pc).next_back()?;
+        (pc < self.blocks[id].end).then_some(id)
+    }
+
+    /// The block starting exactly at `pc`.
+    pub fn block_at(&self, pc: u32) -> Option<BlockId> {
+        self.by_start.get(&pc).copied()
+    }
+}
+
+enum Flow {
+    FallThrough,
+    Branch,
+    Jump,
+    Call,
+    Indirect,
+    Stop,
+}
+
+fn classify(i: &Instr) -> Flow {
+    use Op::*;
+    match i.op {
+        Beq | Bne | Blez | Bgtz | Bltz | Bgez => Flow::Branch,
+        J => Flow::Jump,
+        Jal => Flow::Call,
+        Jr | Jalr => Flow::Indirect,
+        Syscall | Break => Flow::Stop,
+        _ => Flow::FallThrough,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_asm::assemble;
+
+    fn cfg_of(src: &str) -> (Program, Cfg) {
+        let p = assemble(src).unwrap();
+        let c = Cfg::build(&p).unwrap();
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, c) = cfg_of("main: addiu $t0, $zero, 1\n addu $t1, $t0, $t0\n li $v0, 10\n syscall\n");
+        // syscall ends the final block; everything before it is one block.
+        assert_eq!(c.blocks.len(), 1);
+        assert_eq!(c.blocks[0].len(), 4);
+    }
+
+    #[test]
+    fn loop_creates_back_edge() {
+        let (p, c) = cfg_of(
+            "main: li $t0, 10\nloop: addiu $t0, $t0, -1\n bgtz $t0, loop\n li $v0, 10\n syscall\n",
+        );
+        let loop_id = c.block_at(p.symbol("loop").unwrap()).unwrap();
+        assert!(
+            c.blocks[loop_id].succs.contains(&loop_id),
+            "self-loop block must list itself as successor"
+        );
+        assert_eq!(c.blocks[loop_id].succs.len(), 2);
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let (p, c) = cfg_of(
+            "
+main:
+    beq $t0, $t1, skip
+    addiu $t2, $zero, 1
+skip:
+    li $v0, 10
+    syscall
+",
+        );
+        assert_eq!(c.blocks.len(), 3);
+        let main = c.block_at(p.entry).unwrap();
+        let skip = c.block_at(p.symbol("skip").unwrap()).unwrap();
+        assert_eq!(c.blocks[main].succs.len(), 2);
+        assert!(c.blocks[main].succs.contains(&skip));
+        assert_eq!(c.blocks[skip].preds.len(), 2);
+    }
+
+    #[test]
+    fn indirect_jump_marks_unknown_successors() {
+        let (_, c) = cfg_of("main: jr $ra\n");
+        assert!(c.blocks[0].has_unknown_succ);
+        assert!(c.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn call_has_two_successors() {
+        let (p, c) = cfg_of(
+            "
+main:
+    jal f
+    li $v0, 10
+    syscall
+f:
+    jr $ra
+",
+        );
+        let main = c.block_at(p.entry).unwrap();
+        let f = c.block_at(p.symbol("f").unwrap()).unwrap();
+        assert!(c.blocks[main].succs.contains(&f));
+        assert_eq!(c.blocks[main].succs.len(), 2);
+    }
+
+    #[test]
+    fn block_containing_maps_interior_pcs() {
+        let (p, c) = cfg_of("main: addiu $t0, $zero, 1\n addu $t1, $t0, $t0\n li $v0, 10\n syscall\n");
+        let b = c.block_containing(p.text_base + 4).unwrap();
+        assert_eq!(c.blocks[b].start, p.text_base);
+        assert!(c.block_containing(p.text_end()).is_none());
+    }
+}

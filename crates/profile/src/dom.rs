@@ -1,0 +1,206 @@
+//! Dominator analysis and natural-loop detection.
+//!
+//! The selective algorithm works "loop bodies one at a time" (paper Fig. 5),
+//! so we need the program's loops. Natural loops are found from back edges
+//! `t → h` where `h` dominates `t`; the loop body is every block that can
+//! reach `t` without passing through `h`.
+
+use crate::cfg::{BlockId, Cfg};
+use std::collections::BTreeSet;
+
+/// Dominator sets, one per block.
+pub struct Dominators {
+    /// `doms[b]` = set of blocks dominating `b` (including `b`).
+    doms: Vec<BTreeSet<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators with the classic iterative dataflow algorithm.
+    /// Blocks unreachable from the entry dominate-set to ∅.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks.len();
+        if n == 0 {
+            return Dominators { doms: Vec::new() };
+        }
+        let all: BTreeSet<BlockId> = (0..n).collect();
+        let mut doms = vec![all.clone(); n];
+        doms[cfg.entry] = BTreeSet::from([cfg.entry]);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if b == cfg.entry {
+                    continue;
+                }
+                let mut new: Option<BTreeSet<BlockId>> = None;
+                for &p in &cfg.blocks[b].preds {
+                    // Skip preds still at the initial ⊤ value that are
+                    // unreachable; they resolve as iteration proceeds.
+                    let pd = &doms[p];
+                    new = Some(match new {
+                        None => pd.clone(),
+                        Some(acc) => acc.intersection(pd).copied().collect(),
+                    });
+                }
+                let mut new = new.unwrap_or_default();
+                new.insert(b);
+                if new != doms[b] {
+                    doms[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { doms }
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.doms.get(b).is_some_and(|s| s.contains(&a))
+    }
+}
+
+/// One natural loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub blocks: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `other` is strictly nested inside this loop.
+    pub fn contains(&self, other: &NaturalLoop) -> bool {
+        self.blocks.len() > other.blocks.len() && other.blocks.is_subset(&self.blocks)
+    }
+}
+
+/// Finds all natural loops. Loops sharing a header are merged (standard
+/// practice for multi-latch loops). Results are sorted innermost-first
+/// (by body size ascending).
+pub fn natural_loops(cfg: &Cfg, doms: &Dominators) -> Vec<NaturalLoop> {
+    use std::collections::BTreeMap;
+    let mut by_header: BTreeMap<BlockId, BTreeSet<BlockId>> = BTreeMap::new();
+
+    for (t, block) in cfg.blocks.iter().enumerate() {
+        for &h in &block.succs {
+            if !doms.dominates(h, t) {
+                continue;
+            }
+            // Back edge t → h: collect body by reverse reachability from t,
+            // stopping at h.
+            let body = by_header.entry(h).or_insert_with(|| BTreeSet::from([h]));
+            let mut stack = vec![t];
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    stack.extend(cfg.blocks[b].preds.iter().copied().filter(|p| !body.contains(p)));
+                }
+            }
+        }
+    }
+
+    let mut loops: Vec<NaturalLoop> = by_header
+        .into_iter()
+        .map(|(header, blocks)| NaturalLoop { header, blocks })
+        .collect();
+    loops.sort_by_key(|l| l.blocks.len());
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_asm::assemble;
+
+    fn analyse(src: &str) -> (t1000_isa::Program, Cfg, Vec<NaturalLoop>) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p).unwrap();
+        let doms = Dominators::compute(&cfg);
+        let loops = natural_loops(&cfg, &doms);
+        (p, cfg, loops)
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let (_, cfg, _) = analyse(
+            "main: beq $t0, $t1, a\n addiu $t0, $t0, 1\na: li $v0, 10\n syscall\n",
+        );
+        let doms = Dominators::compute(&cfg);
+        for b in 0..cfg.blocks.len() {
+            assert!(doms.dominates(cfg.entry, b), "entry must dominate block {b}");
+            assert!(doms.dominates(b, b), "every block dominates itself");
+        }
+    }
+
+    #[test]
+    fn single_loop_is_detected() {
+        let (p, cfg, loops) = analyse(
+            "main: li $t0, 10\nloop: addiu $t0, $t0, -1\n bgtz $t0, loop\n li $v0, 10\n syscall\n",
+        );
+        assert_eq!(loops.len(), 1);
+        let header = cfg.block_at(p.symbol("loop").unwrap()).unwrap();
+        assert_eq!(loops[0].header, header);
+        assert_eq!(loops[0].blocks, BTreeSet::from([header]));
+    }
+
+    #[test]
+    fn nested_loops_sorted_innermost_first() {
+        let (p, cfg, loops) = analyse(
+            "
+main:
+    li $t0, 10
+outer:
+    li $t1, 10
+inner:
+    addiu $t1, $t1, -1
+    bgtz $t1, inner
+    addiu $t0, $t0, -1
+    bgtz $t0, outer
+    li $v0, 10
+    syscall
+",
+        );
+        assert_eq!(loops.len(), 2);
+        let inner_h = cfg.block_at(p.symbol("inner").unwrap()).unwrap();
+        let outer_h = cfg.block_at(p.symbol("outer").unwrap()).unwrap();
+        assert_eq!(loops[0].header, inner_h);
+        assert_eq!(loops[1].header, outer_h);
+        assert!(loops[1].contains(&loops[0]));
+        assert!(loops[1].blocks.contains(&inner_h));
+    }
+
+    #[test]
+    fn multi_block_loop_body_is_complete() {
+        let (p, cfg, loops) = analyse(
+            "
+main:
+    li $t0, 10
+loop:
+    andi $t1, $t0, 1
+    beq $t1, $zero, even
+    addiu $t0, $t0, -3
+    j check
+even:
+    addiu $t0, $t0, -1
+check:
+    bgtz $t0, loop
+    li $v0, 10
+    syscall
+",
+        );
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        for label in ["loop", "even", "check"] {
+            let b = cfg.block_at(p.symbol(label).unwrap()).unwrap();
+            assert!(l.blocks.contains(&b), "{label} must be in the loop body");
+        }
+    }
+
+    #[test]
+    fn acyclic_code_has_no_loops() {
+        let (_, _, loops) =
+            analyse("main: beq $t0, $t1, a\n addiu $t0, $t0, 1\na: li $v0, 10\n syscall\n");
+        assert!(loops.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! # t1000-profile — program analysis and dynamic profiling
+//!
+//! The compiler-side analyses feeding the extended-instruction selectors:
+//!
+//! * [`cfg::Cfg`] — basic blocks and control-flow edges;
+//! * [`dom`] — dominators and natural-loop detection (the selective
+//!   algorithm processes "loop bodies one at a time", paper Fig. 5);
+//! * [`liveness::Liveness`] — global register liveness, enforcing the
+//!   single-live-out constraint on fused sequences;
+//! * [`profile::ExecProfile`] — the `sim_profile` equivalent: per-
+//!   instruction execution counts and operand bitwidth profiles.
+
+pub mod cfg;
+pub mod dom;
+pub mod liveness;
+pub mod profile;
+pub mod report;
+
+pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use dom::{natural_loops, Dominators, NaturalLoop};
+pub use liveness::{bit, Liveness, RegSet, ALL_REGS};
+pub use profile::{signed_width, ExecProfile};
+pub use report::{hottest_blocks, instruction_mix, loop_profiles, HotBlock, InstrMix, LoopProfile};

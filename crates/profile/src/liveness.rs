@@ -1,0 +1,200 @@
+//! Global register liveness.
+//!
+//! Used by the sequence extractor to enforce the paper's "one output"
+//! constraint: every intermediate result of a fused sequence must be *dead*
+//! after the sequence, otherwise collapsing it into one PFU write would
+//! lose an architecturally visible value.
+//!
+//! Registers are represented as a 32-bit mask. The analysis is a standard
+//! backward dataflow fixpoint over the CFG; blocks with statically unknown
+//! successors (indirect jumps, syscalls) conservatively treat every
+//! register as live-out.
+
+use crate::cfg::{BlockId, Cfg};
+use t1000_isa::{Program, Reg};
+
+/// A set of architectural registers as a bitmask.
+pub type RegSet = u32;
+
+/// Mask with every register live.
+pub const ALL_REGS: RegSet = u32::MAX;
+
+/// Bit for one register.
+pub fn bit(r: Reg) -> RegSet {
+    1u32 << r.index()
+}
+
+/// Whole-program liveness results.
+pub struct Liveness {
+    /// Live-in set per block.
+    pub live_in: Vec<RegSet>,
+    /// Live-out set per block.
+    pub live_out: Vec<RegSet>,
+    /// For every instruction (indexed by `(pc - text_base)/4`): the set of
+    /// registers live immediately *after* that instruction executes.
+    live_after: Vec<RegSet>,
+    text_base: u32,
+}
+
+impl Liveness {
+    /// Runs the analysis.
+    pub fn compute(program: &Program, cfg: &Cfg) -> Liveness {
+        let n = cfg.blocks.len();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![0 as RegSet; n];
+        let mut kill = vec![0 as RegSet; n];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for pc in block.pcs() {
+                let i = program.instr_at(pc).expect("CFG built over valid text");
+                for u in i.uses() {
+                    if kill[b] & bit(u) == 0 {
+                        gen[b] |= bit(u);
+                    }
+                }
+                if let Some(d) = i.def() {
+                    kill[b] |= bit(d);
+                }
+            }
+        }
+
+        let mut live_in = vec![0 as RegSet; n];
+        let mut live_out = vec![0 as RegSet; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let block = &cfg.blocks[b];
+                // Indirect jumps (jr/jalr) have unknown continuations:
+                // assume everything live. Blocks with no successors end the
+                // program: nothing is architecturally observable after.
+                let mut out: RegSet = if block.has_unknown_succ { ALL_REGS } else { 0 };
+                for &s in &block.succs {
+                    out |= live_in[s];
+                }
+                let inn = gen[b] | (out & !kill[b]);
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        // Per-instruction live-after by one backward pass per block.
+        let mut live_after = vec![ALL_REGS; program.len()];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut live = live_out[b];
+            for pc in block.pcs().collect::<Vec<_>>().into_iter().rev() {
+                let idx = ((pc - program.text_base) / 4) as usize;
+                live_after[idx] = live;
+                let i = program.instr_at(pc).unwrap();
+                if let Some(d) = i.def() {
+                    live &= !bit(d);
+                }
+                for u in i.uses() {
+                    live |= bit(u);
+                }
+            }
+        }
+
+        Liveness { live_in, live_out, live_after, text_base: program.text_base }
+    }
+
+    /// Registers live immediately after the instruction at `pc`.
+    pub fn live_after_pc(&self, pc: u32) -> RegSet {
+        self.live_after[((pc - self.text_base) / 4) as usize]
+    }
+
+    /// Whether `r` is live immediately after the instruction at `pc`.
+    pub fn is_live_after(&self, pc: u32, r: Reg) -> bool {
+        self.live_after_pc(pc) & bit(r) != 0
+    }
+
+    /// Live-in set of `block`.
+    pub fn block_live_in(&self, block: BlockId) -> RegSet {
+        self.live_in[block]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_asm::assemble;
+
+    fn analyse(src: &str) -> (t1000_isa::Program, Cfg, Liveness) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p).unwrap();
+        let l = Liveness::compute(&p, &cfg);
+        (p, cfg, l)
+    }
+
+    fn r(name: &str) -> Reg {
+        Reg::parse(name).unwrap()
+    }
+
+    #[test]
+    fn dead_intermediate_is_not_live() {
+        let (p, _, l) = analyse(
+            "
+main:
+    addiu $t0, $zero, 1
+    sll   $t1, $t0, 2     # t1 is consumed by the next op only
+    addu  $t2, $t1, $t0
+    move  $a0, $t2
+    li    $v0, 10
+    syscall
+",
+        );
+        let sll_pc = p.text_base + 4;
+        // After the addu consumes it, t1 is dead.
+        assert!(l.is_live_after(sll_pc, r("t1")), "live until its use");
+        assert!(!l.is_live_after(sll_pc + 4, r("t1")), "dead after its last use");
+        assert!(l.is_live_after(sll_pc + 4, r("t2")));
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        let (p, cfg, l) = analyse(
+            "
+main:
+    li $t0, 10
+    li $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    move $a0, $t1
+    li $v0, 10
+    syscall
+",
+        );
+        let loop_b = cfg.block_at(p.symbol("loop").unwrap()).unwrap();
+        // Both accumulator and counter are live around the back edge.
+        assert!(l.live_in[loop_b] & bit(r("t0")) != 0);
+        assert!(l.live_in[loop_b] & bit(r("t1")) != 0);
+        assert!(l.live_out[loop_b] & bit(r("t1")) != 0);
+    }
+
+    #[test]
+    fn unknown_successors_are_fully_live() {
+        let (_, cfg, l) = analyse("main: jr $ra\n");
+        assert_eq!(l.live_out[cfg.entry], ALL_REGS);
+    }
+
+    #[test]
+    fn kill_shadows_downstream_uses() {
+        let (p, _, l) = analyse(
+            "
+main:
+    addiu $t0, $zero, 1   # this value of t0 dies at the redefinition below
+    addiu $t0, $zero, 2
+    move  $a0, $t0
+    li    $v0, 10
+    syscall
+",
+        );
+        // After the first def, the *redefinition* makes t0 not live.
+        assert!(!l.is_live_after(p.text_base, r("t0")));
+        assert!(l.is_live_after(p.text_base + 4, r("t0")));
+    }
+}

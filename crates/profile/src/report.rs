@@ -1,0 +1,260 @@
+//! Human-readable profiling reports — the `sim_profile` front-end.
+//!
+//! Summarises where a program spends its dynamic instructions: hottest
+//! basic blocks, loop structure with trip counts, and per-opcode-class
+//! mixes. Used by the `inspect_fusion` example and handy when writing new
+//! workloads.
+
+use crate::cfg::Cfg;
+use crate::dom::{natural_loops, Dominators, NaturalLoop};
+use crate::profile::ExecProfile;
+use std::fmt::Write as _;
+use t1000_isa::{OpClass, Program};
+
+/// One block's share of dynamic execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotBlock {
+    /// Block id within the CFG.
+    pub block: usize,
+    /// Address range `[start, end)`.
+    pub start: u32,
+    pub end: u32,
+    /// Dynamic instructions executed inside the block.
+    pub dyn_instrs: u64,
+    /// Fraction of the program's total dynamic instructions.
+    pub share: f64,
+}
+
+/// A loop with its dynamic behaviour.
+#[derive(Clone, Debug)]
+pub struct LoopProfile {
+    /// Address of the header block.
+    pub header_pc: u32,
+    /// Number of blocks in the body.
+    pub body_blocks: usize,
+    /// Total header executions (≈ iterations).
+    pub iterations: u64,
+    /// Times the loop was entered from outside.
+    pub entries: u64,
+    /// Dynamic instructions spent inside the loop body.
+    pub dyn_instrs: u64,
+}
+
+/// Dynamic instruction mix by operation class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    pub alu: u64,
+    pub mult: u64,
+    pub load: u64,
+    pub store: u64,
+    pub ctrl: u64,
+    pub sys: u64,
+}
+
+impl InstrMix {
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.alu + self.mult + self.load + self.store + self.ctrl + self.sys
+    }
+}
+
+/// The `n` hottest blocks by dynamic instruction count, descending.
+pub fn hottest_blocks(
+    program: &Program,
+    cfg: &Cfg,
+    profile: &ExecProfile,
+    n: usize,
+) -> Vec<HotBlock> {
+    let total = profile.total.max(1);
+    let mut blocks: Vec<HotBlock> = cfg
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(id, b)| {
+            let dyn_instrs: u64 = b.pcs().map(|pc| profile.count(pc)).sum();
+            HotBlock {
+                block: id,
+                start: b.start,
+                end: b.end,
+                dyn_instrs,
+                share: dyn_instrs as f64 / total as f64,
+            }
+        })
+        .collect();
+    blocks.sort_by_key(|b| std::cmp::Reverse(b.dyn_instrs));
+    blocks.truncate(n);
+    let _ = program;
+    blocks
+}
+
+/// Dynamic behaviour of every natural loop, outermost loops last
+/// (matching [`natural_loops`] order: innermost first).
+pub fn loop_profiles(program: &Program, cfg: &Cfg, profile: &ExecProfile) -> Vec<LoopProfile> {
+    let doms = Dominators::compute(cfg);
+    let loops = natural_loops(cfg, &doms);
+    loops
+        .iter()
+        .map(|l| loop_profile(program, cfg, profile, l))
+        .collect()
+}
+
+fn loop_profile(
+    _program: &Program,
+    cfg: &Cfg,
+    profile: &ExecProfile,
+    l: &NaturalLoop,
+) -> LoopProfile {
+    let header = &cfg.blocks[l.header];
+    let iterations = profile.count(header.start);
+    // Entries are approximated by the execution counts of predecessor
+    // blocks *outside* the loop (the preheaders). This over-counts when a
+    // preheader branches around the loop, which is rare in practice.
+    let entries: u64 = header
+        .preds
+        .iter()
+        .filter(|p| !l.blocks.contains(p))
+        .map(|&p| profile.count(cfg.blocks[p].start))
+        .sum();
+    let dyn_instrs = l
+        .blocks
+        .iter()
+        .flat_map(|&b| cfg.blocks[b].pcs())
+        .map(|pc| profile.count(pc))
+        .sum();
+    LoopProfile {
+        header_pc: header.start,
+        body_blocks: l.blocks.len(),
+        iterations,
+        entries: entries.max(u64::from(iterations > 0)),
+        dyn_instrs,
+    }
+}
+
+/// Dynamic instruction mix by class.
+pub fn instruction_mix(program: &Program, profile: &ExecProfile) -> InstrMix {
+    let mut mix = InstrMix::default();
+    for (pc, i) in program.decode_all().expect("valid text") {
+        let n = profile.count(pc);
+        match i.op.class() {
+            OpClass::IntAlu => mix.alu += n,
+            OpClass::IntMult => mix.mult += n,
+            OpClass::Load => mix.load += n,
+            OpClass::Store => mix.store += n,
+            OpClass::Ctrl => mix.ctrl += n,
+            OpClass::Sys | OpClass::Pfu => mix.sys += n,
+        }
+    }
+    mix
+}
+
+/// Renders a full text report (hot blocks, loops, instruction mix).
+pub fn render(program: &Program, cfg: &Cfg, profile: &ExecProfile) -> String {
+    let mut out = String::new();
+    let mix = instruction_mix(program, profile);
+    let total = mix.total().max(1);
+    writeln!(out, "dynamic instructions: {}", profile.total).unwrap();
+    writeln!(
+        out,
+        "mix: {:.1}% alu, {:.1}% mult, {:.1}% load, {:.1}% store, {:.1}% ctrl",
+        100.0 * mix.alu as f64 / total as f64,
+        100.0 * mix.mult as f64 / total as f64,
+        100.0 * mix.load as f64 / total as f64,
+        100.0 * mix.store as f64 / total as f64,
+        100.0 * mix.ctrl as f64 / total as f64,
+    )
+    .unwrap();
+    writeln!(out, "\nhottest blocks:").unwrap();
+    for b in hottest_blocks(program, cfg, profile, 5) {
+        writeln!(
+            out,
+            "  0x{:05x}..0x{:05x}  {:>10} instrs  {:>5.1}%",
+            b.start,
+            b.end,
+            b.dyn_instrs,
+            100.0 * b.share
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nloops (innermost first):").unwrap();
+    for l in loop_profiles(program, cfg, profile) {
+        writeln!(
+            out,
+            "  header 0x{:05x}  {} block(s)  {:>9} iters  {:>6} entries  {:>10} instrs",
+            l.header_pc, l.body_blocks, l.iterations, l.entries, l.dyn_instrs
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t1000_asm::assemble;
+
+    const NESTED: &str = "
+main:
+    li $s0, 10
+outer:
+    li $s1, 20
+inner:
+    addu $t0, $t0, $s1
+    addiu $s1, $s1, -1
+    bgtz $s1, inner
+    addiu $s0, $s0, -1
+    bgtz $s0, outer
+    li $v0, 10
+    syscall
+";
+
+    fn setup() -> (t1000_isa::Program, Cfg, ExecProfile) {
+        let p = assemble(NESTED).unwrap();
+        let cfg = Cfg::build(&p).unwrap();
+        let prof = ExecProfile::collect(&p, 0).unwrap();
+        (p, cfg, prof)
+    }
+
+    #[test]
+    fn hottest_block_is_the_inner_loop() {
+        let (p, cfg, prof) = setup();
+        let hot = hottest_blocks(&p, &cfg, &prof, 3);
+        let inner_pc = p.symbol("inner").unwrap();
+        assert_eq!(hot[0].start, inner_pc);
+        // Inner body: 3 instrs × 20 iters × 10 entries = 600.
+        assert_eq!(hot[0].dyn_instrs, 600);
+        assert!(hot[0].share > 0.8);
+    }
+
+    #[test]
+    fn loop_profiles_count_iterations_and_entries() {
+        let (p, cfg, prof) = setup();
+        let loops = loop_profiles(&p, &cfg, &prof);
+        assert_eq!(loops.len(), 2);
+        let inner = &loops[0];
+        assert_eq!(inner.header_pc, p.symbol("inner").unwrap());
+        assert_eq!(inner.iterations, 200);
+        assert_eq!(inner.entries, 10);
+        let outer = &loops[1];
+        assert_eq!(outer.iterations, 10);
+        assert_eq!(outer.entries, 1);
+        assert!(outer.dyn_instrs > inner.dyn_instrs);
+    }
+
+    #[test]
+    fn instruction_mix_sums_to_profile_total() {
+        let (p, _, prof) = setup();
+        let mix = instruction_mix(&p, &prof);
+        assert_eq!(mix.total(), prof.total);
+        assert!(mix.alu > mix.ctrl);
+        assert_eq!(mix.load + mix.store, 0);
+    }
+
+    #[test]
+    fn render_produces_all_sections() {
+        let (p, cfg, prof) = setup();
+        let text = render(&p, &cfg, &prof);
+        assert!(text.contains("hottest blocks:"));
+        assert!(text.contains("loops (innermost first):"));
+        assert!(text.contains("% alu"));
+    }
+}

@@ -1,0 +1,434 @@
+//! G.721-style ADPCM codec kernels (`g721_enc`, `g721_dec`).
+//!
+//! MediaBench's g721 is CCITT ADPCM; we implement the classic IMA/DVI
+//! ADPCM variant of the same algorithm family: per-sample prediction,
+//! 3-bit+sign quantisation against an adaptive step size, and step-index
+//! adaptation. All range clamps and quantiser bit tests are written
+//! *branchlessly* with sign-mask arithmetic — exactly the dependent
+//! narrow-width ALU chains the paper's selector feeds on.
+//!
+//! The encoder quantises LCG-generated 13-bit samples; the decoder
+//! reconstructs samples from LCG-generated 4-bit codes. Both maintain a
+//! 16-bit running accumulator folded into the architectural checksum at
+//! exit, and both have a bit-exact Rust reference used by the
+//! differential tests.
+
+use crate::gen::{lcg_asm, Lcg};
+
+/// IMA ADPCM step-size table (89 entries).
+pub const STEP_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// Step-index adjustment per 3-bit code magnitude.
+pub const INDEX_ADJ: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+fn tables_asm() -> String {
+    let steps = STEP_TABLE
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let adj = INDEX_ADJ
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(".data\nsteptable: .word {steps}\nindextable: .byte {adj}\n")
+}
+
+/// Assembly for the encoder over `n` samples from LCG seed `seed`.
+///
+/// Structured like a real codec: phase 1 synthesises the PCM input into a
+/// sample buffer, phase 2 streams through it encoding one code byte per
+/// sample into the output buffer.
+pub fn encoder_asm(n: u32, seed: u32) -> String {
+    let lcg = lcg_asm("$s7", "$t0", 0x1fff);
+    let tables = tables_asm();
+    let inbytes = 2 * n;
+    format!(
+        "
+# g721_enc — IMA ADPCM encoder, {n} samples
+{tables}
+inbuf:  .space {inbytes}
+outbuf: .space {n}
+.text
+main:
+    li    $s0, {n}
+    li    $s7, {seed}       # LCG state
+    la    $t9, inbuf
+gen:
+{lcg}    addiu $t0, $t0, -4096
+    sh    $t0, 0($t9)
+    addiu $t9, $t9, 2
+    addiu $s0, $s0, -1
+    bgtz  $s0, gen
+    li    $s0, {n}
+    li    $s1, 0            # valpred
+    li    $s2, 0            # step index
+    li    $s3, 0            # checksum accumulator
+    li    $s6, -4096        # lower clamp constant
+    la    $s4, steptable
+    la    $s5, indextable
+    la    $a2, inbuf
+    la    $a3, outbuf
+loop:
+    lh    $t0, 0($a2)       # 13-bit signed sample
+    addiu $a2, $a2, 2
+    # diff and sign
+    subu  $t1, $t0, $s1
+    sra   $t2, $t1, 31
+    xor   $t1, $t1, $t2
+    subu  $t1, $t1, $t2     # |diff|
+    andi  $t3, $t2, 8       # delta sign bit
+    # adaptive step
+    sll   $t4, $s2, 2
+    addu  $t4, $t4, $s4
+    lw    $t4, 0($t4)
+    # quantise round 1 (bit 2)
+    subu  $t5, $t1, $t4
+    sra   $t6, $t5, 31
+    nor   $t7, $t6, $zero
+    andi  $t8, $t7, 4
+    or    $t3, $t3, $t8
+    and   $t9, $t4, $t7
+    subu  $t1, $t1, $t9
+    # quantise round 2 (bit 1)
+    srl   $a0, $t4, 1
+    subu  $t5, $t1, $a0
+    sra   $t6, $t5, 31
+    nor   $t7, $t6, $zero
+    andi  $t8, $t7, 2
+    or    $t3, $t3, $t8
+    and   $t9, $a0, $t7
+    subu  $t1, $t1, $t9
+    # quantise round 3 (bit 0)
+    srl   $a1, $t4, 2
+    subu  $t5, $t1, $a1
+    sra   $t6, $t5, 31
+    nor   $t7, $t6, $zero
+    andi  $t8, $t7, 1
+    or    $t3, $t3, $t8
+    # reconstruct vpdiff = step>>3 + masked contributions
+    srl   $t5, $t4, 3
+    andi  $t6, $t3, 4
+    srl   $t6, $t6, 2
+    subu  $t6, $zero, $t6
+    and   $t6, $t4, $t6
+    addu  $t5, $t5, $t6
+    andi  $t6, $t3, 2
+    srl   $t6, $t6, 1
+    subu  $t6, $zero, $t6
+    and   $t6, $a0, $t6
+    addu  $t5, $t5, $t6
+    andi  $t6, $t3, 1
+    subu  $t6, $zero, $t6
+    and   $t6, $a1, $t6
+    addu  $t5, $t5, $t6
+    # apply sign and update prediction
+    xor   $t6, $t5, $t2
+    subu  $t6, $t6, $t2
+    addu  $s1, $s1, $t6
+    # clamp valpred to [-4096, 4095]
+    addiu $t6, $s1, 4096
+    sra   $t7, $t6, 31
+    nor   $t8, $t7, $zero
+    and   $t9, $s1, $t8
+    and   $t6, $s6, $t7
+    or    $s1, $t9, $t6
+    li    $t6, 4095
+    subu  $t6, $t6, $s1
+    sra   $t7, $t6, 31
+    nor   $t8, $t7, $zero
+    and   $t9, $s1, $t8
+    andi  $t6, $t7, 4095
+    or    $s1, $t9, $t6
+    # step-index adaptation, clamped to [0, 88]
+    andi  $t6, $t3, 7
+    addu  $t6, $t6, $s5
+    lb    $t6, 0($t6)
+    addu  $s2, $s2, $t6
+    sra   $t7, $s2, 31
+    nor   $t7, $t7, $zero
+    and   $s2, $s2, $t7
+    li    $t6, 88
+    subu  $t6, $t6, $s2
+    sra   $t7, $t6, 31
+    nor   $t8, $t7, $zero
+    and   $t9, $s2, $t8
+    andi  $t6, $t7, 88
+    or    $s2, $t9, $t6
+    # emit the code and fold it into the 16-bit accumulator
+    sb    $t3, 0($a3)
+    addiu $a3, $a3, 1
+    addu  $s3, $s3, $t3
+    andi  $s3, $s3, 0xffff
+    addiu $s0, $s0, -1
+    bgtz  $s0, loop
+    # report checksum components
+    move  $a0, $s3
+    li    $v0, 30
+    syscall
+    move  $a0, $s1
+    li    $v0, 30
+    syscall
+    move  $a0, $s2
+    li    $v0, 30
+    syscall
+    li    $a0, 0
+    li    $v0, 10
+    syscall
+"
+    )
+}
+
+/// Rust reference of the encoder: returns the three checksum words the
+/// simulated program reports (accumulator, final valpred, final index).
+pub fn encoder_reference(n: u32, seed: u32) -> [u32; 3] {
+    let mut g = Lcg(seed);
+    let mut valpred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut acc: u32 = 0;
+    for _ in 0..n {
+        let s = g.next_masked(0x1fff) as i32 - 4096;
+        let mut diff = s.wrapping_sub(valpred);
+        let sign = diff >> 31;
+        diff = (diff ^ sign).wrapping_sub(sign);
+        let mut delta = sign & 8;
+        let step = STEP_TABLE[index as usize];
+        // round 1
+        let u = diff.wrapping_sub(step);
+        let nm = !(u >> 31);
+        delta |= nm & 4;
+        diff -= step & nm;
+        // round 2
+        let s1 = step >> 1;
+        let u = diff.wrapping_sub(s1);
+        let nm = !(u >> 31);
+        delta |= nm & 2;
+        diff -= s1 & nm;
+        // round 3
+        let s2 = step >> 2;
+        let u = diff.wrapping_sub(s2);
+        let nm = !(u >> 31);
+        delta |= nm & 1;
+        // vpdiff
+        let mut vpdiff = step >> 3;
+        vpdiff += step & -((delta >> 2) & 1);
+        vpdiff += s1 & -((delta >> 1) & 1);
+        vpdiff += s2 & -(delta & 1);
+        // prediction update with sign applied via the same mask trick
+        let v = (vpdiff ^ sign).wrapping_sub(sign);
+        valpred = valpred.wrapping_add(v);
+        // clamp [-4096, 4095]
+        let m = (valpred + 4096) >> 31;
+        valpred = (valpred & !m) | (-4096 & m);
+        let m = (4095 - valpred) >> 31;
+        valpred = (valpred & !m) | (4095 & m);
+        // index adaptation
+        index += INDEX_ADJ[(delta & 7) as usize];
+        index &= !(index >> 31);
+        let m = (88 - index) >> 31;
+        index = (index & !m) | (88 & m);
+        acc = (acc + delta as u32) & 0xffff;
+    }
+    [acc, valpred as u32, index as u32]
+}
+
+/// Assembly for the decoder over `n` codes from LCG seed `seed`.
+///
+/// Phase 1 synthesises the 4-bit code stream into a buffer; phase 2
+/// streams through it reconstructing one 16-bit sample per code.
+pub fn decoder_asm(n: u32, seed: u32) -> String {
+    let lcg = lcg_asm("$s7", "$t3", 0xf);
+    let tables = tables_asm();
+    let outbytes = 2 * n;
+    format!(
+        "
+# g721_dec — IMA ADPCM decoder, {n} codes
+{tables}
+inbuf:  .space {n}
+outbuf: .space {outbytes}
+.text
+main:
+    li    $s0, {n}
+    li    $s7, {seed}
+    la    $t9, inbuf
+gen:
+{lcg}    sb    $t3, 0($t9)
+    addiu $t9, $t9, 1
+    addiu $s0, $s0, -1
+    bgtz  $s0, gen
+    li    $s0, {n}
+    li    $s1, 0            # valpred
+    li    $s2, 0            # step index
+    li    $s3, 0            # checksum accumulator
+    li    $s6, -4096
+    la    $s4, steptable
+    la    $s5, indextable
+    la    $a2, inbuf
+    la    $a3, outbuf
+loop:
+    lbu   $t3, 0($a2)       # 4-bit code
+    addiu $a2, $a2, 1
+    # adaptive step
+    sll   $t4, $s2, 2
+    addu  $t4, $t4, $s4
+    lw    $t4, 0($t4)
+    # vpdiff from code bits
+    srl   $t5, $t4, 3
+    andi  $t6, $t3, 4
+    srl   $t6, $t6, 2
+    subu  $t6, $zero, $t6
+    and   $t6, $t4, $t6
+    addu  $t5, $t5, $t6
+    srl   $a0, $t4, 1
+    andi  $t6, $t3, 2
+    srl   $t6, $t6, 1
+    subu  $t6, $zero, $t6
+    and   $t6, $a0, $t6
+    addu  $t5, $t5, $t6
+    srl   $a1, $t4, 2
+    andi  $t6, $t3, 1
+    subu  $t6, $zero, $t6
+    and   $t6, $a1, $t6
+    addu  $t5, $t5, $t6
+    # apply sign bit (code & 8)
+    andi  $t2, $t3, 8
+    srl   $t2, $t2, 3
+    subu  $t2, $zero, $t2   # 0 or -1
+    xor   $t6, $t5, $t2
+    subu  $t6, $t6, $t2
+    addu  $s1, $s1, $t6
+    # clamp valpred to [-4096, 4095]
+    addiu $t6, $s1, 4096
+    sra   $t7, $t6, 31
+    nor   $t8, $t7, $zero
+    and   $t9, $s1, $t8
+    and   $t6, $s6, $t7
+    or    $s1, $t9, $t6
+    li    $t6, 4095
+    subu  $t6, $t6, $s1
+    sra   $t7, $t6, 31
+    nor   $t8, $t7, $zero
+    and   $t9, $s1, $t8
+    andi  $t6, $t7, 4095
+    or    $s1, $t9, $t6
+    # step-index adaptation, clamped to [0, 88]
+    andi  $t6, $t3, 7
+    addu  $t6, $t6, $s5
+    lb    $t6, 0($t6)
+    addu  $s2, $s2, $t6
+    sra   $t7, $s2, 31
+    nor   $t7, $t7, $zero
+    and   $s2, $s2, $t7
+    li    $t6, 88
+    subu  $t6, $t6, $s2
+    sra   $t7, $t6, 31
+    nor   $t8, $t7, $zero
+    and   $t9, $s2, $t8
+    andi  $t6, $t7, 88
+    or    $s2, $t9, $t6
+    # emit and accumulate the reconstructed sample
+    sh    $s1, 0($a3)
+    addiu $a3, $a3, 2
+    andi  $t6, $s1, 0xffff
+    addu  $s3, $s3, $t6
+    andi  $s3, $s3, 0xffff
+    addiu $s0, $s0, -1
+    bgtz  $s0, loop
+    move  $a0, $s3
+    li    $v0, 30
+    syscall
+    move  $a0, $s1
+    li    $v0, 30
+    syscall
+    move  $a0, $s2
+    li    $v0, 30
+    syscall
+    li    $a0, 0
+    li    $v0, 10
+    syscall
+"
+    )
+}
+
+/// Rust reference of the decoder.
+pub fn decoder_reference(n: u32, seed: u32) -> [u32; 3] {
+    let mut g = Lcg(seed);
+    let mut valpred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut acc: u32 = 0;
+    for _ in 0..n {
+        let code = g.next_masked(0xf) as i32;
+        let step = STEP_TABLE[index as usize];
+        let mut vpdiff = step >> 3;
+        vpdiff += step & -((code >> 2) & 1);
+        vpdiff += (step >> 1) & -((code >> 1) & 1);
+        vpdiff += (step >> 2) & -(code & 1);
+        let sign = -((code >> 3) & 1);
+        let v = (vpdiff ^ sign).wrapping_sub(sign);
+        valpred = valpred.wrapping_add(v);
+        let m = (valpred + 4096) >> 31;
+        valpred = (valpred & !m) | (-4096 & m);
+        let m = (4095 - valpred) >> 31;
+        valpred = (valpred & !m) | (4095 & m);
+        index += INDEX_ADJ[(code & 7) as usize];
+        index &= !(index >> 31);
+        let m = (88 - index) >> 31;
+        index = (index & !m) | (88 & m);
+        acc = (acc + (valpred as u32 & 0xffff)) & 0xffff;
+    }
+    [acc, valpred as u32, index as u32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::fold_all;
+    use t1000_asm::assemble;
+    use t1000_cpu::execute;
+    use t1000_isa::FusionMap;
+
+    #[test]
+    fn encoder_asm_matches_reference() {
+        let n = 300;
+        let seed = 20000731;
+        let p = assemble(&encoder_asm(n, seed)).expect("encoder assembles");
+        let (sys, _) = execute(&p, &FusionMap::new(), 2_000_000).unwrap();
+        assert_eq!(sys.exit_code, Some(0));
+        assert_eq!(sys.checksum, fold_all(&encoder_reference(n, seed)));
+    }
+
+    #[test]
+    fn decoder_asm_matches_reference() {
+        let n = 300;
+        let seed = 987654321;
+        let p = assemble(&decoder_asm(n, seed)).expect("decoder assembles");
+        let (sys, _) = execute(&p, &FusionMap::new(), 2_000_000).unwrap();
+        assert_eq!(sys.checksum, fold_all(&decoder_reference(n, seed)));
+    }
+
+    #[test]
+    fn encoder_output_depends_on_input() {
+        assert_ne!(encoder_reference(100, 1), encoder_reference(100, 2));
+        assert_ne!(encoder_reference(100, 1), encoder_reference(101, 1));
+    }
+
+    #[test]
+    fn references_stay_in_architectural_ranges() {
+        for seed in [1u32, 77, 0xffff_ffff] {
+            let [_, valpred, index] = encoder_reference(500, seed);
+            assert!((valpred as i32) >= -4096 && (valpred as i32) <= 4095);
+            assert!(index <= 88);
+            let [_, valpred, index] = decoder_reference(500, seed);
+            assert!((valpred as i32) >= -4096 && (valpred as i32) <= 4095);
+            assert!(index <= 88);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Shared pseudo-random input generation.
+//!
+//! The paper runs MediaBench on recorded audio/image/video inputs we do
+//! not have; every kernel here instead generates its input *inside the
+//! simulated program* with this LCG, so runs are self-contained and
+//! deterministic. The Rust reference implementations use the same
+//! generator, which is what lets the differential tests demand
+//! bit-identical checksums.
+
+/// LCG multiplier (glibc's `rand`).
+pub const LCG_MUL: u32 = 1_103_515_245;
+/// LCG increment.
+pub const LCG_INC: u32 = 12_345;
+
+/// One LCG step.
+#[inline]
+pub fn lcg_next(x: u32) -> u32 {
+    x.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC)
+}
+
+/// The generator state type used by references.
+#[derive(Clone, Copy, Debug)]
+pub struct Lcg(pub u32);
+
+impl Lcg {
+    /// Advances and returns the raw 32-bit state.
+    pub fn next_raw(&mut self) -> u32 {
+        self.0 = lcg_next(self.0);
+        self.0
+    }
+
+    /// Advances and extracts `(state >> 16) & mask` — the pattern every
+    /// kernel uses for sample extraction.
+    pub fn next_masked(&mut self, mask: u32) -> u32 {
+        (self.next_raw() >> 16) & mask
+    }
+}
+
+/// Emits the assembly for one LCG step on register `state`, leaving the
+/// extracted sample `(state >> 16) & mask` in `dst`. Clobbers `$at`, `$a2`
+/// and HI/LO.
+pub fn lcg_asm(state: &str, dst: &str, mask: u32) -> String {
+    format!(
+        "    li    $a2, {LCG_MUL}\n    mult  {state}, $a2\n    mflo  {state}\n    addiu {state}, {state}, {LCG_INC}\n    srl   {dst}, {state}, 16\n    andi  {dst}, {dst}, {mask}\n"
+    )
+}
+
+/// Replicates the simulator's checksum syscall (FNV-1a over little-endian
+/// bytes), so references can predict final checksums without running the
+/// simulator.
+pub fn fnv_fold(seed: u64, word: u32) -> u64 {
+    let mut h = seed;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The checksum seed used by [`t1000_cpu::SyscallState`].
+pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds a sequence of checksum-syscall arguments exactly as a simulated
+/// run would.
+pub fn fold_all(words: &[u32]) -> u64 {
+    words.iter().fold(FNV_SEED, |h, &w| fnv_fold(h, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_matches_known_values() {
+        let mut g = Lcg(1);
+        assert_eq!(g.next_raw(), 1_103_527_590);
+        let mut g2 = Lcg(1);
+        assert_eq!(g2.next_masked(0xff), (1_103_527_590u32 >> 16) & 0xff);
+    }
+
+    #[test]
+    fn fold_matches_syscall_state() {
+        use t1000_cpu::SyscallState;
+        let mut s = SyscallState::new();
+        for w in [0u32, 42, 0xdead_beef] {
+            s.execute(30, w).unwrap();
+        }
+        assert_eq!(s.checksum, fold_all(&[0, 42, 0xdead_beef]));
+    }
+
+    #[test]
+    fn lcg_asm_emits_expected_mnemonics() {
+        let a = lcg_asm("$s7", "$t0", 0x1fff);
+        assert!(a.contains("mult  $s7, $a2"));
+        assert!(a.contains("andi  $t0, $t0, 8191"));
+    }
+}

@@ -1,0 +1,318 @@
+//! GSM 06.10-style speech codec kernels (`gsm_enc`, `gsm_dec`).
+//!
+//! MediaBench's gsm is full-rate RPE-LTP speech transcoding, whose hot
+//! code is the short-term lattice filter built from saturated 16-bit
+//! fixed-point arithmetic. We implement a four-stage lattice
+//! analysis filter (encoder) and its synthesis mirror (decoder) over
+//! LCG-generated samples. Each stage scales by a reflection coefficient
+//! (a multiply — correctly *not* fusable: its operands are wide) and then
+//! runs a branchless saturation chain; the stages saturate to different
+//! widths (15/14/13/12 bits), so the loop contains four distinct chain
+//! forms competing for PFUs — the configuration-pressure scenario of the
+//! paper's Fig. 2.
+
+use crate::gen::{lcg_asm, Lcg};
+
+/// Per-stage reflection coefficients (Q8).
+pub const REFL: [i32; 4] = [77, -45, 118, -91];
+/// Per-stage saturation magnitude (2^w - 1): 15, 14, 13, 12 bits.
+pub const SAT_MAX: [i32; 4] = [16383, 8191, 4095, 2047];
+
+/// Branchless two-sided clamp of `x` to `[-(limit+1), limit]`, written the
+/// same way the assembly does it (the Rust reference calls this).
+pub fn sat(x: i32, limit: i32) -> i32 {
+    // lower clamp to -(limit+1)
+    let m = (x + limit + 1) >> 31;
+    let x = (x & !m) | ((-(limit + 1)) & m);
+    // upper clamp to limit
+    let m = (limit - x) >> 31;
+    (x & !m) | (limit & m)
+}
+
+/// The saturation chain in assembly: clamps `src` into `dst` at stage `j`.
+/// `sll_amt` is the trailing-zero count of `limit+1`, used to synthesise
+/// the lower bound from the sign mask with one shift. Clobbers
+/// `$t2..$t6`.
+fn sat_asm(dst: &str, src: &str, j: usize) -> String {
+    let limit = SAT_MAX[j];
+    let low = limit + 1; // power of two
+    let sll_amt = low.trailing_zeros();
+    format!(
+        "    addiu $t2, {src}, {low}
+    sra   $t3, $t2, 31
+    nor   $t4, $t3, $zero
+    and   $t5, {src}, $t4
+    sll   $t6, $t3, {sll_amt}
+    or    $t2, $t5, $t6
+    li    $t3, {limit}
+    subu  $t3, $t3, $t2
+    sra   $t3, $t3, 31
+    nor   $t4, $t3, $zero
+    and   $t5, $t2, $t4
+    andi  $t6, $t3, {limit}
+    or    {dst}, $t5, $t6
+"
+    )
+}
+
+/// One lattice stage of the encoder in assembly: `di` (in `$t0`) and state
+/// register `u` are combined; the saturated result becomes the next `di`.
+fn enc_stage_asm(j: usize, u: &str, rp: &str) -> String {
+    let sat = sat_asm("$t0", "$t1", j);
+    format!(
+        "    # stage {j}
+    mult  $t0, {rp}
+    mflo  $t1
+    sra   $t1, $t1, 8
+    addu  $t1, $t1, {u}
+    move  {u}, $t0
+{sat}"
+    )
+}
+
+/// Assembly for the encoder over `n` samples.
+///
+/// Phase 1 synthesises PCM input into a sample buffer; phase 2 streams
+/// through it running the lattice filter and emitting residuals.
+pub fn encoder_asm(n: u32, seed: u32) -> String {
+    let lcg = lcg_asm("$s7", "$t0", 0x1fff);
+    let stages: String = (0..4)
+        .map(|j| enc_stage_asm(j, &format!("$s{}", j + 1), ["$a3", "$fp", "$k0", "$k1"][j]))
+        .collect();
+    let bytes = 2 * n;
+    format!(
+        "
+# gsm_enc — lattice analysis filter, {n} samples
+.data
+inbuf:  .space {bytes}
+outbuf: .space {bytes}
+.text
+main:
+    li    $s0, {n}
+    li    $s7, {seed}
+    la    $t9, inbuf
+gen:
+{lcg}    addiu $t0, $t0, -4096
+    sh    $t0, 0($t9)
+    addiu $t9, $t9, 2
+    addiu $s0, $s0, -1
+    bgtz  $s0, gen
+    li    $s0, {n}
+    li    $s1, 0
+    li    $s2, 0
+    li    $s3, 0
+    li    $s4, 0
+    li    $a3, {r0}
+    li    $fp, {r1}
+    li    $k0, {r2}
+    li    $k1, {r3}
+    li    $v1, 0            # checksum accumulator
+    la    $s6, inbuf
+    la    $s7, outbuf
+loop:
+    lh    $t0, 0($s6)
+    addiu $s6, $s6, 2
+{stages}    sh    $t0, 0($s7)
+    addiu $s7, $s7, 2
+    andi  $t1, $t0, 0xffff
+    addu  $v1, $v1, $t1
+    andi  $v1, $v1, 0xffff
+    addiu $s0, $s0, -1
+    bgtz  $s0, loop
+    move  $a0, $v1
+    li    $v0, 30
+    syscall
+    andi  $a0, $s1, 0xffff
+    li    $v0, 30
+    syscall
+    andi  $a0, $s4, 0xffff
+    li    $v0, 30
+    syscall
+    li    $a0, 0
+    li    $v0, 10
+    syscall
+",
+        r0 = REFL[0],
+        r1 = REFL[1],
+        r2 = REFL[2],
+        r3 = REFL[3],
+    )
+}
+
+/// Rust reference of the encoder: the three checksum words it reports.
+pub fn encoder_reference(n: u32, seed: u32) -> [u32; 3] {
+    let mut g = Lcg(seed);
+    let mut u = [0i32; 4];
+    let mut acc: u32 = 0;
+    for _ in 0..n {
+        let mut di = g.next_masked(0x1fff) as i32 - 4096;
+        for j in 0..4 {
+            let scaled = (di.wrapping_mul(REFL[j])) >> 8;
+            let t = scaled.wrapping_add(u[j]);
+            u[j] = di;
+            di = sat(t, SAT_MAX[j]);
+        }
+        acc = (acc + (di as u32 & 0xffff)) & 0xffff;
+    }
+    [acc, u[0] as u32 & 0xffff, u[3] as u32 & 0xffff]
+}
+
+/// One synthesis stage of the decoder: subtracts the prediction and
+/// updates the state.
+fn dec_stage_asm(j: usize, u: &str, rp: &str) -> String {
+    let sat_d = sat_asm("$t0", "$t1", j);
+    let sat_u = sat_asm(u, "$t1", j);
+    format!(
+        "    # stage {j}
+    mult  {u}, {rp}
+    mflo  $t1
+    sra   $t1, $t1, 8
+    subu  $t1, $t0, $t1
+{sat_d}    mult  $t0, {rp}
+    mflo  $t1
+    sra   $t1, $t1, 8
+    addu  $t1, $t1, {u}
+{sat_u}"
+    )
+}
+
+/// Assembly for the decoder over `n` samples.
+///
+/// Phase 1 synthesises the residual stream into a buffer; phase 2 runs
+/// the synthesis ladder over it and emits reconstructed samples.
+pub fn decoder_asm(n: u32, seed: u32) -> String {
+    let lcg = lcg_asm("$s7", "$t0", 0x1fff);
+    // Synthesis runs the stages in reverse order.
+    let stages: String = (0..4)
+        .rev()
+        .map(|j| dec_stage_asm(j, &format!("$s{}", j + 1), ["$a3", "$fp", "$k0", "$k1"][j]))
+        .collect();
+    let bytes = 2 * n;
+    format!(
+        "
+# gsm_dec — lattice synthesis filter, {n} samples
+.data
+inbuf:  .space {bytes}
+outbuf: .space {bytes}
+.text
+main:
+    li    $s0, {n}
+    li    $s7, {seed}
+    la    $t9, inbuf
+gen:
+{lcg}    addiu $t0, $t0, -4096
+    sh    $t0, 0($t9)
+    addiu $t9, $t9, 2
+    addiu $s0, $s0, -1
+    bgtz  $s0, gen
+    li    $s0, {n}
+    li    $s1, 0
+    li    $s2, 0
+    li    $s3, 0
+    li    $s4, 0
+    li    $a3, {r0}
+    li    $fp, {r1}
+    li    $k0, {r2}
+    li    $k1, {r3}
+    li    $v1, 0
+    la    $s6, inbuf
+    la    $s7, outbuf
+loop:
+    lh    $t0, 0($s6)
+    addiu $s6, $s6, 2
+{stages}    sh    $t0, 0($s7)
+    addiu $s7, $s7, 2
+    andi  $t1, $t0, 0xffff
+    addu  $v1, $v1, $t1
+    andi  $v1, $v1, 0xffff
+    addiu $s0, $s0, -1
+    bgtz  $s0, loop
+    move  $a0, $v1
+    li    $v0, 30
+    syscall
+    andi  $a0, $s2, 0xffff
+    li    $v0, 30
+    syscall
+    andi  $a0, $s3, 0xffff
+    li    $v0, 30
+    syscall
+    li    $a0, 0
+    li    $v0, 10
+    syscall
+",
+        r0 = REFL[0],
+        r1 = REFL[1],
+        r2 = REFL[2],
+        r3 = REFL[3],
+    )
+}
+
+/// Rust reference of the decoder.
+pub fn decoder_reference(n: u32, seed: u32) -> [u32; 3] {
+    let mut g = Lcg(seed);
+    let mut u = [0i32; 4];
+    let mut acc: u32 = 0;
+    for _ in 0..n {
+        let mut d = g.next_masked(0x1fff) as i32 - 4096;
+        for j in (0..4).rev() {
+            let pred = (u[j].wrapping_mul(REFL[j])) >> 8;
+            d = sat(d.wrapping_sub(pred), SAT_MAX[j]);
+            let upd = (d.wrapping_mul(REFL[j])) >> 8;
+            u[j] = sat(u[j].wrapping_add(upd), SAT_MAX[j]);
+        }
+        acc = (acc + (d as u32 & 0xffff)) & 0xffff;
+    }
+    [acc, u[1] as u32 & 0xffff, u[2] as u32 & 0xffff]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::fold_all;
+    use t1000_asm::assemble;
+    use t1000_cpu::execute;
+    use t1000_isa::FusionMap;
+
+    #[test]
+    fn sat_clamps_both_sides() {
+        assert_eq!(sat(100, 16383), 100);
+        assert_eq!(sat(20000, 16383), 16383);
+        assert_eq!(sat(-20000, 16383), -16384);
+        assert_eq!(sat(-16384, 16383), -16384);
+        assert_eq!(sat(0, 2047), 0);
+        assert_eq!(sat(5000, 2047), 2047);
+    }
+
+    #[test]
+    fn encoder_asm_matches_reference() {
+        let n = 250;
+        let seed = 31337;
+        let p = assemble(&encoder_asm(n, seed)).expect("gsm encoder assembles");
+        let (sys, _) = execute(&p, &FusionMap::new(), 2_000_000).unwrap();
+        assert_eq!(sys.checksum, fold_all(&encoder_reference(n, seed)));
+    }
+
+    #[test]
+    fn decoder_asm_matches_reference() {
+        let n = 250;
+        let seed = 4242;
+        let p = assemble(&decoder_asm(n, seed)).expect("gsm decoder assembles");
+        let (sys, _) = execute(&p, &FusionMap::new(), 2_000_000).unwrap();
+        assert_eq!(sys.checksum, fold_all(&decoder_reference(n, seed)));
+    }
+
+    #[test]
+    fn filter_states_stay_saturated() {
+        let mut g = Lcg(7);
+        let mut u = [0i32; 4];
+        for _ in 0..1000 {
+            let mut di = g.next_masked(0x1fff) as i32 - 4096;
+            for j in 0..4 {
+                let t = ((di.wrapping_mul(REFL[j])) >> 8).wrapping_add(u[j]);
+                u[j] = di;
+                di = sat(t, SAT_MAX[j]);
+                assert!(di >= -(SAT_MAX[j] + 1) && di <= SAT_MAX[j]);
+            }
+        }
+    }
+}

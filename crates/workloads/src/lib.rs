@@ -1,0 +1,17 @@
+//! # t1000-workloads — MediaBench-style benchmark kernels
+//!
+//! Hand-written assembly implementations of the eight MediaBench kernels
+//! the paper evaluates (epic/unepic, gsm encode/decode, g721
+//! encode/decode, mpeg2 encode/decode), with bit-exact Rust reference
+//! implementations for differential validation. Inputs are generated
+//! in-program from a deterministic LCG (see [`gen`]); each program folds
+//! its results into the architectural checksum before exiting.
+
+pub mod g721;
+pub mod gsm;
+pub mod mpeg2;
+pub mod registry;
+
+pub use registry::{all, by_name, Scale, Workload, NAMES};
+pub mod epic;
+pub mod gen;

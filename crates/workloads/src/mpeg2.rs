@@ -1,0 +1,362 @@
+//! MPEG-2-style block codec kernels (`mpeg2_enc`, `mpeg2_dec`).
+//!
+//! MediaBench's mpeg2 spends its time in 8×8 block transforms,
+//! quantisation and sample saturation. We implement a 2-D 8-point
+//! Walsh–Hadamard transform (an integer stand-in for the DCT with the
+//! same butterfly dataflow), a branchless round-toward-zero quantiser
+//! (encoder), and dequantise → inverse transform → `clamp(128 + x)`
+//! reconstruction (decoder). Butterflies produce *two* live values per
+//! step, so they fuse poorly under the paper's one-output constraint —
+//! which is why mpeg2's speedups are the modest ones in Fig. 2/6 — while
+//! the quantise and saturate chains fuse well.
+
+use crate::gen::{lcg_asm, Lcg};
+
+/// Blocks are 8×8.
+pub const BLOCK: usize = 64;
+
+/// Butterfly on two registers: `(a, b) ← (a+b, a−b)`. Clobbers `$a0`.
+fn butterfly(a: &str, b: &str) -> String {
+    format!("    addu  $a0, {a}, {b}\n    subu  {b}, {a}, {b}\n    move  {a}, $a0\n")
+}
+
+/// The in-register 8-point WHT over `$t0..$t7`.
+fn wht_asm() -> String {
+    let pairs: [(usize, usize); 12] = [
+        (0, 1), (2, 3), (4, 5), (6, 7), // stage 1
+        (0, 2), (1, 3), (4, 6), (5, 7), // stage 2
+        (0, 4), (1, 5), (2, 6), (3, 7), // stage 3
+    ];
+    pairs
+        .iter()
+        .map(|&(i, j)| butterfly(&format!("$t{i}"), &format!("$t{j}")))
+        .collect()
+}
+
+/// The same WHT over a Rust slice.
+pub fn wht(v: &mut [i32; 8]) {
+    let pairs: [(usize, usize); 12] = [
+        (0, 1), (2, 3), (4, 5), (6, 7),
+        (0, 2), (1, 3), (4, 6), (5, 7),
+        (0, 4), (1, 5), (2, 6), (3, 7),
+    ];
+    for &(i, j) in &pairs {
+        let (a, b) = (v[i], v[j]);
+        v[i] = a.wrapping_add(b);
+        v[j] = a.wrapping_sub(b);
+    }
+}
+
+/// Loads/stores for one row (stride 4 bytes) or one column (stride 32).
+fn row_io(load: bool, stride: u32) -> String {
+    (0..8)
+        .map(|k| {
+            let off = k * stride;
+            if load {
+                format!("    lw    $t{k}, {off}($t8)\n")
+            } else {
+                format!("    sw    $t{k}, {off}($t8)\n")
+            }
+        })
+        .collect()
+}
+
+/// The 2-D transform: 8 row passes then 8 column passes, in place over
+/// the word buffer at `$s5`.
+fn transform_asm(tag: &str) -> String {
+    let wht = wht_asm();
+    let (lr, sr) = (row_io(true, 4), row_io(false, 4));
+    let (lc, sc) = (row_io(true, 32), row_io(false, 32));
+    format!(
+        "    li    $s1, 0
+rows_{tag}:
+    sll   $t8, $s1, 5
+    addu  $t8, $t8, $s5
+{lr}{wht}{sr}    addiu $s1, $s1, 1
+    slti  $t9, $s1, 8
+    bnez  $t9, rows_{tag}
+    li    $s1, 0
+cols_{tag}:
+    sll   $t8, $s1, 2
+    addu  $t8, $t8, $s5
+{lc}{wht}{sc}    addiu $s1, $s1, 1
+    slti  $t9, $s1, 8
+    bnez  $t9, cols_{tag}
+"
+    )
+}
+
+/// Assembly for the encoder over `blocks` 8×8 blocks.
+pub fn encoder_asm(blocks: u32, seed: u32) -> String {
+    let lcg = lcg_asm("$s7", "$t0", 0xff);
+    let transform = transform_asm("e");
+    format!(
+        "
+# mpeg2_enc — 2-D WHT + quantise, {blocks} blocks
+.data
+blk: .space 256
+.text
+main:
+    li    $s0, {blocks}
+    li    $v1, 0            # coefficient accumulator
+    li    $s4, 0            # nonzero counter
+    li    $s7, {seed}
+    la    $s5, blk
+block:
+    # fill the block with 8-bit samples
+    li    $s1, {BLOCK}
+    move  $t9, $s5
+fill:
+{lcg}    sw    $t0, 0($t9)
+    addiu $t9, $t9, 4
+    addiu $s1, $s1, -1
+    bgtz  $s1, fill
+{transform}    # quantise all 64 coefficients; low-frequency positions use a
+    # finer step (>>3) than high-frequency ones (>>4), as real intra
+    # quantiser matrices do — two distinct chain forms per iteration
+    li    $s1, {BLOCK}
+    move  $t9, $s5
+quant:
+    lw    $t0, 0($t9)
+    sra   $t1, $t0, 31
+    andi  $t1, $t1, 7
+    addu  $t0, $t0, $t1
+    sra   $t0, $t0, 3
+    sltu  $t2, $zero, $t0
+    addu  $s4, $s4, $t2
+    andi  $t0, $t0, 0x3ff
+    addu  $v1, $v1, $t0
+    lw    $t0, 4($t9)
+    sra   $t1, $t0, 31
+    andi  $t1, $t1, 15
+    addu  $t0, $t0, $t1
+    sra   $t0, $t0, 4
+    sltu  $t2, $zero, $t0
+    addu  $s4, $s4, $t2
+    andi  $t0, $t0, 0x3ff
+    addu  $v1, $v1, $t0
+    andi  $v1, $v1, 0xffff
+    addiu $t9, $t9, 8
+    addiu $s1, $s1, -2
+    bgtz  $s1, quant
+    addiu $s0, $s0, -1
+    bgtz  $s0, block
+    move  $a0, $v1
+    li    $v0, 30
+    syscall
+    andi  $a0, $s4, 0xffff
+    li    $v0, 30
+    syscall
+    li    $a0, 0
+    li    $v0, 10
+    syscall
+"
+    )
+}
+
+/// Rust reference of the encoder.
+pub fn encoder_reference(blocks: u32, seed: u32) -> [u32; 2] {
+    let mut g = Lcg(seed);
+    let mut acc: u32 = 0;
+    let mut nz: u32 = 0;
+    for _ in 0..blocks {
+        let mut blk: Vec<i32> = (0..BLOCK).map(|_| g.next_masked(0xff) as i32).collect();
+        transform_2d(&mut blk);
+        for pair in blk.chunks(2) {
+            // Fine step on even positions, coarse on odd (mirrors the
+            // unrolled assembly; the accumulator is masked once per pair).
+            let q0 = (pair[0] + ((pair[0] >> 31) & 7)) >> 3;
+            let q1 = (pair[1] + ((pair[1] >> 31) & 15)) >> 4;
+            for q in [q0, q1] {
+                if q != 0 {
+                    nz += 1;
+                }
+                acc += q as u32 & 0x3ff;
+            }
+            acc &= 0xffff;
+        }
+    }
+    [acc, nz & 0xffff]
+}
+
+/// 2-D WHT over a 64-element block (rows then columns), mirroring the
+/// assembly.
+pub fn transform_2d(blk: &mut [i32]) {
+    assert_eq!(blk.len(), BLOCK);
+    for r in 0..8 {
+        let mut row = [0i32; 8];
+        row.copy_from_slice(&blk[r * 8..r * 8 + 8]);
+        wht(&mut row);
+        blk[r * 8..r * 8 + 8].copy_from_slice(&row);
+    }
+    for c in 0..8 {
+        let mut col = [0i32; 8];
+        for r in 0..8 {
+            col[r] = blk[r * 8 + c];
+        }
+        wht(&mut col);
+        for r in 0..8 {
+            blk[r * 8 + c] = col[r];
+        }
+    }
+}
+
+/// Assembly for the decoder over `blocks` blocks.
+pub fn decoder_asm(blocks: u32, seed: u32) -> String {
+    let lcg = lcg_asm("$s7", "$t0", 0x7f);
+    let transform = transform_asm("d");
+    format!(
+        "
+# mpeg2_dec — dequantise + inverse WHT + saturate, {blocks} blocks
+.data
+blk: .space 256
+.text
+main:
+    li    $s0, {blocks}
+    li    $v1, 0
+    li    $s7, {seed}
+    la    $s5, blk
+block:
+    # fill the block with dequantised 7-bit signed coefficients
+    li    $s1, {BLOCK}
+    move  $t9, $s5
+fill:
+{lcg}    addiu $t0, $t0, -64
+    sll   $t0, $t0, 2
+    sw    $t0, 0($t9)
+    addiu $t9, $t9, 4
+    addiu $s1, $s1, -1
+    bgtz  $s1, fill
+{transform}    # normalise and saturate all 64 samples; even positions scale
+    # by >>6 and odd by >>7 (two distinct chain forms per iteration)
+    li    $s1, {BLOCK}
+    move  $t9, $s5
+satur:
+    lw    $t0, 0($t9)
+    sra   $t1, $t0, 31
+    andi  $t1, $t1, 63
+    addu  $t0, $t0, $t1
+    sra   $t0, $t0, 6
+    addiu $t0, $t0, 128
+    # clamp to [0, 255]
+    sra   $t1, $t0, 31
+    nor   $t1, $t1, $zero
+    and   $t0, $t0, $t1
+    li    $t1, 255
+    subu  $t1, $t1, $t0
+    sra   $t1, $t1, 31
+    nor   $t2, $t1, $zero
+    and   $t0, $t0, $t2
+    andi  $t1, $t1, 255
+    or    $t0, $t0, $t1
+    addu  $v1, $v1, $t0
+    lw    $t0, 4($t9)
+    sra   $t1, $t0, 31
+    andi  $t1, $t1, 127
+    addu  $t0, $t0, $t1
+    sra   $t0, $t0, 7
+    addiu $t0, $t0, 128
+    # clamp to [0, 255]
+    sra   $t1, $t0, 31
+    nor   $t1, $t1, $zero
+    and   $t0, $t0, $t1
+    li    $t1, 255
+    subu  $t1, $t1, $t0
+    sra   $t1, $t1, 31
+    nor   $t2, $t1, $zero
+    and   $t0, $t0, $t2
+    andi  $t1, $t1, 255
+    or    $t0, $t0, $t1
+    addu  $v1, $v1, $t0
+    andi  $v1, $v1, 0xffff
+    addiu $t9, $t9, 8
+    addiu $s1, $s1, -2
+    bgtz  $s1, satur
+    addiu $s0, $s0, -1
+    bgtz  $s0, block
+    move  $a0, $v1
+    li    $v0, 30
+    syscall
+    li    $a0, 0
+    li    $v0, 10
+    syscall
+"
+    )
+}
+
+/// Rust reference of the decoder.
+pub fn decoder_reference(blocks: u32, seed: u32) -> [u32; 1] {
+    let mut g = Lcg(seed);
+    let mut acc: u32 = 0;
+    for _ in 0..blocks {
+        let mut blk: Vec<i32> = (0..BLOCK)
+            .map(|_| ((g.next_masked(0x7f) as i32) - 64) << 2)
+            .collect();
+        transform_2d(&mut blk);
+        let clamp = |n: i32| -> i32 {
+            let n = n & !(n >> 31);
+            let m = (255 - n) >> 31;
+            (n & !m) | (255 & m)
+        };
+        for pair in blk.chunks(2) {
+            let p0 = clamp(((pair[0] + ((pair[0] >> 31) & 63)) >> 6) + 128);
+            let p1 = clamp(((pair[1] + ((pair[1] >> 31) & 127)) >> 7) + 128);
+            acc = (acc + p0 as u32 + p1 as u32) & 0xffff;
+        }
+    }
+    [acc]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::fold_all;
+    use t1000_asm::assemble;
+    use t1000_cpu::execute;
+    use t1000_isa::FusionMap;
+
+    #[test]
+    fn wht_is_self_inverse_up_to_scale() {
+        let mut v = [1, 2, 3, 4, 5, 6, 7, 8];
+        let orig = v;
+        wht(&mut v);
+        wht(&mut v);
+        for (a, b) in v.iter().zip(orig.iter()) {
+            assert_eq!(*a, b * 8, "WHT∘WHT = 8·I");
+        }
+    }
+
+    #[test]
+    fn encoder_asm_matches_reference() {
+        let blocks = 12;
+        let seed = 90125;
+        let p = assemble(&encoder_asm(blocks, seed)).expect("mpeg2_enc assembles");
+        let (sys, _) = execute(&p, &FusionMap::new(), 10_000_000).unwrap();
+        assert_eq!(sys.checksum, fold_all(&encoder_reference(blocks, seed)));
+    }
+
+    #[test]
+    fn decoder_asm_matches_reference() {
+        let blocks = 12;
+        let seed = 777_000;
+        let p = assemble(&decoder_asm(blocks, seed)).expect("mpeg2_dec assembles");
+        let (sys, _) = execute(&p, &FusionMap::new(), 10_000_000).unwrap();
+        assert_eq!(sys.checksum, fold_all(&decoder_reference(blocks, seed)));
+    }
+
+    #[test]
+    fn decoder_samples_land_in_pixel_range() {
+        let [acc] = decoder_reference(3, 1);
+        assert!(acc < 0x10000);
+    }
+
+    #[test]
+    fn transform_values_stay_narrow() {
+        // 8-bit inputs through a 2-D WHT stay within ±2^14 (the paper's
+        // 18-bit candidate threshold is never at risk).
+        let mut g = Lcg(99);
+        let mut blk: Vec<i32> = (0..BLOCK).map(|_| g.next_masked(0xff) as i32).collect();
+        transform_2d(&mut blk);
+        assert!(blk.iter().all(|&x| x.abs() <= 1 << 14));
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end integration: every benchmark runs to completion on every
+//! machine configuration with bit-identical architectural results, and
+//! the simulator agrees with the Rust reference implementations.
+
+use t1000_bench::{prepare, run_verified};
+use t1000_core::SelectConfig;
+use t1000_cpu::CpuConfig;
+use t1000_workloads::{all, Scale};
+
+#[test]
+fn all_benchmarks_match_their_references_on_the_baseline() {
+    for w in all(Scale::Test) {
+        // `prepare` asserts simulator checksum == reference checksum.
+        let p = prepare(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(p.baseline.timing.cycles > 0);
+        assert!(p.baseline.timing.base_ipc > 0.2, "{}: IPC {:.2} implausibly low", w.name, p.baseline.timing.base_ipc);
+        assert!(p.baseline.timing.base_ipc < 4.0, "{}: IPC exceeds machine width", w.name);
+    }
+}
+
+#[test]
+fn fusion_preserves_semantics_everywhere() {
+    for w in all(Scale::Test) {
+        let p = prepare(&w).unwrap();
+        let greedy = p.session.greedy();
+        let selective = p
+            .session
+            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+        // run_verified asserts output/checksum/exit-code equality.
+        run_verified(&p, &greedy, CpuConfig::unlimited_pfus().reconfig(0));
+        run_verified(&p, &greedy, CpuConfig::with_pfus(2).reconfig(10));
+        run_verified(&p, &selective, CpuConfig::with_pfus(2).reconfig(10));
+        run_verified(&p, &selective, CpuConfig::with_pfus(2).reconfig(500));
+    }
+}
+
+#[test]
+fn base_instruction_counts_are_fusion_invariant() {
+    for w in all(Scale::Test) {
+        let p = prepare(&w).unwrap();
+        let sel = p
+            .session
+            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+        let run = run_verified(&p, &sel, CpuConfig::with_pfus(4).reconfig(10));
+        assert_eq!(
+            run.timing.base_instructions, p.baseline.timing.base_instructions,
+            "{}: fused run must commit the same base instructions",
+            w.name
+        );
+        if sel.num_confs() > 0 {
+            assert!(
+                run.timing.slots < p.baseline.timing.slots,
+                "{}: fusion must reduce dynamic slots",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pfu_counters_are_consistent() {
+    for w in all(Scale::Test) {
+        let p = prepare(&w).unwrap();
+        let sel = p
+            .session
+            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+        let run = run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10));
+        let pfu = run.timing.pfu;
+        assert_eq!(
+            pfu.ext_executed,
+            pfu.conf_hits + pfu.reconfigurations,
+            "{}: every ext execution is a tag hit or a reload",
+            w.name
+        );
+        assert!(
+            pfu.reconfigurations >= sel.num_confs() as u64 || sel.num_confs() == 0,
+            "{}: each selected conf must load at least once if used",
+            w.name
+        );
+    }
+}

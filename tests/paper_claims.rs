@@ -1,0 +1,143 @@
+//! The paper's qualitative claims, asserted as tests. These encode the
+//! *shape* of the evaluation — who wins, by roughly what factor, where
+//! the crossovers fall — which is what a reproduction must preserve.
+
+use t1000_bench::{prepare, run_verified, speedup, Prepared};
+use t1000_core::{SelectConfig, Selection};
+use t1000_cpu::CpuConfig;
+use t1000_workloads::{all, Scale};
+
+fn prepared() -> Vec<Prepared> {
+    all(Scale::Test)
+        .iter()
+        .map(|w| prepare(w).unwrap())
+        .collect()
+}
+
+fn selective(p: &Prepared, pfus: Option<usize>) -> Selection {
+    p.session
+        .selective(&SelectConfig { pfus, gain_threshold: 0.005 })
+}
+
+/// §4.1 / Fig. 2 bar 2: greedy with unlimited PFUs and zero
+/// reconfiguration cost speeds up every benchmark.
+#[test]
+fn claim_greedy_unlimited_always_wins() {
+    for p in prepared() {
+        let sel = p.session.greedy();
+        let run = run_verified(&p, &sel, CpuConfig::unlimited_pfus().reconfig(0));
+        let s = speedup(&p, &run);
+        assert!(s > 1.0, "{}: greedy/unlimited speedup {s:.3} ≤ 1", p.name);
+    }
+}
+
+/// §4.1 / Fig. 2 bar 3: greedy with 2 PFUs and a 10-cycle penalty is
+/// "substantially worse than the original processor" — the PFU thrashes.
+#[test]
+fn claim_greedy_with_two_pfus_thrashes() {
+    for p in prepared() {
+        let sel = p.session.greedy();
+        let run = run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10));
+        let s = speedup(&p, &run);
+        assert!(s < 1.0, "{}: greedy/2-PFU speedup {s:.3} should be < 1", p.name);
+        assert!(
+            run.timing.pfu.reconfigurations > 100,
+            "{}: thrashing means frequent reloads",
+            p.name
+        );
+    }
+}
+
+/// §4.1: the greedy algorithm finds sequences of length 2–8.
+#[test]
+fn claim_greedy_sequence_lengths_match_paper_range() {
+    for p in prepared() {
+        let sel = p.session.greedy();
+        for c in &sel.confs {
+            assert!(
+                (2..=8).contains(&c.seq_len),
+                "{}: sequence length {} outside the paper's 2–8",
+                p.name,
+                c.seq_len
+            );
+        }
+    }
+}
+
+/// Fig. 6: the selective algorithm with only 2 PFUs beats the baseline on
+/// every benchmark (paper: 2–27 %).
+#[test]
+fn claim_selective_two_pfus_beats_baseline() {
+    for p in prepared() {
+        let sel = selective(&p, Some(2));
+        let run = run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10));
+        let s = speedup(&p, &run);
+        assert!(s > 1.0, "{}: selective/2-PFU speedup {s:.3} ≤ 1", p.name);
+    }
+}
+
+/// Fig. 6: speedups are monotone in PFU count (2 ≤ 4 ≤ unlimited, within
+/// simulator noise).
+#[test]
+fn claim_selective_speedups_monotone_in_pfus() {
+    for p in prepared() {
+        let mut prev = 0.0f64;
+        for pfus in [Some(2usize), Some(4), None] {
+            let sel = selective(&p, pfus);
+            let cpu = match pfus {
+                Some(n) => CpuConfig::with_pfus(n).reconfig(10),
+                None => CpuConfig::unlimited_pfus().reconfig(10),
+            };
+            let s = speedup(&p, &run_verified(&p, &sel, cpu));
+            assert!(
+                s >= prev * 0.995,
+                "{}: speedup dropped from {prev:.3} with more PFUs ({s:.3})",
+                p.name
+            );
+            prev = s;
+        }
+    }
+}
+
+/// §5.2: selective speedups are retained "even with reconfiguration times
+/// as high as 500 cycles".
+#[test]
+fn claim_selective_robust_to_500_cycle_reconfiguration() {
+    for p in prepared() {
+        let sel = selective(&p, Some(2));
+        let fast = speedup(&p, &run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10)));
+        let slow = speedup(&p, &run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(500)));
+        assert!(slow > 1.0, "{}: slow-reconfig speedup {slow:.3} ≤ 1", p.name);
+        assert!(
+            slow > 0.80 * fast,
+            "{}: 500-cycle reconfiguration lost too much ({fast:.3} → {slow:.3})",
+            p.name
+        );
+    }
+}
+
+/// §6 / Fig. 7: every selected extended instruction fits a PFU of < 150
+/// LUTs and evaluates in a single cycle.
+#[test]
+fn claim_selected_instructions_fit_the_pfu_budget() {
+    for p in prepared() {
+        for sel in [p.session.greedy(), selective(&p, Some(4))] {
+            for c in &sel.confs {
+                assert!(c.cost.luts < 150, "{}: conf {} needs {} LUTs", p.name, c.conf, c.cost.luts);
+                assert!(c.cost.single_cycle(), "{}: conf {} too deep", p.name, c.conf);
+            }
+        }
+    }
+}
+
+/// §1: extended instructions respect the 2-input / 1-output register-port
+/// constraint.
+#[test]
+fn claim_port_constraints_hold() {
+    for p in prepared() {
+        let sel = p.session.greedy();
+        for site in sel.fusion.sites() {
+            assert!(site.inputs.len() <= 2, "{}: site at 0x{:x}", p.name, site.pc);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Selection-quality integration tests: the selective algorithm's
+//! decisions are not just legal but *good* — they capture most of the
+//! available gain under tight budgets and degrade gracefully.
+
+use t1000_bench::{prepare, run_verified, speedup};
+use t1000_core::{SelectConfig, Session};
+use t1000_cpu::CpuConfig;
+use t1000_workloads::{all, by_name, Scale};
+
+#[test]
+fn selective_captures_most_of_greedy_potential_at_four_pfus() {
+    // Across the suite, 4-PFU selective should realise a substantial
+    // fraction of the greedy/unlimited ceiling.
+    let mut captured = 0.0;
+    let mut ceiling = 0.0;
+    for w in all(Scale::Test) {
+        let p = prepare(&w).unwrap();
+        let g = p.session.greedy();
+        let s = p
+            .session
+            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+        let best = speedup(&p, &run_verified(&p, &g, CpuConfig::unlimited_pfus().reconfig(0)));
+        let got = speedup(&p, &run_verified(&p, &s, CpuConfig::with_pfus(4).reconfig(10)));
+        captured += got - 1.0;
+        ceiling += best - 1.0;
+    }
+    assert!(
+        captured > 0.55 * ceiling,
+        "4-PFU selective captured only {:.0}% of the ceiling",
+        100.0 * captured / ceiling
+    );
+}
+
+#[test]
+fn selection_gain_estimates_correlate_with_measured_savings() {
+    // The selector's `total_gain` is an estimate of cycles saved; for a
+    // single-loop kernel with one configuration it should land within 2×
+    // of the measured cycle delta.
+    let src = "
+main:
+    li  $s0, 5000
+    li  $t0, 3
+    li  $t1, 5
+loop:
+    sll  $t2, $t0, 4
+    addu $t2, $t2, $t1
+    xor  $t2, $t2, $t0
+    xor  $t1, $t1, $t2
+    andi $t1, $t1, 2047
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    move $a0, $t1
+    li   $v0, 30
+    syscall
+    li   $a0, 0
+    li   $v0, 10
+    syscall
+";
+    let session = Session::from_asm(src).unwrap();
+    let sel = session.selective(&SelectConfig { pfus: Some(1), gain_threshold: 0.005 });
+    assert_eq!(sel.num_confs(), 1);
+    let estimated: u64 = sel.confs.iter().map(|c| c.total_gain).sum();
+    let base = session.run_baseline(CpuConfig::baseline()).unwrap();
+    let fused = session.run_with(&sel, CpuConfig::with_pfus(1)).unwrap();
+    let measured = base.timing.cycles - fused.timing.cycles;
+    assert!(
+        estimated / 2 <= measured && measured <= estimated * 2,
+        "estimated {estimated} vs measured {measured}"
+    );
+}
+
+#[test]
+fn tighter_thresholds_select_fewer_forms() {
+    let w = by_name("g721_enc", Scale::Test).unwrap();
+    let p = prepare(&w).unwrap();
+    let mut prev = usize::MAX;
+    for threshold in [0.001, 0.01, 0.10, 0.90] {
+        let sel = p
+            .session
+            .selective(&SelectConfig { pfus: None, gain_threshold: threshold });
+        assert!(
+            sel.num_confs() <= prev,
+            "threshold {threshold} selected more forms than a looser one"
+        );
+        prev = sel.num_confs();
+    }
+    assert_eq!(prev, 0, "a 90% threshold must reject everything");
+}
+
+#[test]
+fn wider_port_budgets_never_reduce_coverage() {
+    let w = by_name("gsm_enc", Scale::Test).unwrap();
+    let mut prev_gain = 0u64;
+    for ports in [2usize, 3, 4] {
+        let program = w.program().unwrap();
+        let extract = t1000_core::ExtractConfig { max_inputs: ports, ..Default::default() };
+        let session = Session::with_extract(program, extract).unwrap();
+        let sel = session.greedy();
+        let gain: u64 = sel.confs.iter().map(|c| c.total_gain).sum();
+        assert!(
+            gain >= prev_gain,
+            "{ports}-input extraction lost gain ({gain} < {prev_gain})"
+        );
+        prev_gain = gain;
+        for site in sel.fusion.sites() {
+            assert!(site.inputs.len() <= ports);
+        }
+    }
+}
+
+#[test]
+fn multicycle_extraction_extends_coverage_without_breaking_semantics() {
+    let w = by_name("mpeg2_dec", Scale::Test).unwrap();
+    let program = w.program().unwrap();
+    let extract = t1000_core::ExtractConfig {
+        max_pfu_latency: 3,
+        max_len: 12,
+        ..Default::default()
+    };
+    let session = Session::with_extract(program, extract).unwrap();
+    let sel = session.selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+    let (base, fused) = session
+        .verify_selection(&sel, CpuConfig::with_pfus(4))
+        .unwrap();
+    assert!(fused.timing.cycles < base.timing.cycles);
+    // Multi-cycle configs are allowed now; the simulator must honour any
+    // latency the selector assigned.
+    for c in &sel.confs {
+        assert!(c.latency >= 1 && c.latency <= 3);
+    }
+}
