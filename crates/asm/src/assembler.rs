@@ -65,10 +65,15 @@ impl Assembler {
             }
             for label in &line.labels {
                 if self.symbols.insert(label.clone(), *pc).is_some() {
-                    return Err(AsmError::new(line.num, format!("duplicate label `{label}`")));
+                    return Err(AsmError::new(
+                        line.num,
+                        format!("duplicate label `{label}`"),
+                    ));
                 }
             }
-            let Some(m) = line.mnemonic.as_deref() else { continue };
+            let Some(m) = line.mnemonic.as_deref() else {
+                continue;
+            };
             if let Some(dir) = m.strip_prefix('.') {
                 match dir {
                     "text" => {
@@ -140,7 +145,9 @@ impl Assembler {
         let mut entry: Option<u32> = None;
 
         for line in lines {
-            let Some(m) = line.mnemonic.as_deref() else { continue };
+            let Some(m) = line.mnemonic.as_deref() else {
+                continue;
+            };
             if let Some(dir) = m.strip_prefix('.') {
                 match dir {
                     "text" => section = Section::Text,
@@ -156,12 +163,17 @@ impl Assembler {
                     "align" => {
                         // .align in .text pads with nops.
                         let n = parse_int(&line.operands[0], line.num)? as u32;
-                        while text_pc % (1 << n) != 0 {
+                        while !text_pc.is_multiple_of(1 << n) {
                             text.push(encode(&Instr::NOP));
                             text_pc += 4;
                         }
                     }
-                    _ => return Err(AsmError::new(line.num, format!("directive `{m}` outside .data"))),
+                    _ => {
+                        return Err(AsmError::new(
+                            line.num,
+                            format!("directive `{m}` outside .data"),
+                        ))
+                    }
                 }
                 continue;
             }
@@ -196,7 +208,7 @@ impl Assembler {
         data_pc: &mut u32,
     ) -> AsmResult<()> {
         let pad_to = |data: &mut Vec<u8>, pc: &mut u32, align: u32| {
-            while *pc % align != 0 {
+            while !(*pc).is_multiple_of(align) {
                 data.push(0);
                 *pc += 1;
             }
@@ -227,7 +239,7 @@ impl Assembler {
             }
             "space" => {
                 let n = parse_int(&line.operands[0], line.num)? as u32;
-                data.extend(std::iter::repeat(0u8).take(n as usize));
+                data.extend(std::iter::repeat_n(0u8, n as usize));
                 *data_pc += n;
             }
             "align" => {
@@ -243,7 +255,12 @@ impl Assembler {
                     *data_pc += 1;
                 }
             }
-            _ => return Err(AsmError::new(line.num, format!("unknown directive `.{dir}`"))),
+            _ => {
+                return Err(AsmError::new(
+                    line.num,
+                    format!("unknown directive `.{dir}`"),
+                ))
+            }
         }
         Ok(())
     }
@@ -272,7 +289,10 @@ impl Assembler {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(AsmError::new(line, format!("`{m}` expects {n} operands, got {}", ops.len())))
+                Err(AsmError::new(
+                    line,
+                    format!("`{m}` expects {n} operands, got {}", ops.len()),
+                ))
             }
         };
         // Signed-immediate ops: accept [-0x8000, 0x7fff] plus the common
@@ -282,7 +302,10 @@ impl Assembler {
             match v {
                 -0x8000..=0x7fff => Ok(v as i32),
                 0x8000..=0xffff => Ok((v - 0x1_0000) as i32),
-                _ => Err(AsmError::new(line, format!("immediate {v} does not fit in 16 bits"))),
+                _ => Err(AsmError::new(
+                    line,
+                    format!("immediate {v} does not fit in 16 bits"),
+                )),
             }
         };
         // Zero-extended ops: accept [0, 0xffff] plus negative bit patterns.
@@ -290,7 +313,10 @@ impl Assembler {
             match v {
                 0..=0xffff => Ok(v as i32),
                 -0x8000..=-1 => Ok((v + 0x1_0000) as i32),
-                _ => Err(AsmError::new(line, format!("immediate {v} does not fit in 16 bits"))),
+                _ => Err(AsmError::new(
+                    line,
+                    format!("immediate {v} does not fit in 16 bits"),
+                )),
             }
         };
         // Branch displacement from the *end* of the branch instruction.
@@ -309,21 +335,41 @@ impl Assembler {
         use Op::*;
         let three_r = |op: Op| -> AsmResult<Vec<Instr>> {
             arity(3)?;
-            Ok(vec![Instr::rtype(op, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?)])
+            Ok(vec![Instr::rtype(
+                op,
+                reg(&ops[0])?,
+                reg(&ops[1])?,
+                reg(&ops[2])?,
+            )])
         };
         let shift_c = |op: Op| -> AsmResult<Vec<Instr>> {
             arity(3)?;
             let sh = parse_int(&ops[2], line)?;
             if !(0..32).contains(&sh) {
-                return Err(AsmError::new(line, format!("shift amount {sh} out of range")));
+                return Err(AsmError::new(
+                    line,
+                    format!("shift amount {sh} out of range"),
+                ));
             }
-            Ok(vec![Instr::shift(op, reg(&ops[0])?, reg(&ops[1])?, sh as u32)])
+            Ok(vec![Instr::shift(
+                op,
+                reg(&ops[0])?,
+                reg(&ops[1])?,
+                sh as u32,
+            )])
         };
         let shift_v = |op: Op| -> AsmResult<Vec<Instr>> {
             arity(3)?;
             // sllv rd, rt, rs — value in rt, amount in rs.
             let (rd, rt, rs) = (reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?);
-            Ok(vec![Instr { op, rd, rs, rt, imm: 0, target: 0 }])
+            Ok(vec![Instr {
+                op,
+                rd,
+                rs,
+                rt,
+                imm: 0,
+                target: 0,
+            }])
         };
         let itype = |op: Op| -> AsmResult<Vec<Instr>> {
             arity(3)?;
@@ -410,7 +456,12 @@ impl Assembler {
             "lui" => {
                 arity(2)?;
                 let v = self.value(&ops[1], line)?;
-                Ok(vec![Instr::itype(Lui, reg(&ops[0])?, Reg::ZERO, uimm16(v)?)])
+                Ok(vec![Instr::itype(
+                    Lui,
+                    reg(&ops[0])?,
+                    Reg::ZERO,
+                    uimm16(v)?,
+                )])
             }
             "mult" | "multu" | "div" | "divu" => {
                 arity(2)?;
@@ -432,12 +483,26 @@ impl Assembler {
             "mfhi" | "mflo" => {
                 arity(1)?;
                 let op = if m == "mfhi" { Mfhi } else { Mflo };
-                Ok(vec![Instr { op, rd: reg(&ops[0])?, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 }])
+                Ok(vec![Instr {
+                    op,
+                    rd: reg(&ops[0])?,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                }])
             }
             "mthi" | "mtlo" => {
                 arity(1)?;
                 let op = if m == "mthi" { Mthi } else { Mtlo };
-                Ok(vec![Instr { op, rd: Reg::ZERO, rs: reg(&ops[0])?, rt: Reg::ZERO, imm: 0, target: 0 }])
+                Ok(vec![Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs: reg(&ops[0])?,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                }])
             }
             "lb" => mem(Lb),
             "lbu" => mem(Lbu),
@@ -456,7 +521,7 @@ impl Assembler {
             "j" | "jal" => {
                 arity(1)?;
                 let t = self.value(&ops[0], line)? as u32;
-                if t % 4 != 0 {
+                if !t.is_multiple_of(4) {
                     return Err(AsmError::new(line, "unaligned jump target"));
                 }
                 let op = if m == "j" { J } else { Jal };
@@ -471,7 +536,14 @@ impl Assembler {
             }
             "jr" => {
                 arity(1)?;
-                Ok(vec![Instr { op: Jr, rd: Reg::ZERO, rs: reg(&ops[0])?, rt: Reg::ZERO, imm: 0, target: 0 }])
+                Ok(vec![Instr {
+                    op: Jr,
+                    rd: Reg::ZERO,
+                    rs: reg(&ops[0])?,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                }])
             }
             "jalr" => {
                 let (rd, rs) = match ops.len() {
@@ -479,17 +551,35 @@ impl Assembler {
                     2 => (reg(&ops[0])?, reg(&ops[1])?),
                     _ => return Err(AsmError::new(line, "`jalr` expects 1 or 2 operands")),
                 };
-                Ok(vec![Instr { op: Jalr, rd, rs, rt: Reg::ZERO, imm: 0, target: 0 }])
+                Ok(vec![Instr {
+                    op: Jalr,
+                    rd,
+                    rs,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                }])
             }
-            "syscall" => Ok(vec![Instr { op: Syscall, ..Instr::NOP }]),
-            "break" => Ok(vec![Instr { op: Break, ..Instr::NOP }]),
+            "syscall" => Ok(vec![Instr {
+                op: Syscall,
+                ..Instr::NOP
+            }]),
+            "break" => Ok(vec![Instr {
+                op: Break,
+                ..Instr::NOP
+            }]),
             "ext" => {
                 arity(4)?;
                 let conf = parse_int(&ops[3], line)?;
                 if !(0..(1 << 11)).contains(&conf) {
                     return Err(AsmError::new(line, "conf id out of range (11 bits)"));
                 }
-                Ok(vec![Instr::ext(conf as u16, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?)])
+                Ok(vec![Instr::ext(
+                    conf as u16,
+                    reg(&ops[0])?,
+                    reg(&ops[1])?,
+                    reg(&ops[2])?,
+                )])
             }
             // ---- pseudo-instructions ----
             "nop" => {
@@ -498,15 +588,30 @@ impl Assembler {
             }
             "move" => {
                 arity(2)?;
-                Ok(vec![Instr::rtype(Addu, reg(&ops[0])?, Reg::ZERO, reg(&ops[1])?)])
+                Ok(vec![Instr::rtype(
+                    Addu,
+                    reg(&ops[0])?,
+                    Reg::ZERO,
+                    reg(&ops[1])?,
+                )])
             }
             "not" => {
                 arity(2)?;
-                Ok(vec![Instr::rtype(Nor, reg(&ops[0])?, reg(&ops[1])?, Reg::ZERO)])
+                Ok(vec![Instr::rtype(
+                    Nor,
+                    reg(&ops[0])?,
+                    reg(&ops[1])?,
+                    Reg::ZERO,
+                )])
             }
             "neg" | "negu" => {
                 arity(2)?;
-                Ok(vec![Instr::rtype(Subu, reg(&ops[0])?, Reg::ZERO, reg(&ops[1])?)])
+                Ok(vec![Instr::rtype(
+                    Subu,
+                    reg(&ops[0])?,
+                    Reg::ZERO,
+                    reg(&ops[1])?,
+                )])
             }
             "li" => {
                 arity(2)?;
@@ -573,7 +678,10 @@ fn instr_size(m: &str, ops: &[String], line: usize) -> AsmResult<u32> {
 /// field, otherwise `lui` + `ori`.
 fn expand_li(rd: Reg, v: i64, line: usize) -> AsmResult<Vec<Instr>> {
     if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
-        return Err(AsmError::new(line, format!("constant {v} does not fit in 32 bits")));
+        return Err(AsmError::new(
+            line,
+            format!("constant {v} does not fit in 32 bits"),
+        ));
     }
     let w = v as u32;
     if (-(1 << 15)..(1 << 15)).contains(&v) {
@@ -598,7 +706,11 @@ fn parse_mem(s: &str, line: usize) -> AsmResult<(i64, Reg)> {
         let off = s[..open].trim();
         let base = Reg::parse(s[open + 1..close].trim())
             .ok_or_else(|| AsmError::new(line, format!("bad base register in `{s}`")))?;
-        let off = if off.is_empty() { 0 } else { parse_int(off, line)? };
+        let off = if off.is_empty() {
+            0
+        } else {
+            parse_int(off, line)?
+        };
         Ok((off, base))
     } else {
         Ok((parse_int(s, line)?, Reg::ZERO))
@@ -644,10 +756,7 @@ mod tests {
 
     #[test]
     fn minimal_program_assembles() {
-        let p = assemble(
-            "main: addiu $v0, $zero, 10\n      syscall\n",
-        )
-        .unwrap();
+        let p = assemble("main: addiu $v0, $zero, 10\n      syscall\n").unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(p.entry, TEXT_BASE);
         let i = p.instr_at(TEXT_BASE).unwrap();
@@ -668,7 +777,8 @@ mod tests {
 
     #[test]
     fn li_expansion_sizes_match_pass1() {
-        let p = assemble("main: li $t0, 5\n li $t1, 0x12345678\n li $t2, 0xffff\nafter: nop\n").unwrap();
+        let p = assemble("main: li $t0, 5\n li $t1, 0x12345678\n li $t2, 0xffff\nafter: nop\n")
+            .unwrap();
         // 1 + 2 + 1 instructions before `after`.
         assert_eq!(p.symbol("after"), Some(TEXT_BASE + 16));
         assert_eq!(p.len(), 5);

@@ -9,9 +9,7 @@ use t1000_isa::{Instr, Op, Program};
 
 /// Disassembles a full program into assembly source text.
 pub fn disassemble(p: &Program) -> String {
-    let decoded: Vec<(u32, Instr)> = p
-        .decode_all()
-        .expect("program contains undecodable words");
+    let decoded: Vec<(u32, Instr)> = p.decode_all().expect("program contains undecodable words");
 
     // Collect every control-flow target that lands inside the text segment.
     let mut targets: BTreeSet<u32> = BTreeSet::new();
@@ -43,7 +41,13 @@ pub fn render(pc: u32, i: &Instr, p: &Program) -> String {
     match i.op {
         Beq | Bne => {
             let t = i.branch_target(pc);
-            format!("{} {}, {}, {}", i.op.mnemonic(), i.rs, i.rt, label_or_addr(t, p))
+            format!(
+                "{} {}, {}, {}",
+                i.op.mnemonic(),
+                i.rs,
+                i.rt,
+                label_or_addr(t, p)
+            )
         }
         Blez | Bgtz | Bltz | Bgez => {
             let t = i.branch_target(pc);
@@ -53,7 +57,7 @@ pub fn render(pc: u32, i: &Instr, p: &Program) -> String {
             let t = i.jump_target(pc);
             format!("{} {}", i.op.mnemonic(), label_or_addr(t, p))
         }
-        _ => i.to_string().replace('$', "$"),
+        _ => i.to_string(),
     }
 }
 

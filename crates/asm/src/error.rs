@@ -13,7 +13,10 @@ pub struct AsmError {
 
 impl AsmError {
     pub fn new(line: usize, msg: impl Into<String>) -> AsmError {
-        AsmError { line, msg: msg.into() }
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 

@@ -60,7 +60,12 @@ pub fn tokenize(src: &str) -> AsmResult<Vec<Line>> {
         }
         if text.is_empty() {
             if !labels.is_empty() {
-                out.push(Line { num, labels, mnemonic: None, operands: Vec::new() });
+                out.push(Line {
+                    num,
+                    labels,
+                    mnemonic: None,
+                    operands: Vec::new(),
+                });
             }
             continue;
         }

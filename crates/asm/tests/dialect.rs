@@ -120,11 +120,7 @@ fn all_workload_sources_assemble_without_at_clobber_hazards() {
     // $at is reserved for pseudo expansion; workload sources must not use
     // it directly (keeps them portable to strict assemblers).
     for w in t1000_workloads::all(t1000_workloads::Scale::Test) {
-        assert!(
-            !w.asm.contains("$at"),
-            "{} uses $at directly",
-            w.name
-        );
+        assert!(!w.asm.contains("$at"), "{} uses $at directly", w.name);
         assemble(&w.asm).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     }
 }

@@ -7,7 +7,9 @@ use t1000_asm::{assemble, disassemble};
 /// A random straight-line ALU statement using temporaries only.
 fn arb_alu_line() -> impl Strategy<Value = String> {
     let reg = (8u8..16).prop_map(|n| format!("$t{}", n - 8));
-    let r3 = prop::sample::select(vec!["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"]);
+    let r3 = prop::sample::select(vec![
+        "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu",
+    ]);
     let sh = prop::sample::select(vec!["sll", "srl", "sra"]);
     let im = prop::sample::select(vec!["addiu", "andi", "ori", "xori", "slti"]);
     prop_oneof![

@@ -22,7 +22,12 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| execute(&p, &fusion, 0).unwrap().1)
     });
     g.bench_function("cycle_level", |b| {
-        b.iter(|| simulate(&p, &fusion, CpuConfig::baseline()).unwrap().timing.cycles)
+        b.iter(|| {
+            simulate(&p, &fusion, CpuConfig::baseline())
+                .unwrap()
+                .timing
+                .cycles
+        })
     });
     g.finish();
 }
@@ -86,8 +91,16 @@ fn bench_selection(c: &mut Criterion) {
     });
     g.bench_function("selective_2pfu", |b| {
         b.iter(|| {
-            t1000_core::selective(&p, &a, &xc, &SelectConfig { pfus: Some(2), gain_threshold: 0.005 })
-                .num_confs()
+            t1000_core::selective(
+                &p,
+                &a,
+                &xc,
+                &SelectConfig {
+                    pfus: Some(2),
+                    gain_threshold: 0.005,
+                },
+            )
+            .num_confs()
         })
     });
     g.finish();
@@ -102,9 +115,7 @@ fn bench_hwcost(c: &mut Criterion) {
         Instr::rtype(Op::Slt, Reg::new(10), Reg::new(10), Reg::new(9)),
     ];
     let mut g = c.benchmark_group("hwcost");
-    g.bench_function("map_5op_18bit", |b| {
-        b.iter(|| cost_of(&seq, 18).luts)
-    });
+    g.bench_function("map_5op_18bit", |b| b.iter(|| cost_of(&seq, 18).luts));
     g.finish();
 }
 

@@ -35,9 +35,10 @@ fn bench_fig6(c: &mut Criterion) {
         let p = prepare(&w).unwrap();
         g.bench_function(name, |b| {
             b.iter(|| {
-                let sel = p
-                    .session
-                    .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+                let sel = p.session.selective(&SelectConfig {
+                    pfus: Some(2),
+                    gain_threshold: 0.005,
+                });
                 run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10))
                     .timing
                     .cycles
@@ -54,9 +55,10 @@ fn bench_fig7(c: &mut Criterion) {
     let p = prepare(&w).unwrap();
     g.bench_function("select_and_map", |b| {
         b.iter(|| {
-            let sel = p
-                .session
-                .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+            let sel = p.session.selective(&SelectConfig {
+                pfus: Some(4),
+                gain_threshold: 0.005,
+            });
             sel.confs.iter().map(|c| c.cost.luts).max()
         })
     });
@@ -79,11 +81,16 @@ fn bench_reconfig_sweep(c: &mut Criterion) {
     g.sample_size(10);
     let w = by_name("epic", Scale::Test).unwrap();
     let p = prepare(&w).unwrap();
-    let sel = p
-        .session
-        .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+    let sel = p.session.selective(&SelectConfig {
+        pfus: Some(2),
+        gain_threshold: 0.005,
+    });
     g.bench_function("selective_500cy", |b| {
-        b.iter(|| run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(500)).timing.cycles)
+        b.iter(|| {
+            run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(500))
+                .timing
+                .cycles
+        })
     });
     g.finish();
 }

@@ -6,48 +6,47 @@
 //! benefit of extended instructions shrinks only modestly — evidence the
 //! paper's assumption does not drive its conclusions.
 
-use t1000_bench::{prepare_all, scale_from_env, Timer};
-use t1000_core::SelectConfig;
-use t1000_cpu::{BranchModel, CpuConfig};
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, scale_from_env, Timer};
+use t1000_cpu::BranchModel;
+
+const BIMODAL: BranchModel = BranchModel::Bimodal {
+    entries: 2048,
+    penalty: 6,
+};
+
+fn cell(w: &'static str, branch: BranchModel) -> Cell {
+    let machine = MachineSpec {
+        branch,
+        ..MachineSpec::with_pfus(2, 10)
+    };
+    Cell::new(w, SelectionSpec::selective_std(Some(2)), machine)
+}
 
 fn main() {
     let _t = Timer::start("branch-prediction sensitivity");
-    let prepared = prepare_all(scale_from_env());
+    // Each speedup is normalised against a baseline with the *same*
+    // predictor: the engine derives the bimodal baseline cells itself.
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        plan.push(cell(w, BranchModel::Perfect));
+        plan.push(cell(w, BIMODAL));
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# Branch-prediction ablation: selective, 2 PFUs, 10-cy reconfig");
     println!(
         "{:>10}  {:>10}  {:>10}  {:>10}",
         "bench", "perfect", "bimodal", "accuracy"
     );
-    for p in &prepared {
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
-        let bimodal = BranchModel::Bimodal { entries: 2048, penalty: 6 };
-
-        // Perfect prediction: reuse the prepared baseline.
-        let t_perfect = p
-            .session
-            .run_with(&sel, CpuConfig::with_pfus(2).reconfig(10))
-            .unwrap();
-        let s_perfect = p.baseline.timing.cycles as f64 / t_perfect.timing.cycles as f64;
-
-        // Bimodal: both baseline and T1000 re-run under the predictor.
-        let mut base_cfg = CpuConfig::baseline();
-        base_cfg.branch = bimodal;
-        let b_bi = p.session.run_baseline(base_cfg).unwrap();
-        let mut t_cfg = CpuConfig::with_pfus(2).reconfig(10);
-        t_cfg.branch = bimodal;
-        let t_bi = p.session.run_with(&sel, t_cfg).unwrap();
-        assert_eq!(t_bi.sys, b_bi.sys);
-        let s_bi = b_bi.timing.cycles as f64 / t_bi.timing.cycles as f64;
-
+    for info in &run.workloads {
+        let bi = cell(info.name, BIMODAL);
         println!(
             "{:>10}  {:>10.3}  {:>10.3}  {:>9.1}%",
-            p.name,
-            s_perfect,
-            s_bi,
-            100.0 * t_bi.timing.branch.accuracy()
+            info.name,
+            run.speedup(cell(info.name, BranchModel::Perfect)),
+            run.speedup(bi),
+            100.0 * run.cell(bi).branch_accuracy
         );
     }
 }

@@ -8,12 +8,25 @@
 //!    (the greedy algorithm thrashes: "substantially worse than the
 //!    original processor", §4.1).
 
-use t1000_bench::{fmt_row, prepare_all, run_verified, speedup, scale_from_env, Timer};
-use t1000_cpu::CpuConfig;
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, fmt_row, scale_from_env, Timer};
 
 fn main() {
     let _t = Timer::start("Fig. 2 (greedy selection)");
-    let prepared = prepare_all(scale_from_env());
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        plan.push(Cell::new(
+            w,
+            SelectionSpec::Greedy,
+            MachineSpec::unlimited(0),
+        ));
+        plan.push(Cell::new(
+            w,
+            SelectionSpec::Greedy,
+            MachineSpec::with_pfus(2, 10),
+        ));
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# Figure 2: execution-time speedup, greedy selection");
     println!("# columns: baseline | T1000 unlimited PFUs (0-cycle reconfig) | T1000 2 PFUs (10-cycle reconfig)");
@@ -21,18 +34,18 @@ fn main() {
         "{:>10}  {:>8}  {:>8}  {:>8}   {:>8} {:>12}",
         "bench", "base", "unlim", "2pfu", "#confs", "reconfigs@2"
     );
-    for p in &prepared {
-        let sel = p.session.greedy();
-        let unlimited = run_verified(p, &sel, CpuConfig::unlimited_pfus().reconfig(0));
-        let two = run_verified(p, &sel, CpuConfig::with_pfus(2).reconfig(10));
+    for info in &run.workloads {
+        let unl = Cell::new(info.name, SelectionSpec::Greedy, MachineSpec::unlimited(0));
+        let two = Cell::new(
+            info.name,
+            SelectionSpec::Greedy,
+            MachineSpec::with_pfus(2, 10),
+        );
         println!(
             "{}   {:>7} {:>12}",
-            fmt_row(
-                p.name,
-                &[1.0, speedup(p, &unlimited), speedup(p, &two)]
-            ),
-            sel.num_confs(),
-            two.timing.pfu.reconfigurations,
+            fmt_row(info.name, &[1.0, run.speedup(unl), run.speedup(two)]),
+            run.selection(unl).expect("greedy record").num_confs,
+            run.cell(two).reconfigurations,
         );
     }
 }

@@ -6,13 +6,36 @@
 //! "four PFUs are typically enough to achieve almost the same performance
 //! improvement as the optimistic speed-ups" (§5.2).
 
-use t1000_bench::{fmt_row, prepare_all, run_verified, scale_from_env, speedup, Timer};
-use t1000_core::SelectConfig;
-use t1000_cpu::CpuConfig;
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, fmt_row, scale_from_env, Timer};
+
+fn cells(w: &'static str) -> [Cell; 3] {
+    [
+        Cell::new(
+            w,
+            SelectionSpec::selective_std(Some(2)),
+            MachineSpec::with_pfus(2, 10),
+        ),
+        Cell::new(
+            w,
+            SelectionSpec::selective_std(Some(4)),
+            MachineSpec::with_pfus(4, 10),
+        ),
+        Cell::new(
+            w,
+            SelectionSpec::selective_std(None),
+            MachineSpec::unlimited(10),
+        ),
+    ]
+}
 
 fn main() {
     let _t = Timer::start("Fig. 6 (selective selection)");
-    let prepared = prepare_all(scale_from_env());
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        plan.extend(cells(w));
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# Figure 6: execution-time speedup, selective algorithm (10-cycle reconfig)");
     println!("# columns: baseline | 2 PFUs | 4 PFUs | unlimited PFUs");
@@ -20,23 +43,18 @@ fn main() {
         "{:>10}  {:>8}  {:>8}  {:>8}  {:>8}   {:>12}",
         "bench", "base", "2pfu", "4pfu", "unlim", "reconfigs@2"
     );
-    for p in &prepared {
-        let mut cells = vec![1.0];
-        let mut reconf2 = 0;
-        for pfus in [Some(2usize), Some(4), None] {
-            let sel = p
-                .session
-                .selective(&SelectConfig { pfus, gain_threshold: 0.005 });
-            let cpu = match pfus {
-                Some(n) => CpuConfig::with_pfus(n).reconfig(10),
-                None => CpuConfig::unlimited_pfus().reconfig(10),
-            };
-            let run = run_verified(p, &sel, cpu);
-            if pfus == Some(2) {
-                reconf2 = run.timing.pfu.reconfigurations;
-            }
-            cells.push(speedup(p, &run));
-        }
-        println!("{}   {:>12}", fmt_row(p.name, &cells), reconf2);
+    for info in &run.workloads {
+        let cs = cells(info.name);
+        let row = [
+            1.0,
+            run.speedup(cs[0]),
+            run.speedup(cs[1]),
+            run.speedup(cs[2]),
+        ];
+        println!(
+            "{}   {:>12}",
+            fmt_row(info.name, &row),
+            run.cell(cs[0]).reconfigurations
+        );
     }
 }

@@ -7,21 +7,34 @@
 //! most area-intensive instruction at 105 LUTs — comfortably inside a
 //! 150-LUT PFU.
 
-use t1000_bench::{prepare_all, scale_from_env, Timer};
-use t1000_core::SelectConfig;
+use t1000_bench::plan::{Plan, SelectionSpec};
+use t1000_bench::{engine, scale_from_env, Timer};
+use t1000_core::ExtractConfig;
 
 fn main() {
     let _t = Timer::start("Fig. 7 (hardware cost distribution)");
-    let prepared = prepare_all(scale_from_env());
+    // Fig. 7 analyses the selective algorithm's selections (4 PFUs); no
+    // fused simulation is needed.
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        plan.push_selection(
+            w,
+            ExtractConfig::default(),
+            SelectionSpec::selective_std(Some(4)),
+        );
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     let mut costs: Vec<(String, u32, u32, u8, usize)> = Vec::new();
-    for p in &prepared {
-        // Fig. 7 uses the selective algorithm's instructions (4 PFUs).
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+    for sel in &run.selections {
         for c in &sel.confs {
-            costs.push((p.name.to_string(), c.cost.luts, c.cost.depth, c.width, c.seq_len));
+            costs.push((
+                sel.workload.to_string(),
+                c.luts,
+                c.depth,
+                c.width,
+                c.seq_len,
+            ));
         }
     }
 
@@ -34,7 +47,10 @@ fn main() {
     }
     println!();
     println!("# per-instruction detail");
-    println!("{:>10} {:>6} {:>6} {:>6} {:>4}", "bench", "luts", "depth", "width", "len");
+    println!(
+        "{:>10} {:>6} {:>6} {:>6} {:>4}",
+        "bench", "luts", "depth", "width", "len"
+    );
     costs.sort_by_key(|c| std::cmp::Reverse(c.1));
     for (name, luts, depth, width, len) in &costs {
         println!("{name:>10} {luts:>6} {depth:>6} {width:>6} {len:>4}");
@@ -45,5 +61,8 @@ fn main() {
         max,
         costs.len()
     );
-    assert!(max < 150, "an instruction exceeded the paper's PFU area budget");
+    assert!(
+        max < 150,
+        "an instruction exceeded the paper's PFU area budget"
+    );
 }

@@ -5,30 +5,50 @@
 //! (where replacement actually matters — the selective algorithm barely
 //! reconfigures at all).
 
-use t1000_bench::{prepare_all, run_verified, scale_from_env, speedup, Timer};
-use t1000_cpu::{CpuConfig, PfuReplacement};
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, scale_from_env, Timer};
+use t1000_cpu::PfuReplacement;
+
+const POLICIES: [PfuReplacement; 3] = [
+    PfuReplacement::Lru,
+    PfuReplacement::Fifo,
+    PfuReplacement::Random,
+];
+
+fn cell(w: &'static str, policy: PfuReplacement) -> Cell {
+    let machine = MachineSpec {
+        replacement: policy,
+        ..MachineSpec::with_pfus(2, 10)
+    };
+    Cell::new(w, SelectionSpec::Greedy, machine)
+}
 
 fn main() {
     let _t = Timer::start("PFU replacement-policy sweep");
-    let prepared = prepare_all(scale_from_env());
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        for policy in POLICIES {
+            plan.push(cell(w, policy));
+        }
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# PFU replacement ablation: greedy selection, 2 PFUs, 10-cy reconfig");
     println!(
         "{:>10}  {:>8}  {:>8}  {:>8}   (speedup; reconfigs in parens)",
         "bench", "lru", "fifo", "random"
     );
-    for p in &prepared {
-        let sel = p.session.greedy();
-        let mut cells = Vec::new();
-        for policy in [PfuReplacement::Lru, PfuReplacement::Fifo, PfuReplacement::Random] {
-            let mut cfg = CpuConfig::with_pfus(2).reconfig(10);
-            cfg.pfu_replacement = policy;
-            let run = run_verified(p, &sel, cfg);
-            cells.push((speedup(p, &run), run.timing.pfu.reconfigurations));
-        }
+    for info in &run.workloads {
+        let cells: Vec<_> = POLICIES
+            .iter()
+            .map(|&p| {
+                let c = cell(info.name, p);
+                (run.speedup(c), run.cell(c).reconfigurations)
+            })
+            .collect();
         println!(
             "{:>10}  {:>8.3}  {:>8.3}  {:>8.3}   ({} / {} / {})",
-            p.name, cells[0].0, cells[1].0, cells[2].0, cells[0].1, cells[1].1, cells[2].1
+            info.name, cells[0].0, cells[1].0, cells[2].0, cells[0].1, cells[1].1, cells[2].1
         );
     }
 }

@@ -6,15 +6,33 @@
 //! 3- and 4-input PFUs admit longer sequences and higher speedups — the
 //! performance the architect pays ports for.
 
-use t1000_bench::{run_verified, scale_from_env, speedup, Timer};
-use t1000_core::{ExtractConfig, SelectConfig, Session};
-use t1000_cpu::CpuConfig;
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, scale_from_env, Timer};
+use t1000_core::ExtractConfig;
 
 const PORTS: [usize; 3] = [2, 3, 4];
 
+fn cell(w: &'static str, ports: usize) -> Cell {
+    Cell {
+        workload: w,
+        extract: ExtractConfig {
+            max_inputs: ports,
+            ..Default::default()
+        },
+        selection: SelectionSpec::selective_std(Some(4)),
+        machine: MachineSpec::with_pfus(4, 10),
+    }
+}
+
 fn main() {
     let _t = Timer::start("input-port sweep");
-    let workloads = t1000_workloads::all(scale_from_env());
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        for ports in PORTS {
+            plan.push(cell(w, ports));
+        }
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# Input-port ablation, selective algorithm, 4 PFUs");
     print!("{:>10}", "bench");
@@ -22,35 +40,11 @@ fn main() {
         print!("  {p:>6}-in");
     }
     println!("  (speedup over baseline)");
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut cells = Vec::new();
-                    for ports in PORTS {
-                        let program = w.program().unwrap();
-                        let extract = ExtractConfig { max_inputs: ports, ..Default::default() };
-                        let session = Session::with_extract(program, extract).unwrap();
-                        let baseline = session.run_baseline(CpuConfig::baseline()).unwrap();
-                        let sel = session
-                            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
-                        let p = t1000_bench::Prepared { name: w.name, session, baseline };
-                        let run = run_verified(&p, &sel, CpuConfig::with_pfus(4).reconfig(10));
-                        cells.push(speedup(&p, &run));
-                    }
-                    (w.name, cells)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (name, cells) = h.join().unwrap();
-            let mut row = format!("{name:>10}");
-            for c in cells {
-                row.push_str(&format!("  {c:>8.3}"));
-            }
-            println!("{row}");
+    for info in &run.workloads {
+        let mut row = format!("{:>10}", info.name);
+        for ports in PORTS {
+            row.push_str(&format!("  {:>8.3}", run.speedup(cell(info.name, ports))));
         }
-    });
+        println!("{row}");
+    }
 }

@@ -5,15 +5,29 @@
 //! 2 PFUs, and contrasts with the greedy algorithm, whose performance
 //! collapses as the penalty grows.
 
-use t1000_bench::{prepare_all, run_verified, scale_from_env, speedup, Timer};
-use t1000_core::SelectConfig;
-use t1000_cpu::CpuConfig;
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, scale_from_env, Timer};
 
 const PENALTIES: [u32; 6] = [0, 10, 50, 100, 250, 500];
 
+fn specs() -> [(&'static str, SelectionSpec); 2] {
+    [
+        ("selective", SelectionSpec::selective_std(Some(2))),
+        ("greedy", SelectionSpec::Greedy),
+    ]
+}
+
 fn main() {
     let _t = Timer::start("reconfiguration-cost sweep (§5.2)");
-    let prepared = prepare_all(scale_from_env());
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        for (_, spec) in specs() {
+            for c in PENALTIES {
+                plan.push(Cell::new(w, spec, MachineSpec::with_pfus(2, c)));
+            }
+        }
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# Reconfiguration-penalty sweep, 2 PFUs");
     println!("# selective speedups should stay nearly flat; greedy collapses");
@@ -22,22 +36,12 @@ fn main() {
         print!("  {c:>8}");
     }
     println!();
-    for p in &prepared {
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
-        let greedy = p.session.greedy();
-        for (label, s) in [("selective", &sel), ("greedy", &greedy)] {
-            let cells: Vec<f64> = PENALTIES
-                .iter()
-                .map(|&c| {
-                    let run = run_verified(p, s, CpuConfig::with_pfus(2).reconfig(c));
-                    speedup(p, &run)
-                })
-                .collect();
-            let mut row = format!("{:>10} {label:>9}", p.name);
-            for c in &cells {
-                row.push_str(&format!("  {c:>8.3}"));
+    for info in &run.workloads {
+        for (label, spec) in specs() {
+            let mut row = format!("{:>10} {label:>9}", info.name);
+            for c in PENALTIES {
+                let s = run.speedup(Cell::new(info.name, spec, MachineSpec::with_pfus(2, c)));
+                row.push_str(&format!("  {s:>8.3}"));
             }
             println!("{row}");
         }

@@ -1,138 +1,42 @@
 //! Runs every experiment and emits a Markdown report (the body of
-//! EXPERIMENTS.md). `T1000_SCALE=test` gives a fast smoke run.
+//! EXPERIMENTS.md) plus the `BENCH_results.json` artifact.
+//! `T1000_SCALE=test` gives a fast smoke run.
+//!
+//! The heavy lifting lives in the shared experiment engine: one plan
+//! covering all figures/tables, deduplicated so each distinct
+//! (workload, selection, machine) job runs exactly once across a worker
+//! pool. This binary just renders the results.
 
-use t1000_bench::{prepare_all, run_verified, scale_from_env, speedup, Timer};
-use t1000_core::SelectConfig;
-use t1000_cpu::CpuConfig;
-use t1000_workloads::Scale;
+use t1000_bench::{engine, results, scale_from_env, Timer};
 
 fn main() {
     let scale = scale_from_env();
-    let _t = Timer::start("all experiments");
-    let prepared = prepare_all(scale);
+    let run = {
+        let _t = Timer::start("all experiments");
+        engine::execute_run_all(scale)
+    };
 
-    println!("# T1000 experiment report");
-    println!();
-    println!(
-        "Scale: {} | machine: 4-wide OoO, 64-entry RUU, perfect branch prediction, paper caches/TLBs",
-        if scale == Scale::Test { "test" } else { "full (paper)" }
+    let s = &run.stats;
+    eprintln!(
+        "[t1000-bench] engine: {} cells requested, {} simulated ({} deduped), \
+         {} selection jobs ({} cache hits), {} threads",
+        s.cells_requested,
+        s.cells_simulated,
+        s.cells_deduped,
+        s.selection_jobs,
+        s.selection_hits,
+        s.threads
     );
-    println!();
+    eprintln!(
+        "[t1000-bench] phases: prepare {:.1}s | select {:.1}s ({:.1}s compute) | simulate {:.1}s",
+        s.prepare_secs, s.select_secs, s.selection_compute_secs, s.simulate_secs
+    );
 
-    // Workload inventory.
-    println!("## Workloads");
-    println!();
-    println!("| bench | dynamic instrs | baseline cycles | baseline IPC |");
-    println!("|---|---:|---:|---:|");
-    for p in &prepared {
-        println!(
-            "| {} | {} | {} | {:.2} |",
-            p.name,
-            p.baseline.timing.base_instructions,
-            p.baseline.timing.cycles,
-            p.baseline.timing.base_ipc
-        );
-    }
-    println!();
+    let json_path =
+        std::env::var("T1000_RESULTS_JSON").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    let path = std::path::Path::new(&json_path);
+    results::write_json(&run, path).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    eprintln!("[t1000-bench] wrote {json_path}");
 
-    // Figure 2.
-    println!("## Figure 2 — greedy selection");
-    println!();
-    println!("| bench | unlimited PFUs, 0-cy reconfig | 2 PFUs, 10-cy reconfig | #confs |");
-    println!("|---|---:|---:|---:|");
-    for p in &prepared {
-        let sel = p.session.greedy();
-        let unl = run_verified(p, &sel, CpuConfig::unlimited_pfus().reconfig(0));
-        let two = run_verified(p, &sel, CpuConfig::with_pfus(2).reconfig(10));
-        println!(
-            "| {} | {:.3} | {:.3} | {} |",
-            p.name,
-            speedup(p, &unl),
-            speedup(p, &two),
-            sel.num_confs()
-        );
-    }
-    println!();
-
-    // §4.1 table.
-    println!("## §4.1 — greedy statistics");
-    println!();
-    println!("| bench | #confs | #sites | len range |");
-    println!("|---|---:|---:|---|");
-    for p in &prepared {
-        let sel = p.session.greedy();
-        let min = sel.confs.iter().map(|c| c.seq_len).min().unwrap_or(0);
-        let max = sel.confs.iter().map(|c| c.seq_len).max().unwrap_or(0);
-        println!(
-            "| {} | {} | {} | {min}–{max} |",
-            p.name,
-            sel.num_confs(),
-            sel.fusion.num_sites()
-        );
-    }
-    println!();
-
-    // Figure 6.
-    println!("## Figure 6 — selective algorithm (10-cy reconfig)");
-    println!();
-    println!("| bench | 2 PFUs | 4 PFUs | unlimited |");
-    println!("|---|---:|---:|---:|");
-    for p in &prepared {
-        let mut cells = Vec::new();
-        for pfus in [Some(2usize), Some(4), None] {
-            let sel = p
-                .session
-                .selective(&SelectConfig { pfus, gain_threshold: 0.005 });
-            let cpu = match pfus {
-                Some(n) => CpuConfig::with_pfus(n).reconfig(10),
-                None => CpuConfig::unlimited_pfus().reconfig(10),
-            };
-            cells.push(speedup(p, &run_verified(p, &sel, cpu)));
-        }
-        println!(
-            "| {} | {:.3} | {:.3} | {:.3} |",
-            p.name, cells[0], cells[1], cells[2]
-        );
-    }
-    println!();
-
-    // Figure 7.
-    println!("## Figure 7 — hardware cost of selected instructions");
-    println!();
-    let mut luts: Vec<u32> = Vec::new();
-    for p in &prepared {
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
-        luts.extend(sel.confs.iter().map(|c| c.cost.luts));
-    }
-    let max = luts.iter().copied().max().unwrap_or(0);
-    println!("| bucket | instructions |");
-    println!("|---|---:|");
-    for lo in (0..=max).step_by(20) {
-        let n = luts.iter().filter(|&&l| l >= lo && l < lo + 20).count();
-        println!("| {}–{} LUTs | {} |", lo, lo + 19, n);
-    }
-    println!();
-    println!("Max: {max} LUTs over {} instructions (paper: max 105, all fit 150-LUT PFUs).", luts.len());
-    println!();
-
-    // §5.2 sweep.
-    println!("## §5.2 — reconfiguration-cost robustness (2 PFUs, selective)");
-    println!();
-    println!("| bench | 0 | 10 | 100 | 500 cycles |");
-    println!("|---|---:|---:|---:|---:|");
-    for p in &prepared {
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
-        let mut cells = Vec::new();
-        for c in [0u32, 10, 100, 500] {
-            cells.push(speedup(p, &run_verified(p, &sel, CpuConfig::with_pfus(2).reconfig(c))));
-        }
-        println!(
-            "| {} | {:.3} | {:.3} | {:.3} | {:.3} |",
-            p.name, cells[0], cells[1], cells[2], cells[3]
-        );
-    }
+    print!("{}", results::render_markdown(&run));
 }

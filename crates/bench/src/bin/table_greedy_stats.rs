@@ -2,11 +2,19 @@
 //! 43 distinct extended instructions, and sequence lengths range from 2
 //! to 8 instructions."
 
-use t1000_bench::{prepare_all, scale_from_env, Timer};
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, scale_from_env, Timer};
+use t1000_core::ExtractConfig;
 
 fn main() {
     let _t = Timer::start("greedy selection statistics (§4.1)");
-    let prepared = prepare_all(scale_from_env());
+    // A selection-analysis table: greedy selections plus the baseline run
+    // (for dynamic-coverage normalisation), no fused simulations.
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        plan.push_selection(w, ExtractConfig::default(), SelectionSpec::Greedy);
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# Greedy selection statistics (paper §4.1)");
     println!(
@@ -15,20 +23,27 @@ fn main() {
     );
     let mut all_min = usize::MAX;
     let mut all_max = 0usize;
-    for p in &prepared {
-        let sel = p.session.greedy();
-        let min_len = sel.confs.iter().map(|c| c.seq_len).min().unwrap_or(0);
-        let max_len = sel.confs.iter().map(|c| c.seq_len).max().unwrap_or(0);
+    for info in &run.workloads {
+        let base = Cell::new(
+            info.name,
+            SelectionSpec::Baseline,
+            MachineSpec::with_pfus(0, 0),
+        );
+        let sel = run
+            .selections
+            .iter()
+            .find(|s| s.workload == info.name)
+            .expect("greedy record");
+        let (min_len, max_len) = sel.seq_len_range();
         all_min = all_min.min(min_len);
         all_max = all_max.max(max_len);
         // Fraction of dynamic base instructions covered by fused sequences.
-        let total_gain: u64 = sel.confs.iter().map(|c| c.total_gain).sum();
-        let cover = total_gain as f64 / p.baseline.timing.base_instructions as f64;
+        let cover = sel.total_gain() as f64 / run.cell(base).base_instructions as f64;
         println!(
             "{:>10} {:>8} {:>8} {:>8} {:>8} {:>9.1}%",
-            p.name,
-            sel.num_confs(),
-            sel.fusion.num_sites(),
+            info.name,
+            sel.num_confs,
+            sel.num_sites,
             min_len,
             max_len,
             100.0 * cover

@@ -7,25 +7,30 @@
 //! machines: PFU speedups are largest on narrow machines (where fused
 //! slots relieve fetch bandwidth) but remain substantial at 4-wide.
 
-use t1000_bench::{prepare_all, scale_from_env, Timer};
-use t1000_core::SelectConfig;
-use t1000_cpu::CpuConfig;
+use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use t1000_bench::{engine, scale_from_env, Timer};
 
 const WIDTHS: [u32; 4] = [1, 2, 4, 8];
 
-fn width_cfg(base: CpuConfig, w: u32) -> CpuConfig {
-    let mut c = base;
-    c.fetch_width = w;
-    c.dispatch_width = w;
-    c.issue_width = w;
-    c.commit_width = w;
-    c.int_alus = w.max(2);
-    c
+fn cell(w: &'static str, width: u32) -> Cell {
+    let machine = MachineSpec {
+        issue_width: Some(width),
+        ..MachineSpec::with_pfus(2, 10)
+    };
+    Cell::new(w, SelectionSpec::selective_std(Some(2)), machine)
 }
 
 fn main() {
     let _t = Timer::start("issue-width sweep");
-    let prepared = prepare_all(scale_from_env());
+    // Baselines at each width are derived by the engine (a narrow T1000
+    // is compared against an equally narrow superscalar).
+    let mut plan = Plan::new();
+    for w in t1000_bench::plan::workload_names() {
+        for width in WIDTHS {
+            plan.push(cell(w, width));
+        }
+    }
+    let run = engine::execute(&plan, scale_from_env());
 
     println!("# Issue-width ablation: selective, 2 PFUs, 10-cy reconfig");
     print!("{:>10}", "bench");
@@ -33,22 +38,10 @@ fn main() {
         print!("  {w:>5}-wide");
     }
     println!("  (PFU speedup at that width)");
-    for p in &prepared {
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
-        let mut row = format!("{:>10}", p.name);
-        for w in WIDTHS {
-            let base = p.session.run_baseline(width_cfg(CpuConfig::baseline(), w)).unwrap();
-            let t1000 = p
-                .session
-                .run_with(&sel, width_cfg(CpuConfig::with_pfus(2).reconfig(10), w))
-                .unwrap();
-            assert_eq!(t1000.sys, base.sys);
-            row.push_str(&format!(
-                "  {:>9.3}",
-                base.timing.cycles as f64 / t1000.timing.cycles as f64
-            ));
+    for info in &run.workloads {
+        let mut row = format!("{:>10}", info.name);
+        for width in WIDTHS {
+            row.push_str(&format!("  {:>9.3}", run.speedup(cell(info.name, width))));
         }
         println!("{row}");
     }

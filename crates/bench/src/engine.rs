@@ -1,0 +1,504 @@
+//! The shared experiment engine.
+//!
+//! Executes a [`Plan`](crate::plan::Plan) in three phases, each fanned
+//! out over a scoped-thread worker pool:
+//!
+//! 1. **prepare** — one profiling [`Session`] per distinct
+//!    (workload, extraction config), checksum-verified against the Rust
+//!    reference;
+//! 2. **select** — one selection job per distinct
+//!    (workload, extraction config, selection spec), answered through the
+//!    session's memoizing cache;
+//! 3. **simulate** — one timing simulation per cell, with architectural
+//!    results verified against the workload's baseline run.
+//!
+//! Every figure binary and `run_all` is a thin view over the resulting
+//! [`EngineRun`]; none of them re-run selections or simulations.
+
+use crate::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use t1000_core::{ExtractConfig, Selection, Session};
+use t1000_workloads::{Scale, Workload};
+
+/// Worker-pool size: `T1000_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("T1000_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `threads` scoped workers,
+/// preserving input order. Items are claimed via an atomic cursor, so a
+/// slow job never blocks the queue behind it.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return local;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.drain(..).flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker failed to fill its slot"))
+        .collect()
+}
+
+/// Summary of one extended instruction, for Fig. 7 and the JSON artifact.
+#[derive(Clone, Copy, Debug)]
+pub struct ConfSummary {
+    pub luts: u32,
+    pub depth: u32,
+    pub width: u8,
+    pub seq_len: usize,
+    pub num_sites: usize,
+    pub total_gain: u64,
+}
+
+/// One selection job's outcome (shared by every cell that simulates it).
+pub struct SelectionRecord {
+    pub workload: &'static str,
+    pub extract: ExtractConfig,
+    pub spec: SelectionSpec,
+    pub num_confs: usize,
+    pub num_sites: usize,
+    pub confs: Vec<ConfSummary>,
+    selection: Arc<Selection>,
+}
+
+impl SelectionRecord {
+    /// Smallest/largest fused sequence length (0 if nothing was selected).
+    pub fn seq_len_range(&self) -> (usize, usize) {
+        let min = self.confs.iter().map(|c| c.seq_len).min().unwrap_or(0);
+        let max = self.confs.iter().map(|c| c.seq_len).max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Total estimated dynamic cycles saved by the selection.
+    pub fn total_gain(&self) -> u64 {
+        self.confs.iter().map(|c| c.total_gain).sum()
+    }
+
+    /// The underlying selection (for callers needing the full catalogue).
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+}
+
+/// One simulated cell's measurements.
+pub struct CellResult {
+    pub cell: Cell,
+    pub cycles: u64,
+    pub base_instructions: u64,
+    pub base_ipc: f64,
+    pub reconfigurations: u64,
+    pub conf_hits: u64,
+    pub ext_executed: u64,
+    pub branch_accuracy: f64,
+    pub checksum: u64,
+}
+
+/// Engine bookkeeping: how much work the plan implied, how much was
+/// actually run, and where the wall-clock went.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Cells requested by the plan's callers (counting duplicates).
+    pub cells_requested: usize,
+    /// Distinct cells simulated (including implied baselines).
+    pub cells_simulated: usize,
+    /// Distinct selection jobs executed.
+    pub selection_jobs: usize,
+    /// Session-cache hits/misses summed over all sessions.
+    pub selection_hits: u64,
+    pub selection_misses: u64,
+    /// Seconds inside the selection algorithms (cache misses only).
+    pub selection_compute_secs: f64,
+    /// Wall-clock per phase.
+    pub prepare_secs: f64,
+    pub select_secs: f64,
+    pub simulate_secs: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Requested cells answered by an already-planned simulation.
+    pub cells_deduped: usize,
+}
+
+/// Everything one engine invocation produced.
+pub struct EngineRun {
+    pub scale: Scale,
+    pub workloads: Vec<WorkloadInfo>,
+    pub selections: Vec<SelectionRecord>,
+    pub cells: Vec<CellResult>,
+    pub stats: EngineStats,
+    cell_index: HashMap<Cell, usize>,
+    selection_index: HashMap<(&'static str, ExtractConfig, SelectionSpec), usize>,
+}
+
+/// Identity and reference data for one workload.
+pub struct WorkloadInfo {
+    pub name: &'static str,
+    pub expected_checksum: u64,
+}
+
+impl EngineRun {
+    /// The measurements for `cell`.
+    ///
+    /// # Panics
+    /// Panics if the cell was not in the executed plan — a bug in the
+    /// calling view, not a runtime condition.
+    pub fn cell(&self, cell: Cell) -> &CellResult {
+        match self.cell_index.get(&cell) {
+            Some(&i) => &self.cells[i],
+            None => panic!("cell not in plan: {cell:?}"),
+        }
+    }
+
+    /// The baseline measurements `cell` is normalised against.
+    pub fn baseline(&self, cell: Cell) -> &CellResult {
+        self.cell(cell.baseline_cell())
+    }
+
+    /// Execution-time speedup of `cell` over its baseline (>1 = faster).
+    pub fn speedup(&self, cell: Cell) -> f64 {
+        self.baseline(cell).cycles as f64 / self.cell(cell).cycles as f64
+    }
+
+    /// The selection record backing `cell` (None for baseline cells).
+    pub fn selection(&self, cell: Cell) -> Option<&SelectionRecord> {
+        self.selection_index
+            .get(&(cell.workload, cell.extract, cell.selection))
+            .map(|&i| &self.selections[i])
+    }
+}
+
+/// Executes `plan` at `scale` and returns every measurement it implies.
+///
+/// # Panics
+/// Panics if a workload is unknown, a program fails to assemble, or any
+/// simulation diverges from the Rust reference checksums — the harness
+/// refuses to report results for an incorrect simulation.
+pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
+    let threads = num_threads();
+    let cells = plan.cells();
+
+    // ---- Phase 1: prepare one session per (workload, extract). --------
+    let t0 = Instant::now();
+    let mut session_keys: Vec<(&'static str, ExtractConfig)> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for c in cells {
+            if seen.insert((c.workload, c.extract)) {
+                session_keys.push((c.workload, c.extract));
+            }
+        }
+    }
+    let sessions: HashMap<(&'static str, ExtractConfig), PreparedSession> = session_keys
+        .iter()
+        .zip(parallel_map(&session_keys, threads, |&(name, extract)| {
+            prepare_session(name, extract, scale)
+        }))
+        .map(|(&k, v)| (k, v))
+        .collect();
+    let prepare_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Phase 2: run each distinct selection job once. ----------------
+    let t0 = Instant::now();
+    let mut selection_keys: Vec<(&'static str, ExtractConfig, SelectionSpec)> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        let cell_keys = cells.iter().map(|c| (c.workload, c.extract, c.selection));
+        for key in cell_keys.chain(plan.selection_only().iter().copied()) {
+            if key.2 != SelectionSpec::Baseline && seen.insert(key) {
+                selection_keys.push(key);
+            }
+        }
+    }
+    let selections: Vec<SelectionRecord> =
+        parallel_map(&selection_keys, threads, |&(name, extract, spec)| {
+            let session = &sessions[&(name, extract)].session;
+            let selection = match spec.select_config() {
+                Some(cfg) => session.selective_shared(&cfg),
+                None => session.greedy_shared(),
+            };
+            summarize_selection(name, extract, spec, selection)
+        });
+    let selection_index: HashMap<_, _> = selection_keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
+    let select_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Phase 3: simulate every cell. ---------------------------------
+    let t0 = Instant::now();
+    let results: Vec<CellResult> = parallel_map(cells, threads, |&cell| {
+        let prepared = &sessions[&(cell.workload, cell.extract)];
+        let run = if cell.selection == SelectionSpec::Baseline
+            && cell.machine == MachineSpec::with_pfus(0, 0)
+        {
+            // The canonical baseline was already simulated during prepare
+            // (it pins the architectural reference) — reuse it.
+            prepared.reference.clone()
+        } else {
+            let cpu = cell.machine.cpu_config();
+            match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
+                Some(&i) => prepared.session.run_with(&selections[i].selection, cpu),
+                None => prepared.session.run_baseline(cpu),
+            }
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.workload))
+        };
+        assert_eq!(
+            run.sys.checksum, prepared.expected_checksum,
+            "{}: simulation diverged from the Rust reference",
+            cell.workload
+        );
+        assert_eq!(
+            run.sys, prepared.reference.sys,
+            "{}: fused run changed architectural results",
+            cell.workload
+        );
+        CellResult {
+            cell,
+            cycles: run.timing.cycles,
+            base_instructions: run.timing.base_instructions,
+            base_ipc: run.timing.base_ipc,
+            reconfigurations: run.timing.pfu.reconfigurations,
+            conf_hits: run.timing.pfu.conf_hits,
+            ext_executed: run.timing.pfu.ext_executed,
+            branch_accuracy: run.timing.branch.accuracy(),
+            checksum: run.sys.checksum,
+        }
+    });
+    let simulate_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Bookkeeping. ---------------------------------------------------
+    let mut selection_hits = 0;
+    let mut selection_misses = 0;
+    let mut selection_compute_secs = 0.0;
+    for p in sessions.values() {
+        let s = p.session.selection_cache_stats();
+        selection_hits += s.hits;
+        selection_misses += s.misses;
+        selection_compute_secs += s.compute_secs();
+    }
+    let cell_index: HashMap<Cell, usize> = cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let workloads = workload_infos(scale, cells);
+
+    EngineRun {
+        scale,
+        workloads,
+        selections,
+        cells: results,
+        stats: EngineStats {
+            cells_requested: plan.requested(),
+            cells_simulated: cells.len(),
+            selection_jobs: selection_keys.len(),
+            selection_hits,
+            selection_misses,
+            selection_compute_secs,
+            prepare_secs,
+            select_secs,
+            simulate_secs,
+            threads,
+            cells_deduped: plan.deduped(),
+        },
+        cell_index,
+        selection_index,
+    }
+}
+
+struct PreparedSession {
+    session: Session,
+    expected_checksum: u64,
+    /// The canonical baseline run: pins the architectural reference every
+    /// fused run is verified against, and doubles as the default
+    /// baseline cell's result.
+    reference: t1000_cpu::RunResult,
+}
+
+fn prepare_session(name: &'static str, extract: ExtractConfig, scale: Scale) -> PreparedSession {
+    let workload =
+        t1000_workloads::by_name(name, scale).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let program = workload.program().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let session = Session::with_extract(program, extract).unwrap_or_else(|e| panic!("{name}: {e}"));
+    // One canonical run pins the architectural reference for this session.
+    let reference = session
+        .run_baseline(MachineSpec::with_pfus(0, 0).cpu_config())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let expected = workload.expected_checksum();
+    assert_eq!(
+        reference.sys.checksum, expected,
+        "{name}: simulator checksum diverges from the Rust reference"
+    );
+    PreparedSession {
+        session,
+        expected_checksum: expected,
+        reference,
+    }
+}
+
+fn summarize_selection(
+    workload: &'static str,
+    extract: ExtractConfig,
+    spec: SelectionSpec,
+    selection: Arc<Selection>,
+) -> SelectionRecord {
+    let confs = selection
+        .confs
+        .iter()
+        .map(|c| ConfSummary {
+            luts: c.cost.luts,
+            depth: c.cost.depth,
+            width: c.width,
+            seq_len: c.seq_len,
+            num_sites: c.num_sites,
+            total_gain: c.total_gain,
+        })
+        .collect();
+    SelectionRecord {
+        workload,
+        extract,
+        spec,
+        num_confs: selection.num_confs(),
+        num_sites: selection.fusion.num_sites(),
+        confs,
+        selection,
+    }
+}
+
+fn workload_infos(scale: Scale, cells: &[Cell]) -> Vec<WorkloadInfo> {
+    let mut seen = std::collections::HashSet::new();
+    let mut infos = Vec::new();
+    for name in t1000_workloads::NAMES {
+        if cells.iter().any(|c| c.workload == name) && seen.insert(name) {
+            let w: Workload = t1000_workloads::by_name(name, scale).unwrap();
+            infos.push(WorkloadInfo {
+                name,
+                expected_checksum: w.expected_checksum(),
+            });
+        }
+    }
+    infos
+}
+
+/// Convenience: execute the full `run_all` plan.
+pub fn execute_run_all(scale: Scale) -> EngineRun {
+    execute(&crate::plan::run_all_plan(), scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::MachineSpec;
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 3, 8] {
+            let out = parallel_map(&items, threads, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn engine_runs_a_small_plan_and_dedups() {
+        let mut plan = Plan::new();
+        let cell = Cell::new(
+            "gsm_dec",
+            SelectionSpec::selective_std(Some(2)),
+            MachineSpec::with_pfus(2, 10),
+        );
+        plan.push(cell);
+        plan.push(cell); // duplicate request
+        plan.push(Cell::new(
+            "gsm_dec",
+            SelectionSpec::selective_std(Some(2)),
+            MachineSpec::with_pfus(2, 100),
+        ));
+        let run = execute(&plan, Scale::Test);
+
+        // 1 baseline + 2 machine points, one selection job.
+        assert_eq!(run.stats.cells_simulated, 3);
+        assert_eq!(run.stats.cells_requested, 3);
+        assert_eq!(run.stats.selection_jobs, 1);
+        assert_eq!(run.stats.selection_misses, 1);
+
+        // Speedups are well-formed and the baseline is its own unit.
+        let s = run.speedup(cell);
+        assert!(s > 0.5 && s < 8.0, "speedup {s}");
+        assert_eq!(run.speedup(cell.baseline_cell()), 1.0);
+
+        // Checksums verified against the workload reference.
+        let expected = t1000_workloads::by_name("gsm_dec", Scale::Test)
+            .unwrap()
+            .expected_checksum();
+        for c in &run.cells {
+            assert_eq!(c.checksum, expected);
+        }
+
+        // The selection record is reachable from the cell.
+        let rec = run.selection(cell).expect("selection record");
+        assert_eq!(rec.num_confs, rec.confs.len());
+        assert!(run.selection(cell.baseline_cell()).is_none());
+    }
+
+    #[test]
+    fn engine_matches_direct_session_results() {
+        // The engine must report exactly what a hand-rolled run computes.
+        let mut plan = Plan::new();
+        let cell = Cell::new("epic", SelectionSpec::Greedy, MachineSpec::with_pfus(2, 10));
+        plan.push(cell);
+        let run = execute(&plan, Scale::Test);
+
+        let w = t1000_workloads::by_name("epic", Scale::Test).unwrap();
+        let session = Session::new(w.program().unwrap()).unwrap();
+        let sel = session.greedy();
+        let base = session
+            .run_baseline(t1000_cpu::CpuConfig::baseline())
+            .unwrap();
+        let fused = session
+            .run_with(&sel, t1000_cpu::CpuConfig::with_pfus(2).reconfig(10))
+            .unwrap();
+
+        assert_eq!(run.cell(cell).cycles, fused.timing.cycles);
+        assert_eq!(run.baseline(cell).cycles, base.timing.cycles);
+        let expect = base.timing.cycles as f64 / fused.timing.cycles as f64;
+        assert!((run.speedup(cell) - expect).abs() < 1e-12);
+    }
+}

@@ -16,6 +16,11 @@
 //!
 //! Run with `--release`; full-scale runs simulate millions of cycles.
 
+pub mod engine;
+pub mod json;
+pub mod plan;
+pub mod results;
+
 use std::time::Instant;
 use t1000_core::{Error, Selection, Session};
 use t1000_cpu::{CpuConfig, RunResult};
@@ -49,7 +54,11 @@ pub fn prepare(w: &Workload) -> Result<Prepared, Error> {
         "{}: simulator checksum diverges from the Rust reference",
         w.name
     );
-    Ok(Prepared { name: w.name, session, baseline })
+    Ok(Prepared {
+        name: w.name,
+        session,
+        baseline,
+    })
 }
 
 /// Prepares every benchmark at `scale`, in parallel (one thread each).
@@ -106,6 +115,10 @@ impl Timer {
 
 impl Drop for Timer {
     fn drop(&mut self) {
-        eprintln!("[t1000-bench] {} done in {:.1}s", self.1, self.0.elapsed().as_secs_f64());
+        eprintln!(
+            "[t1000-bench] {} done in {:.1}s",
+            self.1,
+            self.0.elapsed().as_secs_f64()
+        );
     }
 }

@@ -1,0 +1,376 @@
+//! Experiment planning: the job-graph vocabulary of the harness.
+//!
+//! Every number in the paper's figures and tables is the result of one
+//! *cell*: simulate `workload` under `selection` on `machine`, with
+//! candidate extraction governed by `extract`. A [`Plan`] is a
+//! deduplicated set of cells; the engine derives the implied work — one
+//! profiling session per (workload, extraction config), one selection job
+//! per distinct selection, one simulation per distinct cell, plus the
+//! baseline cell each speedup is normalised against — and never runs the
+//! same job twice, no matter how many figures request it.
+
+use std::collections::HashSet;
+use t1000_core::{ExtractConfig, SelectConfig};
+use t1000_cpu::{BranchModel, CpuConfig, PfuCount, PfuReplacement};
+
+/// Which fusion map a cell simulates.
+///
+/// `Selective` stores the gain threshold's bit pattern so the spec is
+/// `Eq`/`Hash` (two thresholds are the same job exactly when they drive
+/// the selector identically — same criterion as the session cache).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SelectionSpec {
+    /// No extended instructions: the run every speedup is measured against.
+    Baseline,
+    /// The greedy algorithm (paper §4).
+    Greedy,
+    /// The selective algorithm (paper §5).
+    Selective {
+        pfus: Option<usize>,
+        gain_threshold_bits: u64,
+    },
+}
+
+impl SelectionSpec {
+    /// Selective spec from a plain threshold.
+    pub fn selective(pfus: Option<usize>, gain_threshold: f64) -> SelectionSpec {
+        SelectionSpec::Selective {
+            pfus,
+            gain_threshold_bits: gain_threshold.to_bits(),
+        }
+    }
+
+    /// The paper's standard selective configuration (0.5 % gain threshold).
+    pub fn selective_std(pfus: Option<usize>) -> SelectionSpec {
+        SelectionSpec::selective(pfus, 0.005)
+    }
+
+    /// The `SelectConfig` to hand to the selector (`None` for baseline
+    /// and greedy specs).
+    pub fn select_config(&self) -> Option<SelectConfig> {
+        match *self {
+            SelectionSpec::Selective {
+                pfus,
+                gain_threshold_bits,
+            } => Some(SelectConfig {
+                pfus,
+                gain_threshold: f64::from_bits(gain_threshold_bits),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Short name used in reports and JSON (`baseline`/`greedy`/`selective`).
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            SelectionSpec::Baseline => "baseline",
+            SelectionSpec::Greedy => "greedy",
+            SelectionSpec::Selective { .. } => "selective",
+        }
+    }
+}
+
+/// The machine a cell runs on: the paper's 4-wide core with the axes the
+/// experiments vary. `issue_width: None` keeps the paper machine;
+/// `Some(w)` sets fetch/dispatch/issue/commit width to `w` (width sweep).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MachineSpec {
+    pub pfus: PfuCount,
+    pub reconfig_cycles: u32,
+    pub replacement: PfuReplacement,
+    pub branch: BranchModel,
+    pub issue_width: Option<u32>,
+}
+
+impl MachineSpec {
+    /// T1000 with `n` PFUs at the given reconfiguration penalty.
+    pub fn with_pfus(n: usize, reconfig_cycles: u32) -> MachineSpec {
+        MachineSpec {
+            pfus: PfuCount::Fixed(n),
+            reconfig_cycles,
+            replacement: PfuReplacement::Lru,
+            branch: BranchModel::Perfect,
+            issue_width: None,
+        }
+    }
+
+    /// T1000 with unlimited PFUs at the given reconfiguration penalty.
+    pub fn unlimited(reconfig_cycles: u32) -> MachineSpec {
+        MachineSpec {
+            pfus: PfuCount::Unlimited,
+            ..MachineSpec::with_pfus(0, reconfig_cycles)
+        }
+    }
+
+    /// The baseline machine this spec's speedups are normalised against:
+    /// the identical core with the PFU array removed. Branch model and
+    /// issue width are preserved — a bimodal or narrow T1000 is compared
+    /// against a bimodal or narrow superscalar.
+    pub fn baseline_of(&self) -> MachineSpec {
+        MachineSpec {
+            pfus: PfuCount::Fixed(0),
+            reconfig_cycles: 0,
+            replacement: PfuReplacement::Lru,
+            branch: self.branch,
+            issue_width: self.issue_width,
+        }
+    }
+
+    /// Concrete simulator configuration.
+    pub fn cpu_config(&self) -> CpuConfig {
+        let mut cfg = CpuConfig {
+            pfus: self.pfus,
+            reconfig_cycles: self.reconfig_cycles,
+            pfu_replacement: self.replacement,
+            branch: self.branch,
+            ..CpuConfig::default()
+        };
+        if let Some(w) = self.issue_width {
+            cfg.fetch_width = w;
+            cfg.dispatch_width = w;
+            cfg.issue_width = w;
+            cfg.commit_width = w;
+            cfg.int_alus = w.max(2);
+        }
+        cfg
+    }
+}
+
+/// One unit of experimental work: simulate `workload` under `selection`
+/// on `machine`, with candidates extracted per `extract`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Cell {
+    pub workload: &'static str,
+    pub extract: ExtractConfig,
+    pub selection: SelectionSpec,
+    pub machine: MachineSpec,
+}
+
+impl Cell {
+    /// A cell with the paper's default extraction parameters.
+    pub fn new(workload: &'static str, selection: SelectionSpec, machine: MachineSpec) -> Cell {
+        Cell {
+            workload,
+            extract: ExtractConfig::default(),
+            selection,
+            machine,
+        }
+    }
+
+    /// The baseline cell this cell's speedup is measured against.
+    pub fn baseline_cell(&self) -> Cell {
+        Cell {
+            selection: SelectionSpec::Baseline,
+            machine: self.machine.baseline_of(),
+            ..*self
+        }
+    }
+}
+
+/// An ordered, deduplicated set of cells. Push cells in report order;
+/// duplicates (including baselines implied by earlier cells) are dropped.
+#[derive(Default)]
+pub struct Plan {
+    cells: Vec<Cell>,
+    seen: HashSet<Cell>,
+    /// Selection jobs requested without a fused simulation (Fig. 7 and
+    /// the §4.1 table analyse selections but never run them).
+    selection_only: Vec<(&'static str, ExtractConfig, SelectionSpec)>,
+    /// Cells requested, counting duplicates — the dedup numerator.
+    requested: usize,
+    /// Requests answered by an already-planned cell.
+    deduped: usize,
+}
+
+impl Plan {
+    pub fn new() -> Plan {
+        Plan::default()
+    }
+
+    /// Adds `cell` and its implied baseline cell.
+    pub fn push(&mut self, cell: Cell) {
+        self.requested += 1;
+        if self.seen.contains(&cell) {
+            self.deduped += 1;
+        }
+        let base = cell.baseline_cell();
+        if self.seen.insert(base) {
+            self.cells.push(base);
+        }
+        if self.seen.insert(cell) {
+            self.cells.push(cell);
+        }
+    }
+
+    pub fn extend(&mut self, cells: impl IntoIterator<Item = Cell>) {
+        for c in cells {
+            self.push(c);
+        }
+    }
+
+    /// Requests a selection job (and the workload's baseline cell, for
+    /// normalisation) without simulating the fused program.
+    pub fn push_selection(
+        &mut self,
+        workload: &'static str,
+        extract: ExtractConfig,
+        spec: SelectionSpec,
+    ) {
+        let base = Cell {
+            workload,
+            extract,
+            selection: SelectionSpec::Baseline,
+            machine: MachineSpec::with_pfus(0, 0),
+        };
+        self.requested += 1;
+        if self.seen.insert(base) {
+            self.cells.push(base);
+        }
+        self.selection_only.push((workload, extract, spec));
+    }
+
+    /// Selection-only jobs requested via [`Plan::push_selection`].
+    pub fn selection_only(&self) -> &[(&'static str, ExtractConfig, SelectionSpec)] {
+        &self.selection_only
+    }
+
+    /// Unique cells, in first-push order (baselines precede their users).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Cells requested via [`Plan::push`], counting duplicates but not
+    /// implied baselines.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// Requests that were answered by an already-planned cell.
+    pub fn deduped(&self) -> usize {
+        self.deduped
+    }
+}
+
+/// The standard workload list, in report order.
+pub fn workload_names() -> Vec<&'static str> {
+    t1000_workloads::NAMES.to_vec()
+}
+
+/// The full `run_all` plan: every cell behind the Markdown report
+/// (workload inventory, Fig. 2, §4.1, Fig. 6, Fig. 7, §5.2).
+pub fn run_all_plan() -> Plan {
+    let mut plan = Plan::new();
+    for w in workload_names() {
+        // Figure 2: greedy, best case and 2-PFU thrashing case.
+        plan.push(Cell::new(
+            w,
+            SelectionSpec::Greedy,
+            MachineSpec::unlimited(0),
+        ));
+        plan.push(Cell::new(
+            w,
+            SelectionSpec::Greedy,
+            MachineSpec::with_pfus(2, 10),
+        ));
+        // Figure 6: selective at 2/4/unlimited PFUs, 10-cycle reconfig.
+        plan.push(Cell::new(
+            w,
+            SelectionSpec::selective_std(Some(2)),
+            MachineSpec::with_pfus(2, 10),
+        ));
+        plan.push(Cell::new(
+            w,
+            SelectionSpec::selective_std(Some(4)),
+            MachineSpec::with_pfus(4, 10),
+        ));
+        plan.push(Cell::new(
+            w,
+            SelectionSpec::selective_std(None),
+            MachineSpec::unlimited(10),
+        ));
+        // Figure 7 needs the 4-PFU selective *selection* (no extra sim:
+        // its cell is the Fig. 6 4-PFU cell, already pushed).
+        // §5.2: reconfiguration sweep, selective at 2 PFUs.
+        for cycles in [0, 10, 100, 500] {
+            plan.push(Cell::new(
+                w,
+                SelectionSpec::selective_std(Some(2)),
+                MachineSpec::with_pfus(2, cycles),
+            ));
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_dedups_cells_and_baselines() {
+        let mut p = Plan::new();
+        let c = Cell::new("epic", SelectionSpec::Greedy, MachineSpec::with_pfus(2, 10));
+        p.push(c);
+        p.push(c); // duplicate
+        p.push(Cell::new(
+            "epic",
+            SelectionSpec::selective_std(Some(2)),
+            MachineSpec::with_pfus(2, 10),
+        ));
+        // 1 shared baseline + 2 distinct experiment cells.
+        assert_eq!(p.cells().len(), 3);
+        assert_eq!(p.requested(), 3);
+        assert_eq!(p.cells()[0].selection, SelectionSpec::Baseline);
+    }
+
+    #[test]
+    fn baseline_cell_strips_pfus_but_keeps_branch_and_width() {
+        let mut m = MachineSpec::with_pfus(4, 500);
+        m.branch = BranchModel::Bimodal {
+            entries: 2048,
+            penalty: 6,
+        };
+        m.issue_width = Some(8);
+        let b = Cell::new("gsm_dec", SelectionSpec::Greedy, m).baseline_cell();
+        assert_eq!(b.machine.pfus, PfuCount::Fixed(0));
+        assert_eq!(b.machine.branch, m.branch);
+        assert_eq!(b.machine.issue_width, Some(8));
+        assert_eq!(b.selection, SelectionSpec::Baseline);
+    }
+
+    #[test]
+    fn run_all_plan_computes_each_distinct_job_once() {
+        let plan = run_all_plan();
+        let per_workload = plan.cells().len() / 8;
+        assert_eq!(plan.cells().len() % 8, 0);
+        // Per workload: baseline + greedy×2 + selective(2,4,unl)@10 +
+        // selective(2)@{0,100,500} = 9 unique sims (the §5.2 10-cycle cell
+        // dedups against Fig. 6's).
+        assert_eq!(per_workload, 9);
+        // Per-workload requests before dedup: 8 unique + 1 repeat
+        // (the §5.2 10-cycle cell is also Fig. 6's 2-PFU cell).
+        assert_eq!(plan.requested(), 8 * 9);
+        let mut sel_jobs = HashSet::new();
+        for c in plan.cells() {
+            if c.selection != SelectionSpec::Baseline {
+                sel_jobs.insert((c.workload, c.extract, c.selection));
+            }
+        }
+        assert_eq!(sel_jobs.len(), 8 * 4); // greedy, sel@2, sel@4, sel@unl
+    }
+
+    #[test]
+    fn machine_spec_builds_the_expected_cpu_config() {
+        let cfg = MachineSpec::with_pfus(2, 100).cpu_config();
+        assert_eq!(cfg.pfus.limit(), Some(2));
+        assert_eq!(cfg.reconfig_cycles, 100);
+        assert_eq!(cfg.issue_width, 4);
+        let narrow = MachineSpec {
+            issue_width: Some(1),
+            ..MachineSpec::with_pfus(2, 10)
+        };
+        let cfg = narrow.cpu_config();
+        assert_eq!(cfg.fetch_width, 1);
+        assert_eq!(cfg.int_alus, 2);
+    }
+}

@@ -1,0 +1,572 @@
+//! Result artifacts: the `BENCH_results.json` document and the Markdown
+//! report, both rendered from one [`EngineRun`].
+//!
+//! The JSON artifact is schema-versioned and self-validating: it records
+//! the Rust-reference checksum for every workload next to the checksum
+//! each simulated cell actually produced, so CI can re-check a downloaded
+//! artifact without re-running the experiments ([`validate_artifact`]).
+
+use crate::engine::{CellResult, EngineRun, SelectionRecord};
+use crate::json::Json;
+use crate::plan::{Cell, MachineSpec, SelectionSpec};
+use t1000_core::ExtractConfig;
+use t1000_cpu::{BranchModel, PfuCount, PfuReplacement};
+use t1000_workloads::Scale;
+
+/// Version of the `BENCH_results.json` schema. Bump on any breaking
+/// change to field names or semantics.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn scale_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Full => "full",
+    }
+}
+
+fn hex64(v: u64) -> Json {
+    // Checksums are 64-bit words; a JSON number would survive only up to
+    // 2^53 in common readers, so they travel as hex strings.
+    Json::Str(format!("0x{v:016x}"))
+}
+
+fn parse_hex64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+fn extract_json(x: &ExtractConfig) -> Json {
+    Json::obj(vec![
+        ("max_width", Json::UInt(x.max_width as u64)),
+        ("max_inputs", Json::UInt(x.max_inputs as u64)),
+        ("max_len", Json::UInt(x.max_len as u64)),
+        ("max_depth", Json::UInt(x.max_depth as u64)),
+        ("max_pfu_latency", Json::UInt(x.max_pfu_latency as u64)),
+    ])
+}
+
+fn machine_json(m: &MachineSpec) -> Json {
+    let pfus = match m.pfus {
+        PfuCount::Fixed(n) => Json::UInt(n as u64),
+        PfuCount::Unlimited => Json::Str("unlimited".to_string()),
+    };
+    let replacement = match m.replacement {
+        PfuReplacement::Lru => "lru",
+        PfuReplacement::Fifo => "fifo",
+        PfuReplacement::Random => "random",
+    };
+    let branch = match m.branch {
+        BranchModel::Perfect => Json::Str("perfect".to_string()),
+        BranchModel::Bimodal { entries, penalty } => Json::obj(vec![
+            ("model", Json::Str("bimodal".to_string())),
+            ("entries", Json::UInt(entries as u64)),
+            ("penalty", Json::UInt(penalty as u64)),
+        ]),
+    };
+    Json::obj(vec![
+        ("pfus", pfus),
+        ("reconfig_cycles", Json::UInt(m.reconfig_cycles as u64)),
+        ("replacement", Json::Str(replacement.to_string())),
+        ("branch", branch),
+        (
+            "issue_width",
+            match m.issue_width {
+                Some(w) => Json::UInt(w as u64),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn selection_spec_fields(spec: &SelectionSpec) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![("algorithm", Json::Str(spec.algorithm().to_string()))];
+    if let Some(cfg) = spec.select_config() {
+        fields.push((
+            "pfus",
+            match cfg.pfus {
+                Some(n) => Json::UInt(n as u64),
+                None => Json::Null,
+            },
+        ));
+        fields.push(("gain_threshold", Json::Float(cfg.gain_threshold)));
+    }
+    fields
+}
+
+fn selection_json(r: &SelectionRecord) -> Json {
+    let (min_len, max_len) = r.seq_len_range();
+    let mut fields = vec![("workload", Json::Str(r.workload.to_string()))];
+    fields.extend(selection_spec_fields(&r.spec));
+    fields.extend([
+        ("extract", extract_json(&r.extract)),
+        ("num_confs", Json::UInt(r.num_confs as u64)),
+        ("num_sites", Json::UInt(r.num_sites as u64)),
+        ("seq_len_min", Json::UInt(min_len as u64)),
+        ("seq_len_max", Json::UInt(max_len as u64)),
+        ("total_gain", Json::UInt(r.total_gain())),
+        (
+            "confs",
+            Json::Arr(
+                r.confs
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("luts", Json::UInt(c.luts as u64)),
+                            ("depth", Json::UInt(c.depth as u64)),
+                            ("width", Json::UInt(c.width as u64)),
+                            ("seq_len", Json::UInt(c.seq_len as u64)),
+                            ("num_sites", Json::UInt(c.num_sites as u64)),
+                            ("total_gain", Json::UInt(c.total_gain)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Json::obj(fields)
+}
+
+fn cell_json(run: &EngineRun, c: &CellResult) -> Json {
+    let mut fields = vec![("workload", Json::Str(c.cell.workload.to_string()))];
+    fields.extend(selection_spec_fields(&c.cell.selection));
+    fields.extend([
+        ("extract", extract_json(&c.cell.extract)),
+        ("machine", machine_json(&c.cell.machine)),
+        ("cycles", Json::UInt(c.cycles)),
+        ("base_instructions", Json::UInt(c.base_instructions)),
+        ("base_ipc", Json::Float(c.base_ipc)),
+        ("speedup", Json::Float(run.speedup(c.cell))),
+        ("reconfigurations", Json::UInt(c.reconfigurations)),
+        ("conf_hits", Json::UInt(c.conf_hits)),
+        ("ext_executed", Json::UInt(c.ext_executed)),
+        ("branch_accuracy", Json::Float(c.branch_accuracy)),
+        ("checksum", hex64(c.checksum)),
+    ]);
+    Json::obj(fields)
+}
+
+/// Builds the schema-versioned `BENCH_results.json` document.
+pub fn to_json(run: &EngineRun) -> Json {
+    let stats = &run.stats;
+    Json::obj(vec![
+        ("schema_version", Json::UInt(SCHEMA_VERSION)),
+        ("generator", Json::Str("t1000-bench".to_string())),
+        ("scale", Json::Str(scale_str(run.scale).to_string())),
+        (
+            "engine",
+            Json::obj(vec![
+                ("threads", Json::UInt(stats.threads as u64)),
+                ("cells_requested", Json::UInt(stats.cells_requested as u64)),
+                ("cells_simulated", Json::UInt(stats.cells_simulated as u64)),
+                ("cells_deduped", Json::UInt(stats.cells_deduped as u64)),
+                ("selection_jobs", Json::UInt(stats.selection_jobs as u64)),
+                ("selection_hits", Json::UInt(stats.selection_hits)),
+                ("selection_misses", Json::UInt(stats.selection_misses)),
+                (
+                    "selection_compute_secs",
+                    Json::Float(stats.selection_compute_secs),
+                ),
+                ("prepare_secs", Json::Float(stats.prepare_secs)),
+                ("select_secs", Json::Float(stats.select_secs)),
+                ("simulate_secs", Json::Float(stats.simulate_secs)),
+            ]),
+        ),
+        (
+            "workloads",
+            Json::Arr(
+                run.workloads
+                    .iter()
+                    .map(|w| {
+                        Json::obj(vec![
+                            ("name", Json::Str(w.name.to_string())),
+                            ("expected_checksum", hex64(w.expected_checksum)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "selections",
+            Json::Arr(run.selections.iter().map(selection_json).collect()),
+        ),
+        (
+            "cells",
+            Json::Arr(run.cells.iter().map(|c| cell_json(run, c)).collect()),
+        ),
+    ])
+}
+
+/// Writes `BENCH_results.json` to `path`.
+pub fn write_json(run: &EngineRun, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_json(run).to_string_pretty())
+}
+
+/// Summary returned by a successful [`validate_artifact`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArtifactSummary {
+    pub scale: &'static str,
+    pub workloads: usize,
+    pub cells: usize,
+}
+
+/// Validates a `BENCH_results.json` document: schema version, structural
+/// integrity, and — the CI gate — that every simulated cell's checksum
+/// matches the Rust reference recomputed from `t1000-workloads`.
+pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} unsupported (expected {SCHEMA_VERSION})"
+        ));
+    }
+    let scale = match doc.get("scale").and_then(Json::as_str) {
+        Some("test") => Scale::Test,
+        Some("full") => Scale::Full,
+        other => return Err(format!("bad scale field: {other:?}")),
+    };
+
+    // Reference checksums, recomputed from the workload generators rather
+    // than trusted from the artifact.
+    let mut expected = std::collections::HashMap::new();
+    let workloads = doc
+        .get("workloads")
+        .and_then(Json::as_array)
+        .ok_or("missing workloads array")?;
+    if workloads.is_empty() {
+        return Err("workloads array is empty".to_string());
+    }
+    for w in workloads {
+        let name = w
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("workload missing name")?;
+        let recorded = w
+            .get("expected_checksum")
+            .and_then(Json::as_str)
+            .and_then(parse_hex64)
+            .ok_or_else(|| format!("{name}: bad expected_checksum"))?;
+        let reference = t1000_workloads::by_name(name, scale)
+            .ok_or_else(|| format!("{name}: unknown workload"))?
+            .expected_checksum();
+        if recorded != reference {
+            return Err(format!(
+                "{name}: recorded reference 0x{recorded:016x} != recomputed 0x{reference:016x}"
+            ));
+        }
+        expected.insert(name.to_string(), reference);
+    }
+
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("missing cells array")?;
+    if cells.is_empty() {
+        return Err("cells array is empty".to_string());
+    }
+    for (i, c) in cells.iter().enumerate() {
+        let name = c
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cell {i}: missing workload"))?;
+        let reference = *expected
+            .get(name)
+            .ok_or_else(|| format!("cell {i}: workload {name} not in workloads array"))?;
+        let checksum = c
+            .get("checksum")
+            .and_then(Json::as_str)
+            .and_then(parse_hex64)
+            .ok_or_else(|| format!("cell {i}: bad checksum"))?;
+        if checksum != reference {
+            return Err(format!(
+                "cell {i} ({name}): checksum 0x{checksum:016x} diverges from reference 0x{reference:016x}"
+            ));
+        }
+        let cycles = c
+            .get("cycles")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cell {i}: missing cycles"))?;
+        if cycles == 0 {
+            return Err(format!("cell {i} ({name}): zero cycles"));
+        }
+        let speedup = c
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("cell {i}: missing speedup"))?;
+        if !(speedup.is_finite() && speedup > 0.0) {
+            return Err(format!("cell {i} ({name}): bad speedup {speedup}"));
+        }
+    }
+    Ok(ArtifactSummary {
+        scale: scale_str(scale),
+        workloads: workloads.len(),
+        cells: cells.len(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Markdown report (the body of EXPERIMENTS.md)
+// ---------------------------------------------------------------------
+
+/// The default-machine baseline cell for `workload` (the normaliser of
+/// every paper experiment).
+fn baseline_cell(workload: &'static str) -> Cell {
+    Cell::new(
+        workload,
+        SelectionSpec::Baseline,
+        MachineSpec::with_pfus(0, 0),
+    )
+}
+
+/// Renders the `run_all` Markdown report. Byte-identical to the output
+/// the pre-engine harness produced: the figures are views over the same
+/// measurements.
+pub fn render_markdown(run: &EngineRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let o = &mut out;
+
+    let _ = writeln!(o, "# T1000 experiment report");
+    let _ = writeln!(o);
+    let _ = writeln!(
+        o,
+        "Scale: {} | machine: 4-wide OoO, 64-entry RUU, perfect branch prediction, paper caches/TLBs",
+        if run.scale == Scale::Test { "test" } else { "full (paper)" }
+    );
+    let _ = writeln!(o);
+
+    let names: Vec<&'static str> = run.workloads.iter().map(|w| w.name).collect();
+
+    let _ = writeln!(o, "## Workloads");
+    let _ = writeln!(o);
+    let _ = writeln!(
+        o,
+        "| bench | dynamic instrs | baseline cycles | baseline IPC |"
+    );
+    let _ = writeln!(o, "|---|---:|---:|---:|");
+    for &w in &names {
+        let b = run.cell(baseline_cell(w));
+        let _ = writeln!(
+            o,
+            "| {} | {} | {} | {:.2} |",
+            w, b.base_instructions, b.cycles, b.base_ipc
+        );
+    }
+    let _ = writeln!(o);
+
+    let _ = writeln!(o, "## Figure 2 — greedy selection");
+    let _ = writeln!(o);
+    let _ = writeln!(
+        o,
+        "| bench | unlimited PFUs, 0-cy reconfig | 2 PFUs, 10-cy reconfig | #confs |"
+    );
+    let _ = writeln!(o, "|---|---:|---:|---:|");
+    for &w in &names {
+        let unl = Cell::new(w, SelectionSpec::Greedy, MachineSpec::unlimited(0));
+        let two = Cell::new(w, SelectionSpec::Greedy, MachineSpec::with_pfus(2, 10));
+        let _ = writeln!(
+            o,
+            "| {} | {:.3} | {:.3} | {} |",
+            w,
+            run.speedup(unl),
+            run.speedup(two),
+            run.selection(unl).expect("greedy record").num_confs
+        );
+    }
+    let _ = writeln!(o);
+
+    let _ = writeln!(o, "## §4.1 — greedy statistics");
+    let _ = writeln!(o);
+    let _ = writeln!(o, "| bench | #confs | #sites | len range |");
+    let _ = writeln!(o, "|---|---:|---:|---|");
+    for &w in &names {
+        let sel = run
+            .selection(Cell::new(
+                w,
+                SelectionSpec::Greedy,
+                MachineSpec::with_pfus(2, 10),
+            ))
+            .expect("greedy record");
+        let (min, max) = sel.seq_len_range();
+        let _ = writeln!(
+            o,
+            "| {} | {} | {} | {min}–{max} |",
+            w, sel.num_confs, sel.num_sites
+        );
+    }
+    let _ = writeln!(o);
+
+    let _ = writeln!(o, "## Figure 6 — selective algorithm (10-cy reconfig)");
+    let _ = writeln!(o);
+    let _ = writeln!(o, "| bench | 2 PFUs | 4 PFUs | unlimited |");
+    let _ = writeln!(o, "|---|---:|---:|---:|");
+    for &w in &names {
+        let cells = [
+            Cell::new(
+                w,
+                SelectionSpec::selective_std(Some(2)),
+                MachineSpec::with_pfus(2, 10),
+            ),
+            Cell::new(
+                w,
+                SelectionSpec::selective_std(Some(4)),
+                MachineSpec::with_pfus(4, 10),
+            ),
+            Cell::new(
+                w,
+                SelectionSpec::selective_std(None),
+                MachineSpec::unlimited(10),
+            ),
+        ];
+        let _ = writeln!(
+            o,
+            "| {} | {:.3} | {:.3} | {:.3} |",
+            w,
+            run.speedup(cells[0]),
+            run.speedup(cells[1]),
+            run.speedup(cells[2])
+        );
+    }
+    let _ = writeln!(o);
+
+    let _ = writeln!(o, "## Figure 7 — hardware cost of selected instructions");
+    let _ = writeln!(o);
+    let mut luts: Vec<u32> = Vec::new();
+    for &w in &names {
+        let sel = run
+            .selection(Cell::new(
+                w,
+                SelectionSpec::selective_std(Some(4)),
+                MachineSpec::with_pfus(4, 10),
+            ))
+            .expect("selective@4 record");
+        luts.extend(sel.confs.iter().map(|c| c.luts));
+    }
+    let max = luts.iter().copied().max().unwrap_or(0);
+    let _ = writeln!(o, "| bucket | instructions |");
+    let _ = writeln!(o, "|---|---:|");
+    for lo in (0..=max).step_by(20) {
+        let n = luts.iter().filter(|&&l| l >= lo && l < lo + 20).count();
+        let _ = writeln!(o, "| {}–{} LUTs | {} |", lo, lo + 19, n);
+    }
+    let _ = writeln!(o);
+    let _ = writeln!(
+        o,
+        "Max: {max} LUTs over {} instructions (paper: max 105, all fit 150-LUT PFUs).",
+        luts.len()
+    );
+    let _ = writeln!(o);
+
+    let _ = writeln!(
+        o,
+        "## §5.2 — reconfiguration-cost robustness (2 PFUs, selective)"
+    );
+    let _ = writeln!(o);
+    let _ = writeln!(o, "| bench | 0 | 10 | 100 | 500 cycles |");
+    let _ = writeln!(o, "|---|---:|---:|---:|---:|");
+    for &w in &names {
+        let cells: Vec<f64> = [0u32, 10, 100, 500]
+            .iter()
+            .map(|&c| {
+                run.speedup(Cell::new(
+                    w,
+                    SelectionSpec::selective_std(Some(2)),
+                    MachineSpec::with_pfus(2, c),
+                ))
+            })
+            .collect();
+        let _ = writeln!(
+            o,
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} |",
+            w, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute;
+    use crate::plan::Plan;
+
+    fn small_run() -> EngineRun {
+        let mut plan = Plan::new();
+        plan.push(Cell::new(
+            "mpeg2_enc",
+            SelectionSpec::selective_std(Some(2)),
+            MachineSpec::with_pfus(2, 10),
+        ));
+        plan.push(Cell::new(
+            "mpeg2_enc",
+            SelectionSpec::Greedy,
+            MachineSpec::unlimited(0),
+        ));
+        execute(&plan, Scale::Test)
+    }
+
+    #[test]
+    fn artifact_round_trips_and_validates() {
+        let run = small_run();
+        let text = to_json(&run).to_string_pretty();
+        // Round trip through the parser.
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(doc.to_string_pretty(), text);
+        // And the validator accepts it.
+        let summary = validate_artifact(&text).expect("artifact must validate");
+        assert_eq!(summary.scale, "test");
+        assert_eq!(summary.workloads, 1);
+        assert_eq!(summary.cells, 3);
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_artifacts() {
+        let run = small_run();
+        let good = to_json(&run).to_string_pretty();
+
+        // Wrong schema version.
+        let bad = good.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        assert!(validate_artifact(&bad)
+            .unwrap_err()
+            .contains("schema_version"));
+
+        // A flipped checksum digit must be caught.
+        let cs = format!("0x{:016x}", run.cells[0].checksum);
+        let flipped = format!("0x{:016x}", run.cells[0].checksum ^ 1);
+        let bad = good.replacen(cs.as_str(), flipped.as_str(), 2);
+        assert!(validate_artifact(&bad).is_err());
+
+        // Truncation is a parse error, not a panic.
+        assert!(validate_artifact(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn markdown_report_has_every_section() {
+        let run = execute(&crate::plan::run_all_plan(), Scale::Test);
+        let md = render_markdown(&run);
+        for section in [
+            "# T1000 experiment report",
+            "## Workloads",
+            "## Figure 2 — greedy selection",
+            "## §4.1 — greedy statistics",
+            "## Figure 6 — selective algorithm (10-cy reconfig)",
+            "## Figure 7 — hardware cost of selected instructions",
+            "## §5.2 — reconfiguration-cost robustness (2 PFUs, selective)",
+        ] {
+            assert!(md.contains(section), "missing {section}");
+        }
+        // All 8 workloads appear in every speedup table.
+        for name in t1000_workloads::NAMES {
+            assert!(
+                md.matches(&format!("| {name} |")).count() >= 5,
+                "{name} missing"
+            );
+        }
+    }
+}

@@ -25,11 +25,7 @@ impl std::error::Error for ArgError {}
 
 /// Parses `args`; `value_opts` lists options that take a value, `flag_opts`
 /// those that do not.
-pub fn parse(
-    args: &[String],
-    value_opts: &[&str],
-    flag_opts: &[&str],
-) -> Result<Parsed, ArgError> {
+pub fn parse(args: &[String], value_opts: &[&str], flag_opts: &[&str]) -> Result<Parsed, ArgError> {
     let mut out = Parsed::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -95,7 +91,12 @@ mod tests {
 
     #[test]
     fn positionals_options_and_flags_separate() {
-        let p = parse(&s(&["run", "a.s", "--pfus", "2", "--greedy"]), &["pfus"], &["greedy"]).unwrap();
+        let p = parse(
+            &s(&["run", "a.s", "--pfus", "2", "--greedy"]),
+            &["pfus"],
+            &["greedy"],
+        )
+        .unwrap();
         assert_eq!(p.positional, vec!["run", "a.s"]);
         assert_eq!(p.get("pfus"), Some("2"));
         assert!(p.flag("greedy"));

@@ -13,6 +13,10 @@
 //!                                               show chosen ext. instructions
 //! t1000 bench   <name> [--scale test|full] [--pfus N]
 //!                                               run a MediaBench-style kernel
+//! t1000 bench   --all [--scale test|full] [--json FILE]
+//!                                               full experiment suite (engine)
+//! t1000 bench   --validate <BENCH_results.json>
+//!                                               re-check a results artifact
 //! ```
 //!
 //! All command logic lives in this library so it is unit-testable; the
@@ -74,14 +78,16 @@ fn usage() -> String {
      \x20 t1000 run     <file> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
      \x20 t1000 profile <file>\n\
      \x20 t1000 select  <file> [--pfus N] [--greedy] [--threshold F]\n\
-     \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n"
+     \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
+     \x20 t1000 bench   --all [--scale test|full] [--json FILE]\n\
+     \x20 t1000 bench   --validate <BENCH_results.json>\n"
         .to_string()
 }
 
 /// Loads a program from assembly (`.s`) or text-object (`.tobj`) source.
 fn load(path: &str) -> Result<Program, CliError> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     load_str(path, &src)
 }
 
@@ -134,7 +140,10 @@ fn machine_config(p: &Parsed) -> Result<(CpuConfig, Option<usize>), CliError> {
             (PfuCount::Fixed(n), Some(n))
         }
     };
-    let mut cfg = CpuConfig { pfus, ..CpuConfig::default() };
+    let mut cfg = CpuConfig {
+        pfus,
+        ..CpuConfig::default()
+    };
     if let Some(c) = p.get_u32("reconfig")? {
         cfg.reconfig_cycles = c;
     }
@@ -149,12 +158,19 @@ fn select_for(session: &Session, p: &Parsed, pfus: Option<usize>) -> Result<Sele
     Ok(if p.flag("greedy") {
         session.greedy()
     } else {
-        session.selective(&SelectConfig { pfus, gain_threshold: threshold })
+        session.selective(&SelectConfig {
+            pfus,
+            gain_threshold: threshold,
+        })
     })
 }
 
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
-    let p = parse(args, &["pfus", "reconfig", "threshold", "max-instr"], &["greedy"])?;
+    let p = parse(
+        args,
+        &["pfus", "reconfig", "threshold", "max-instr"],
+        &["greedy"],
+    )?;
     let [path] = p.positional.as_slice() else {
         return err("run: expected exactly one input file");
     };
@@ -226,10 +242,9 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
         return err("profile: expected exactly one input file");
     };
     let program = load(path)?;
-    let cfg = t1000_profile::Cfg::build(&program)
-        .map_err(|e| CliError(e.to_string()))?;
-    let profile = t1000_profile::ExecProfile::collect(&program, 0)
-        .map_err(|e| CliError(e.to_string()))?;
+    let cfg = t1000_profile::Cfg::build(&program).map_err(|e| CliError(e.to_string()))?;
+    let profile =
+        t1000_profile::ExecProfile::collect(&program, 0).map_err(|e| CliError(e.to_string()))?;
     Ok(t1000_profile::report::render(&program, &cfg, &profile))
 }
 
@@ -244,7 +259,13 @@ fn cmd_select(args: &[String]) -> Result<String, CliError> {
     let sel = select_for(&session, &p, pfus.or(Some(4)))?;
 
     let mut out = String::new();
-    writeln!(out, "{} configuration(s), {} site(s)", sel.num_confs(), sel.fusion.num_sites()).unwrap();
+    writeln!(
+        out,
+        "{} configuration(s), {} site(s)",
+        sel.num_confs(),
+        sel.fusion.num_sites()
+    )
+    .unwrap();
     for c in &sel.confs {
         writeln!(
             out,
@@ -260,20 +281,29 @@ fn cmd_select(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
-    let p = parse(args, &["scale", "pfus"], &[])?;
-    let [name] = p.positional.as_slice() else {
-        return err(format!(
-            "bench: expected one benchmark name (one of {:?})",
-            t1000_workloads::NAMES
-        ));
-    };
+    let p = parse(args, &["scale", "pfus", "json", "validate"], &["all"])?;
     let scale = match p.get("scale") {
         Some("full") => t1000_workloads::Scale::Full,
         Some("test") | None => t1000_workloads::Scale::Test,
         Some(other) => return err(format!("--scale: `{other}` is not test|full")),
     };
+    if let Some(path) = p.get("validate") {
+        return bench_validate(path);
+    }
+    if p.flag("all") {
+        return bench_all(scale, p.get("json"));
+    }
+    let [name] = p.positional.as_slice() else {
+        return err(format!(
+            "bench: expected one benchmark name (one of {:?}), --all, or --validate FILE",
+            t1000_workloads::NAMES
+        ));
+    };
     let Some(w) = t1000_workloads::by_name(name, scale) else {
-        return err(format!("unknown benchmark `{name}` (one of {:?})", t1000_workloads::NAMES));
+        return err(format!(
+            "unknown benchmark `{name}` (one of {:?})",
+            t1000_workloads::NAMES
+        ));
     };
     let pfus = p.get_u32("pfus")?.map(|n| n as usize).unwrap_or(2);
     let program = w.program().map_err(|e| CliError(e.to_string()))?;
@@ -282,9 +312,14 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         .run_baseline(CpuConfig::baseline())
         .map_err(|e| CliError(e.to_string()))?;
     if base.sys.checksum != w.expected_checksum() {
-        return err(format!("{name}: simulator checksum diverges from reference"));
+        return err(format!(
+            "{name}: simulator checksum diverges from reference"
+        ));
     }
-    let sel = session.selective(&SelectConfig { pfus: Some(pfus), gain_threshold: 0.005 });
+    let sel = session.selective(&SelectConfig {
+        pfus: Some(pfus),
+        gain_threshold: 0.005,
+    });
     let run = session
         .run_with(&sel, CpuConfig::with_pfus(pfus))
         .map_err(|e| CliError(e.to_string()))?;
@@ -298,6 +333,50 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// `bench --all`: the full experiment suite through the shared engine,
+/// optionally writing the `BENCH_results.json` artifact.
+fn bench_all(scale: t1000_workloads::Scale, json: Option<&str>) -> Result<String, CliError> {
+    let run = t1000_bench::engine::execute_run_all(scale);
+    if let Some(path) = json {
+        t1000_bench::results::write_json(&run, std::path::Path::new(path))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = t1000_bench::results::render_markdown(&run);
+    let s = &run.stats;
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Engine: {} cells requested, {} simulated ({} deduped), {} selection jobs, {} threads.",
+        s.cells_requested, s.cells_simulated, s.cells_deduped, s.selection_jobs, s.threads
+    )
+    .unwrap();
+    if let Some(path) = json {
+        writeln!(
+            out,
+            "Wrote {path} (schema v{}).",
+            t1000_bench::results::SCHEMA_VERSION
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `bench --validate FILE`: re-checks a `BENCH_results.json` artifact
+/// against the schema and the recomputed Rust reference checksums.
+fn bench_validate(path: &str) -> Result<String, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let summary = t1000_bench::results::validate_artifact(&text)
+        .map_err(|e| CliError(format!("{path}: INVALID: {e}")))?;
+    Ok(format!(
+        "{path}: OK (schema v{}, scale {}, {} workloads, {} cells, all checksums match the Rust reference)\n",
+        t1000_bench::results::SCHEMA_VERSION,
+        summary.scale,
+        summary.workloads,
+        summary.cells
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,7 +386,8 @@ mod tests {
     }
 
     fn tmp(name: &str, content: &str) -> String {
-        let path = std::env::temp_dir().join(format!("t1000_cli_test_{}_{name}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("t1000_cli_test_{}_{name}", std::process::id()));
         std::fs::write(&path, content).unwrap();
         path.to_string_lossy().into_owned()
     }
@@ -390,6 +470,32 @@ loop:
         assert!(out.contains("speedup"), "{out}");
         assert!(out.contains("checksum ok"), "{out}");
         assert!(run(&s(&["bench", "nope"])).is_err());
+    }
+
+    #[test]
+    fn bench_all_emits_report_and_validating_artifact() {
+        let json = std::env::temp_dir().join(format!(
+            "t1000_cli_test_{}_results.json",
+            std::process::id()
+        ));
+        let json = json.to_string_lossy().into_owned();
+        let out = run(&s(&["bench", "--all", "--scale", "test", "--json", &json])).unwrap();
+        assert!(out.contains("# T1000 experiment report"), "{out}");
+        assert!(out.contains("## Figure 6"), "{out}");
+        assert!(out.contains("Engine: "), "{out}");
+
+        // The artifact it just wrote must validate...
+        let ok = run(&s(&["bench", "--validate", &json])).unwrap();
+        assert!(ok.contains("OK"), "{ok}");
+
+        // ...and a corrupted copy must not.
+        let text = std::fs::read_to_string(&json).unwrap();
+        let bad = tmp(
+            "bad_results.json",
+            &text.replacen("\"cycles\"", "\"cycels\"", 1),
+        );
+        assert!(run(&s(&["bench", "--validate", &bad])).is_err());
+        let _ = std::fs::remove_file(&json);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use t1000_isa::{Instr, Program, Reg};
 use t1000_profile::{bit, Cfg, ExecProfile, Liveness};
 
 /// Tunable extraction parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ExtractConfig {
     /// Maximum profiled operand/result bitwidth for candidate ops
     /// (paper: 18, "but this is a parameter that can be varied").
@@ -121,7 +121,11 @@ impl Analysis {
         let liveness = Liveness::compute(program, &cfg);
         let profile =
             ExecProfile::collect(program, max_instructions).map_err(crate::Error::Exec)?;
-        Ok(Analysis { cfg, liveness, profile })
+        Ok(Analysis {
+            cfg,
+            liveness,
+            profile,
+        })
     }
 }
 
@@ -235,7 +239,15 @@ pub fn maximal_sites(program: &Program, a: &Analysis, cfg_x: &ExtractConfig) -> 
             }
             match best {
                 Some((j, inputs, output, width)) => {
-                    out.push(make_site(a, b, &pcs[i..j], &instrs[i..j], inputs, output, width));
+                    out.push(make_site(
+                        a,
+                        b,
+                        &pcs[i..j],
+                        &instrs[i..j],
+                        inputs,
+                        output,
+                        width,
+                    ));
                     i = j;
                 }
                 None => i += 1,
@@ -248,11 +260,7 @@ pub fn maximal_sites(program: &Program, a: &Analysis, cfg_x: &ExtractConfig) -> 
 /// Enumerates every valid sub-window (length ≥ 2) of the given site,
 /// including the site itself. Used by the selective algorithm's
 /// common-subsequence analysis (paper Fig. 3/4).
-pub fn subwindows(
-    a: &Analysis,
-    cfg_x: &ExtractConfig,
-    site: &CandidateSite,
-) -> Vec<CandidateSite> {
+pub fn subwindows(a: &Analysis, cfg_x: &ExtractConfig, site: &CandidateSite) -> Vec<CandidateSite> {
     let pcs: Vec<u32> = (0..site.len()).map(|k| site.pc + 4 * k as u32).collect();
     let mut out = Vec::new();
     for i in 0..site.len() {
@@ -378,7 +386,12 @@ loop:
         // No site may span the first two instructions together with a
         // third input; the extractor must fall back to a shorter window.
         for s in &sites {
-            assert!(s.inputs.len() <= 2, "site at 0x{:x} has {} inputs", s.pc, s.inputs.len());
+            assert!(
+                s.inputs.len() <= 2,
+                "site at 0x{:x} has {} inputs",
+                s.pc,
+                s.inputs.len()
+            );
         }
         // A maximal site still exists starting at the second instruction.
         assert!(sites.iter().any(|s| s.pc > loop_pc));
@@ -408,7 +421,10 @@ buf: .word 1
         let loop_pc = p.symbol("loop").unwrap();
         let first = sites.iter().find(|s| s.pc == loop_pc).expect("front run");
         assert_eq!(first.len(), 2, "run must stop at the load");
-        assert!(sites.iter().any(|s| s.pc == loop_pc + 12), "run resumes after the load");
+        assert!(
+            sites.iter().any(|s| s.pc == loop_pc + 12),
+            "run resumes after the load"
+        );
     }
 
     #[test]
@@ -504,7 +520,10 @@ end:
     syscall
 ",
         );
-        assert!(sites.is_empty(), "never-executed code has no width evidence: {sites:?}");
+        assert!(
+            sites.is_empty(),
+            "never-executed code has no width evidence: {sites:?}"
+        );
         let _ = p;
     }
 }

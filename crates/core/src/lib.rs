@@ -24,7 +24,7 @@ pub use canon::{canonicalize, CanonSeq};
 pub use extract::{maximal_sites, subwindows, Analysis, CandidateSite, ExtractConfig};
 pub use matrix::SubseqMatrix;
 pub use select::{greedy, selective, ChosenConf, SelectConfig, Selection};
-pub use session::Session;
+pub use session::{SelectionCacheStats, Session};
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug)]

@@ -32,7 +32,11 @@ impl SubseqMatrix {
             .map(|(i, f)| (f, i))
             .collect();
         let k = forms.len();
-        SubseqMatrix { forms, m: vec![vec![0; k]; k], index }
+        SubseqMatrix {
+            forms,
+            m: vec![vec![0; k]; k],
+            index,
+        }
     }
 
     /// Index of a form, if present.

@@ -36,7 +36,10 @@ pub struct SelectConfig {
 
 impl Default for SelectConfig {
     fn default() -> SelectConfig {
-        SelectConfig { pfus: Some(4), gain_threshold: 0.005 }
+        SelectConfig {
+            pfus: Some(4),
+            gain_threshold: 0.005,
+        }
     }
 }
 
@@ -144,9 +147,8 @@ pub fn selective(
     // through their execution counts. Sites outside all loops are dropped.
     let doms = Dominators::compute(&a.cfg);
     let loops = natural_loops(&a.cfg, &doms); // innermost first
-    let outermost_loop = |block: usize| -> Option<usize> {
-        loops.iter().rposition(|l| l.blocks.contains(&block))
-    };
+    let outermost_loop =
+        |block: usize| -> Option<usize> { loops.iter().rposition(|l| l.blocks.contains(&block)) };
 
     let mut per_loop: BTreeMap<usize, Vec<CandidateSite>> = BTreeMap::new();
     for id in &surviving {
@@ -160,8 +162,7 @@ pub fn selective(
     let mut fused: Vec<CandidateSite> = Vec::new();
     let mut matrices = Vec::new();
     for (l, sites) in per_loop {
-        let (mut picked, matrix) =
-            select_in_loop(a, cfg_x, &loops[l], sites, pfu_budget);
+        let (mut picked, matrix) = select_in_loop(a, cfg_x, &loops[l], sites, pfu_budget);
         fused.append(&mut picked);
         if let Some(m) = matrix {
             matrices.push(m);
@@ -241,9 +242,7 @@ fn select_in_loop(
         let mut gain = 0u64;
         for (si, subs) in &site_windows {
             let hits = cover_count(&sites[*si], subs, form);
-            gain += hits as u64
-                * (info[form].len as u64 - 1)
-                * sites[*si].exec_count;
+            gain += hits as u64 * (info[form].len as u64 - 1) * sites[*si].exec_count;
         }
         info.get_mut(form).unwrap().gain = gain;
     }
@@ -287,10 +286,7 @@ fn select_in_loop(
             let marginal = coverage_gain(&trial).saturating_sub(covered);
             let better = match best {
                 None => true,
-                Some((bg, bf)) => {
-                    marginal > bg
-                        || (marginal == bg && info[f].len > info[bf].len)
-                }
+                Some((bg, bf)) => marginal > bg || (marginal == bg && info[f].len > info[bf].len),
             };
             if marginal > 0 && better {
                 best = Some((marginal, f));
@@ -416,7 +412,11 @@ fn build_selection(windows: Vec<CandidateSite>, matrices: Vec<SubseqMatrix>) -> 
             total_gain: sites.iter().map(|s| s.total_gain()).sum(),
         });
     }
-    Selection { fusion, confs, matrices }
+    Selection {
+        fusion,
+        confs,
+        matrices,
+    }
 }
 
 #[cfg(test)]
@@ -481,7 +481,12 @@ loop:
         assert!(sel.fusion.num_sites() >= 4);
         // All confs fit the PFU area budget of the paper.
         for c in &sel.confs {
-            assert!(c.cost.luts < 150, "conf {} needs {} LUTs", c.conf, c.cost.luts);
+            assert!(
+                c.cost.luts < 150,
+                "conf {} needs {} LUTs",
+                c.conf,
+                c.cost.luts
+            );
             assert!(c.cost.single_cycle());
         }
     }
@@ -493,7 +498,10 @@ loop:
             &p,
             &a,
             &ExtractConfig::default(),
-            &SelectConfig { pfus: None, gain_threshold: 0.005 },
+            &SelectConfig {
+                pfus: None,
+                gain_threshold: 0.005,
+            },
         );
         assert!(sel.num_confs() >= 3);
     }
@@ -506,7 +514,10 @@ loop:
                 &p,
                 &a,
                 &ExtractConfig::default(),
-                &SelectConfig { pfus: Some(budget), gain_threshold: 0.005 },
+                &SelectConfig {
+                    pfus: Some(budget),
+                    gain_threshold: 0.005,
+                },
             );
             // One loop → at most `budget` distinct configurations.
             assert!(
@@ -528,7 +539,10 @@ loop:
             &p,
             &a,
             &ExtractConfig::default(),
-            &SelectConfig { pfus: Some(1), gain_threshold: 0.005 },
+            &SelectConfig {
+                pfus: Some(1),
+                gain_threshold: 0.005,
+            },
         );
         assert_eq!(sel.num_confs(), 1);
         let c = &sel.confs[0];
@@ -544,14 +558,20 @@ loop:
             &p,
             &a,
             &ExtractConfig::default(),
-            &SelectConfig { pfus: Some(8), gain_threshold: 0.005 },
+            &SelectConfig {
+                pfus: Some(8),
+                gain_threshold: 0.005,
+            },
         );
         assert!(relaxed.matrices.is_empty());
         let pressured = selective(
             &p,
             &a,
             &ExtractConfig::default(),
-            &SelectConfig { pfus: Some(1), gain_threshold: 0.005 },
+            &SelectConfig {
+                pfus: Some(1),
+                gain_threshold: 0.005,
+            },
         );
         assert_eq!(pressured.matrices.len(), 1);
         let m = &pressured.matrices[0];
@@ -567,7 +587,10 @@ loop:
             &p,
             &a,
             &ExtractConfig::default(),
-            &SelectConfig { pfus: Some(2), gain_threshold: 0.5 },
+            &SelectConfig {
+                pfus: Some(2),
+                gain_threshold: 0.5,
+            },
         );
         assert_eq!(sel.num_confs(), 0);
     }

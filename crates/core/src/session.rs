@@ -38,14 +38,110 @@
 use crate::extract::{Analysis, ExtractConfig};
 use crate::select::{greedy, selective, SelectConfig, Selection};
 use crate::Error;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 use t1000_cpu::{simulate, CpuConfig, RunResult};
 use t1000_isa::{FusionMap, Program};
+
+/// Cache key for one selection request. `SelectConfig` itself is not
+/// `Eq`/`Hash` (it carries an `f64` threshold), so the key stores the
+/// threshold's bit pattern — two configs hit the same entry exactly when
+/// they would drive the selector identically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum SelectionKey {
+    Greedy,
+    Selective {
+        pfus: Option<usize>,
+        gain_threshold_bits: u64,
+    },
+}
+
+impl SelectionKey {
+    fn selective(cfg: &SelectConfig) -> SelectionKey {
+        SelectionKey::Selective {
+            pfus: cfg.pfus,
+            gain_threshold_bits: cfg.gain_threshold.to_bits(),
+        }
+    }
+}
+
+/// Counters describing how the session's selection cache has been used.
+/// Times are for cache *misses* only — what the selectors actually cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectionCacheStats {
+    /// Requests answered from the cache (or by waiting on a concurrent
+    /// computation of the same key).
+    pub hits: u64,
+    /// Requests that ran a selection algorithm.
+    pub misses: u64,
+    /// Total nanoseconds spent inside selection algorithms.
+    pub compute_nanos: u64,
+}
+
+impl SelectionCacheStats {
+    /// Total selection-algorithm time, in seconds.
+    pub fn compute_secs(&self) -> f64 {
+        self.compute_nanos as f64 / 1e9
+    }
+}
+
+/// Interior memoization for `greedy()`/`selective()`. Each key's value is
+/// computed exactly once, even under concurrent access from scoped
+/// threads: the per-key `OnceLock` makes racing callers block on the
+/// winner's computation instead of redoing it, while callers with
+/// *different* keys only contend on the brief map lookup.
+#[derive(Default)]
+struct SelectionCache {
+    entries: Mutex<HashMap<SelectionKey, Arc<OnceLock<Arc<Selection>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compute_nanos: AtomicU64,
+}
+
+impl SelectionCache {
+    fn get_or_compute(
+        &self,
+        key: SelectionKey,
+        compute: impl FnOnce() -> Selection,
+    ) -> Arc<Selection> {
+        let cell = {
+            let mut entries = self.entries.lock().unwrap();
+            Arc::clone(entries.entry(key).or_default())
+        };
+        let mut computed = false;
+        let selection = cell.get_or_init(|| {
+            let t0 = Instant::now();
+            let sel = Arc::new(compute());
+            self.compute_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            computed = true;
+            sel
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(selection)
+    }
+
+    fn stats(&self) -> SelectionCacheStats {
+        SelectionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compute_nanos: self.compute_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// A program under study, with its static and dynamic analyses.
 pub struct Session {
     program: Program,
     analysis: Analysis,
     extract: ExtractConfig,
+    selections: SelectionCache,
 }
 
 impl Session {
@@ -70,7 +166,12 @@ impl Session {
         max_instructions: u64,
     ) -> Result<Session, Error> {
         let analysis = Analysis::build_with_limit(&program, max_instructions)?;
-        Ok(Session { program, analysis, extract })
+        Ok(Session {
+            program,
+            analysis,
+            extract,
+            selections: SelectionCache::default(),
+        })
     }
 
     /// Assembles `src` and builds a session.
@@ -94,14 +195,39 @@ impl Session {
         &self.extract
     }
 
-    /// Runs the greedy selection algorithm (§4).
+    /// Runs the greedy selection algorithm (§4). Memoized: repeated calls
+    /// (from any thread) compute the selection once and clone the cached
+    /// result.
     pub fn greedy(&self) -> Selection {
-        greedy(&self.program, &self.analysis, &self.extract)
+        (*self.greedy_shared()).clone()
     }
 
-    /// Runs the selective algorithm (§5).
+    /// Runs the selective algorithm (§5). Memoized per `SelectConfig`,
+    /// like [`Session::greedy`].
     pub fn selective(&self, cfg: &SelectConfig) -> Selection {
-        selective(&self.program, &self.analysis, &self.extract, cfg)
+        (*self.selective_shared(cfg)).clone()
+    }
+
+    /// Like [`Session::greedy`], but shares the cached selection instead
+    /// of cloning it — the form the experiment engine uses.
+    pub fn greedy_shared(&self) -> Arc<Selection> {
+        self.selections.get_or_compute(SelectionKey::Greedy, || {
+            greedy(&self.program, &self.analysis, &self.extract)
+        })
+    }
+
+    /// Like [`Session::selective`], but shares the cached selection
+    /// instead of cloning it.
+    pub fn selective_shared(&self, cfg: &SelectConfig) -> Arc<Selection> {
+        self.selections
+            .get_or_compute(SelectionKey::selective(cfg), || {
+                selective(&self.program, &self.analysis, &self.extract, cfg)
+            })
+    }
+
+    /// Hit/miss/compute-time counters for the selection cache.
+    pub fn selection_cache_stats(&self) -> SelectionCacheStats {
+        self.selections.stats()
     }
 
     /// Simulates the program with no extended instructions.
@@ -162,7 +288,10 @@ loop:
     #[test]
     fn full_pipeline_speeds_up_and_preserves_semantics() {
         let s = Session::from_asm(KERNEL).unwrap();
-        let sel = s.selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+        let sel = s.selective(&SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        });
         assert!(sel.num_confs() >= 1);
         let (base, fused) = s.verify_selection(&sel, CpuConfig::with_pfus(2)).unwrap();
         assert!(
@@ -179,7 +308,10 @@ loop:
     fn greedy_with_unlimited_pfus_is_at_least_as_fast_as_selective() {
         let s = Session::from_asm(KERNEL).unwrap();
         let g = s.greedy();
-        let sel = s.selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+        let sel = s.selective(&SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        });
         let base = s.run_baseline(CpuConfig::baseline()).unwrap();
         let g_run = s
             .run_with(&g, CpuConfig::unlimited_pfus().reconfig(0))
@@ -187,6 +319,81 @@ loop:
         let s_run = s.run_with(&sel, CpuConfig::with_pfus(2)).unwrap();
         assert!(g_run.timing.cycles <= s_run.timing.cycles);
         assert!(g_run.timing.cycles < base.timing.cycles);
+    }
+
+    #[test]
+    fn selection_cache_returns_identical_selections() {
+        let s = Session::from_asm(KERNEL).unwrap();
+        let cfg = SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        };
+        let uncached = selective(s.program(), s.analysis(), s.extract_config(), &cfg);
+        let first = s.selective(&cfg);
+        let second = s.selective(&cfg);
+        // The cached results must be indistinguishable from a direct,
+        // uncached run of the algorithm.
+        assert_eq!(format!("{uncached:?}"), format!("{first:?}"));
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        let stats = s.selection_cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert!(stats.compute_nanos > 0);
+    }
+
+    #[test]
+    fn selection_cache_keys_distinguish_configs() {
+        let s = Session::from_asm(KERNEL).unwrap();
+        s.greedy();
+        s.selective(&SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        });
+        s.selective(&SelectConfig {
+            pfus: Some(4),
+            gain_threshold: 0.005,
+        });
+        s.selective(&SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.01,
+        });
+        s.selective(&SelectConfig {
+            pfus: None,
+            gain_threshold: 0.005,
+        });
+        assert_eq!(s.selection_cache_stats().misses, 5);
+        assert_eq!(s.selection_cache_stats().hits, 0);
+        s.greedy();
+        s.selective(&SelectConfig {
+            pfus: None,
+            gain_threshold: 0.005,
+        });
+        assert_eq!(s.selection_cache_stats().misses, 5);
+        assert_eq!(s.selection_cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn selection_cache_computes_once_under_concurrency() {
+        let s = Session::from_asm(KERNEL).unwrap();
+        let cfg = SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        };
+        let selections: Vec<std::sync::Arc<Selection>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| s.selective_shared(&cfg)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // One computation, shared by everyone.
+        let stats = s.selection_cache_stats();
+        assert_eq!(stats.misses, 1, "raced threads recomputed the selection");
+        assert_eq!(stats.hits, 7);
+        for sel in &selections[1..] {
+            assert!(
+                std::sync::Arc::ptr_eq(&selections[0], sel),
+                "threads must share one cached Selection"
+            );
+        }
     }
 
     #[test]

@@ -38,13 +38,18 @@ l2:
     syscall
 ";
     let s = Session::from_asm(src).unwrap();
-    let sel = s.selective(&SelectConfig { pfus: Some(1), gain_threshold: 0.005 });
+    let sel = s.selective(&SelectConfig {
+        pfus: Some(1),
+        gain_threshold: 0.005,
+    });
     // One config per loop: two distinct configurations in total.
     assert_eq!(sel.num_confs(), 2, "{:?}", sel.confs);
     // And with one PFU the machine reconfigures exactly twice (once per
     // loop entry), independent of iteration count.
     let base = s.run_baseline(CpuConfig::baseline()).unwrap();
-    let run = s.run_with(&sel, CpuConfig::with_pfus(1).reconfig(10)).unwrap();
+    let run = s
+        .run_with(&sel, CpuConfig::with_pfus(1).reconfig(10))
+        .unwrap();
     assert_eq!(run.sys, base.sys);
     assert_eq!(run.timing.pfu.reconfigurations, 2);
     assert!(run.timing.cycles < base.timing.cycles);
@@ -126,7 +131,10 @@ cold:
     syscall
 ";
     let s = Session::from_asm(src).unwrap();
-    let sel = s.selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+    let sel = s.selective(&SelectConfig {
+        pfus: Some(4),
+        gain_threshold: 0.005,
+    });
     // Only the hot loop's form(s) survive; the cold loop's gain share is
     // ~3/20000 ≪ 0.5%.
     assert!(sel.num_confs() >= 1);
@@ -174,10 +182,15 @@ l2:
 "
     );
     let s = Session::from_asm(&src).unwrap();
-    let sel = s.selective(&SelectConfig { pfus: Some(1), gain_threshold: 0.005 });
+    let sel = s.selective(&SelectConfig {
+        pfus: Some(1),
+        gain_threshold: 0.005,
+    });
     assert_eq!(sel.num_confs(), 1, "identical chains must share a config");
     assert_eq!(sel.fusion.num_sites(), 2);
-    let run = s.run_with(&sel, CpuConfig::with_pfus(1).reconfig(10)).unwrap();
+    let run = s
+        .run_with(&sel, CpuConfig::with_pfus(1).reconfig(10))
+        .unwrap();
     assert_eq!(
         run.timing.pfu.reconfigurations, 1,
         "one load serves both loops"

@@ -11,13 +11,26 @@ fn r(n: u8) -> Reg {
 /// A random short ALU sequence over registers $8..$14.
 fn arb_seq() -> impl Strategy<Value = Vec<Instr>> {
     let instr = prop_oneof![
-        (prop::sample::select(vec![Op::Addu, Op::Subu, Op::Xor, Op::And, Op::Or, Op::Nor]),
-            8u8..14, 8u8..14, 8u8..14)
+        (
+            prop::sample::select(vec![Op::Addu, Op::Subu, Op::Xor, Op::And, Op::Or, Op::Nor]),
+            8u8..14,
+            8u8..14,
+            8u8..14
+        )
             .prop_map(|(op, d, s, t)| Instr::rtype(op, r(d), r(s), r(t))),
-        (prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]), 8u8..14, 8u8..14, 0u32..32)
+        (
+            prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]),
+            8u8..14,
+            8u8..14,
+            0u32..32
+        )
             .prop_map(|(op, d, t, sh)| Instr::shift(op, r(d), r(t), sh)),
-        (8u8..14, 8u8..14, -100i32..100)
-            .prop_map(|(d, s, imm)| Instr::itype(Op::Addiu, r(d), r(s), imm)),
+        (8u8..14, 8u8..14, -100i32..100).prop_map(|(d, s, imm)| Instr::itype(
+            Op::Addiu,
+            r(d),
+            r(s),
+            imm
+        )),
     ];
     prop::collection::vec(instr, 1..8)
 }
@@ -97,11 +110,14 @@ loop:
     let runs: Vec<Vec<(u16, usize, u32)>> = (0..3)
         .map(|_| {
             let s = Session::from_asm(src).unwrap();
-            s.selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 })
-                .confs
-                .iter()
-                .map(|c| (c.conf, c.num_sites, c.cost.luts))
-                .collect()
+            s.selective(&SelectConfig {
+                pfus: Some(2),
+                gain_threshold: 0.005,
+            })
+            .confs
+            .iter()
+            .map(|c| (c.conf, c.num_sites, c.cost.luts))
+            .collect()
         })
         .collect();
     assert_eq!(runs[0], runs[1]);

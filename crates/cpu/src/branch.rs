@@ -9,9 +9,10 @@
 //! return-address stack.
 
 /// Which predictor the fetch stage consults.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum BranchModel {
     /// Fetch always follows the committed path (the paper's assumption).
+    #[default]
     Perfect,
     /// Bimodal 2-bit counters.
     Bimodal {
@@ -20,12 +21,6 @@ pub enum BranchModel {
         /// Cycles fetch stalls after a misprediction.
         penalty: u32,
     },
-}
-
-impl Default for BranchModel {
-    fn default() -> BranchModel {
-        BranchModel::Perfect
-    }
 }
 
 /// Prediction statistics.
@@ -66,11 +61,18 @@ impl Predictor {
         let counters = match model {
             BranchModel::Perfect => Vec::new(),
             BranchModel::Bimodal { entries, .. } => {
-                assert!(entries.is_power_of_two(), "predictor entries must be a power of two");
+                assert!(
+                    entries.is_power_of_two(),
+                    "predictor entries must be a power of two"
+                );
                 vec![2u8; entries as usize]
             }
         };
-        Predictor { model, counters, stats: BranchStats::default() }
+        Predictor {
+            model,
+            counters,
+            stats: BranchStats::default(),
+        }
     }
 
     /// Records one conditional branch at `pc` with actual direction
@@ -122,7 +124,10 @@ mod tests {
 
     #[test]
     fn bimodal_learns_a_loop_branch() {
-        let mut p = Predictor::new(BranchModel::Bimodal { entries: 64, penalty: 5 });
+        let mut p = Predictor::new(BranchModel::Bimodal {
+            entries: 64,
+            penalty: 5,
+        });
         let mut penalty = 0;
         // A loop branch taken 99 times then falling through once.
         for _ in 0..99 {
@@ -137,19 +142,28 @@ mod tests {
 
     #[test]
     fn bimodal_struggles_with_alternating_branches() {
-        let mut p = Predictor::new(BranchModel::Bimodal { entries: 64, penalty: 5 });
+        let mut p = Predictor::new(BranchModel::Bimodal {
+            entries: 64,
+            penalty: 5,
+        });
         let mut misses = 0;
         for i in 0..100 {
             if p.observe(0x400200, i % 2 == 0) > 0 {
                 misses += 1;
             }
         }
-        assert!(misses >= 45, "alternation defeats a bimodal predictor, got {misses}");
+        assert!(
+            misses >= 45,
+            "alternation defeats a bimodal predictor, got {misses}"
+        );
     }
 
     #[test]
     fn distinct_branches_use_distinct_counters() {
-        let mut p = Predictor::new(BranchModel::Bimodal { entries: 64, penalty: 5 });
+        let mut p = Predictor::new(BranchModel::Bimodal {
+            entries: 64,
+            penalty: 5,
+        });
         // Train one branch strongly not-taken...
         for _ in 0..10 {
             p.observe(0x400300, false);
@@ -161,6 +175,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_table_size_panics() {
-        Predictor::new(BranchModel::Bimodal { entries: 100, penalty: 5 });
+        Predictor::new(BranchModel::Bimodal {
+            entries: 100,
+            penalty: 5,
+        });
     }
 }

@@ -5,7 +5,7 @@ use crate::pfu::PfuReplacement;
 use t1000_mem::MemConfig;
 
 /// How many PFUs the machine has.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PfuCount {
     /// A fixed number of PFUs (the realistic configurations: 1, 2, 4...).
     Fixed(usize),
@@ -94,17 +94,26 @@ impl CpuConfig {
     /// The baseline superscalar: identical core, no PFUs. Extended
     /// instructions cannot execute on this machine.
     pub fn baseline() -> CpuConfig {
-        CpuConfig { pfus: PfuCount::Fixed(0), ..CpuConfig::default() }
+        CpuConfig {
+            pfus: PfuCount::Fixed(0),
+            ..CpuConfig::default()
+        }
     }
 
     /// T1000 with `n` PFUs.
     pub fn with_pfus(n: usize) -> CpuConfig {
-        CpuConfig { pfus: PfuCount::Fixed(n), ..CpuConfig::default() }
+        CpuConfig {
+            pfus: PfuCount::Fixed(n),
+            ..CpuConfig::default()
+        }
     }
 
     /// T1000 with unlimited PFUs.
     pub fn unlimited_pfus() -> CpuConfig {
-        CpuConfig { pfus: PfuCount::Unlimited, ..CpuConfig::default() }
+        CpuConfig {
+            pfus: PfuCount::Unlimited,
+            ..CpuConfig::default()
+        }
     }
 
     /// Same machine with a different reconfiguration penalty.

@@ -73,7 +73,10 @@ impl std::fmt::Display for ExecError {
             ExecError::PcOutOfRange(pc) => write!(f, "PC 0x{pc:x} outside text segment"),
             ExecError::Decode(pc, w) => write!(f, "undecodable word 0x{w:08x} at 0x{pc:x}"),
             ExecError::Unaligned { pc, addr, width } => {
-                write!(f, "misaligned {width}-byte access to 0x{addr:x} at 0x{pc:x}")
+                write!(
+                    f,
+                    "misaligned {width}-byte access to 0x{addr:x} at 0x{pc:x}"
+                )
             }
             ExecError::BadSyscall { pc, code } => {
                 write!(f, "unknown syscall {code} at 0x{pc:x}")
@@ -275,12 +278,15 @@ impl<'a> FuncCore<'a> {
             }
             Divu => {
                 let (a, b) = (self.reg(i.rs), self.reg(i.rt));
-                if b == 0 {
-                    self.lo = u32::MAX;
-                    self.hi = a;
-                } else {
-                    self.lo = a / b;
-                    self.hi = a % b;
+                match a.checked_div(b) {
+                    Some(q) => {
+                        self.lo = q;
+                        self.hi = a % b;
+                    }
+                    None => {
+                        self.lo = u32::MAX;
+                        self.hi = a;
+                    }
                 }
             }
             Mfhi => {
@@ -455,7 +461,7 @@ impl<'a> FuncCore<'a> {
     }
 
     fn check_align(&self, pc: u32, addr: u32, width: u32) -> Result<(), ExecError> {
-        if addr % width != 0 {
+        if !addr.is_multiple_of(width) {
             Err(ExecError::Unaligned { pc, addr, width })
         } else {
             Ok(())
@@ -632,7 +638,12 @@ main:
         let start = p.text_base + 8;
         let mut fused = FusionMap::new();
         let skeleton: Vec<Instr> = (0..3).map(|k| p.instr_at(start + 4 * k).unwrap()).collect();
-        fused.define(t1000_isa::ConfDef { conf: 0, skeleton, base_cycles: 3, pfu_latency: 1 });
+        fused.define(t1000_isa::ConfDef {
+            conf: 0,
+            skeleton,
+            base_cycles: 3,
+            pfu_latency: 1,
+        });
         fused.add_site(t1000_isa::FusedSite {
             pc: start,
             len: 3,
@@ -653,7 +664,10 @@ main:
             dyn_count += 1;
         }
         assert!(saw_pfu);
-        assert_eq!(core.sys.checksum, plain.sys.checksum, "fusion must not change results");
+        assert_eq!(
+            core.sys.checksum, plain.sys.checksum,
+            "fusion must not change results"
+        );
         assert_eq!(core.icount, plain.icount, "base icount is fusion-invariant");
         assert_eq!(dyn_count, plain.icount - 2, "three ops became one slot");
     }

@@ -41,7 +41,10 @@ pub fn simulate(
         }
         func.step()
     })?;
-    Ok(RunResult { timing, sys: func.sys })
+    Ok(RunResult {
+        timing,
+        sys: func.sys,
+    })
 }
 
 /// Functionally executes `program` without timing (fast path for

@@ -215,16 +215,13 @@ impl OooCore {
             // Operand readiness: all producers done by now.
             let mut ready = true;
             for dep in e.deps.iter().flatten() {
-                match self.entry(*dep) {
-                    // Producer still in the window: must have completed.
-                    Some(p) => {
-                        if !(p.state != EntryState::Waiting && p.complete_at <= self.cycle) {
-                            ready = false;
-                            break;
-                        }
+                // Producer still in the window must have completed; a
+                // producer already committed has its value available.
+                if let Some(p) = self.entry(*dep) {
+                    if p.state == EntryState::Waiting || p.complete_at > self.cycle {
+                        ready = false;
+                        break;
                     }
-                    // Producer already committed: value available.
-                    None => {}
                 }
             }
             if !ready {
@@ -297,7 +294,9 @@ impl OooCore {
             return;
         }
         for _ in 0..self.cfg.dispatch_width {
-            let Some(rec) = self.fetch_queue.front() else { break };
+            let Some(rec) = self.fetch_queue.front() else {
+                break;
+            };
             if self.window.len() >= self.cfg.ruu_size {
                 break;
             }
@@ -565,7 +564,12 @@ loop:
         let start = p.symbol("loop").unwrap();
         let skeleton: Vec<_> = (0..4).map(|k| p.instr_at(start + 4 * k).unwrap()).collect();
         let mut fusion = FusionMap::new();
-        fusion.define(t1000_isa::ConfDef { conf: 0, skeleton, base_cycles: 4, pfu_latency: 1 });
+        fusion.define(t1000_isa::ConfDef {
+            conf: 0,
+            skeleton,
+            base_cycles: 4,
+            pfu_latency: 1,
+        });
         fusion.add_site(t1000_isa::FusedSite {
             pc: start,
             len: 4,
@@ -612,7 +616,12 @@ loop:
         let mut fusion = FusionMap::new();
         for (conf, at) in [(0u16, start), (1u16, start + 8)] {
             let skeleton: Vec<_> = (0..2).map(|k| p.instr_at(at + 4 * k).unwrap()).collect();
-            fusion.define(t1000_isa::ConfDef { conf, skeleton, base_cycles: 2, pfu_latency: 1 });
+            fusion.define(t1000_isa::ConfDef {
+                conf,
+                skeleton,
+                base_cycles: 2,
+                pfu_latency: 1,
+            });
             fusion.add_site(t1000_isa::FusedSite {
                 pc: at,
                 len: 2,
@@ -652,15 +661,19 @@ loop:
 
     #[test]
     fn base_instruction_count_is_fusion_invariant() {
-        let src = format!(
-            "main:\n    li $t0, 7\n    sll $t1, $t0, 2\n    addu $t1, $t1, $t0\n{EXIT}"
-        );
+        let src =
+            format!("main:\n    li $t0, 7\n    sll $t1, $t0, 2\n    addu $t1, $t1, $t0\n{EXIT}");
         let p = assemble(&src).unwrap();
         let base = time(&p, &FusionMap::new(), CpuConfig::baseline());
         let start = p.text_base + 4;
         let skeleton: Vec<_> = (0..2).map(|k| p.instr_at(start + 4 * k).unwrap()).collect();
         let mut fusion = FusionMap::new();
-        fusion.define(t1000_isa::ConfDef { conf: 0, skeleton, base_cycles: 2, pfu_latency: 1 });
+        fusion.define(t1000_isa::ConfDef {
+            conf: 0,
+            skeleton,
+            base_cycles: 2,
+            pfu_latency: 1,
+        });
         fusion.add_site(t1000_isa::FusedSite {
             pc: start,
             len: 2,
@@ -696,10 +709,16 @@ next:
 ";
         let perfect = time_program(src, CpuConfig::baseline());
         let mut cfg = CpuConfig::baseline();
-        cfg.branch = BranchModel::Bimodal { entries: 1024, penalty: 6 };
+        cfg.branch = BranchModel::Bimodal {
+            entries: 1024,
+            penalty: 6,
+        };
         let bimodal = time_program(src, cfg);
         assert_eq!(perfect.branch.mispredictions, 0);
-        assert!(bimodal.branch.mispredictions > 200, "alternating branch must miss");
+        assert!(
+            bimodal.branch.mispredictions > 200,
+            "alternating branch must miss"
+        );
         assert!(
             bimodal.cycles > perfect.cycles + 1000,
             "mispredictions must cost cycles ({} vs {})",
@@ -711,13 +730,21 @@ next:
     #[test]
     fn bimodal_is_cheap_on_loop_branches() {
         use crate::branch::BranchModel;
-        let src = &hot_loop("    addu $t0, $t0, $t0
-");
+        let src = &hot_loop(
+            "    addu $t0, $t0, $t0
+",
+        );
         let perfect = time_program(src, CpuConfig::baseline());
         let mut cfg = CpuConfig::baseline();
-        cfg.branch = BranchModel::Bimodal { entries: 1024, penalty: 6 };
+        cfg.branch = BranchModel::Bimodal {
+            entries: 1024,
+            penalty: 6,
+        };
         let bimodal = time_program(src, cfg);
-        assert!(bimodal.branch.accuracy() > 0.95, "loop branches predict well");
+        assert!(
+            bimodal.branch.accuracy() > 0.95,
+            "loop branches predict well"
+        );
         assert!(
             bimodal.cycles < perfect.cycles + perfect.cycles / 10,
             "well-predicted loops should cost ≈ nothing extra"
@@ -790,6 +817,11 @@ loop:
             c.commit_width = 1;
             time_program(&src, c)
         };
-        assert!(narrow.cycles > wide.cycles * 2, "narrow {} wide {}", narrow.cycles, wide.cycles);
+        assert!(
+            narrow.cycles > wide.cycles * 2,
+            "narrow {} wide {}",
+            narrow.cycles,
+            wide.cycles
+        );
     }
 }

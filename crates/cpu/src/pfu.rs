@@ -12,7 +12,7 @@ use t1000_isa::ConfId;
 /// Configuration replacement policy across PFUs. The paper uses LRU
 /// (§2.2); FIFO and random are provided for the replacement-policy
 /// ablation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum PfuReplacement {
     /// Least-recently-used configuration is evicted (the paper's policy).
     #[default]
@@ -87,7 +87,12 @@ impl PfuArray {
         };
         PfuArray {
             slots: vec![
-                PfuSlot { conf: None, ready_at: 0, loaded_at: 0, last_use: 0 };
+                PfuSlot {
+                    conf: None,
+                    ready_at: 0,
+                    loaded_at: 0,
+                    last_use: 0
+                };
                 n
             ],
             unlimited,
@@ -109,7 +114,9 @@ impl PfuArray {
             // the (possibly zero) load, subsequent uses always hit.
             if self.resident.insert(conf) {
                 self.stats.reconfigurations += 1;
-                return PfuRequest::Ready { at: now + self.reconfig_cycles as u64 };
+                return PfuRequest::Ready {
+                    at: now + self.reconfig_cycles as u64,
+                };
             }
             self.stats.conf_hits += 1;
             return PfuRequest::Ready { at: now };
@@ -120,7 +127,9 @@ impl PfuArray {
         if let Some(slot) = self.slots.iter_mut().find(|s| s.conf == Some(conf)) {
             self.stats.conf_hits += 1;
             slot.last_use = now.max(slot.last_use);
-            return PfuRequest::Ready { at: slot.ready_at.max(now) };
+            return PfuRequest::Ready {
+                at: slot.ready_at.max(now),
+            };
         }
         // Miss: evict a victim, preferring never-used (empty) slots.
         // A slot still loading is not recently used, but evicting it
@@ -151,7 +160,9 @@ impl PfuArray {
         victim.ready_at = now + self.reconfig_cycles as u64;
         victim.loaded_at = now;
         victim.last_use = now;
-        PfuRequest::Ready { at: victim.ready_at }
+        PfuRequest::Ready {
+            at: victim.ready_at,
+        }
     }
 
     /// Whether `conf` is currently resident (tag-check without side
@@ -220,7 +231,9 @@ mod tests {
         for round in 0..10 {
             for conf in [1u16, 2, 3] {
                 let before = a.stats().reconfigurations;
-                let PfuRequest::Ready { at } = a.request(conf, now) else { panic!() };
+                let PfuRequest::Ready { at } = a.request(conf, now) else {
+                    panic!()
+                };
                 now = at + 1;
                 if a.stats().reconfigurations > before {
                     reconfs += 1;

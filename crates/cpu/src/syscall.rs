@@ -49,7 +49,10 @@ impl SyscallState {
     /// Creates a fresh state with the FNV-1a offset basis as the checksum
     /// seed.
     pub fn new() -> SyscallState {
-        SyscallState { checksum: 0xcbf2_9ce4_8422_2325, ..SyscallState::default() }
+        SyscallState {
+            checksum: 0xcbf2_9ce4_8422_2325,
+            ..SyscallState::default()
+        }
     }
 
     /// Executes one syscall. Returns `true` when the program has exited.

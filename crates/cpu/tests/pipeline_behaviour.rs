@@ -48,7 +48,8 @@ loop:
     li $v0, 10
     syscall
 ";
-    let add = &mul.replace("mult $t0, $t0", "addu $t9, $t0, $t0")
+    let add = &mul
+        .replace("mult $t0, $t0", "addu $t9, $t0, $t0")
         .replace("mflo $t0", "addu $t0, $t9, $zero");
     let c_mul = cycles(mul, CpuConfig::baseline());
     let c_add = cycles(add, CpuConfig::baseline());
@@ -75,7 +76,10 @@ fn alu_ports_limit_issue() {
         c.int_alus = 2;
         cycles(&src, c)
     };
-    assert!(two > four, "halving ALUs must cost cycles ({two} vs {four})");
+    assert!(
+        two > four,
+        "halving ALUs must cost cycles ({two} vs {four})"
+    );
 }
 
 /// The LSQ bounds memory parallelism: a tiny LSQ on a load-heavy loop is
@@ -161,6 +165,12 @@ loop:
     syscall
 ";
     let a = cycles(src, CpuConfig::baseline());
-    let b = cycles(src, CpuConfig { pfus: PfuCount::Fixed(4), ..CpuConfig::default() });
+    let b = cycles(
+        src,
+        CpuConfig {
+            pfus: PfuCount::Fixed(4),
+            ..CpuConfig::default()
+        },
+    );
     assert_eq!(a, b);
 }

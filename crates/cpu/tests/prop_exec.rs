@@ -18,13 +18,20 @@ enum Stmt {
 fn arb_stmt() -> impl Strategy<Value = Stmt> {
     prop_oneof![
         (
-            prop::sample::select(vec!["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"]),
+            prop::sample::select(vec![
+                "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"
+            ]),
             0u8..6,
             0u8..6,
             0u8..6
         )
             .prop_map(|(m, d, s, t)| Stmt::R3(m, d, s, t)),
-        (prop::sample::select(vec!["sll", "srl", "sra"]), 0u8..6, 0u8..6, 0u32..32)
+        (
+            prop::sample::select(vec!["sll", "srl", "sra"]),
+            0u8..6,
+            0u8..6,
+            0u32..32
+        )
             .prop_map(|(m, d, t, sh)| Stmt::Sh(m, d, t, sh)),
         (
             prop::sample::select(vec!["addiu", "andi", "ori", "xori", "slti", "sltiu"]),
@@ -49,7 +56,9 @@ fn to_asm(stmts: &[Stmt]) -> String {
         }
     }
     for i in 0..6 {
-        src.push_str(&format!("    move $a0, $t{i}\n    li $v0, 30\n    syscall\n"));
+        src.push_str(&format!(
+            "    move $a0, $t{i}\n    li $v0, 30\n    syscall\n"
+        ));
     }
     src.push_str("    li $a0, 0\n    li $v0, 10\n    syscall\n");
     src

@@ -59,10 +59,10 @@ pub fn elaborate(skeleton: &[Instr], width: u8) -> (Netlist, Vec<Reg>) {
         assert!(i.op.is_pfu_candidate(), "non-ALU op {:?} in skeleton", i.op);
         // Bind any not-yet-seen source register as a primary input.
         for u in i.uses() {
-            if !env.contains_key(&u) {
+            if let std::collections::hash_map::Entry::Vacant(e) = env.entry(u) {
                 let name = format!("in{}", inputs.len());
                 let bits = n.input(&name, width);
-                env.insert(u, bits);
+                e.insert(bits);
                 inputs.push(u);
             }
         }
@@ -158,8 +158,8 @@ mod tests {
         let mut last = 0u32;
         for i in skeleton {
             for u in i.uses() {
-                if !env.contains_key(&u) {
-                    env.insert(u, inputs.next()?);
+                if let std::collections::hash_map::Entry::Vacant(e) = env.entry(u) {
+                    e.insert(inputs.next()?);
                 }
             }
             let rs = *env.get(&i.rs).unwrap_or(&0);

@@ -88,11 +88,10 @@ pub fn map_to_luts(n: &Netlist) -> LutMapping {
     // directly drive an output with no logic in between — then they need a
     // pass-through LUT, handled below).
     let mut luts = 0u32;
-    for id in 0..num {
-        let g = &n.nodes[id];
-        if matches!(g, Gate::CarrySum { .. }) {
-            luts += 1;
-        } else if is_logic(g) && !matches!(g, Gate::Not(_)) && !absorbed[id] {
+    for (id, g) in n.nodes.iter().enumerate().take(num) {
+        if matches!(g, Gate::CarrySum { .. })
+            || (is_logic(g) && !matches!(g, Gate::Not(_)) && !absorbed[id])
+        {
             luts += 1;
         }
     }
@@ -129,7 +128,10 @@ pub fn map_to_luts(n: &Netlist) -> LutMapping {
     }
     let max_depth = n.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0);
 
-    LutMapping { luts, depth: max_depth }
+    LutMapping {
+        luts,
+        depth: max_depth,
+    }
 }
 
 fn is_logic(g: &Gate) -> bool {
@@ -178,7 +180,10 @@ mod tests {
     fn five_input_cone_needs_two_luts() {
         // ((a&b)|(c&d)) ^ e: 5 leaves → 2 LUTs, 2 levels.
         let mut n = Netlist::new();
-        let ins: Vec<_> = ["a", "b", "c", "d", "e"].iter().map(|s| n.input(s, 1)[0]).collect();
+        let ins: Vec<_> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| n.input(s, 1)[0])
+            .collect();
         let g1 = n.and(ins[0], ins[1]);
         let g2 = n.and(ins[2], ins[3]);
         let g3 = n.or(g1, g2);
@@ -204,7 +209,10 @@ mod tests {
     fn shared_subexpressions_are_not_absorbed() {
         // g1 feeds two consumers: must remain its own LUT.
         let mut n = Netlist::new();
-        let ins: Vec<_> = ["a", "b", "c", "d", "e", "f"].iter().map(|s| n.input(s, 1)[0]).collect();
+        let ins: Vec<_> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|s| n.input(s, 1)[0])
+            .collect();
         let g1 = n.xor(ins[0], ins[1]);
         let g2a = n.and(g1, ins[2]);
         let g2b = n.or(g1, ins[3]);
@@ -212,7 +220,10 @@ mod tests {
         let g3b = n.or(g2b, ins[5]);
         n.set_outputs(&[g3a, g3b]);
         let m = map_to_luts(&n);
-        assert_eq!(m.luts, 3, "g1 shared; each 3-input consumer cone is one LUT");
+        assert_eq!(
+            m.luts, 3,
+            "g1 shared; each 3-input consumer cone is one LUT"
+        );
     }
 
     #[test]

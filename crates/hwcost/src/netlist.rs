@@ -18,7 +18,10 @@ pub type NodeId = usize;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Gate {
     /// Primary input bit.
-    Input { name: String, bit: u8 },
+    Input {
+        name: String,
+        bit: u8,
+    },
     /// Constant 0/1.
     Const(bool),
     /// Two-input logic.
@@ -28,11 +31,20 @@ pub enum Gate {
     Nor(NodeId, NodeId),
     Not(NodeId),
     /// 2:1 multiplexer: `sel ? a : b`.
-    Mux { sel: NodeId, a: NodeId, b: NodeId },
+    Mux {
+        sel: NodeId,
+        a: NodeId,
+        b: NodeId,
+    },
     /// Sum bit of a carry-chain adder: `a ⊕ b ⊕ carry-in`, where the carry
     /// chain is implicit in dedicated hardware. Costs one LUT, and its
     /// depth contribution is one level for the whole chain.
-    CarrySum { a: NodeId, b: NodeId, chain: usize, pos: u8 },
+    CarrySum {
+        a: NodeId,
+        b: NodeId,
+        chain: usize,
+        pos: u8,
+    },
 }
 
 /// A combinational network with named multi-bit inputs and a single
@@ -61,7 +73,12 @@ impl Netlist {
     /// Adds a `width`-bit primary input, returning its bits LSB-first.
     pub fn input(&mut self, name: &str, width: u8) -> Vec<NodeId> {
         (0..width)
-            .map(|bit| self.push(Gate::Input { name: name.to_string(), bit }))
+            .map(|bit| {
+                self.push(Gate::Input {
+                    name: name.to_string(),
+                    bit,
+                })
+            })
             .collect()
     }
 
@@ -72,7 +89,9 @@ impl Netlist {
 
     /// A `width`-bit constant, LSB-first.
     pub fn constant_word(&mut self, value: u32, width: u8) -> Vec<NodeId> {
-        (0..width).map(|b| self.constant(value >> b & 1 == 1)).collect()
+        (0..width)
+            .map(|b| self.constant(value >> b & 1 == 1))
+            .collect()
     }
 
     pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
@@ -115,7 +134,12 @@ impl Netlist {
         let mut out = Vec::with_capacity(a.len());
         for (pos, (&x, &y)) in a.iter().zip(b).enumerate() {
             let y = if subtract { self.not_inline(y) } else { y };
-            out.push(self.push(Gate::CarrySum { a: x, b: y, chain, pos: pos as u8 }));
+            out.push(self.push(Gate::CarrySum {
+                a: x,
+                b: y,
+                chain,
+                pos: pos as u8,
+            }));
         }
         out
     }
@@ -156,14 +180,24 @@ impl Netlist {
         let w = a.len();
         let z = self.constant(false);
         (0..w)
-            .map(|i| if (i as u32) < sh { z } else { a[i - sh as usize] })
+            .map(|i| {
+                if (i as u32) < sh {
+                    z
+                } else {
+                    a[i - sh as usize]
+                }
+            })
             .collect()
     }
 
     /// Logical/arithmetic right shift by a constant: rewiring.
     pub fn shr_const(&mut self, a: &[NodeId], sh: u32, arithmetic: bool) -> Vec<NodeId> {
         let w = a.len();
-        let fill = if arithmetic { *a.last().expect("non-empty") } else { self.constant(false) };
+        let fill = if arithmetic {
+            *a.last().expect("non-empty")
+        } else {
+            self.constant(false)
+        };
         (0..w)
             .map(|i| {
                 let src = i + sh as usize;
@@ -189,7 +223,10 @@ impl Netlist {
         let stages = (usize::BITS - (w - 1).leading_zeros()) as usize; // ceil(log2 w)
         let mut cur = a.to_vec();
         for s in 0..stages {
-            let sel = amount.get(s).copied().unwrap_or_else(|| self.constant(false));
+            let sel = amount
+                .get(s)
+                .copied()
+                .unwrap_or_else(|| self.constant(false));
             let sh = 1u32 << s;
             let shifted = if left {
                 self.shl_const(&cur, sh)
@@ -309,7 +346,11 @@ mod tests {
         let s = n.add_sub(&a, &b, true);
         n.set_outputs(&s);
         for (x, y) in [(5u32, 3u32), (3, 5), (0, 1), (255, 255)] {
-            assert_eq!(eval2(&n, x, y), u64::from(x.wrapping_sub(y) & 0xff), "{x}-{y}");
+            assert_eq!(
+                eval2(&n, x, y),
+                u64::from(x.wrapping_sub(y) & 0xff),
+                "{x}-{y}"
+            );
         }
     }
 

@@ -29,7 +29,11 @@ fn wide_xor_tree_packs_two_levels_per_lut_layer() {
     }
     n.set_outputs(&[layer[0]]);
     let m = map_to_luts(&n);
-    assert!(m.luts <= 8, "greedy cover of a 16-xor tree took {} LUTs", m.luts);
+    assert!(
+        m.luts <= 8,
+        "greedy cover of a 16-xor tree took {} LUTs",
+        m.luts
+    );
     assert!(m.depth <= 3, "depth {}", m.depth);
     assert!(m.luts >= 5, "information bound: 16 inputs need ≥5 4-LUTs");
 }
@@ -104,7 +108,15 @@ fn eight_op_chains_fit_the_single_cycle_budget_at_narrow_width() {
     // must still map within the single-cycle depth.
     let mut seq = vec![Instr::rtype(Op::Addu, r(10), r(8), r(9))];
     for k in 0..7 {
-        let op = [Op::Xor, Op::Addu, Op::And, Op::Subu, Op::Or, Op::Addu, Op::Xor][k];
+        let op = [
+            Op::Xor,
+            Op::Addu,
+            Op::And,
+            Op::Subu,
+            Op::Or,
+            Op::Addu,
+            Op::Xor,
+        ][k];
         seq.push(Instr::rtype(op, r(10), r(10), r(9)));
     }
     let c = cost_of(&seq, 12);

@@ -17,11 +17,17 @@ fn arb_chain() -> impl Strategy<Value = Vec<Instr>> {
     let first = prop::sample::select(vec![Op::Addu, Op::Subu, Op::Xor, Op::And, Op::Or])
         .prop_map(|op| Instr::rtype(op, r(10), r(8), r(9)));
     let step = prop_oneof![
-        (prop::sample::select(vec![Op::Addu, Op::Subu, Op::Xor, Op::And, Op::Or, Op::Nor]), prop::bool::ANY)
+        (
+            prop::sample::select(vec![Op::Addu, Op::Subu, Op::Xor, Op::And, Op::Or, Op::Nor]),
+            prop::bool::ANY
+        )
             .prop_map(|(op, use_b)| {
                 Instr::rtype(op, r(10), r(10), if use_b { r(9) } else { r(8) })
             }),
-        (prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]), 1u32..3)
+        (
+            prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]),
+            1u32..3
+        )
             .prop_map(|(op, sh)| Instr::shift(op, r(10), r(10), sh)),
         (0i32..255).prop_map(|imm| Instr::itype(Op::Addiu, r(10), r(10), imm)),
         (1i32..4095).prop_map(|imm| Instr::itype(Op::Andi, r(10), r(10), imm)),

@@ -188,8 +188,9 @@ pub fn encode(i: &Instr) -> u32 {
             assert!(shamt < 32, "shift amount out of range: {}", i.imm);
             rt | rd | (shamt << 6) | funct_of(i.op).unwrap()
         }
-        Sllv | Srlv | Srav | Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu
-        | Jalr => rs | rt | rd | funct_of(i.op).unwrap(),
+        Sllv | Srlv | Srav | Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu | Jalr => {
+            rs | rt | rd | funct_of(i.op).unwrap()
+        }
         Jr | Mthi | Mtlo => rs | funct_of(i.op).unwrap(),
         Mfhi | Mflo => rd | funct_of(i.op).unwrap(),
         Mult | Multu | Div | Divu => rs | rt | funct_of(i.op).unwrap(),
@@ -263,7 +264,14 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             Syscall | Break => (Reg::ZERO, Reg::ZERO, Reg::ZERO),
             _ => (rd, rs, rt),
         };
-        return Ok(Instr { op, rd, rs, rt, imm, target: 0 });
+        return Ok(Instr {
+            op,
+            rd,
+            rs,
+            rt,
+            imm,
+            target: 0,
+        });
     }
     if primary == OP_REGIMM {
         let op = match rt.index() {
@@ -272,14 +280,35 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             _ => return Err(err),
         };
         let imm = (word & 0xffff) as u16 as i16 as i32;
-        return Ok(Instr { op, rd: Reg::ZERO, rs, rt: Reg::ZERO, imm, target: 0 });
+        return Ok(Instr {
+            op,
+            rd: Reg::ZERO,
+            rs,
+            rt: Reg::ZERO,
+            imm,
+            target: 0,
+        });
     }
     if primary == OP_EXT {
-        return Ok(Instr { op: Op::Ext, rd, rs, rt, imm: 0, target: word & 0x7ff });
+        return Ok(Instr {
+            op: Op::Ext,
+            rd,
+            rs,
+            rt,
+            imm: 0,
+            target: word & 0x7ff,
+        });
     }
     let op = op_of_primary(primary).ok_or(err)?;
     if matches!(op, Op::J | Op::Jal) {
-        return Ok(Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: word & 0x03ff_ffff });
+        return Ok(Instr {
+            op,
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: 0,
+            target: word & 0x03ff_ffff,
+        });
     }
     let raw = word & 0xffff;
     let imm = if zero_extends(op) {
@@ -287,7 +316,14 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
     } else {
         raw as u16 as i16 as i32
     };
-    Ok(Instr { op, rd: Reg::ZERO, rs, rt, imm, target: 0 })
+    Ok(Instr {
+        op,
+        rd: Reg::ZERO,
+        rs,
+        rt,
+        imm,
+        target: 0,
+    })
 }
 
 #[cfg(test)]
@@ -326,14 +362,28 @@ mod tests {
     #[test]
     fn regimm_branches_round_trip() {
         for op in [Op::Bltz, Op::Bgez] {
-            let i = Instr { op, rd: Reg::ZERO, rs: r(5), rt: Reg::ZERO, imm: -12, target: 0 };
+            let i = Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: r(5),
+                rt: Reg::ZERO,
+                imm: -12,
+                target: 0,
+            };
             assert_eq!(decode(encode(&i)).unwrap(), i);
         }
     }
 
     #[test]
     fn jump_round_trip() {
-        let i = Instr { op: Op::Jal, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0x12_3456 };
+        let i = Instr {
+            op: Op::Jal,
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: 0,
+            target: 0x12_3456,
+        };
         assert_eq!(decode(encode(&i)).unwrap(), i);
     }
 
@@ -385,15 +435,71 @@ mod tests {
             }
             Addi | Addiu | Slti | Sltiu => Instr::itype(op, r(3), r(4), -7),
             Andi | Ori | Xori | Lui => Instr::itype(op, r(3), r(4), 7),
-            Mult | Multu | Div | Divu => Instr { op, rd: Reg::ZERO, rs: r(3), rt: r(4), imm: 0, target: 0 },
-            Mfhi | Mflo => Instr { op, rd: r(3), rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
-            Mthi | Mtlo | Jr => Instr { op, rd: Reg::ZERO, rs: r(3), rt: Reg::ZERO, imm: 0, target: 0 },
+            Mult | Multu | Div | Divu => Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: r(3),
+                rt: r(4),
+                imm: 0,
+                target: 0,
+            },
+            Mfhi | Mflo => Instr {
+                op,
+                rd: r(3),
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                imm: 0,
+                target: 0,
+            },
+            Mthi | Mtlo | Jr => Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: r(3),
+                rt: Reg::ZERO,
+                imm: 0,
+                target: 0,
+            },
             Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw => Instr::itype(op, r(3), r(4), 16),
-            Beq | Bne => Instr { op, rd: Reg::ZERO, rs: r(3), rt: r(4), imm: -3, target: 0 },
-            Blez | Bgtz | Bltz | Bgez => Instr { op, rd: Reg::ZERO, rs: r(3), rt: Reg::ZERO, imm: 9, target: 0 },
-            J | Jal => Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0x100 },
-            Jalr => Instr { op, rd: r(31), rs: r(3), rt: Reg::ZERO, imm: 0, target: 0 },
-            Syscall | Break => Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
+            Beq | Bne => Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: r(3),
+                rt: r(4),
+                imm: -3,
+                target: 0,
+            },
+            Blez | Bgtz | Bltz | Bgez => Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: r(3),
+                rt: Reg::ZERO,
+                imm: 9,
+                target: 0,
+            },
+            J | Jal => Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                imm: 0,
+                target: 0x100,
+            },
+            Jalr => Instr {
+                op,
+                rd: r(31),
+                rs: r(3),
+                rt: Reg::ZERO,
+                imm: 0,
+                target: 0,
+            },
+            Syscall | Break => Instr {
+                op,
+                rd: Reg::ZERO,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                imm: 0,
+                target: 0,
+            },
             Ext => Instr::ext(42, r(3), r(4), r(5)),
         }
     }

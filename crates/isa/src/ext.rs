@@ -101,7 +101,10 @@ impl FusionMap {
     /// Panics if the site overlaps an existing site or names an unknown
     /// configuration — both are selector bugs worth failing loudly on.
     pub fn add_site(&mut self, site: FusedSite) {
-        assert!(site.len >= 2, "a fused sequence must contain ≥ 2 instructions");
+        assert!(
+            site.len >= 2,
+            "a fused sequence must contain ≥ 2 instructions"
+        );
         assert!(
             self.defs.contains_key(&site.conf),
             "site at 0x{:x} references undefined conf {}",
@@ -191,7 +194,13 @@ mod tests {
     }
 
     fn demo_site(pc: u32, conf: ConfId, len: u32) -> FusedSite {
-        FusedSite { pc, len, conf, inputs: vec![r(2), r(3)], output: r(1) }
+        FusedSite {
+            pc,
+            len,
+            conf,
+            inputs: vec![r(2), r(3)],
+            output: r(1),
+        }
     }
 
     #[test]

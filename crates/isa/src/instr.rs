@@ -49,25 +49,53 @@ impl Instr {
 
     /// Builds an R-type `rd = rs OP rt` instruction.
     pub fn rtype(op: Op, rd: Reg, rs: Reg, rt: Reg) -> Instr {
-        Instr { op, rd, rs, rt, imm: 0, target: 0 }
+        Instr {
+            op,
+            rd,
+            rs,
+            rt,
+            imm: 0,
+            target: 0,
+        }
     }
 
     /// Builds a constant shift `rd = rt OP shamt`.
     pub fn shift(op: Op, rd: Reg, rt: Reg, shamt: u32) -> Instr {
         debug_assert!(matches!(op, Op::Sll | Op::Srl | Op::Sra));
         debug_assert!(shamt < 32);
-        Instr { op, rd, rs: Reg::ZERO, rt, imm: shamt as i32, target: 0 }
+        Instr {
+            op,
+            rd,
+            rs: Reg::ZERO,
+            rt,
+            imm: shamt as i32,
+            target: 0,
+        }
     }
 
     /// Builds an I-type `rt = rs OP imm` instruction.
     pub fn itype(op: Op, rt: Reg, rs: Reg, imm: i32) -> Instr {
-        Instr { op, rd: Reg::ZERO, rs, rt, imm, target: 0 }
+        Instr {
+            op,
+            rd: Reg::ZERO,
+            rs,
+            rt,
+            imm,
+            target: 0,
+        }
     }
 
     /// Builds an extended (PFU) instruction `rd = conf(rs, rt)`.
     pub fn ext(conf: u16, rd: Reg, rs: Reg, rt: Reg) -> Instr {
         debug_assert!(conf < (1 << 11), "Conf field is 11 bits");
-        Instr { op: Op::Ext, rd, rs, rt, imm: 0, target: conf as u32 }
+        Instr {
+            op: Op::Ext,
+            rd,
+            rs,
+            rt,
+            imm: 0,
+            target: conf as u32,
+        }
     }
 
     /// The general-purpose register written by this instruction, if any.
@@ -111,14 +139,15 @@ impl Instr {
             Mfhi | Mflo | J | Jal | Break => (None, None),
         };
         let dedup_b = if b == a { None } else { b };
-        a.into_iter()
-            .chain(dedup_b)
-            .filter(|r| !r.is_zero())
+        a.into_iter().chain(dedup_b).filter(|r| !r.is_zero())
     }
 
     /// Whether this instruction writes the HI/LO pair.
     pub fn writes_hilo(&self) -> bool {
-        matches!(self.op, Op::Mult | Op::Multu | Op::Div | Op::Divu | Op::Mthi | Op::Mtlo)
+        matches!(
+            self.op,
+            Op::Mult | Op::Multu | Op::Div | Op::Divu | Op::Mthi | Op::Mtlo
+        )
     }
 
     /// Whether this instruction reads the HI/LO pair.
@@ -171,7 +200,11 @@ impl fmt::Display for Instr {
             Jr => write!(f, "{m} {}", self.rs),
             Jalr => write!(f, "{m} {}, {}", self.rd, self.rs),
             Syscall | Break => write!(f, "{m}"),
-            Ext => write!(f, "ext {}, {}, {}, conf={}", self.rd, self.rs, self.rt, self.target),
+            Ext => write!(
+                f,
+                "ext {}, {}, {}, conf={}",
+                self.rd, self.rs, self.rt, self.target
+            ),
         }
     }
 }
@@ -192,7 +225,11 @@ mod tests {
         assert_eq!(Instr::itype(Op::Sw, r(6), r(29), 0).def(), None);
         assert_eq!(Instr::itype(Op::Beq, r(1), r(2), 4).def(), None);
         assert_eq!(
-            Instr { op: Op::Jal, ..Instr::NOP }.def(),
+            Instr {
+                op: Op::Jal,
+                ..Instr::NOP
+            }
+            .def(),
             Some(Reg::RA)
         );
     }
@@ -230,7 +267,11 @@ mod tests {
     fn branch_and_jump_targets() {
         let b = Instr::itype(Op::Beq, r(1), r(2), -2);
         assert_eq!(b.branch_target(0x100), 0x100 + 4 - 8);
-        let j = Instr { op: Op::J, target: 0x40, ..Instr::NOP };
+        let j = Instr {
+            op: Op::J,
+            target: 0x40,
+            ..Instr::NOP
+        };
         assert_eq!(j.jump_target(0x1000_0000), 0x1000_0100);
     }
 

@@ -62,18 +62,24 @@ pub fn write_object(p: &Program) -> String {
 
 fn parse_hex(tok: &str, line: usize) -> Result<u32, ObjError> {
     let t = tok.strip_prefix("0x").unwrap_or(tok);
-    u32::from_str_radix(t, 16)
-        .map_err(|_| ObjError { line, msg: format!("bad hex value `{tok}`") })
+    u32::from_str_radix(t, 16).map_err(|_| ObjError {
+        line,
+        msg: format!("bad hex value `{tok}`"),
+    })
 }
 
 /// Parses the text object format back into a [`Program`].
 pub fn read_object(src: &str) -> Result<Program, ObjError> {
     let mut lines = src.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
-    let (ln, magic) = lines
-        .next()
-        .ok_or(ObjError { line: 1, msg: "empty object".into() })?;
+    let (ln, magic) = lines.next().ok_or(ObjError {
+        line: 1,
+        msg: "empty object".into(),
+    })?;
     if magic != "T1000OBJ v1" {
-        return Err(ObjError { line: ln, msg: format!("bad magic `{magic}`") });
+        return Err(ObjError {
+            line: ln,
+            msg: format!("bad magic `{magic}`"),
+        });
     }
 
     let mut entry = None;
@@ -99,23 +105,38 @@ pub fn read_object(src: &str) -> Result<Program, ObjError> {
         let head = toks.next().unwrap();
         match head {
             "entry" => {
-                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing entry".into() })?;
+                let v = toks.next().ok_or(ObjError {
+                    line: ln,
+                    msg: "missing entry".into(),
+                })?;
                 entry = Some(parse_hex(v, ln)?);
                 mode = Mode::None;
             }
             "text" => {
-                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing base".into() })?;
+                let v = toks.next().ok_or(ObjError {
+                    line: ln,
+                    msg: "missing base".into(),
+                })?;
                 text_base = Some(parse_hex(v, ln)?);
                 mode = Mode::Text;
             }
             "data" => {
-                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing base".into() })?;
+                let v = toks.next().ok_or(ObjError {
+                    line: ln,
+                    msg: "missing base".into(),
+                })?;
                 data_base = Some(parse_hex(v, ln)?);
                 mode = Mode::Data;
             }
             "sym" => {
-                let name = toks.next().ok_or(ObjError { line: ln, msg: "missing name".into() })?;
-                let v = toks.next().ok_or(ObjError { line: ln, msg: "missing addr".into() })?;
+                let name = toks.next().ok_or(ObjError {
+                    line: ln,
+                    msg: "missing name".into(),
+                })?;
+                let v = toks.next().ok_or(ObjError {
+                    line: ln,
+                    msg: "missing addr".into(),
+                })?;
                 symbols.insert(name.to_string(), parse_hex(v, ln)?);
                 mode = Mode::None;
             }
@@ -132,20 +153,29 @@ pub fn read_object(src: &str) -> Result<Program, ObjError> {
                         for t in all {
                             let v = parse_hex(t, ln)?;
                             if v > 0xff {
-                                return Err(ObjError { line: ln, msg: format!("data byte `{t}` out of range") });
+                                return Err(ObjError {
+                                    line: ln,
+                                    msg: format!("data byte `{t}` out of range"),
+                                });
                             }
                             data.push(v as u8);
                         }
                     }
                     Mode::None => {
-                        return Err(ObjError { line: ln, msg: format!("unexpected token `{tok}`") })
+                        return Err(ObjError {
+                            line: ln,
+                            msg: format!("unexpected token `{tok}`"),
+                        })
                     }
                 }
             }
         }
     }
 
-    let text_base = text_base.ok_or(ObjError { line: 0, msg: "missing text section".into() })?;
+    let text_base = text_base.ok_or(ObjError {
+        line: 0,
+        msg: "missing text section".into(),
+    })?;
     Ok(Program {
         text_base,
         text,
@@ -166,7 +196,10 @@ mod tests {
     fn sample() -> Program {
         let mut p = Program::from_words(vec![
             crate::encode(&Instr::itype(Op::Addiu, Reg::V0, Reg::ZERO, 10)),
-            crate::encode(&Instr { op: Op::Syscall, ..Instr::NOP }),
+            crate::encode(&Instr {
+                op: Op::Syscall,
+                ..Instr::NOP
+            }),
         ]);
         p.data = (0..40u8).collect();
         p.symbols.insert("main".into(), p.text_base);

@@ -215,8 +215,8 @@ impl Op {
         &[
             Sll, Srl, Sra, Sllv, Srlv, Srav, Add, Addu, Sub, Subu, And, Or, Xor, Nor, Slt, Sltu,
             Addi, Addiu, Slti, Sltiu, Andi, Ori, Xori, Lui, Mult, Multu, Div, Divu, Mfhi, Mflo,
-            Mthi, Mtlo, Lb, Lbu, Lh, Lhu, Lw, Sb, Sh, Sw, Beq, Bne, Blez, Bgtz, Bltz, Bgez, J,
-            Jal, Jr, Jalr, Syscall, Break, Ext,
+            Mthi, Mtlo, Lb, Lbu, Lh, Lhu, Lw, Sb, Sh, Sw, Beq, Bne, Blez, Bgtz, Bltz, Bgez, J, Jal,
+            Jr, Jalr, Syscall, Break, Ext,
         ]
     }
 }

@@ -58,7 +58,7 @@ impl Program {
 
     /// Whether `pc` falls inside the text segment (4-byte aligned).
     pub fn contains_pc(&self, pc: u32) -> bool {
-        pc % 4 == 0 && pc >= self.text_base && pc < self.text_end()
+        pc.is_multiple_of(4) && pc >= self.text_base && pc < self.text_end()
     }
 
     /// The encoded word at byte address `pc`.
@@ -101,7 +101,10 @@ mod tests {
         let words = vec![
             encode(&Instr::itype(Op::Addiu, Reg::V0, Reg::ZERO, 10)),
             encode(&Instr::rtype(Op::Addu, Reg::A0, Reg::ZERO, Reg::ZERO)),
-            encode(&Instr { op: Op::Syscall, ..Instr::NOP }),
+            encode(&Instr {
+                op: Op::Syscall,
+                ..Instr::NOP
+            }),
         ];
         Program::from_words(words)
     }

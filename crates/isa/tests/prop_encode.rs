@@ -12,22 +12,27 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 /// Strategy producing a well-formed instruction for any encodable op.
 fn arb_instr() -> impl Strategy<Value = Instr> {
     let ops = Op::all();
-    (0..ops.len(), arb_reg(), arb_reg(), arb_reg(), any::<i32>(), any::<u32>()).prop_map(
-        |(oi, rd, rs, rt, raw_imm, raw_t)| {
+    (
+        0..ops.len(),
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<i32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(oi, rd, rs, rt, raw_imm, raw_t)| {
             use Op::*;
             let op = ops[oi];
             match op {
                 Sll | Srl | Sra => Instr::shift(op, rd, rt, (raw_imm as u32) % 32),
                 Sllv | Srlv | Srav | Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt
                 | Sltu => Instr::rtype(op, rd, rs, rt),
-                Addi | Addiu | Slti | Sltiu => {
-                    Instr::itype(op, rt, rs, (raw_imm % (1 << 15)) as i32)
-                }
+                Addi | Addiu | Slti | Sltiu => Instr::itype(op, rt, rs, raw_imm % (1 << 15)),
                 Andi | Ori | Xori | Lui => {
                     Instr::itype(op, rt, rs, (raw_imm as u32 % (1 << 16)) as i32)
                 }
                 Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw => {
-                    Instr::itype(op, rt, rs, (raw_imm % (1 << 15)) as i32)
+                    Instr::itype(op, rt, rs, raw_imm % (1 << 15))
                 }
                 Beq | Bne => Instr {
                     op,
@@ -53,9 +58,30 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                     imm: 0,
                     target: 0,
                 },
-                Mfhi | Mflo => Instr { op, rd, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
-                Mthi | Mtlo | Jr => Instr { op, rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: 0, target: 0 },
-                Jalr => Instr { op, rd, rs, rt: Reg::ZERO, imm: 0, target: 0 },
+                Mfhi | Mflo => Instr {
+                    op,
+                    rd,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                },
+                Mthi | Mtlo | Jr => Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                },
+                Jalr => Instr {
+                    op,
+                    rd,
+                    rs,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                },
                 J | Jal => Instr {
                     op,
                     rd: Reg::ZERO,
@@ -64,11 +90,17 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                     imm: 0,
                     target: raw_t % (1 << 26),
                 },
-                Syscall | Break => Instr { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0, target: 0 },
+                Syscall | Break => Instr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    imm: 0,
+                    target: 0,
+                },
                 Ext => Instr::ext((raw_t % (1 << 11)) as u16, rd, rs, rt),
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -94,7 +94,10 @@ impl Cache {
     /// Panics unless `sets` and `line_bytes` are powers of two and `ways ≥ 1`.
     pub fn new(cfg: CacheConfig) -> Cache {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways >= 1, "associativity must be at least 1");
         Cache {
             cfg,
@@ -153,8 +156,8 @@ impl Cache {
         let base = (set * self.cfg.ways) as usize;
         let nways = self.cfg.ways as usize;
 
-        if let Some(i) = (0..nways)
-            .find(|&i| self.lines[base + i].valid && self.lines[base + i].tag == tag)
+        if let Some(i) =
+            (0..nways).find(|&i| self.lines[base + i].valid && self.lines[base + i].tag == tag)
         {
             self.stats.hits += 1;
             if self.cfg.replacement == Replacement::Lru {
@@ -163,7 +166,10 @@ impl Cache {
             if is_write && self.cfg.write_back {
                 self.lines[base + i].dirty = true;
             }
-            return AccessResult { hit: true, writeback_of: None };
+            return AccessResult {
+                hit: true,
+                writeback_of: None,
+            };
         }
 
         self.stats.misses += 1;
@@ -181,8 +187,7 @@ impl Cache {
             },
         };
         let victim = self.lines[base + victim_idx];
-        let writeback_of =
-            (victim.valid && victim.dirty).then(|| self.line_base(set, victim.tag));
+        let writeback_of = (victim.valid && victim.dirty).then(|| self.line_base(set, victim.tag));
         if writeback_of.is_some() {
             self.stats.writebacks += 1;
         }
@@ -192,7 +197,10 @@ impl Cache {
             tag,
             stamp: self.tick,
         };
-        AccessResult { hit: false, writeback_of }
+        AccessResult {
+            hit: false,
+            writeback_of,
+        }
     }
 
     /// Invalidates every line (statistics are kept).

@@ -104,7 +104,11 @@ impl MemHierarchy {
 
     /// Latency of an instruction fetch at `addr`.
     pub fn fetch(&mut self, addr: u32) -> u32 {
-        let mut cycles = if self.itlb.access(addr) { 0 } else { self.cfg.tlb_miss };
+        let mut cycles = if self.itlb.access(addr) {
+            0
+        } else {
+            self.cfg.tlb_miss
+        };
         let l1 = self.il1.access(addr, false);
         cycles += self.cfg.l1_hit;
         if !l1.hit {
@@ -115,7 +119,11 @@ impl MemHierarchy {
 
     /// Latency of a data access at `addr`.
     pub fn data(&mut self, addr: u32, is_write: bool) -> u32 {
-        let mut cycles = if self.dtlb.access(addr) { 0 } else { self.cfg.tlb_miss };
+        let mut cycles = if self.dtlb.access(addr) {
+            0
+        } else {
+            self.cfg.tlb_miss
+        };
         let l1 = self.dl1.access(addr, is_write);
         cycles += self.cfg.l1_hit;
         if !l1.hit {
@@ -177,7 +185,7 @@ mod tests {
     fn l2_catches_l1_misses_within_its_capacity() {
         let mut m = MemHierarchy::new(MemConfig::default());
         m.data(0x1000_0000, false); // cold everywhere
-        // Evict from L1 D by touching many conflicting lines...
+                                    // Evict from L1 D by touching many conflicting lines...
         for i in 1..=4 {
             m.data(0x1000_0000 + i * (128 * 32), false);
         }

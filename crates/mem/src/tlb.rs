@@ -39,7 +39,10 @@ impl Tlb {
     /// # Panics
     /// Panics unless `page_bytes` is a power of two and `entries ≥ 1`.
     pub fn new(entries: usize, page_bytes: u32) -> Tlb {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(entries >= 1);
         Tlb {
             entries: Vec::with_capacity(entries),

@@ -13,7 +13,10 @@ fn latency_composition_matches_configuration() {
     let mut m = fresh();
     // Cold data access: TLB miss + L1 hit-time + L2 lookup + memory.
     let cold = m.data(0x2000_0000, false);
-    assert_eq!(cold, cfg.tlb_miss + cfg.l1_hit + cfg.l2_hit + cfg.mem_latency);
+    assert_eq!(
+        cold,
+        cfg.tlb_miss + cfg.l1_hit + cfg.l2_hit + cfg.mem_latency
+    );
     // Same line again: pure L1 hit.
     assert_eq!(m.data(0x2000_0004, false), cfg.l1_hit);
     // Same page, different line: no TLB cost, L1 miss, L2 hit (the L2
@@ -87,10 +90,14 @@ fn page_granularity_of_tlb_costs() {
     let cfg = MemConfig::default();
     let mut m = fresh();
     let cold = m.data(0x5000_0000, false); // TLB miss + full miss path
-    // 4 KiB page: the far end of the same page misses every cache level
-    // (different lines) but not the TLB — the saving is exactly tlb_miss.
+                                           // 4 KiB page: the far end of the same page misses every cache level
+                                           // (different lines) but not the TLB — the saving is exactly tlb_miss.
     let same_page = m.data(0x5000_0fe0, false);
-    assert_eq!(cold - same_page, cfg.tlb_miss, "same page must save exactly the TLB cost");
+    assert_eq!(
+        cold - same_page,
+        cfg.tlb_miss,
+        "same page must save exactly the TLB cost"
+    );
     // The next page pays the TLB miss again.
     let next_page = m.data(0x5000_1000, false);
     assert_eq!(next_page, cold, "new page pays the TLB miss again");

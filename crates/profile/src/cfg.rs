@@ -60,7 +60,11 @@ impl Cfg {
     pub fn build(program: &Program) -> Result<Cfg, DecodeError> {
         let decoded = program.decode_all()?;
         if decoded.is_empty() {
-            return Ok(Cfg { blocks: Vec::new(), entry: 0, by_start: BTreeMap::new() });
+            return Ok(Cfg {
+                blocks: Vec::new(),
+                entry: 0,
+                by_start: BTreeMap::new(),
+            });
         }
 
         // 1. Find leaders.
@@ -85,7 +89,10 @@ impl Cfg {
         let mut blocks: Vec<BasicBlock> = Vec::with_capacity(leader_list.len());
         let mut by_start = BTreeMap::new();
         for (bi, &start) in leader_list.iter().enumerate() {
-            let next_leader = leader_list.get(bi + 1).copied().unwrap_or(program.text_end());
+            let next_leader = leader_list
+                .get(bi + 1)
+                .copied()
+                .unwrap_or(program.text_end());
             // A block also ends at its first block-ending instruction.
             let mut end = next_leader;
             let mut pc = start;
@@ -109,6 +116,8 @@ impl Cfg {
 
         // 3. Wire edges.
         let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+        // Index loop: the `Flow::Indirect` arm mutates `blocks[bi]`.
+        #[allow(clippy::needless_range_loop)]
         for bi in 0..blocks.len() {
             let last_pc = blocks[bi].end - 4;
             let i = program.instr_at(last_pc)?;
@@ -155,7 +164,11 @@ impl Cfg {
         let entry = *by_start
             .get(&program.entry)
             .expect("entry must start a block");
-        Ok(Cfg { blocks, entry, by_start })
+        Ok(Cfg {
+            blocks,
+            entry,
+            by_start,
+        })
     }
 
     /// The block whose range contains `pc`, if any.
@@ -204,7 +217,8 @@ mod tests {
 
     #[test]
     fn straight_line_is_one_block() {
-        let (_, c) = cfg_of("main: addiu $t0, $zero, 1\n addu $t1, $t0, $t0\n li $v0, 10\n syscall\n");
+        let (_, c) =
+            cfg_of("main: addiu $t0, $zero, 1\n addu $t1, $t0, $t0\n li $v0, 10\n syscall\n");
         // syscall ends the final block; everything before it is one block.
         assert_eq!(c.blocks.len(), 1);
         assert_eq!(c.blocks[0].len(), 4);
@@ -270,7 +284,8 @@ f:
 
     #[test]
     fn block_containing_maps_interior_pcs() {
-        let (p, c) = cfg_of("main: addiu $t0, $zero, 1\n addu $t1, $t0, $t0\n li $v0, 10\n syscall\n");
+        let (p, c) =
+            cfg_of("main: addiu $t0, $zero, 1\n addu $t1, $t0, $t0\n li $v0, 10\n syscall\n");
         let b = c.block_containing(p.text_base + 4).unwrap();
         assert_eq!(c.blocks[b].start, p.text_base);
         assert!(c.block_containing(p.text_end()).is_none());

@@ -94,7 +94,13 @@ pub fn natural_loops(cfg: &Cfg, doms: &Dominators) -> Vec<NaturalLoop> {
             let mut stack = vec![t];
             while let Some(b) = stack.pop() {
                 if body.insert(b) {
-                    stack.extend(cfg.blocks[b].preds.iter().copied().filter(|p| !body.contains(p)));
+                    stack.extend(
+                        cfg.blocks[b]
+                            .preds
+                            .iter()
+                            .copied()
+                            .filter(|p| !body.contains(p)),
+                    );
                 }
             }
         }
@@ -123,12 +129,14 @@ mod tests {
 
     #[test]
     fn entry_dominates_everything() {
-        let (_, cfg, _) = analyse(
-            "main: beq $t0, $t1, a\n addiu $t0, $t0, 1\na: li $v0, 10\n syscall\n",
-        );
+        let (_, cfg, _) =
+            analyse("main: beq $t0, $t1, a\n addiu $t0, $t0, 1\na: li $v0, 10\n syscall\n");
         let doms = Dominators::compute(&cfg);
         for b in 0..cfg.blocks.len() {
-            assert!(doms.dominates(cfg.entry, b), "entry must dominate block {b}");
+            assert!(
+                doms.dominates(cfg.entry, b),
+                "entry must dominate block {b}"
+            );
             assert!(doms.dominates(b, b), "every block dominates itself");
         }
     }

@@ -97,7 +97,12 @@ impl Liveness {
             }
         }
 
-        Liveness { live_in, live_out, live_after, text_base: program.text_base }
+        Liveness {
+            live_in,
+            live_out,
+            live_after,
+            text_base: program.text_base,
+        }
     }
 
     /// Registers live immediately after the instruction at `pc`.
@@ -148,7 +153,10 @@ main:
         let sll_pc = p.text_base + 4;
         // After the addu consumes it, t1 is dead.
         assert!(l.is_live_after(sll_pc, r("t1")), "live until its use");
-        assert!(!l.is_live_after(sll_pc + 4, r("t1")), "dead after its last use");
+        assert!(
+            !l.is_live_after(sll_pc + 4, r("t1")),
+            "dead after its last use"
+        );
         assert!(l.is_live_after(sll_pc + 4, r("t2")));
     }
 

@@ -155,12 +155,20 @@ main:
         .unwrap();
         let prof = ExecProfile::collect(&p, 0).unwrap();
         let narrow_pc = p.text_base + 4;
-        assert!(prof.is_narrow(narrow_pc, 18), "width {}", prof.width(narrow_pc));
+        assert!(
+            prof.is_narrow(narrow_pc, 18),
+            "width {}",
+            prof.width(narrow_pc)
+        );
         // li 0x100000 is a single lui-free instruction? It needs lui+ori or
         // a single lui; find the wide addu by symbol arithmetic: it is the
         // instruction right before `li $v0`.
         let wide_pc = p.text_end() - 12;
-        assert!(!prof.is_narrow(wide_pc, 18), "width {}", prof.width(wide_pc));
+        assert!(
+            !prof.is_narrow(wide_pc, 18),
+            "width {}",
+            prof.width(wide_pc)
+        );
         assert!(prof.is_narrow(wide_pc, 24));
     }
 

@@ -326,10 +326,7 @@ pub fn decoder_reference(frames: u32, seed: u32) -> [u32; 1] {
         for y in 1..DIM - 1 {
             for x in 1..DIM - 1 {
                 let i = (y * DIM + x) as usize;
-                let s = (i32::from(img[i - 1])
-                    + 2 * i32::from(img[i])
-                    + i32::from(img[i + 1])
-                    + 2)
+                let s = (i32::from(img[i - 1]) + 2 * i32::from(img[i]) + i32::from(img[i + 1]) + 2)
                     >> 2;
                 acc = (acc + s as u32) & 0xffff;
             }

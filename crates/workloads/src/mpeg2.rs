@@ -23,9 +23,18 @@ fn butterfly(a: &str, b: &str) -> String {
 /// The in-register 8-point WHT over `$t0..$t7`.
 fn wht_asm() -> String {
     let pairs: [(usize, usize); 12] = [
-        (0, 1), (2, 3), (4, 5), (6, 7), // stage 1
-        (0, 2), (1, 3), (4, 6), (5, 7), // stage 2
-        (0, 4), (1, 5), (2, 6), (3, 7), // stage 3
+        (0, 1),
+        (2, 3),
+        (4, 5),
+        (6, 7), // stage 1
+        (0, 2),
+        (1, 3),
+        (4, 6),
+        (5, 7), // stage 2
+        (0, 4),
+        (1, 5),
+        (2, 6),
+        (3, 7), // stage 3
     ];
     pairs
         .iter()
@@ -36,9 +45,18 @@ fn wht_asm() -> String {
 /// The same WHT over a Rust slice.
 pub fn wht(v: &mut [i32; 8]) {
     let pairs: [(usize, usize); 12] = [
-        (0, 1), (2, 3), (4, 5), (6, 7),
-        (0, 2), (1, 3), (4, 6), (5, 7),
-        (0, 4), (1, 5), (2, 6), (3, 7),
+        (0, 1),
+        (2, 3),
+        (4, 5),
+        (6, 7),
+        (0, 2),
+        (1, 3),
+        (4, 6),
+        (5, 7),
+        (0, 4),
+        (1, 5),
+        (2, 6),
+        (3, 7),
     ];
     for &(i, j) in &pairs {
         let (a, b) = (v[i], v[j]);

@@ -60,7 +60,14 @@ fn sizes(scale: Scale) -> [u32; 8] {
 
 /// Benchmark order used throughout (matches the paper's figures).
 pub const NAMES: [&str; 8] = [
-    "unepic", "epic", "gsm_dec", "gsm_enc", "g721_dec", "g721_enc", "mpeg2_dec", "mpeg2_enc",
+    "unepic",
+    "epic",
+    "gsm_dec",
+    "gsm_enc",
+    "g721_dec",
+    "g721_enc",
+    "mpeg2_dec",
+    "mpeg2_enc",
 ];
 
 /// Builds every benchmark at the given scale, in [`NAMES`] order.
@@ -127,8 +134,8 @@ mod tests {
     fn every_benchmark_assembles_and_matches_its_reference() {
         for w in all(Scale::Test) {
             let p = w.program().unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let (sys, icount) =
-                execute(&p, &FusionMap::new(), 50_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let (sys, icount) = execute(&p, &FusionMap::new(), 50_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert_eq!(
                 sys.checksum,
                 w.expected_checksum(),

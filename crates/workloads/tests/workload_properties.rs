@@ -50,14 +50,27 @@ fn every_benchmark_offers_candidate_sequences() {
         // Candidate widths stay within the paper's 18-bit threshold by
         // construction of the kernels.
         for s in &sites {
-            assert!(s.width <= 18, "{}: site at 0x{:x} is {} bits", w.name, s.pc, s.width);
+            assert!(
+                s.width <= 18,
+                "{}: site at 0x{:x} is {} bits",
+                w.name,
+                s.pc,
+                s.width
+            );
         }
     }
 }
 
 #[test]
 fn memory_kernels_actually_touch_memory() {
-    for name in ["epic", "unepic", "mpeg2_enc", "mpeg2_dec", "g721_enc", "gsm_dec"] {
+    for name in [
+        "epic",
+        "unepic",
+        "mpeg2_enc",
+        "mpeg2_dec",
+        "g721_enc",
+        "gsm_dec",
+    ] {
         let w = by_name(name, Scale::Test).unwrap();
         let p = w.program().unwrap();
         let session = Session::new(p).unwrap();
@@ -96,5 +109,9 @@ fn distinct_seeds_give_distinct_streams() {
     let mut dedup = sums.clone();
     dedup.sort_unstable();
     dedup.dedup();
-    assert_eq!(dedup.len(), sums.len(), "checksum collision across benchmarks");
+    assert_eq!(
+        dedup.len(),
+        sums.len(),
+        "checksum collision across benchmarks"
+    );
 }

@@ -81,9 +81,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Greedy vs selective at 1 PFU: the greedy set is larger, the
     // selective set respects the budget.
     let greedy = session.greedy();
-    println!("greedy found {} distinct extended instruction(s)", greedy.num_confs());
+    println!(
+        "greedy found {} distinct extended instruction(s)",
+        greedy.num_confs()
+    );
 
-    let selective = session.selective(&SelectConfig { pfus: Some(1), gain_threshold: 0.005 });
+    let selective = session.selective(&SelectConfig {
+        pfus: Some(1),
+        gain_threshold: 0.005,
+    });
     println!("selective (1 PFU) kept {}:", selective.num_confs());
     for c in &selective.confs {
         println!(
@@ -95,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for m in &selective.matrices {
-        println!("  subsequence matrix over {} forms (row sums = appearances):", m.k());
+        println!(
+            "  subsequence matrix over {} forms (row sums = appearances):",
+            m.k()
+        );
         for i in 0..m.k() {
             println!("    row {i}: {:?} (total {})", m.m[i], m.appearances(i));
         }
@@ -105,11 +114,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = session.run_baseline(CpuConfig::baseline())?;
     println!();
     println!("{:<28} {:>12} {:>9}", "machine", "cycles", "speedup");
-    println!("{:<28} {:>12} {:>9.3}", "baseline (no PFUs)", baseline.timing.cycles, 1.0);
+    println!(
+        "{:<28} {:>12} {:>9.3}",
+        "baseline (no PFUs)", baseline.timing.cycles, 1.0
+    );
     for (label, sel, cpu) in [
-        ("T1000 1 PFU, selective", &selective, CpuConfig::with_pfus(1)),
+        (
+            "T1000 1 PFU, selective",
+            &selective,
+            CpuConfig::with_pfus(1),
+        ),
         ("T1000 2 PFUs, greedy", &greedy, CpuConfig::with_pfus(2)),
-        ("T1000 unlimited, greedy", &greedy, CpuConfig::unlimited_pfus().reconfig(0)),
+        (
+            "T1000 unlimited, greedy",
+            &greedy,
+            CpuConfig::unlimited_pfus().reconfig(0),
+        ),
     ] {
         let run = session.run_with(sel, cpu)?;
         assert_eq!(run.sys, baseline.sys, "fusion must preserve results");

@@ -17,9 +17,15 @@ const PFUS: [usize; 4] = [1, 2, 4, 8];
 const PENALTIES: [u32; 4] = [0, 10, 100, 500];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "g721_enc".to_string());
-    let w = by_name(&name, Scale::Test)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}` (try: {:?})", t1000_workloads::NAMES));
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "g721_enc".to_string());
+    let w = by_name(&name, Scale::Test).unwrap_or_else(|| {
+        panic!(
+            "unknown benchmark `{name}` (try: {:?})",
+            t1000_workloads::NAMES
+        )
+    });
 
     let session = Session::new(w.program()?)?;
     let baseline = session.run_baseline(CpuConfig::baseline())?;
@@ -36,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     for pfus in PFUS {
-        let sel = session.selective(&SelectConfig { pfus: Some(pfus), gain_threshold: 0.005 });
+        let sel = session.selective(&SelectConfig {
+            pfus: Some(pfus),
+            gain_threshold: 0.005,
+        });
         print!("{pfus:>8}");
         for penalty in PENALTIES {
             let run = session.run_with(&sel, CpuConfig::with_pfus(pfus).reconfig(penalty))?;

@@ -10,14 +10,27 @@ use t1000_core::{SelectConfig, Session};
 use t1000_workloads::{by_name, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "gsm_enc".to_string());
-    let w = by_name(&name, Scale::Test)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}` (try: {:?})", t1000_workloads::NAMES));
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gsm_enc".to_string());
+    let w = by_name(&name, Scale::Test).unwrap_or_else(|| {
+        panic!(
+            "unknown benchmark `{name}` (try: {:?})",
+            t1000_workloads::NAMES
+        )
+    });
     let session = Session::new(w.program()?)?;
-    let sel = session.selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+    let sel = session.selective(&SelectConfig {
+        pfus: Some(4),
+        gain_threshold: 0.005,
+    });
     let program = session.program();
 
-    println!("{name}: {} configurations, {} fused sites", sel.num_confs(), sel.fusion.num_sites());
+    println!(
+        "{name}: {} configurations, {} fused sites",
+        sel.num_confs(),
+        sel.fusion.num_sites()
+    );
     println!();
 
     // Per-configuration summary.
@@ -35,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "site @ 0x{:05x}  conf {}  inputs {:?} -> output {}",
             site.pc,
             site.conf,
-            site.inputs.iter().map(|r| r.to_string()).collect::<Vec<_>>(),
+            site.inputs
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>(),
             site.output
         );
         for k in 0..site.len {

@@ -36,8 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::from_asm(KERNEL)?;
 
     // Run the paper's selective algorithm for a 2-PFU machine.
-    let selection = session.selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
-    println!("selected {} extended instruction(s):", selection.num_confs());
+    let selection = session.selective(&SelectConfig {
+        pfus: Some(2),
+        gain_threshold: 0.005,
+    });
+    println!(
+        "selected {} extended instruction(s):",
+        selection.num_confs()
+    );
     for conf in &selection.confs {
         println!(
             "  conf {}: {} ops, {} sites, {} LUTs at {} bits, saves ~{} cycles",
@@ -63,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t1000.timing.pfu.reconfigurations
     );
     println!("speedup : {:.2}x", t1000.speedup_over(&baseline));
-    println!("checksum: 0x{:016x} (identical in both runs)", t1000.sys.checksum);
+    println!(
+        "checksum: 0x{:016x} (identical in both runs)",
+        t1000.sys.checksum
+    );
     Ok(())
 }

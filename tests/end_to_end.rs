@@ -13,8 +13,17 @@ fn all_benchmarks_match_their_references_on_the_baseline() {
         // `prepare` asserts simulator checksum == reference checksum.
         let p = prepare(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(p.baseline.timing.cycles > 0);
-        assert!(p.baseline.timing.base_ipc > 0.2, "{}: IPC {:.2} implausibly low", w.name, p.baseline.timing.base_ipc);
-        assert!(p.baseline.timing.base_ipc < 4.0, "{}: IPC exceeds machine width", w.name);
+        assert!(
+            p.baseline.timing.base_ipc > 0.2,
+            "{}: IPC {:.2} implausibly low",
+            w.name,
+            p.baseline.timing.base_ipc
+        );
+        assert!(
+            p.baseline.timing.base_ipc < 4.0,
+            "{}: IPC exceeds machine width",
+            w.name
+        );
     }
 }
 
@@ -23,9 +32,10 @@ fn fusion_preserves_semantics_everywhere() {
     for w in all(Scale::Test) {
         let p = prepare(&w).unwrap();
         let greedy = p.session.greedy();
-        let selective = p
-            .session
-            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+        let selective = p.session.selective(&SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        });
         // run_verified asserts output/checksum/exit-code equality.
         run_verified(&p, &greedy, CpuConfig::unlimited_pfus().reconfig(0));
         run_verified(&p, &greedy, CpuConfig::with_pfus(2).reconfig(10));
@@ -38,9 +48,10 @@ fn fusion_preserves_semantics_everywhere() {
 fn base_instruction_counts_are_fusion_invariant() {
     for w in all(Scale::Test) {
         let p = prepare(&w).unwrap();
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+        let sel = p.session.selective(&SelectConfig {
+            pfus: Some(4),
+            gain_threshold: 0.005,
+        });
         let run = run_verified(&p, &sel, CpuConfig::with_pfus(4).reconfig(10));
         assert_eq!(
             run.timing.base_instructions, p.baseline.timing.base_instructions,
@@ -61,9 +72,10 @@ fn base_instruction_counts_are_fusion_invariant() {
 fn pfu_counters_are_consistent() {
     for w in all(Scale::Test) {
         let p = prepare(&w).unwrap();
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.005 });
+        let sel = p.session.selective(&SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        });
         let run = run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10));
         let pfu = run.timing.pfu;
         assert_eq!(

@@ -15,8 +15,10 @@ fn prepared() -> Vec<Prepared> {
 }
 
 fn selective(p: &Prepared, pfus: Option<usize>) -> Selection {
-    p.session
-        .selective(&SelectConfig { pfus, gain_threshold: 0.005 })
+    p.session.selective(&SelectConfig {
+        pfus,
+        gain_threshold: 0.005,
+    })
 }
 
 /// §4.1 / Fig. 2 bar 2: greedy with unlimited PFUs and zero
@@ -39,7 +41,11 @@ fn claim_greedy_with_two_pfus_thrashes() {
         let sel = p.session.greedy();
         let run = run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10));
         let s = speedup(&p, &run);
-        assert!(s < 1.0, "{}: greedy/2-PFU speedup {s:.3} should be < 1", p.name);
+        assert!(
+            s < 1.0,
+            "{}: greedy/2-PFU speedup {s:.3} should be < 1",
+            p.name
+        );
         assert!(
             run.timing.pfu.reconfigurations > 100,
             "{}: thrashing means frequent reloads",
@@ -105,9 +111,19 @@ fn claim_selective_speedups_monotone_in_pfus() {
 fn claim_selective_robust_to_500_cycle_reconfiguration() {
     for p in prepared() {
         let sel = selective(&p, Some(2));
-        let fast = speedup(&p, &run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10)));
-        let slow = speedup(&p, &run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(500)));
-        assert!(slow > 1.0, "{}: slow-reconfig speedup {slow:.3} ≤ 1", p.name);
+        let fast = speedup(
+            &p,
+            &run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10)),
+        );
+        let slow = speedup(
+            &p,
+            &run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(500)),
+        );
+        assert!(
+            slow > 1.0,
+            "{}: slow-reconfig speedup {slow:.3} ≤ 1",
+            p.name
+        );
         assert!(
             slow > 0.80 * fast,
             "{}: 500-cycle reconfiguration lost too much ({fast:.3} → {slow:.3})",
@@ -123,8 +139,19 @@ fn claim_selected_instructions_fit_the_pfu_budget() {
     for p in prepared() {
         for sel in [p.session.greedy(), selective(&p, Some(4))] {
             for c in &sel.confs {
-                assert!(c.cost.luts < 150, "{}: conf {} needs {} LUTs", p.name, c.conf, c.cost.luts);
-                assert!(c.cost.single_cycle(), "{}: conf {} too deep", p.name, c.conf);
+                assert!(
+                    c.cost.luts < 150,
+                    "{}: conf {} needs {} LUTs",
+                    p.name,
+                    c.conf,
+                    c.cost.luts
+                );
+                assert!(
+                    c.cost.single_cycle(),
+                    "{}: conf {} too deep",
+                    p.name,
+                    c.conf
+                );
             }
         }
     }
@@ -137,7 +164,12 @@ fn claim_port_constraints_hold() {
     for p in prepared() {
         let sel = p.session.greedy();
         for site in sel.fusion.sites() {
-            assert!(site.inputs.len() <= 2, "{}: site at 0x{:x}", p.name, site.pc);
+            assert!(
+                site.inputs.len() <= 2,
+                "{}: site at 0x{:x}",
+                p.name,
+                site.pc
+            );
         }
     }
 }

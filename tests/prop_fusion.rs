@@ -11,9 +11,19 @@ use t1000_cpu::CpuConfig;
 fn arb_body() -> impl Strategy<Value = String> {
     let reg = (0u8..6).prop_map(|n| format!("$t{n}"));
     let stmt = prop_oneof![
-        (prop::sample::select(vec!["addu", "subu", "xor", "and", "or", "nor"]), reg.clone(), reg.clone(), reg.clone())
+        (
+            prop::sample::select(vec!["addu", "subu", "xor", "and", "or", "nor"]),
+            reg.clone(),
+            reg.clone(),
+            reg.clone()
+        )
             .prop_map(|(m, a, b, c)| format!("    {m} {a}, {b}, {c}")),
-        (prop::sample::select(vec!["sll", "srl", "sra"]), reg.clone(), reg.clone(), 1u32..5)
+        (
+            prop::sample::select(vec!["sll", "srl", "sra"]),
+            reg.clone(),
+            reg.clone(),
+            1u32..5
+        )
             .prop_map(|(m, a, b, s)| format!("    {m} {a}, {b}, {s}")),
         (reg.clone(), reg.clone(), 1i32..200)
             .prop_map(|(a, b, v)| format!("    addiu {a}, {b}, {v}")),
@@ -35,7 +45,9 @@ fn arb_body() -> impl Strategy<Value = String> {
 fn program(body: &str, iters: u32) -> String {
     let mut checks = String::new();
     for r in 0..6 {
-        checks.push_str(&format!("    move $a0, $t{r}\n    li $v0, 30\n    syscall\n"));
+        checks.push_str(&format!(
+            "    move $a0, $t{r}\n    li $v0, 30\n    syscall\n"
+        ));
     }
     format!(
         "main:\n    li $s0, {iters}\n    li $t0, 3\n    li $t1, 5\n    li $t2, 7\n    li $t3, 11\n    li $t4, 13\n    li $t5, 17\nloop:\n{body}    addiu $s0, $s0, -1\n    bgtz $s0, loop\n{checks}    li $a0, 0\n    li $v0, 10\n    syscall\n"

@@ -16,11 +16,18 @@ fn selective_captures_most_of_greedy_potential_at_four_pfus() {
     for w in all(Scale::Test) {
         let p = prepare(&w).unwrap();
         let g = p.session.greedy();
-        let s = p
-            .session
-            .selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
-        let best = speedup(&p, &run_verified(&p, &g, CpuConfig::unlimited_pfus().reconfig(0)));
-        let got = speedup(&p, &run_verified(&p, &s, CpuConfig::with_pfus(4).reconfig(10)));
+        let s = p.session.selective(&SelectConfig {
+            pfus: Some(4),
+            gain_threshold: 0.005,
+        });
+        let best = speedup(
+            &p,
+            &run_verified(&p, &g, CpuConfig::unlimited_pfus().reconfig(0)),
+        );
+        let got = speedup(
+            &p,
+            &run_verified(&p, &s, CpuConfig::with_pfus(4).reconfig(10)),
+        );
         captured += got - 1.0;
         ceiling += best - 1.0;
     }
@@ -57,7 +64,10 @@ loop:
     syscall
 ";
     let session = Session::from_asm(src).unwrap();
-    let sel = session.selective(&SelectConfig { pfus: Some(1), gain_threshold: 0.005 });
+    let sel = session.selective(&SelectConfig {
+        pfus: Some(1),
+        gain_threshold: 0.005,
+    });
     assert_eq!(sel.num_confs(), 1);
     let estimated: u64 = sel.confs.iter().map(|c| c.total_gain).sum();
     let base = session.run_baseline(CpuConfig::baseline()).unwrap();
@@ -75,9 +85,10 @@ fn tighter_thresholds_select_fewer_forms() {
     let p = prepare(&w).unwrap();
     let mut prev = usize::MAX;
     for threshold in [0.001, 0.01, 0.10, 0.90] {
-        let sel = p
-            .session
-            .selective(&SelectConfig { pfus: None, gain_threshold: threshold });
+        let sel = p.session.selective(&SelectConfig {
+            pfus: None,
+            gain_threshold: threshold,
+        });
         assert!(
             sel.num_confs() <= prev,
             "threshold {threshold} selected more forms than a looser one"
@@ -93,7 +104,10 @@ fn wider_port_budgets_never_reduce_coverage() {
     let mut prev_gain = 0u64;
     for ports in [2usize, 3, 4] {
         let program = w.program().unwrap();
-        let extract = t1000_core::ExtractConfig { max_inputs: ports, ..Default::default() };
+        let extract = t1000_core::ExtractConfig {
+            max_inputs: ports,
+            ..Default::default()
+        };
         let session = Session::with_extract(program, extract).unwrap();
         let sel = session.greedy();
         let gain: u64 = sel.confs.iter().map(|c| c.total_gain).sum();
@@ -118,7 +132,10 @@ fn multicycle_extraction_extends_coverage_without_breaking_semantics() {
         ..Default::default()
     };
     let session = Session::with_extract(program, extract).unwrap();
-    let sel = session.selective(&SelectConfig { pfus: Some(4), gain_threshold: 0.005 });
+    let sel = session.selective(&SelectConfig {
+        pfus: Some(4),
+        gain_threshold: 0.005,
+    });
     let (base, fused) = session
         .verify_selection(&sel, CpuConfig::with_pfus(4))
         .unwrap();

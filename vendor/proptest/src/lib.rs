@@ -1,0 +1,875 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, vendored so the T1000 workspace builds and tests with **no
+//! network access and no crates-io dependencies**.
+//!
+//! It implements exactly the API surface the workspace's property tests
+//! use — `proptest!`, `Strategy` with `prop_map`/`prop_shuffle`/`boxed`,
+//! range and tuple strategies, `any::<T>()`, `Just`, `prop_oneof!`,
+//! `prop::sample::select`, `prop::collection::{vec, btree_map}`,
+//! `prop::bool::ANY`, regex-subset string strategies, and the
+//! `prop_assert*`/`prop_assume!` macros — on top of a deterministic
+//! SplitMix64 generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports the case number and seed;
+//!   re-running is deterministic, so the failure reproduces exactly.
+//! - **Deterministic seeding** per test name (override with
+//!   `PROPTEST_SEED`), so CI runs are reproducible.
+//! - Default case count is 64 (override per test with
+//!   `ProptestConfig::with_cases` or globally with `PROPTEST_CASES`).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: tiny, fast, and plenty for test-case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seeds from a test name (stable across runs) plus the optional
+    /// `PROPTEST_SEED` environment override.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                h ^= extra.rotate_left(17);
+            }
+        }
+        TestRng::new(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree: strategies produce plain values and failures are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter: retries until the predicate accepts.
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 10000 candidates", self.reason);
+    }
+}
+
+/// Values that `prop_shuffle` can permute in place.
+pub trait Shuffleable {
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+fn fisher_yates<T>(slice: &mut [T], rng: &mut TestRng) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.range(0, i + 1);
+        slice.swap(i, j);
+    }
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        fisher_yates(self, rng);
+    }
+}
+
+impl<T, const N: usize> Shuffleable for [T; N] {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        fisher_yates(self, rng);
+    }
+}
+
+/// `prop_shuffle` adapter.
+#[derive(Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut v = self.inner.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// Object-safe strategy, for `BoxedStrategy` and `prop_oneof!`.
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<V> {
+    alternatives: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { alternatives }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.range(0, self.alternatives.len());
+        self.alternatives[i].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer range strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a full-range `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+/// Strategy behind `any::<T>()`.
+#[derive(Clone, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// Tuple strategies.
+macro_rules! tuple_strategy {
+    ($(($($n:ident $idx:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// One parsed element of the supported regex subset: a set of candidate
+/// characters plus a repetition range.
+struct PatternPiece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        _ => c,
+    }
+}
+
+/// Parses the regex subset used by the tests: literals, escapes, `[...]`
+/// classes with ranges, and `{n}`/`{n,m}`/`*`/`+`/`?` quantifiers.
+fn parse_pattern(pat: &str) -> Vec<PatternPiece> {
+    let mut pieces = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        None => panic!("unterminated [class] in pattern {pat:?}"),
+                        Some(']') => break,
+                        Some('\\') => {
+                            let e = unescape(it.next().expect("escape at end of pattern"));
+                            set.push(e);
+                            prev = Some(e);
+                        }
+                        Some('-') if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let hi = match it.next().unwrap() {
+                                '\\' => unescape(it.next().expect("escape at end of pattern")),
+                                other => other,
+                            };
+                            let lo = prev.take().unwrap();
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(code).unwrap());
+                            }
+                        }
+                        Some(other) => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![unescape(it.next().expect("escape at end of pattern"))],
+            '.' => (' '..='~').collect(),
+            other => vec![other],
+        };
+        // Optional quantifier.
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for q in it.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {n,m} quantifier"),
+                        hi.trim().parse().expect("bad {n,m} quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(PatternPiece { chars, min, max });
+    }
+    pieces
+}
+
+/// String-typed regex strategies: `"[a-z]{1,8}" as a `Strategy<Value =
+/// String>` generating matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let reps = rng.range(piece.min, piece.max + 1);
+            for _ in 0..reps {
+                out.push(piece.chars[rng.range(0, piece.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: modules (collection, sample, bool)
+// ---------------------------------------------------------------------------
+
+/// The `prop::` namespace of the real crate.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::collections::BTreeMap;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Inclusive-exclusive size bound accepted by collection
+        /// strategies.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            pub min: usize,
+            pub max_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                SizeRange {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    min: *r.start(),
+                    max_exclusive: *r.end() + 1,
+                }
+            }
+        }
+
+        /// `prop::collection::vec`: a vector of `size` elements of `s`.
+        pub fn vec<S: Strategy>(s: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element: s,
+                size: size.into(),
+            }
+        }
+
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.range(self.size.min, self.size.max_exclusive);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::btree_map`: keys that collide overwrite, so
+        /// the result may be smaller than the drawn size (as in real
+        /// proptest).
+        pub fn btree_map<K, V>(
+            keys: K,
+            values: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V> {
+            BTreeMapStrategy {
+                keys,
+                values,
+                size: size.into(),
+            }
+        }
+
+        #[derive(Clone)]
+        pub struct BTreeMapStrategy<K, V> {
+            keys: K,
+            values: V,
+            size: SizeRange,
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+                let n = rng.range(self.size.min, self.size.max_exclusive);
+                (0..n)
+                    .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// `prop::sample::select`: a uniformly chosen clone of one of the
+        /// given items.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select() needs at least one item");
+            Select { items }
+        }
+
+        #[derive(Clone)]
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.items[rng.range(0, self.items.len())].clone()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// The strategy behind `prop::bool::ANY`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct BoolAny;
+
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_bool()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration and macros
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs: try another case.
+    Reject,
+}
+
+/// Result type threaded through `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert!({}) failed",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_eq! failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_ne! failed: both sides are {:?}",
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($alt)),+])
+    };
+}
+
+/// The test-defining macro. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[test] fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 16 * config.cases.max(256),
+                                "{}: too many prop_assume! rejections",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "{} failed at case {} (set PROPTEST_SEED to vary inputs): {}",
+                                stringify!($name), passed, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        TestCaseResult, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..500 {
+            let s = "[a-z_][a-z0-9_]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first == '_' || first.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c == '_' || c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        for _ in 0..100 {
+            let s = "[ -~\n]{0,400}".generate(&mut rng);
+            assert!(s.len() <= 400);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = TestRng::from_name("shuffle");
+        let strat = Just([0u8, 1, 2, 3, 4, 5]).prop_shuffle();
+        let mut seen_non_identity = false;
+        for _ in 0..50 {
+            let mut v = strat.generate(&mut rng);
+            if v != [0, 1, 2, 3, 4, 5] {
+                seen_non_identity = true;
+            }
+            v.sort();
+            assert_eq!(v, [0, 1, 2, 3, 4, 5]);
+        }
+        assert!(seen_non_identity, "50 shuffles never permuted anything");
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::from_name("same");
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::from_name("same");
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works((a, b) in (0u32..100, 0u32..100), flip in prop::bool::ANY) {
+            prop_assume!(a != 99);
+            let sum = a + b;
+            prop_assert!(sum < 200);
+            prop_assert_eq!(sum, if flip { a + b } else { b.wrapping_add(a) });
+        }
+    }
+}
