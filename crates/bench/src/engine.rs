@@ -1,6 +1,6 @@
 //! The shared experiment engine.
 //!
-//! Executes a [`Plan`](crate::plan::Plan) in three phases, each fanned
+//! Executes a [`Plan`] in three phases, each fanned
 //! out over a scoped-thread worker pool:
 //!
 //! 1. **prepare** — one profiling [`Session`] per distinct
@@ -14,6 +14,30 @@
 //!
 //! Every figure binary and `run_all` is a thin view over the resulting
 //! [`EngineRun`]; none of them re-run selections or simulations.
+//!
+//! A one-cell experiment end to end (the engine adds the implied
+//! PFU-less baseline cell automatically):
+//!
+//! ```
+//! use t1000_bench::engine::execute;
+//! use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
+//! use t1000_workloads::Scale;
+//!
+//! let mut plan = Plan::new();
+//! plan.push(Cell::new(
+//!     "gsm_dec",
+//!     SelectionSpec::selective_std(Some(2)),
+//!     MachineSpec::with_pfus(2, 10),
+//! ));
+//! let run = execute(&plan, Scale::Test);
+//! assert!(run.cells.len() >= 2); // the cell plus its implied baseline
+//! for cell in &run.cells {
+//!     // Checksum-verified against the Rust reference, and every cycle
+//!     // attributed: busy + Σ stalls == total.
+//!     assert!(cell.attr.checks_out());
+//!     assert_eq!(cell.attr.total_cycles, cell.cycles);
+//! }
+//! ```
 
 use crate::plan::{Cell, MachineSpec, Plan, SelectionSpec};
 use std::collections::HashMap;
@@ -21,6 +45,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use t1000_core::{ExtractConfig, Selection, Session};
+use t1000_cpu::{AttrCollector, CycleAttribution};
 use t1000_workloads::{Scale, Workload};
 
 /// Worker-pool size: `T1000_THREADS` if set, else the machine's
@@ -126,6 +151,11 @@ pub struct CellResult {
     pub ext_executed: u64,
     pub branch_accuracy: f64,
     pub checksum: u64,
+    /// Where the cell's cycles went: every simulation runs under an
+    /// aggregate [`AttrCollector`], so
+    /// `attr.busy_cycles + Σ attr.stalls == cycles` for every cell —
+    /// the schema-v2 artifact's mechanism check.
+    pub attr: CycleAttribution,
 }
 
 /// Engine bookkeeping: how much work the plan implied, how much was
@@ -263,20 +293,27 @@ pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
     let t0 = Instant::now();
     let results: Vec<CellResult> = parallel_map(cells, threads, |&cell| {
         let prepared = &sessions[&(cell.workload, cell.extract)];
-        let run = if cell.selection == SelectionSpec::Baseline
+        let (run, attr) = if cell.selection == SelectionSpec::Baseline
             && cell.machine == MachineSpec::with_pfus(0, 0)
         {
             // The canonical baseline was already simulated during prepare
             // (it pins the architectural reference) — reuse it.
-            prepared.reference.clone()
+            (prepared.reference.clone(), prepared.reference_attr.clone())
         } else {
             let cpu = cell.machine.cpu_config();
-            match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
-                Some(&i) => prepared.session.run_with(&selections[i].selection, cpu),
-                None => prepared.session.run_baseline(cpu),
+            let mut sink = AttrCollector::new();
+            let run = match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
+                Some(&i) => {
+                    prepared
+                        .session
+                        .run_with_observed(&selections[i].selection, cpu, &mut sink)
+                }
+                None => prepared.session.run_baseline_observed(cpu, &mut sink),
             }
-            .unwrap_or_else(|e| panic!("{}: {e}", cell.workload))
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.workload));
+            (run, sink.attr)
         };
+        debug_assert!(attr.checks_out() && attr.total_cycles == run.timing.cycles);
         assert_eq!(
             run.sys.checksum, prepared.expected_checksum,
             "{}: simulation diverged from the Rust reference",
@@ -297,6 +334,7 @@ pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
             ext_executed: run.timing.pfu.ext_executed,
             branch_accuracy: run.timing.branch.accuracy(),
             checksum: run.sys.checksum,
+            attr,
         }
     });
     let simulate_secs = t0.elapsed().as_secs_f64();
@@ -344,6 +382,8 @@ struct PreparedSession {
     /// fused run is verified against, and doubles as the default
     /// baseline cell's result.
     reference: t1000_cpu::RunResult,
+    /// Cycle attribution of the reference run (the baseline cell's attr).
+    reference_attr: CycleAttribution,
 }
 
 fn prepare_session(name: &'static str, extract: ExtractConfig, scale: Scale) -> PreparedSession {
@@ -352,8 +392,9 @@ fn prepare_session(name: &'static str, extract: ExtractConfig, scale: Scale) -> 
     let program = workload.program().unwrap_or_else(|e| panic!("{name}: {e}"));
     let session = Session::with_extract(program, extract).unwrap_or_else(|e| panic!("{name}: {e}"));
     // One canonical run pins the architectural reference for this session.
+    let mut sink = AttrCollector::new();
     let reference = session
-        .run_baseline(MachineSpec::with_pfus(0, 0).cpu_config())
+        .run_baseline_observed(MachineSpec::with_pfus(0, 0).cpu_config(), &mut sink)
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     let expected = workload.expected_checksum();
     assert_eq!(
@@ -364,6 +405,7 @@ fn prepare_session(name: &'static str, extract: ExtractConfig, scale: Scale) -> 
         session,
         expected_checksum: expected,
         reference,
+        reference_attr: sink.attr,
     }
 }
 

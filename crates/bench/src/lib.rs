@@ -20,6 +20,7 @@ pub mod engine;
 pub mod json;
 pub mod plan;
 pub mod results;
+pub mod runstats;
 
 use std::time::Instant;
 use t1000_core::{Error, Selection, Session};

@@ -15,7 +15,12 @@ use t1000_workloads::Scale;
 
 /// Version of the `BENCH_results.json` schema. Bump on any breaking
 /// change to field names or semantics.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — initial layout.
+/// * v2 — every cell carries an `attribution` object (cycle-accounting
+///   partition; see `docs/METRICS.md`), validated by
+///   [`validate_artifact`].
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn scale_str(scale: Scale) -> &'static str {
     match scale {
@@ -140,6 +145,7 @@ fn cell_json(run: &EngineRun, c: &CellResult) -> Json {
         ("ext_executed", Json::UInt(c.ext_executed)),
         ("branch_accuracy", Json::Float(c.branch_accuracy)),
         ("checksum", hex64(c.checksum)),
+        ("attribution", crate::runstats::attr_json(&c.attr)),
     ]);
     Json::obj(fields)
 }
@@ -298,6 +304,13 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
         if !(speedup.is_finite() && speedup > 0.0) {
             return Err(format!("cell {i} ({name}): bad speedup {speedup}"));
         }
+        // Schema v2: the attribution must partition the cell's cycles
+        // exactly, over the closed stall taxonomy.
+        let attr = c
+            .get("attribution")
+            .ok_or_else(|| format!("cell {i} ({name}): missing attribution"))?;
+        crate::runstats::validate_attribution(attr, Some(cycles))
+            .map_err(|e| format!("cell {i} ({name}): {e}"))?;
     }
     Ok(ArtifactSummary {
         scale: scale_str(scale),
@@ -531,7 +544,7 @@ mod tests {
         let good = to_json(&run).to_string_pretty();
 
         // Wrong schema version.
-        let bad = good.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let bad = good.replacen("\"schema_version\": 2", "\"schema_version\": 99", 1);
         assert!(validate_artifact(&bad)
             .unwrap_err()
             .contains("schema_version"));
@@ -541,6 +554,15 @@ mod tests {
         let flipped = format!("0x{:016x}", run.cells[0].checksum ^ 1);
         let bad = good.replacen(cs.as_str(), flipped.as_str(), 2);
         assert!(validate_artifact(&bad).is_err());
+
+        // A perturbed attribution counter breaks the cycle partition.
+        let busy = run.cells[0].attr.busy_cycles;
+        let bad = good.replacen(
+            &format!("\"busy_cycles\": {busy}"),
+            &format!("\"busy_cycles\": {}", busy + 1),
+            1,
+        );
+        assert!(validate_artifact(&bad).unwrap_err().contains("partition"));
 
         // Truncation is a parse error, not a panic.
         assert!(validate_artifact(&good[..good.len() / 2]).is_err());

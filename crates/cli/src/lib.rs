@@ -5,9 +5,11 @@
 //! ```text
 //! t1000 asm     <file.s> [--out file.tobj]      assemble to a text object
 //! t1000 disasm  <file.s|.tobj>                  disassemble
-//! t1000 run     <file.s|.tobj> [--pfus N|unlimited] [--reconfig C]
+//! t1000 run     <file.s|.tobj|bench:name> [--pfus N|unlimited] [--reconfig C]
 //!               [--greedy] [--threshold F] [--max-instr N]
-//!                                               select + simulate
+//!               [--stats-json FILE] [--trace FILE] [--attr]
+//!                                               select + simulate (+observe)
+//! t1000 report  <stats.json>                    render the attribution table
 //! t1000 profile <file.s|.tobj>                  sim_profile-style report
 //! t1000 select  <file.s|.tobj> [--pfus N] [--greedy] [--threshold F]
 //!                                               show chosen ext. instructions
@@ -62,6 +64,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "asm" => cmd_asm(rest),
         "disasm" => cmd_disasm(rest),
         "run" => cmd_run(rest),
+        "report" => cmd_report(rest),
         "profile" => cmd_profile(rest),
         "select" => cmd_select(rest),
         "bench" => cmd_bench(rest),
@@ -75,7 +78,9 @@ fn usage() -> String {
      usage:\n\
      \x20 t1000 asm     <file.s> [--out file.tobj]\n\
      \x20 t1000 disasm  <file.s|.tobj>\n\
-     \x20 t1000 run     <file> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
+     \x20 t1000 run     <file|bench:name> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
+     \x20               [--stats-json FILE] [--trace FILE] [--attr] [--scale test|full]\n\
+     \x20 t1000 report  <stats.json>\n\
      \x20 t1000 profile <file>\n\
      \x20 t1000 select  <file> [--pfus N] [--greedy] [--threshold F]\n\
      \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
@@ -165,18 +170,94 @@ fn select_for(session: &Session, p: &Parsed, pfus: Option<usize>) -> Result<Sele
     })
 }
 
+/// Resolves `run`'s input: a `.s`/`.tobj` path, or `bench:<name>` for a
+/// registry workload (scaled by `--scale`, default `test`).
+fn load_target(target: &str, p: &Parsed) -> Result<(String, Program), CliError> {
+    let Some(name) = target.strip_prefix("bench:") else {
+        return Ok((target.to_string(), load(target)?));
+    };
+    let scale = match p.get("scale") {
+        Some("full") => t1000_workloads::Scale::Full,
+        Some("test") | None => t1000_workloads::Scale::Test,
+        Some(other) => return err(format!("--scale: `{other}` is not test|full")),
+    };
+    let Some(w) = t1000_workloads::by_name(name, scale) else {
+        return err(format!(
+            "unknown benchmark `{name}` (one of {:?})",
+            t1000_workloads::NAMES
+        ));
+    };
+    let program = w.program().map_err(|e| CliError(e.to_string()))?;
+    Ok((name.to_string(), program))
+}
+
+/// One observed timed run: cycle attribution with per-PC counters, plus
+/// the JSON-lines event trace when `trace_path` is given.
+fn observed_run(
+    session: &Session,
+    sel: Option<&Selection>,
+    cfg: CpuConfig,
+    trace_path: Option<&str>,
+) -> Result<
+    (
+        t1000_cpu::RunResult,
+        t1000_cpu::CycleAttribution,
+        Option<t1000_cpu::PcStalls>,
+        Option<u64>,
+    ),
+    CliError,
+> {
+    if let Some(path) = trace_path {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+        let mut writer = t1000_bench::runstats::TraceWriter::new(std::io::BufWriter::new(file));
+        let run = match sel {
+            Some(s) => session.run_with_observed(s, cfg, &mut writer),
+            None => session.run_baseline_observed(cfg, &mut writer),
+        }
+        .map_err(|e| CliError(e.to_string()))?;
+        let collector = std::mem::take(&mut writer.collector);
+        let events = writer.events_written;
+        writer
+            .finish()
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let (attr, per_pc) = collector.into_parts();
+        Ok((run, attr, per_pc, Some(events)))
+    } else {
+        let mut sink = t1000_cpu::AttrCollector::with_per_pc();
+        let run = match sel {
+            Some(s) => session.run_with_observed(s, cfg, &mut sink),
+            None => session.run_baseline_observed(cfg, &mut sink),
+        }
+        .map_err(|e| CliError(e.to_string()))?;
+        let (attr, per_pc) = sink.into_parts();
+        Ok((run, attr, per_pc, None))
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
     let p = parse(
         args,
-        &["pfus", "reconfig", "threshold", "max-instr"],
-        &["greedy"],
+        &[
+            "pfus",
+            "reconfig",
+            "threshold",
+            "max-instr",
+            "stats-json",
+            "trace",
+            "scale",
+        ],
+        &["greedy", "attr"],
     )?;
-    let [path] = p.positional.as_slice() else {
-        return err("run: expected exactly one input file");
+    let [target] = p.positional.as_slice() else {
+        return err("run: expected exactly one input (a file or bench:<name>)");
     };
     let (cfg, pfu_count) = machine_config(&p)?;
-    let program = load(path)?;
+    let (name, program) = load_target(target, &p)?;
     let has_pfus = cfg.pfus != PfuCount::Fixed(0);
+    let stats_json = p.get("stats-json");
+    let trace = p.get("trace");
+    let observing = stats_json.is_some() || trace.is_some() || p.flag("attr");
     // The profiling run honours --max-instr too, so a non-terminating
     // input errors out instead of hanging.
     let session = Session::with_limits(
@@ -187,28 +268,93 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     .map_err(|e| CliError(e.to_string()))?;
 
     let mut out = String::new();
-    if has_pfus {
+    let run = if has_pfus {
         let sel = select_for(&session, &p, pfu_count)?;
-        let (base, run) = session
-            .verify_selection(&sel, cfg)
-            .map_err(|e| CliError(e.to_string()))?;
+        let (base, run) = if observing {
+            // The observed variant of verify_selection: the baseline run
+            // pins the architectural reference, the fused run is traced.
+            let base = session
+                .run_baseline(CpuConfig::baseline())
+                .map_err(|e| CliError(e.to_string()))?;
+            let run = observed_run(&session, Some(&sel), cfg, trace)?;
+            if base.sys != run.0.sys {
+                return err(format!("{name}: fused run changed architectural results"));
+            }
+            (base, run)
+        } else {
+            let (base, run) = session
+                .verify_selection(&sel, cfg)
+                .map_err(|e| CliError(e.to_string()))?;
+            (base, (run, Default::default(), None, None))
+        };
         writeln!(out, "extended instructions: {}", sel.num_confs()).unwrap();
         writeln!(
             out,
             "baseline: {} cycles | T1000: {} cycles | speedup {:.3}x",
             base.timing.cycles,
-            run.timing.cycles,
-            run.speedup_over(&base)
+            run.0.timing.cycles,
+            run.0.speedup_over(&base)
         )
         .unwrap();
-        write_run_stats(&mut out, &run);
+        run
+    } else if observing {
+        observed_run(&session, None, cfg, trace)?
     } else {
         let run = session
             .run_baseline(cfg)
             .map_err(|e| CliError(e.to_string()))?;
-        write_run_stats(&mut out, &run);
+        (run, Default::default(), None, None)
+    };
+    let (run, attr, per_pc, events) = run;
+    write_run_stats(&mut out, &run);
+
+    if observing {
+        debug_assert!(attr.checks_out() && attr.total_cycles == run.timing.cycles);
+        let analysis = session.analysis();
+        let loops = per_pc
+            .as_ref()
+            .map(|per_pc| {
+                t1000_bench::runstats::loop_attrs(
+                    session.program(),
+                    &analysis.cfg,
+                    &analysis.profile,
+                    per_pc,
+                )
+            })
+            .unwrap_or_default();
+        if let Some(path) = stats_json {
+            let doc = t1000_bench::runstats::run_stats_json(&name, &run, Some(&attr), &loops);
+            std::fs::write(path, doc.to_string_pretty())
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "wrote {path}").unwrap();
+        }
+        if let Some(path) = trace {
+            writeln!(out, "wrote {path} ({} events)", events.unwrap_or(0)).unwrap();
+        }
+        if p.flag("attr") {
+            out.push_str(&t1000_bench::runstats::render_attr_table(&attr));
+            out.push_str(&t1000_bench::runstats::render_loop_table(
+                &loops,
+                attr.total_cycles,
+                8,
+            ));
+        }
     }
     Ok(out)
+}
+
+/// `t1000 report <stats.json>`: renders the attribution table from a
+/// document previously written by `run --stats-json`.
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let p = parse(args, &[], &[])?;
+    let [path] = p.positional.as_slice() else {
+        return err("report: expected exactly one stats JSON file");
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let doc =
+        t1000_bench::json::Json::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    t1000_bench::runstats::report_from_stats(&doc).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
 fn write_run_stats(out: &mut String, run: &t1000_cpu::RunResult) {
@@ -496,6 +642,80 @@ loop:
         );
         assert!(run(&s(&["bench", "--validate", &bad])).is_err());
         let _ = std::fs::remove_file(&json);
+    }
+
+    #[test]
+    fn run_emits_stats_json_and_report_reads_it() {
+        let src = tmp("stats.s", KERNEL);
+        let json = tmp("stats.json", "");
+        let out = run(&s(&[
+            "run",
+            &src,
+            "--pfus",
+            "2",
+            "--stats-json",
+            &json,
+            "--attr",
+        ]))
+        .unwrap();
+        assert!(out.contains("cycle attribution"), "{out}");
+        assert!(out.contains("busy"), "{out}");
+        assert!(out.contains(&format!("wrote {json}")), "{out}");
+
+        // The document round-trips through the validator and `report`.
+        let text = std::fs::read_to_string(&json).unwrap();
+        let doc = t1000_bench::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(t1000_bench::json::Json::as_str),
+            Some(t1000_bench::runstats::RUN_STATS_SCHEMA)
+        );
+        let cycles = doc.get("cycles").and_then(t1000_bench::json::Json::as_u64);
+        t1000_bench::runstats::validate_attribution(doc.get("attribution").unwrap(), cycles)
+            .unwrap();
+        let report = run(&s(&["report", &json])).unwrap();
+        assert!(report.contains("cycle attribution"), "{report}");
+        let _ = std::fs::remove_file(&json);
+    }
+
+    #[test]
+    fn run_traces_events_as_json_lines() {
+        let src = tmp("trace.s", KERNEL);
+        let trace = tmp("trace.jsonl", "");
+        let out = run(&s(&["run", &src, "--pfus", "2", "--trace", &trace])).unwrap();
+        assert!(out.contains("events)"), "{out}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines().take(50) {
+            let e = t1000_bench::json::Json::parse(line).unwrap();
+            assert!(e
+                .get("type")
+                .and_then(t1000_bench::json::Json::as_str)
+                .is_some());
+        }
+        // The selective selection at 2 PFUs stays resident: the trace must
+        // contain configuration loads and (usually) hits.
+        assert!(text.contains("\"conf_load\""), "no conf_load in trace");
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn run_accepts_registry_workloads() {
+        let out = run(&s(&["run", "bench:g721_enc", "--attr"])).unwrap();
+        assert!(out.contains("cycle attribution"), "{out}");
+        assert!(run(&s(&["run", "bench:nope"])).is_err());
+        assert!(run(&s(&["run", "bench:g721_enc", "--scale", "huge"])).is_err());
+    }
+
+    #[test]
+    fn report_rejects_non_stats_documents() {
+        let not_stats = tmp("not_stats.json", "{\"schema\": \"other\"}");
+        assert!(run(&s(&["report", &not_stats])).is_err());
+        let missing = tmp(
+            "missing_attr.json",
+            "{\"schema\": \"t1000.run-stats\", \"cycles\": 5}",
+        );
+        let e = run(&s(&["report", &missing])).unwrap_err();
+        assert!(e.0.contains("attribution"), "{e}");
     }
 
     #[test]

@@ -13,6 +13,28 @@
 //!   the latter built on the k×k subsequence [`matrix`];
 //! * [`session::Session`] — the end-to-end pipeline
 //!   (assemble → profile → select → simulate → verify).
+//!
+//! Extracting extended instructions from a hot loop:
+//!
+//! ```
+//! use t1000_core::Session;
+//!
+//! let session = Session::from_asm("
+//! main:
+//!     li  $s0, 100
+//! loop:
+//!     sll  $t2, $s0, 3
+//!     xor  $t2, $t2, $s0
+//!     andi $t2, $t2, 255
+//!     addiu $s0, $s0, -1
+//!     bgtz $s0, loop
+//!     li   $v0, 10
+//!     syscall
+//! ").unwrap();
+//!
+//! let selection = session.greedy();
+//! assert!(selection.num_confs() >= 1); // the sll/xor/andi run fuses
+//! ```
 
 pub mod canon;
 pub mod extract;

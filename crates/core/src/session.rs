@@ -42,7 +42,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
-use t1000_cpu::{simulate, CpuConfig, RunResult};
+use t1000_cpu::{simulate, simulate_with, CpuConfig, RunResult, TraceSink};
 use t1000_isa::{FusionMap, Program};
 
 /// Cache key for one selection request. `SelectConfig` itself is not
@@ -240,6 +240,26 @@ impl Session {
         simulate(&self.program, &selection.fusion, cpu).map_err(Error::Exec)
     }
 
+    /// [`Session::run_baseline`] with an observability sink attached
+    /// (cycle attribution and/or event traces; see `t1000_cpu::observe`).
+    pub fn run_baseline_observed<S: TraceSink>(
+        &self,
+        cpu: CpuConfig,
+        sink: &mut S,
+    ) -> Result<RunResult, Error> {
+        simulate_with(&self.program, &FusionMap::new(), cpu, sink).map_err(Error::Exec)
+    }
+
+    /// [`Session::run_with`] with an observability sink attached.
+    pub fn run_with_observed<S: TraceSink>(
+        &self,
+        selection: &Selection,
+        cpu: CpuConfig,
+        sink: &mut S,
+    ) -> Result<RunResult, Error> {
+        simulate_with(&self.program, &selection.fusion, cpu, sink).map_err(Error::Exec)
+    }
+
     /// Differential check: simulates baseline and fused configurations and
     /// verifies bit-identical architectural results (output, checksum,
     /// exit code). Returns both runs.
@@ -302,6 +322,39 @@ loop:
         );
         let speedup = fused.speedup_over(&base);
         assert!(speedup > 1.0 && speedup < 8.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn observed_runs_match_plain_runs_and_account_every_cycle() {
+        use t1000_cpu::AttrCollector;
+        let s = Session::from_asm(KERNEL).unwrap();
+        let plain = s.run_baseline(CpuConfig::baseline()).unwrap();
+        let mut sink = AttrCollector::new();
+        let observed = s
+            .run_baseline_observed(CpuConfig::baseline(), &mut sink)
+            .unwrap();
+        assert_eq!(observed.timing.cycles, plain.timing.cycles);
+        assert_eq!(observed.sys, plain.sys);
+        assert_eq!(sink.attr.total_cycles, plain.timing.cycles);
+        assert!(sink.attr.checks_out());
+
+        let sel = s.selective(&SelectConfig {
+            pfus: Some(2),
+            gain_threshold: 0.005,
+        });
+        let mut fused_sink = AttrCollector::new();
+        let fused = s
+            .run_with_observed(&sel, CpuConfig::with_pfus(2), &mut fused_sink)
+            .unwrap();
+        assert_eq!(
+            fused.timing.cycles,
+            s.run_with(&sel, CpuConfig::with_pfus(2))
+                .unwrap()
+                .timing
+                .cycles
+        );
+        assert_eq!(fused_sink.attr.total_cycles, fused.timing.cycles);
+        assert!(fused_sink.attr.checks_out());
     }
 
     #[test]

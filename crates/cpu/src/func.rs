@@ -8,7 +8,8 @@
 //! prediction* for free: fetch simply follows the architecturally executed
 //! path.
 //!
-//! Fusion is applied here: when the PC lands on a [`FusedSite`], the whole
+//! Fusion is applied here: when the PC lands on a
+//! [`FusedSite`](t1000_isa::ext::FusedSite), the whole
 //! sequence executes architecturally (bit-identical results) but a single
 //! `DynInstr` of class `Pfu` is emitted.
 

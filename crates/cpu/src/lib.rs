@@ -11,12 +11,29 @@
 //! * [`ooo::OooCore`] — the cycle-level timing model;
 //! * [`pfu::PfuArray`] — PFU configuration residency, LRU replacement and
 //!   reconfiguration penalties;
-//! * [`machine::simulate`] — one-call program → [`machine::RunResult`].
+//! * [`branch::Predictor`] — perfect/bimodal branch prediction;
+//! * [`observe`] — zero-cost-when-disabled cycle attribution and event
+//!   traces (see `docs/METRICS.md` for the full schema);
+//! * [`machine::simulate`] — one-call program → [`machine::RunResult`];
+//!   [`machine::simulate_with`] is the observed variant.
+//!
+//! A complete timed run in five lines:
+//!
+//! ```
+//! use t1000_cpu::{simulate, CpuConfig};
+//! use t1000_isa::FusionMap;
+//!
+//! let program = t1000_asm::assemble("main:\n li $v0, 10\n syscall\n").unwrap();
+//! let run = simulate(&program, &FusionMap::new(), CpuConfig::baseline()).unwrap();
+//! assert_eq!(run.timing.base_instructions, 2);
+//! assert!(run.timing.cycles > 0);
+//! ```
 
 pub mod branch;
 pub mod config;
 pub mod func;
 pub mod machine;
+pub mod observe;
 pub mod ooo;
 pub mod pfu;
 pub mod syscall;
@@ -24,7 +41,11 @@ pub mod syscall;
 pub use branch::{BranchModel, BranchStats, Predictor};
 pub use config::{CpuConfig, PfuCount};
 pub use func::{DynInstr, ExecError, FuncCore};
-pub use machine::{execute, simulate, RunResult};
+pub use machine::{execute, simulate, simulate_with, RunResult};
+pub use observe::{
+    AttrCollector, CycleAttribution, CycleClass, NullSink, PcStalls, StallCause, TraceEvent,
+    TraceSink, NUM_STALL_CAUSES, STALL_CAUSES,
+};
 pub use ooo::{OooCore, TimingStats};
-pub use pfu::{PfuArray, PfuReplacement, PfuStats};
+pub use pfu::{PfuArray, PfuOutcome, PfuReplacement, PfuStats};
 pub use syscall::{Syscall, SyscallState};

@@ -3,6 +3,7 @@
 
 use crate::config::CpuConfig;
 use crate::func::{ExecError, FuncCore};
+use crate::observe::{NullSink, TraceSink};
 use crate::ooo::{OooCore, TimingStats};
 use crate::syscall::SyscallState;
 use t1000_isa::{FusionMap, Program};
@@ -32,15 +33,52 @@ pub fn simulate(
     fusion: &FusionMap,
     cfg: CpuConfig,
 ) -> Result<RunResult, ExecError> {
+    simulate_with(program, fusion, cfg, &mut NullSink)
+}
+
+/// Like [`simulate`], but reporting cycle attribution and pipeline events
+/// to `sink` (see [`crate::observe`]). Pass an
+/// [`AttrCollector`](crate::observe::AttrCollector) to learn where the
+/// cycles went:
+///
+/// ```
+/// use t1000_cpu::{simulate_with, AttrCollector, CpuConfig};
+/// use t1000_isa::FusionMap;
+///
+/// let program = t1000_asm::assemble("
+/// main:
+///     li $t0, 100
+/// loop:
+///     addu $t1, $t1, $t0
+///     addiu $t0, $t0, -1
+///     bgtz $t0, loop
+///     li $v0, 10
+///     syscall
+/// ").unwrap();
+/// let mut sink = AttrCollector::new();
+/// let run = simulate_with(&program, &FusionMap::new(), CpuConfig::baseline(), &mut sink).unwrap();
+/// let attr = &sink.attr;
+/// assert_eq!(attr.total_cycles, run.timing.cycles);
+/// assert!(attr.checks_out()); // busy + Σ stalls == total, always
+/// ```
+pub fn simulate_with<S: TraceSink>(
+    program: &Program,
+    fusion: &FusionMap,
+    cfg: CpuConfig,
+    sink: &mut S,
+) -> Result<RunResult, ExecError> {
     let mut func = FuncCore::new(program, fusion);
     let limit = cfg.max_instructions;
     let ooo = OooCore::new(cfg);
-    let timing = ooo.run(|| {
-        if limit != 0 && func.icount >= limit {
-            return Err(ExecError::InstrLimit(limit));
-        }
-        func.step()
-    })?;
+    let timing = ooo.run_with(
+        || {
+            if limit != 0 && func.icount >= limit {
+                return Err(ExecError::InstrLimit(limit));
+            }
+            func.step()
+        },
+        sink,
+    )?;
     Ok(RunResult {
         timing,
         sys: func.sys,

@@ -18,7 +18,8 @@
 use crate::branch::{BranchStats, Predictor};
 use crate::config::CpuConfig;
 use crate::func::DynInstr;
-use crate::pfu::{PfuArray, PfuRequest, PfuStats};
+use crate::observe::{CycleClass, NullSink, StallCause, TraceEvent, TraceSink};
+use crate::pfu::{PfuArray, PfuOutcome, PfuStats};
 use std::collections::VecDeque;
 use t1000_isa::OpClass;
 #[cfg(test)]
@@ -99,6 +100,10 @@ pub struct OooCore {
     dispatch_ready_at: u64,
     /// Cycle until which fetch is stalled on an I-cache miss.
     fetch_ready_at: u64,
+    /// Why fetch is stalled (attribution only; valid while
+    /// `cycle < fetch_ready_at`) and the PC that caused it.
+    fetch_stall_cause: StallCause,
+    fetch_stall_pc: u32,
     /// Cache line of the most recent instruction fetch.
     last_fetch_line: Option<u32>,
     /// Statistics.
@@ -128,6 +133,8 @@ impl OooCore {
             fetch_queue: VecDeque::new(),
             dispatch_ready_at: 0,
             fetch_ready_at: 0,
+            fetch_stall_cause: StallCause::FrontendEmpty,
+            fetch_stall_pc: 0,
             last_fetch_line: None,
             slots: 0,
             base_instructions: 0,
@@ -139,16 +146,40 @@ impl OooCore {
     /// Runs the pipeline to completion over the record stream produced by
     /// `source`. `source` returns `None` when the program has finished.
     pub fn run<E>(
+        self,
+        source: impl FnMut() -> Result<Option<DynInstr>, E>,
+    ) -> Result<TimingStats, E> {
+        self.run_with(source, &mut NullSink)
+    }
+
+    /// Like [`OooCore::run`], but reporting cycle attribution and
+    /// pipeline events to `sink`. Monomorphized per sink type: with
+    /// [`NullSink`] every instrumentation branch is compiled out and this
+    /// *is* the uninstrumented pipeline.
+    pub fn run_with<E, S: TraceSink>(
         mut self,
         mut source: impl FnMut() -> Result<Option<DynInstr>, E>,
+        sink: &mut S,
     ) -> Result<TimingStats, E> {
         loop {
+            let slots_before = self.slots;
             self.commit();
-            self.issue();
-            self.dispatch();
-            self.fetch(&mut source)?;
+            // Classify eagerly (the pre-issue state is what stalled this
+            // cycle) but record only if the loop does not break below, so
+            // classified cycles match counted cycles one-for-one.
+            let class = if S::ATTR {
+                Some(self.classify((self.slots - slots_before) as u32))
+            } else {
+                None
+            };
+            self.issue(sink);
+            self.dispatch(sink);
+            self.fetch(&mut source, sink)?;
             if self.drained && self.window.is_empty() && self.fetch_queue.is_empty() {
                 break;
+            }
+            if let Some(class) = class {
+                sink.cycle(class);
             }
             self.cycle += 1;
             debug_assert!(
@@ -195,8 +226,97 @@ impl OooCore {
         }
     }
 
+    /// Classifies the cycle that just performed `commits` commits. Called
+    /// between commit and issue, so "the oldest in-flight instruction"
+    /// means the window head as the issue stage is about to see it. Total
+    /// order of the cascade is documented on [`StallCause`].
+    ///
+    /// The busy path is the common case by far and inlines into the main
+    /// loop; the stall cascade stays out of line so instrumented builds
+    /// keep the hot loop small.
+    #[inline]
+    fn classify(&self, commits: u32) -> CycleClass {
+        if commits > 0 {
+            let commit_bound = commits == self.cfg.commit_width
+                && matches!(
+                    self.window.front(),
+                    Some(e) if e.state == EntryState::Done && e.complete_at <= self.cycle
+                );
+            return CycleClass::Busy {
+                commits,
+                commit_bound,
+            };
+        }
+        self.classify_stall()
+    }
+
+    /// The zero-commit half of [`OooCore::classify`].
+    #[cold]
+    fn classify_stall(&self) -> CycleClass {
+        let Some(head) = self.window.front() else {
+            // Empty window: the backend starved. Charge dispatch's
+            // configuration-load hold first, then a stalled fetch, then
+            // the residual ramp/drain bucket.
+            let (cause, pc) = if self.cycle < self.dispatch_ready_at {
+                (StallCause::Reconfig, self.fetch_queue.front().map(|r| r.pc))
+            } else if self.cycle < self.fetch_ready_at {
+                (self.fetch_stall_cause, Some(self.fetch_stall_pc))
+            } else {
+                (StallCause::FrontendEmpty, None)
+            };
+            return CycleClass::Stall { cause, pc };
+        };
+        let pc = Some(head.rec.pc);
+        let cause = match head.state {
+            EntryState::Waiting => {
+                if head.pfu_ready_at > self.cycle {
+                    StallCause::Reconfig
+                } else if head.deps.iter().flatten().any(|&dep| {
+                    matches!(
+                        self.entry(dep),
+                        Some(p) if p.state == EntryState::Waiting || p.complete_at > self.cycle
+                    )
+                }) {
+                    StallCause::DataDep
+                } else {
+                    StallCause::FuContention
+                }
+            }
+            // Done with complete_at > cycle, else commit would have
+            // retired it.
+            EntryState::Done => {
+                if head.rec.mem.is_some() {
+                    // A memory access blocks the head. Backpressure
+                    // outranks the access latency: a full LSQ/window means
+                    // dispatch is also blocked behind this op.
+                    if self.lsq_used >= self.cfg.lsq_size {
+                        StallCause::LsqFull
+                    } else if self.window.len() >= self.cfg.ruu_size {
+                        StallCause::WindowFull
+                    } else {
+                        StallCause::MemData
+                    }
+                } else if self.window.len() > 1
+                    && self
+                        .window
+                        .iter()
+                        .skip(1)
+                        .all(|e| e.state == EntryState::Waiting)
+                {
+                    // Everything younger waits on operands while the head
+                    // executes: the window is serialized by a dependence
+                    // chain, not by the head's latency alone.
+                    StallCause::DataDep
+                } else {
+                    StallCause::ExecLatency
+                }
+            }
+        };
+        CycleClass::Stall { cause, pc }
+    }
+
     /// Issue ready entries oldest-first, respecting FU counts.
-    fn issue(&mut self) {
+    fn issue<S: TraceSink>(&mut self, sink: &mut S) {
         let mut issued = 0;
         let mut alu_used = 0;
         let mut mult_used = 0;
@@ -266,7 +386,17 @@ impl OooCore {
             let latency = match rec_class {
                 OpClass::Load | OpClass::Store => {
                     let (addr, is_write) = self.window[idx].rec.mem.unwrap();
-                    self.mem.data(addr, is_write)
+                    let lat = self.mem.data(addr, is_write);
+                    if S::EVENTS && lat > self.cfg.mem.l1_hit {
+                        sink.event(TraceEvent::CacheMiss {
+                            cycle: self.cycle,
+                            addr,
+                            fetch: false,
+                            write: is_write,
+                            latency: lat,
+                        });
+                    }
+                    lat
                 }
                 _ => self.window[idx].rec.latency,
             };
@@ -289,7 +419,7 @@ impl OooCore {
 
     /// Move instructions from the fetch queue into the RUU, renaming their
     /// source operands to producer sequence numbers.
-    fn dispatch(&mut self) {
+    fn dispatch<S: TraceSink>(&mut self, sink: &mut S) {
         if self.cycle < self.dispatch_ready_at {
             return;
         }
@@ -326,8 +456,26 @@ impl OooCore {
             // optimism shared by trace-driven models; the dispatch stall
             // below keeps it rare.
             let pfu_ready_at = if let Some(conf) = rec.conf {
-                match self.pfus.request(conf, self.cycle) {
-                    PfuRequest::Ready { at } => {
+                let outcome = self.pfus.request_outcome(conf, self.cycle);
+                if S::EVENTS {
+                    match outcome {
+                        PfuOutcome::Hit { .. } => sink.event(TraceEvent::ConfHit {
+                            cycle: self.cycle,
+                            pc: rec.pc,
+                            conf,
+                        }),
+                        PfuOutcome::Load { at, evicted } => sink.event(TraceEvent::ConfLoad {
+                            cycle: self.cycle,
+                            pc: rec.pc,
+                            conf,
+                            evicted,
+                            ready_at: at,
+                        }),
+                        PfuOutcome::NoPfu => {}
+                    }
+                }
+                match outcome {
+                    PfuOutcome::Hit { at } | PfuOutcome::Load { at, .. } => {
                         if at > self.cycle {
                             // Configuration load in progress: decode holds
                             // younger instructions until it completes.
@@ -335,7 +483,7 @@ impl OooCore {
                         }
                         at
                     }
-                    PfuRequest::NoPfu => {
+                    PfuOutcome::NoPfu => {
                         panic!("extended instruction reached a machine with no PFUs")
                     }
                 }
@@ -376,9 +524,10 @@ impl OooCore {
 
     /// Fetch up to `fetch_width` records from the trace into the fetch
     /// queue, charging I-cache latency per new cache line.
-    fn fetch<E>(
+    fn fetch<E, S: TraceSink>(
         &mut self,
         source: &mut impl FnMut() -> Result<Option<DynInstr>, E>,
+        sink: &mut S,
     ) -> Result<(), E> {
         if self.drained {
             return Ok(());
@@ -406,6 +555,19 @@ impl OooCore {
                     // current cycle stay in the queue (a mild optimism,
                     // applied identically to every machine configuration).
                     self.fetch_ready_at = self.cycle + lat as u64;
+                    if S::ATTR {
+                        self.fetch_stall_cause = StallCause::IcacheFetch;
+                        self.fetch_stall_pc = rec.pc;
+                    }
+                    if S::EVENTS {
+                        sink.event(TraceEvent::CacheMiss {
+                            cycle: self.cycle,
+                            addr: rec.pc,
+                            fetch: true,
+                            write: false,
+                            latency: lat,
+                        });
+                    }
                 }
             }
             let was_ctrl = rec.class == OpClass::Ctrl;
@@ -416,8 +578,19 @@ impl OooCore {
             if let Some(taken) = rec.taken {
                 let penalty = self.predictor.observe(rec.pc, taken);
                 if penalty > 0 {
-                    self.fetch_ready_at =
-                        self.fetch_ready_at.max(self.cycle + 1 + u64::from(penalty));
+                    let redirect_until = self.cycle + 1 + u64::from(penalty);
+                    if S::ATTR && redirect_until > self.fetch_ready_at {
+                        self.fetch_stall_cause = StallCause::BranchRedirect;
+                        self.fetch_stall_pc = rec.pc;
+                    }
+                    self.fetch_ready_at = self.fetch_ready_at.max(redirect_until);
+                    if S::EVENTS {
+                        sink.event(TraceEvent::BranchRedirect {
+                            cycle: self.cycle,
+                            pc: rec.pc,
+                            penalty,
+                        });
+                    }
                 }
             }
             self.fetch_queue.push_back(rec);
@@ -798,6 +971,213 @@ loop:
             "2 extra latency cycles per iteration must show up ({} vs {})",
             slow.cycles,
             fast.cycles
+        );
+    }
+
+    fn time_attr(
+        p: &Program,
+        fusion: &FusionMap,
+        cfg: CpuConfig,
+    ) -> (TimingStats, crate::observe::CycleAttribution) {
+        let mut core = FuncCore::new(p, fusion);
+        let mut sink = crate::observe::AttrCollector::new();
+        let ooo = OooCore::new(cfg);
+        let stats = ooo.run_with(|| core.step(), &mut sink).unwrap();
+        (stats, sink.attr)
+    }
+
+    #[test]
+    fn attribution_partitions_cycles_and_matches_unobserved_run() {
+        let src = hot_loop("    addu $t0, $t0, $t0\n    lw $t1, 0($sp)\n");
+        let p = assemble(&src).unwrap();
+        let fusion = FusionMap::new();
+        let plain = time(&p, &fusion, CpuConfig::baseline());
+        let (observed, attr) = time_attr(&p, &fusion, CpuConfig::baseline());
+        assert_eq!(
+            observed.cycles, plain.cycles,
+            "observation must not perturb timing"
+        );
+        assert_eq!(attr.total_cycles, observed.cycles);
+        assert!(
+            attr.checks_out(),
+            "busy + stalls must equal total: {attr:?}"
+        );
+        assert!(attr.busy_cycles > 0);
+    }
+
+    #[test]
+    fn dependent_chain_is_attributed_to_data_dependence() {
+        use crate::observe::StallCause;
+        // A serial multiply chain: each `mult` (3 cycles) feeds the next via
+        // `mflo`, so most cycles commit nothing. Those zero-commit cycles
+        // land on the operand-wait side of the taxonomy: DataDep while the
+        // head waits for its producer, ExecLatency while the head itself is
+        // still in the multiplier.
+        let mut body = String::new();
+        for _ in 0..8 {
+            body.push_str("    mult $t0, $t0\n    mflo $t0\n");
+        }
+        let p = assemble(&hot_loop(&body)).unwrap();
+        let (stats, attr) = time_attr(&p, &FusionMap::new(), CpuConfig::baseline());
+        assert!(attr.checks_out());
+        let chain = attr.stall(StallCause::DataDep) + attr.stall(StallCause::ExecLatency);
+        assert!(
+            chain > stats.cycles / 3,
+            "a loop-carried multiply chain must stall on operands: {attr:?}"
+        );
+        assert!(attr.stall(StallCause::DataDep) > 0, "{attr:?}");
+    }
+
+    #[test]
+    fn streaming_misses_are_attributed_to_memory() {
+        use crate::observe::StallCause;
+        let src = "
+main:
+    li   $t0, 0x10000000
+    li   $t1, 2048
+loop:
+    lw   $t2, 0($t0)
+    addu $t3, $t3, $t2
+    addiu $t0, $t0, 32
+    addiu $t1, $t1, -1
+    bgtz $t1, loop
+    li   $v0, 10
+    syscall
+";
+        let p = assemble(src).unwrap();
+        let (stats, attr) = time_attr(&p, &FusionMap::new(), CpuConfig::baseline());
+        assert!(attr.checks_out());
+        let mem_side = attr.stall(StallCause::MemData)
+            + attr.stall(StallCause::WindowFull)
+            + attr.stall(StallCause::LsqFull);
+        assert!(
+            mem_side > stats.cycles / 4,
+            "D-cache misses must dominate the stall budget: {attr:?}"
+        );
+    }
+
+    #[test]
+    fn thrashing_is_attributed_to_reconfiguration() {
+        use crate::observe::StallCause;
+        // Same program as `thrashing_reconfiguration_hurts`: alternating
+        // configurations on one PFU reconfigure every iteration.
+        let src = "
+main:
+    li   $s0, 2000
+    li   $t0, 3
+    li   $t1, 5
+loop:
+    sll  $t2, $t0, 4
+    addu $t2, $t2, $t1
+    xor  $t3, $t1, $t0
+    srl  $t3, $t3, 2
+    addu $t1, $t1, $t2
+    addu $t1, $t1, $t3
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+";
+        let src = format!("{src}{EXIT}");
+        let p = assemble(&src).unwrap();
+        let start = p.symbol("loop").unwrap();
+        let mut fusion = FusionMap::new();
+        for (conf, at) in [(0u16, start), (1u16, start + 8)] {
+            let skeleton: Vec<_> = (0..2).map(|k| p.instr_at(at + 4 * k).unwrap()).collect();
+            fusion.define(t1000_isa::ConfDef {
+                conf,
+                skeleton,
+                base_cycles: 2,
+                pfu_latency: 1,
+            });
+            fusion.add_site(t1000_isa::FusedSite {
+                pc: at,
+                len: 2,
+                conf,
+                inputs: vec![Reg::parse("t0").unwrap(), Reg::parse("t1").unwrap()],
+                output: Reg::parse(if conf == 0 { "t2" } else { "t3" }).unwrap(),
+            });
+        }
+        let (thrash, attr1) = time_attr(&p, &fusion, CpuConfig::with_pfus(1).reconfig(10));
+        let (_, attr2) = time_attr(&p, &fusion, CpuConfig::with_pfus(2).reconfig(10));
+        assert!(attr1.checks_out() && attr2.checks_out());
+        assert!(
+            attr1.stall(StallCause::Reconfig) > thrash.cycles / 3,
+            "thrashing must show up as reconfiguration stalls: {attr1:?}"
+        );
+        assert!(
+            attr2.stall(StallCause::Reconfig) < attr1.stall(StallCause::Reconfig) / 10,
+            "resident configurations must erase the reconfiguration stalls \
+             ({} vs {})",
+            attr2.stall(StallCause::Reconfig),
+            attr1.stall(StallCause::Reconfig)
+        );
+    }
+
+    #[test]
+    fn mispredictions_are_attributed_to_branch_redirects() {
+        use crate::branch::BranchModel;
+        use crate::observe::StallCause;
+        let src = "
+main:
+    li   $s0, 500
+    li   $t1, 0
+loop:
+    andi $t0, $s0, 1
+    beq  $t0, $zero, even
+    addiu $t1, $t1, 3
+    j    next
+even:
+    addiu $t1, $t1, 5
+next:
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    li   $v0, 10
+    syscall
+";
+        let p = assemble(src).unwrap();
+        let mut cfg = CpuConfig::baseline();
+        cfg.branch = BranchModel::Bimodal {
+            entries: 1024,
+            penalty: 6,
+        };
+        let (stats, attr) = time_attr(&p, &FusionMap::new(), cfg);
+        assert!(attr.checks_out());
+        assert!(stats.branch.mispredictions > 200);
+        assert!(
+            attr.stall(StallCause::BranchRedirect) > stats.branch.mispredictions,
+            "each redirect stalls fetch for several cycles: {attr:?}"
+        );
+    }
+
+    #[test]
+    fn per_pc_attribution_points_at_the_stalling_instruction() {
+        let mut body = String::new();
+        for _ in 0..8 {
+            body.push_str("    mult $t0, $t0\n    mflo $t0\n");
+        }
+        let src = hot_loop(&body);
+        let p = assemble(&src).unwrap();
+        let fusion = FusionMap::new();
+        let mut core = FuncCore::new(&p, &fusion);
+        let mut sink = crate::observe::AttrCollector::with_per_pc();
+        OooCore::new(CpuConfig::baseline())
+            .run_with(|| core.step(), &mut sink)
+            .unwrap();
+        let per_pc = sink.per_pc().unwrap();
+        let loop_start = p.symbol("loop").unwrap();
+        let in_loop: u64 = per_pc
+            .iter()
+            .filter(|(&pc, _)| pc >= loop_start)
+            .map(|(_, s)| s.iter().sum::<u64>())
+            .sum();
+        let total: u64 = per_pc.values().map(|s| s.iter().sum::<u64>()).sum();
+        assert!(total > 0);
+        assert!(
+            in_loop * 10 > total * 9,
+            "stalls must concentrate in the hot loop ({in_loop}/{total})"
+        );
+        assert!(
+            total <= sink.attr.stall_cycles(),
+            "per-PC counters are a breakdown of the aggregate"
         );
     }
 

@@ -68,6 +68,21 @@ pub enum PfuRequest {
     NoPfu,
 }
 
+/// Like [`PfuRequest`], but distinguishing hits from configuration loads
+/// and naming the evicted configuration — the detail the event trace
+/// reports. [`PfuArray::request`] is the collapsed view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PfuOutcome {
+    /// Tag check hit; execution may begin at `at` (later than "now" only
+    /// while the same configuration's load is still in flight).
+    Hit { at: u64 },
+    /// Tag check missed: a configuration load starts now and completes at
+    /// `at`, displacing `evicted` (if the victim PFU held one).
+    Load { at: u64, evicted: Option<ConfId> },
+    /// No PFU exists on this machine (baseline superscalar).
+    NoPfu,
+}
+
 impl PfuArray {
     /// Builds the array with LRU replacement (the paper's policy).
     /// `PfuCount::Fixed(0)` models the baseline machine.
@@ -108,26 +123,36 @@ impl PfuArray {
     /// Returns the earliest cycle at which an extended instruction using it
     /// may begin execution.
     pub fn request(&mut self, conf: ConfId, now: u64) -> PfuRequest {
+        match self.request_outcome(conf, now) {
+            PfuOutcome::Hit { at } | PfuOutcome::Load { at, .. } => PfuRequest::Ready { at },
+            PfuOutcome::NoPfu => PfuRequest::NoPfu,
+        }
+    }
+
+    /// [`PfuArray::request`] with the hit/load distinction and eviction
+    /// victim preserved, for event tracing.
+    pub fn request_outcome(&mut self, conf: ConfId, now: u64) -> PfuOutcome {
         self.stats.ext_executed += 1;
         if self.unlimited {
             // Every configuration gets its own PFU; first use still pays
             // the (possibly zero) load, subsequent uses always hit.
             if self.resident.insert(conf) {
                 self.stats.reconfigurations += 1;
-                return PfuRequest::Ready {
+                return PfuOutcome::Load {
                     at: now + self.reconfig_cycles as u64,
+                    evicted: None,
                 };
             }
             self.stats.conf_hits += 1;
-            return PfuRequest::Ready { at: now };
+            return PfuOutcome::Hit { at: now };
         }
         if self.slots.is_empty() {
-            return PfuRequest::NoPfu;
+            return PfuOutcome::NoPfu;
         }
         if let Some(slot) = self.slots.iter_mut().find(|s| s.conf == Some(conf)) {
             self.stats.conf_hits += 1;
             slot.last_use = now.max(slot.last_use);
-            return PfuRequest::Ready {
+            return PfuOutcome::Hit {
                 at: slot.ready_at.max(now),
             };
         }
@@ -156,12 +181,14 @@ impl PfuArray {
             },
         };
         let victim = &mut self.slots[victim_idx];
+        let evicted = victim.conf;
         victim.conf = Some(conf);
         victim.ready_at = now + self.reconfig_cycles as u64;
         victim.loaded_at = now;
         victim.last_use = now;
-        PfuRequest::Ready {
+        PfuOutcome::Load {
             at: victim.ready_at,
+            evicted,
         }
     }
 
@@ -178,6 +205,12 @@ impl PfuArray {
     /// Usage statistics.
     pub fn stats(&self) -> PfuStats {
         self.stats
+    }
+
+    /// Resets statistics (configuration residency is preserved), matching
+    /// [`Cache::reset_stats`](t1000_mem::Cache::reset_stats).
+    pub fn reset_stats(&mut self) {
+        self.stats = PfuStats::default();
     }
 }
 
@@ -295,6 +328,42 @@ mod tests {
         for snap in &t1[2..] {
             assert_eq!(snap.iter().filter(|&&r| r).count(), 2);
         }
+    }
+
+    #[test]
+    fn request_outcome_reports_hits_loads_and_victims() {
+        let mut a = PfuArray::new(PfuCount::Fixed(1), 10);
+        assert_eq!(
+            a.request_outcome(1, 0),
+            PfuOutcome::Load {
+                at: 10,
+                evicted: None
+            }
+        );
+        assert_eq!(a.request_outcome(1, 20), PfuOutcome::Hit { at: 20 });
+        assert_eq!(
+            a.request_outcome(2, 30),
+            PfuOutcome::Load {
+                at: 40,
+                evicted: Some(1)
+            }
+        );
+        let mut none = PfuArray::new(PfuCount::Fixed(0), 10);
+        assert_eq!(none.request_outcome(1, 0), PfuOutcome::NoPfu);
+    }
+
+    #[test]
+    fn reset_stats_keeps_residency() {
+        let mut a = PfuArray::new(PfuCount::Fixed(2), 10);
+        a.request(1, 0);
+        a.request(1, 20);
+        a.reset_stats();
+        assert_eq!(a.stats(), PfuStats::default());
+        assert!(a.is_resident(1), "residency must survive the reset");
+        // Next request is a hit, counted from zero.
+        assert_eq!(a.request(1, 30), PfuRequest::Ready { at: 30 });
+        assert_eq!(a.stats().conf_hits, 1);
+        assert_eq!(a.stats().reconfigurations, 0);
     }
 
     #[test]

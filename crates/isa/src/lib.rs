@@ -11,7 +11,7 @@
 //! * [`op::Op`] — operations and their static properties (class, latency,
 //!   PFU-candidacy);
 //! * [`instr::Instr`] — decoded instructions with def/use accessors;
-//! * [`encode`] — 32-bit binary encoding and decoding;
+//! * [`mod@encode`] — 32-bit binary encoding and decoding;
 //! * [`ext`] — the [`ext::FusionMap`] describing which code sites execute
 //!   as extended instructions on which PFU configuration;
 //! * [`program::Program`] — an executable image (text/data/symbols).

@@ -157,6 +157,18 @@ impl MemHierarchy {
         }
     }
 
+    /// Resets every component's statistics (cache and TLB contents are
+    /// preserved). Lets one hierarchy instance measure consecutive runs
+    /// without counters leaking across them; the complement of
+    /// [`MemHierarchy::flush`].
+    pub fn reset_stats(&mut self) {
+        self.il1.reset_stats();
+        self.dl1.reset_stats();
+        self.ul2.reset_stats();
+        self.itlb.reset_stats();
+        self.dtlb.reset_stats();
+    }
+
     /// Invalidates all caches and TLBs (statistics are kept).
     pub fn flush(&mut self) {
         self.il1.flush();
@@ -205,6 +217,23 @@ mod tests {
         assert_eq!(s.dl1.hits, 1);
         assert_eq!(s.itlb.accesses, 1);
         assert_eq!(s.dtlb.misses, 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_every_component_but_keeps_contents() {
+        let mut m = MemHierarchy::new(MemConfig::default());
+        m.fetch(0x0040_0000);
+        m.data(0x1000_0000, true);
+        m.reset_stats();
+        let s = m.stats();
+        assert_eq!((s.il1.accesses, s.dl1.accesses, s.ul2.accesses), (0, 0, 0));
+        assert_eq!((s.itlb.accesses, s.dtlb.accesses), (0, 0));
+        assert_eq!((s.itlb.misses, s.dtlb.misses), (0, 0));
+        // Contents survive: the same line and page now hit everywhere.
+        assert_eq!(m.fetch(0x0040_0000), 1);
+        assert_eq!(m.data(0x1000_0000, false), 1);
+        let s = m.stats();
+        assert_eq!((s.il1.misses, s.dl1.misses), (0, 0));
     }
 
     #[test]

@@ -83,6 +83,12 @@ impl Tlb {
         self.stats
     }
 
+    /// Resets statistics (translations are preserved), matching
+    /// [`Cache::reset_stats`](crate::cache::Cache::reset_stats).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
     /// Drops all translations (statistics are kept).
     pub fn flush(&mut self) {
         self.entries.clear();
@@ -120,6 +126,17 @@ mod tests {
         t.access(0x1000);
         t.flush();
         assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn reset_stats_keeps_translations() {
+        let mut t = Tlb::new(4, 4096);
+        t.access(0x1000);
+        t.reset_stats();
+        assert_eq!(t.stats(), TlbStats::default());
+        assert!(t.access(0x1000), "translation must survive the reset");
+        assert_eq!(t.stats().accesses, 1);
+        assert_eq!(t.stats().misses, 0);
     }
 
     #[test]
