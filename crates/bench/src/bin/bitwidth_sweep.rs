@@ -33,6 +33,7 @@ fn main() {
         }
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("bitwidth_sweep");
 
     println!("# Bitwidth-threshold ablation, selective algorithm, 4 PFUs");
     print!("{:>10}", "bench");
@@ -43,7 +44,10 @@ fn main() {
     for info in &run.workloads {
         let mut row = format!("{:>10}", info.name);
         for width in WIDTHS {
-            row.push_str(&format!("  {:>8.3}", run.speedup(cell(info.name, width))));
+            row.push_str(&format!(
+                "  {:>8.3}",
+                run.speedup(cell(info.name, width)).expect("cell")
+            ));
         }
         println!("{row}");
     }

@@ -33,6 +33,7 @@ fn main() {
         plan.push(cell(w, BIMODAL));
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("branch_sweep");
 
     println!("# Branch-prediction ablation: selective, 2 PFUs, 10-cy reconfig");
     println!(
@@ -44,9 +45,10 @@ fn main() {
         println!(
             "{:>10}  {:>10.3}  {:>10.3}  {:>9.1}%",
             info.name,
-            run.speedup(cell(info.name, BranchModel::Perfect)),
-            run.speedup(bi),
-            100.0 * run.cell(bi).branch_accuracy
+            run.speedup(cell(info.name, BranchModel::Perfect))
+                .expect("cell"),
+            run.speedup(bi).expect("cell"),
+            100.0 * run.cell(bi).expect("cell").branch_accuracy
         );
     }
 }

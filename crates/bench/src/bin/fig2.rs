@@ -27,6 +27,7 @@ fn main() {
         ));
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("fig2");
 
     println!("# Figure 2: execution-time speedup, greedy selection");
     println!("# columns: baseline | T1000 unlimited PFUs (0-cycle reconfig) | T1000 2 PFUs (10-cycle reconfig)");
@@ -43,9 +44,16 @@ fn main() {
         );
         println!(
             "{}   {:>7} {:>12}",
-            fmt_row(info.name, &[1.0, run.speedup(unl), run.speedup(two)]),
+            fmt_row(
+                info.name,
+                &[
+                    1.0,
+                    run.speedup(unl).expect("cell"),
+                    run.speedup(two).expect("cell"),
+                ]
+            ),
             run.selection(unl).expect("greedy record").num_confs,
-            run.cell(two).reconfigurations,
+            run.cell(two).expect("cell").reconfigurations,
         );
     }
 }

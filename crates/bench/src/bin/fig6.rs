@@ -36,6 +36,7 @@ fn main() {
         plan.extend(cells(w));
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("fig6");
 
     println!("# Figure 6: execution-time speedup, selective algorithm (10-cycle reconfig)");
     println!("# columns: baseline | 2 PFUs | 4 PFUs | unlimited PFUs");
@@ -47,14 +48,14 @@ fn main() {
         let cs = cells(info.name);
         let row = [
             1.0,
-            run.speedup(cs[0]),
-            run.speedup(cs[1]),
-            run.speedup(cs[2]),
+            run.speedup(cs[0]).expect("cell"),
+            run.speedup(cs[1]).expect("cell"),
+            run.speedup(cs[2]).expect("cell"),
         ];
         println!(
             "{}   {:>12}",
             fmt_row(info.name, &row),
-            run.cell(cs[0]).reconfigurations
+            run.cell(cs[0]).expect("cell").reconfigurations
         );
     }
 }

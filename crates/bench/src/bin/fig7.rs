@@ -24,6 +24,7 @@ fn main() {
         );
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("fig7");
 
     let mut costs: Vec<(String, u32, u32, u8, usize)> = Vec::new();
     for sel in &run.selections {

@@ -32,6 +32,7 @@ fn main() {
         }
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("pfu_policy_sweep");
 
     println!("# PFU replacement ablation: greedy selection, 2 PFUs, 10-cy reconfig");
     println!(
@@ -43,7 +44,10 @@ fn main() {
             .iter()
             .map(|&p| {
                 let c = cell(info.name, p);
-                (run.speedup(c), run.cell(c).reconfigurations)
+                (
+                    run.speedup(c).expect("cell"),
+                    run.cell(c).expect("cell").reconfigurations,
+                )
             })
             .collect();
         println!(

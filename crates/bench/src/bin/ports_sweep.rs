@@ -33,6 +33,7 @@ fn main() {
         }
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("ports_sweep");
 
     println!("# Input-port ablation, selective algorithm, 4 PFUs");
     print!("{:>10}", "bench");
@@ -43,7 +44,10 @@ fn main() {
     for info in &run.workloads {
         let mut row = format!("{:>10}", info.name);
         for ports in PORTS {
-            row.push_str(&format!("  {:>8.3}", run.speedup(cell(info.name, ports))));
+            row.push_str(&format!(
+                "  {:>8.3}",
+                run.speedup(cell(info.name, ports)).expect("cell")
+            ));
         }
         println!("{row}");
     }

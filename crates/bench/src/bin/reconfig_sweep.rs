@@ -28,6 +28,7 @@ fn main() {
         }
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("reconfig_sweep");
 
     println!("# Reconfiguration-penalty sweep, 2 PFUs");
     println!("# selective speedups should stay nearly flat; greedy collapses");
@@ -40,7 +41,9 @@ fn main() {
         for (label, spec) in specs() {
             let mut row = format!("{:>10} {label:>9}", info.name);
             for c in PENALTIES {
-                let s = run.speedup(Cell::new(info.name, spec, MachineSpec::with_pfus(2, c)));
+                let s = run
+                    .speedup(Cell::new(info.name, spec, MachineSpec::with_pfus(2, c)))
+                    .expect("cell");
                 row.push_str(&format!("  {s:>8.3}"));
             }
             println!("{row}");

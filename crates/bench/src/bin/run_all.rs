@@ -39,4 +39,11 @@ fn main() {
     eprintln!("[t1000-bench] wrote {json_path}");
 
     print!("{}", results::render_markdown(&run));
+
+    // Failed cells are recorded in the artifact (and rendered as n/a
+    // above); surface them on stderr and refuse a clean exit.
+    if !run.failures.is_empty() {
+        eprint!("{}", results::render_failures(&run.failures));
+        std::process::exit(1);
+    }
 }

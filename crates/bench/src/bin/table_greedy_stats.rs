@@ -15,6 +15,7 @@ fn main() {
         plan.push_selection(w, ExtractConfig::default(), SelectionSpec::Greedy);
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("table_greedy_stats");
 
     println!("# Greedy selection statistics (paper §4.1)");
     println!(
@@ -38,7 +39,8 @@ fn main() {
         all_min = all_min.min(min_len);
         all_max = all_max.max(max_len);
         // Fraction of dynamic base instructions covered by fused sequences.
-        let cover = sel.total_gain() as f64 / run.cell(base).base_instructions as f64;
+        let cover =
+            sel.total_gain() as f64 / run.cell(base).expect("baseline").base_instructions as f64;
         println!(
             "{:>10} {:>8} {:>8} {:>8} {:>8} {:>9.1}%",
             info.name,

@@ -31,6 +31,7 @@ fn main() {
         }
     }
     let run = engine::execute(&plan, scale_from_env());
+    run.expect_healthy("width_sweep");
 
     println!("# Issue-width ablation: selective, 2 PFUs, 10-cy reconfig");
     print!("{:>10}", "bench");
@@ -41,7 +42,10 @@ fn main() {
     for info in &run.workloads {
         let mut row = format!("{:>10}", info.name);
         for width in WIDTHS {
-            row.push_str(&format!("  {:>9.3}", run.speedup(cell(info.name, width))));
+            row.push_str(&format!(
+                "  {:>9.3}",
+                run.speedup(cell(info.name, width)).expect("cell")
+            ));
         }
         println!("{row}");
     }

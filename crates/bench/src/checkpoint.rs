@@ -1,0 +1,185 @@
+//! Checkpoint/resume for `bench` runs.
+//!
+//! While a plan executes, the engine flushes every completed cell to a
+//! `<artifact>.partial` checkpoint (atomically: write-to-temp + rename,
+//! so a kill mid-flush never leaves a torn file). A later
+//! `t1000 bench --resume` loads the checkpoint, restores the finished
+//! simulations, and re-runs only preparation, selection (both
+//! deterministic) and the missing cells — the final artifact is
+//! byte-identical to an uninterrupted run because the measurement fields
+//! round-trip exactly through the [`Json`] writer/parser (`u64`s stay
+//! exact; floats use shortest round-trip formatting).
+//!
+//! Cells are keyed by their full configuration (the `Debug` rendering of
+//! [`Cell`], which embeds workload, extraction, selection and machine
+//! parameters), so a checkpoint written for one plan safely resumes into
+//! any plan containing the same cells. Schema version and scale are
+//! checked on load; a mismatched checkpoint is rejected, not silently
+//! misapplied.
+
+use crate::engine::CellResult;
+use crate::json::Json;
+use crate::plan::Cell;
+use crate::runstats::{attr_from_json, attr_json};
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use t1000_cpu::CycleAttribution;
+use t1000_workloads::Scale;
+
+/// Version of the checkpoint layout. Bump on any breaking change.
+pub const CHECKPOINT_SCHEMA: u64 = 1;
+/// `kind` tag distinguishing checkpoints from result artifacts.
+pub const CHECKPOINT_KIND: &str = "t1000.bench-checkpoint";
+
+/// The checkpoint key of one cell: its complete configuration. Two cells
+/// share a key exactly when they denote the same simulation.
+pub fn cell_key(cell: &Cell) -> String {
+    format!("{cell:?}")
+}
+
+fn scale_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_hex64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// One completed cell's measurements as restored from a checkpoint. The
+/// engine re-attaches the [`Cell`] it keyed the entry with.
+#[derive(Clone, Debug)]
+pub struct RestoredCell {
+    pub cycles: u64,
+    pub base_instructions: u64,
+    pub base_ipc: f64,
+    pub reconfigurations: u64,
+    pub conf_hits: u64,
+    pub ext_executed: u64,
+    pub pfu_load_faults: u64,
+    pub branch_accuracy: f64,
+    pub checksum: u64,
+    pub attr: CycleAttribution,
+}
+
+fn to_json(scale: Scale, completed: &BTreeMap<usize, CellResult>) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::UInt(CHECKPOINT_SCHEMA)),
+        ("kind", Json::Str(CHECKPOINT_KIND.to_string())),
+        ("scale", Json::Str(scale_str(scale).to_string())),
+        (
+            "cells",
+            Json::Arr(
+                completed
+                    .values()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("key", Json::Str(cell_key(&c.cell))),
+                            ("cycles", Json::UInt(c.cycles)),
+                            ("base_instructions", Json::UInt(c.base_instructions)),
+                            ("base_ipc", Json::Float(c.base_ipc)),
+                            ("reconfigurations", Json::UInt(c.reconfigurations)),
+                            ("conf_hits", Json::UInt(c.conf_hits)),
+                            ("ext_executed", Json::UInt(c.ext_executed)),
+                            ("pfu_load_faults", Json::UInt(c.pfu_load_faults)),
+                            ("branch_accuracy", Json::Float(c.branch_accuracy)),
+                            ("checksum", Json::Str(format!("0x{:016x}", c.checksum))),
+                            ("attribution", attr_json(&c.attr)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Atomically writes the checkpoint for `completed` to `path`.
+pub fn write(
+    path: &Path,
+    scale: Scale,
+    completed: &BTreeMap<usize, CellResult>,
+) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_json(scale, completed).to_string_pretty())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint file, validating schema version and scale.
+pub fn load(path: &Path, scale: Scale) -> Result<HashMap<String, RestoredCell>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text, scale)
+}
+
+/// [`load`] on already-read text.
+pub fn parse(text: &str, scale: Scale) -> Result<HashMap<String, RestoredCell>, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("kind").and_then(Json::as_str) != Some(CHECKPOINT_KIND) {
+        return Err("not a bench checkpoint (missing kind tag)".to_string());
+    }
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("checkpoint missing schema_version")?;
+    if version != CHECKPOINT_SCHEMA {
+        return Err(format!(
+            "checkpoint schema {version} unsupported (expected {CHECKPOINT_SCHEMA})"
+        ));
+    }
+    let recorded_scale = doc.get("scale").and_then(Json::as_str);
+    if recorded_scale != Some(scale_str(scale)) {
+        return Err(format!(
+            "checkpoint scale {recorded_scale:?} does not match this run ({})",
+            scale_str(scale)
+        ));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("checkpoint missing cells array")?;
+    let mut out = HashMap::new();
+    for (i, c) in cells.iter().enumerate() {
+        let field = |key: &str| -> Result<u64, String> {
+            c.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("checkpoint cell {i}: bad {key}"))
+        };
+        let float = |key: &str| -> Result<f64, String> {
+            c.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("checkpoint cell {i}: bad {key}"))
+        };
+        let key = c
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("checkpoint cell {i}: missing key"))?
+            .to_string();
+        let cycles = field("cycles")?;
+        let attr_doc = c
+            .get("attribution")
+            .ok_or_else(|| format!("checkpoint cell {i}: missing attribution"))?;
+        let attr = attr_from_json(attr_doc, Some(cycles))
+            .map_err(|e| format!("checkpoint cell {i}: {e}"))?;
+        let restored = RestoredCell {
+            cycles,
+            base_instructions: field("base_instructions")?,
+            base_ipc: float("base_ipc")?,
+            reconfigurations: field("reconfigurations")?,
+            conf_hits: field("conf_hits")?,
+            ext_executed: field("ext_executed")?,
+            pfu_load_faults: field("pfu_load_faults")?,
+            branch_accuracy: float("branch_accuracy")?,
+            checksum: c
+                .get("checksum")
+                .and_then(Json::as_str)
+                .and_then(parse_hex64)
+                .ok_or_else(|| format!("checkpoint cell {i}: bad checksum"))?,
+            attr,
+        };
+        if out.insert(key.clone(), restored).is_some() {
+            return Err(format!("checkpoint cell {i}: duplicate key {key}"));
+        }
+    }
+    Ok(out)
+}

@@ -15,6 +15,14 @@
 //! Every figure binary and `run_all` is a thin view over the resulting
 //! [`EngineRun`]; none of them re-run selections or simulations.
 //!
+//! The engine is fault-tolerant: each cell runs under `catch_unwind`
+//! with bounded deterministic retry, so one poisoned cell records a
+//! [`CellOutcome::Failed`] while every other cell completes. Watchdogs
+//! ([`EngineConfig::max_cycles`] fuel, [`EngineConfig::wall_limit`])
+//! bound divergent work, completed cells stream to a checkpoint for
+//! `--resume`, and a [`FaultPlan`] can deterministically inject panics
+//! and PFU configuration faults for testing (see `docs/ROBUSTNESS.md`).
+//!
 //! A one-cell experiment end to end (the engine adds the implied
 //! PFU-less baseline cell automatically):
 //!
@@ -30,6 +38,7 @@
 //!     MachineSpec::with_pfus(2, 10),
 //! ));
 //! let run = execute(&plan, Scale::Test);
+//! assert!(run.failures.is_empty());
 //! assert!(run.cells.len() >= 2); // the cell plus its implied baseline
 //! for cell in &run.cells {
 //!     // Checksum-verified against the Rust reference, and every cycle
@@ -39,13 +48,16 @@
 //! }
 //! ```
 
+use crate::checkpoint;
+use crate::fault::FaultPlan;
 use crate::plan::{Cell, MachineSpec, Plan, SelectionSpec};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use t1000_core::{ExtractConfig, Selection, Session};
-use t1000_cpu::{AttrCollector, CycleAttribution};
+use t1000_cpu::{AttrCollector, CycleAttribution, ExecError};
 use t1000_workloads::{Scale, Workload};
 
 /// Worker-pool size: `T1000_THREADS` if set, else the machine's
@@ -64,6 +76,11 @@ pub fn num_threads() -> usize {
 /// Applies `f` to every item on a pool of `threads` scoped workers,
 /// preserving input order. Items are claimed via an atomic cursor, so a
 /// slow job never blocks the queue behind it.
+// Workers are panic-isolated by their callers (cell bodies run under
+// `quiet_catch_unwind`), so `join` only fails on a bug in the pool
+// itself — the unwrap/expect here are genuine assertions, not error
+// handling.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -98,6 +115,231 @@ where
         .map(|s| s.expect("worker failed to fill its slot"))
         .collect()
 }
+
+// ---------------------------------------------------------------------
+// Panic isolation
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static QUIET_PANIC: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent while the
+/// current thread is inside [`quiet_catch_unwind`] and delegates to the
+/// previous hook otherwise — isolated cell panics become typed failures
+/// without spamming stderr, while genuine panics elsewhere keep their
+/// backtrace.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANIC.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)`. The session's
+/// interior mutexes recover from poisoning (see `SelectionCache`), so
+/// unwinding past them is safe.
+fn quiet_catch_unwind<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    QUIET_PANIC.with(|q| q.set(true));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    QUIET_PANIC.with(|q| q.set(false));
+    out.map_err(panic_message)
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------
+
+/// Why a cell failed. The taxonomy is closed and each cause knows whether
+/// retrying can help: transient causes (an isolated panic) are retried on
+/// the fixed backoff schedule; deterministic causes (bad workload, fuel
+/// exhaustion, checksum divergence) fail immediately.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The cell names a workload the harness does not know.
+    UnknownWorkload,
+    /// Assembly/profiling of the workload failed.
+    Prepare(String),
+    /// The selection job for this cell failed.
+    Selection(String),
+    /// The timing simulation failed.
+    Simulate(String),
+    /// Simulation fuel exhausted (`EngineConfig::max_cycles`).
+    Timeout { max_cycles: u64 },
+    /// The engine's wall-clock watchdog expired before the cell started.
+    WallClock,
+    /// The simulated checksum diverges from the Rust reference.
+    ChecksumMismatch { got: u64, expected: u64 },
+    /// The fused run changed architectural results vs. the baseline.
+    SemanticsChanged,
+    /// The cell's worker panicked (message attached).
+    Panic(String),
+}
+
+impl FailureCause {
+    /// Whether a retry can plausibly succeed. Only panics are treated as
+    /// transient; every other cause is deterministic for a fixed input.
+    pub fn retryable(&self) -> bool {
+        matches!(self, FailureCause::Panic(_))
+    }
+
+    /// Stable snake_case tag used in the JSON artifact.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailureCause::UnknownWorkload => "unknown_workload",
+            FailureCause::Prepare(_) => "prepare",
+            FailureCause::Selection(_) => "selection",
+            FailureCause::Simulate(_) => "simulate",
+            FailureCause::Timeout { .. } => "timeout",
+            FailureCause::WallClock => "wall_clock",
+            FailureCause::ChecksumMismatch { .. } => "checksum_mismatch",
+            FailureCause::SemanticsChanged => "semantics_changed",
+            FailureCause::Panic(_) => "panic",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::UnknownWorkload => write!(f, "unknown workload"),
+            FailureCause::Prepare(e) => write!(f, "prepare failed: {e}"),
+            FailureCause::Selection(e) => write!(f, "selection failed: {e}"),
+            FailureCause::Simulate(e) => write!(f, "simulation failed: {e}"),
+            FailureCause::Timeout { max_cycles } => {
+                write!(f, "simulation fuel exhausted ({max_cycles} cycles)")
+            }
+            FailureCause::WallClock => write!(f, "wall-clock watchdog expired"),
+            FailureCause::ChecksumMismatch { got, expected } => write!(
+                f,
+                "checksum 0x{got:016x} diverges from reference 0x{expected:016x}"
+            ),
+            FailureCause::SemanticsChanged => {
+                write!(f, "fused run changed architectural results")
+            }
+            FailureCause::Panic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+/// One cell's failure record: which cell, why, and after how many
+/// attempts.
+#[derive(Clone, Debug)]
+pub struct EngineError {
+    pub cell: Cell,
+    pub cause: FailureCause,
+    /// Attempts made (0 = failed before the first attempt, e.g. a
+    /// cascading prepare/selection failure or the wall-clock watchdog).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} (attempts: {})",
+            self.cell.workload,
+            self.cell.selection.algorithm(),
+            self.cause,
+            self.attempts
+        )
+    }
+}
+
+/// What became of one planned cell.
+pub enum CellOutcome {
+    /// The simulation completed and verified.
+    Completed(Box<CellResult>),
+    /// The cell failed; the remaining cells ran anyway.
+    Failed(EngineError),
+}
+
+// ---------------------------------------------------------------------
+// Engine configuration
+// ---------------------------------------------------------------------
+
+/// Bounded deterministic retry: up to `max_attempts` tries per cell, with
+/// a fixed backoff schedule between them — no randomness, so a retried
+/// run produces the same artifact as an untroubled one.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per retryable failure (1 = no retry).
+    pub max_attempts: u32,
+    /// Milliseconds slept before attempt 2, 3, ... (the last entry
+    /// repeats for further attempts).
+    pub backoff_ms: &'static [u64],
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: &[10, 50],
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The fixed delay before `attempt` (1-based; attempt 1 never waits).
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let i = (attempt - 2) as usize;
+        let ms = self
+            .backoff_ms
+            .get(i)
+            .or(self.backoff_ms.last())
+            .copied()
+            .unwrap_or(0);
+        Duration::from_millis(ms)
+    }
+}
+
+/// Knobs governing one engine invocation. `Default` is the clean path:
+/// no fuel limit, no wall-clock watchdog, no faults, no checkpoint.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Retry/backoff policy for transient (panic) failures.
+    pub retry: RetryPolicy,
+    /// Per-simulation cycle fuel (0 = unlimited). Threaded into
+    /// `CpuConfig::max_cycles`; exhaustion fails the cell with
+    /// [`FailureCause::Timeout`].
+    pub max_cycles: u64,
+    /// Engine-level wall-clock watchdog: cells not yet started when the
+    /// deadline passes are marked [`FailureCause::WallClock`] and skipped.
+    pub wall_limit: Option<Duration>,
+    /// Deterministic fault injection (see [`crate::fault`]).
+    pub faults: FaultPlan,
+    /// Zero the wall-clock seconds fields in [`EngineStats`] so repeated
+    /// runs produce byte-identical artifacts (used by `--resume` tests).
+    pub deterministic: bool,
+    /// Flush completed cells to this checkpoint file as they finish.
+    pub checkpoint: Option<PathBuf>,
+    /// Restore completed cells from the checkpoint instead of
+    /// re-simulating them.
+    pub resume: bool,
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
 
 /// Summary of one extended instruction, for Fig. 7 and the JSON artifact.
 #[derive(Clone, Copy, Debug)]
@@ -141,6 +383,7 @@ impl SelectionRecord {
 }
 
 /// One simulated cell's measurements.
+#[derive(Clone)]
 pub struct CellResult {
     pub cell: Cell,
     pub cycles: u64,
@@ -149,12 +392,15 @@ pub struct CellResult {
     pub reconfigurations: u64,
     pub conf_hits: u64,
     pub ext_executed: u64,
+    /// PFU configuration loads that failed and fell back to the scalar
+    /// sequence (nonzero only under `pfu@N` fault injection).
+    pub pfu_load_faults: u64,
     pub branch_accuracy: f64,
     pub checksum: u64,
     /// Where the cell's cycles went: every simulation runs under an
     /// aggregate [`AttrCollector`], so
     /// `attr.busy_cycles + Σ attr.stalls == cycles` for every cell —
-    /// the schema-v2 artifact's mechanism check.
+    /// the schema artifact's mechanism check.
     pub attr: CycleAttribution,
 }
 
@@ -181,6 +427,12 @@ pub struct EngineStats {
     pub threads: usize,
     /// Requested cells answered by an already-planned simulation.
     pub cells_deduped: usize,
+    /// Retry attempts consumed across all cells.
+    pub retries: u64,
+    /// Cells that ended in [`CellOutcome::Failed`].
+    pub failed_cells: usize,
+    /// Cells restored from a `--resume` checkpoint instead of simulated.
+    pub cells_restored: usize,
 }
 
 /// Everything one engine invocation produced.
@@ -189,6 +441,9 @@ pub struct EngineRun {
     pub workloads: Vec<WorkloadInfo>,
     pub selections: Vec<SelectionRecord>,
     pub cells: Vec<CellResult>,
+    /// Cells that failed (panic, timeout, cascade...), in plan order.
+    /// Empty on a healthy run.
+    pub failures: Vec<EngineError>,
     pub stats: EngineStats,
     cell_index: HashMap<Cell, usize>,
     selection_index: HashMap<(&'static str, ExtractConfig, SelectionSpec), usize>,
@@ -201,43 +456,58 @@ pub struct WorkloadInfo {
 }
 
 impl EngineRun {
-    /// The measurements for `cell`.
-    ///
-    /// # Panics
-    /// Panics if the cell was not in the executed plan — a bug in the
-    /// calling view, not a runtime condition.
-    pub fn cell(&self, cell: Cell) -> &CellResult {
-        match self.cell_index.get(&cell) {
-            Some(&i) => &self.cells[i],
-            None => panic!("cell not in plan: {cell:?}"),
-        }
+    /// The measurements for `cell`, or `None` if the cell was not in the
+    /// executed plan or failed.
+    pub fn cell(&self, cell: Cell) -> Option<&CellResult> {
+        self.cell_index.get(&cell).map(|&i| &self.cells[i])
     }
 
-    /// The baseline measurements `cell` is normalised against.
-    pub fn baseline(&self, cell: Cell) -> &CellResult {
+    /// The baseline measurements `cell` is normalised against, if they
+    /// completed.
+    pub fn baseline(&self, cell: Cell) -> Option<&CellResult> {
         self.cell(cell.baseline_cell())
     }
 
     /// Execution-time speedup of `cell` over its baseline (>1 = faster).
-    pub fn speedup(&self, cell: Cell) -> f64 {
-        self.baseline(cell).cycles as f64 / self.cell(cell).cycles as f64
+    /// `None` if either measurement is missing.
+    pub fn speedup(&self, cell: Cell) -> Option<f64> {
+        Some(self.baseline(cell)?.cycles as f64 / self.cell(cell)?.cycles as f64)
     }
 
-    /// The selection record backing `cell` (None for baseline cells).
+    /// The selection record backing `cell` (None for baseline cells and
+    /// failed selection jobs).
     pub fn selection(&self, cell: Cell) -> Option<&SelectionRecord> {
         self.selection_index
             .get(&(cell.workload, cell.extract, cell.selection))
             .map(|&i| &self.selections[i])
     }
+
+    /// Aborts with the failure table unless every cell completed. The
+    /// contract of the single-purpose figure binaries, which have no
+    /// partial-output mode; `run_all` and the CLI report failures
+    /// gracefully instead.
+    pub fn expect_healthy(&self, what: &str) -> &EngineRun {
+        if !self.failures.is_empty() {
+            eprint!("{}", crate::results::render_failures(&self.failures));
+            panic!("{what}: {} cell(s) failed", self.failures.len());
+        }
+        self
+    }
 }
 
-/// Executes `plan` at `scale` and returns every measurement it implies.
-///
-/// # Panics
-/// Panics if a workload is unknown, a program fails to assemble, or any
-/// simulation diverges from the Rust reference checksums — the harness
-/// refuses to report results for an incorrect simulation.
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// Executes `plan` at `scale` with the default (clean-path)
+/// [`EngineConfig`] and returns every measurement it implies. Failures
+/// are recorded in [`EngineRun::failures`], never panicked.
 pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
+    execute_with(plan, scale, &EngineConfig::default())
+}
+
+/// [`execute`] with explicit robustness configuration.
+pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineRun {
     let threads = num_threads();
     let cells = plan.cells();
 
@@ -252,13 +522,15 @@ pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
             }
         }
     }
-    let sessions: HashMap<(&'static str, ExtractConfig), PreparedSession> = session_keys
-        .iter()
-        .zip(parallel_map(&session_keys, threads, |&(name, extract)| {
-            prepare_session(name, extract, scale)
-        }))
-        .map(|(&k, v)| (k, v))
-        .collect();
+    let sessions: HashMap<(&'static str, ExtractConfig), Result<PreparedSession, FailureCause>> =
+        session_keys
+            .iter()
+            .zip(parallel_map(&session_keys, threads, |&(name, extract)| {
+                quiet_catch_unwind(|| prepare_session(name, extract, scale, config.max_cycles))
+                    .unwrap_or_else(|msg| Err(FailureCause::Panic(msg)))
+            }))
+            .map(|(&k, v)| (k, v))
+            .collect();
     let prepare_secs = t0.elapsed().as_secs_f64();
 
     // ---- Phase 2: run each distinct selection job once. ----------------
@@ -273,68 +545,149 @@ pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
             }
         }
     }
-    let selections: Vec<SelectionRecord> =
+    let selection_results: Vec<Result<SelectionRecord, FailureCause>> =
         parallel_map(&selection_keys, threads, |&(name, extract, spec)| {
-            let session = &sessions[&(name, extract)].session;
-            let selection = match spec.select_config() {
-                Some(cfg) => session.selective_shared(&cfg),
-                None => session.greedy_shared(),
+            let prepared = match &sessions[&(name, extract)] {
+                Ok(p) => p,
+                Err(cause) => return Err(cause.clone()),
             };
-            summarize_selection(name, extract, spec, selection)
+            quiet_catch_unwind(|| {
+                let selection = match spec.select_config() {
+                    Some(cfg) => prepared.session.selective_shared(&cfg),
+                    None => prepared.session.greedy_shared(),
+                };
+                summarize_selection(name, extract, spec, selection)
+            })
+            .map_err(FailureCause::Panic)
         });
-    let selection_index: HashMap<_, _> = selection_keys
-        .iter()
-        .enumerate()
-        .map(|(i, &k)| (k, i))
-        .collect();
+    let mut selections: Vec<SelectionRecord> = Vec::new();
+    let mut selection_index: HashMap<(&'static str, ExtractConfig, SelectionSpec), usize> =
+        HashMap::new();
+    let mut selection_failures: HashMap<
+        (&'static str, ExtractConfig, SelectionSpec),
+        FailureCause,
+    > = HashMap::new();
+    let num_selection_jobs = selection_keys.len();
+    for (key, result) in selection_keys.into_iter().zip(selection_results) {
+        match result {
+            Ok(record) => {
+                selection_index.insert(key, selections.len());
+                selections.push(record);
+            }
+            Err(cause) => {
+                selection_failures.insert(key, cause);
+            }
+        }
+    }
     let select_secs = t0.elapsed().as_secs_f64();
 
-    // ---- Phase 3: simulate every cell. ---------------------------------
+    // ---- Phase 3: simulate every cell, isolated and checkpointed. ------
     let t0 = Instant::now();
-    let results: Vec<CellResult> = parallel_map(cells, threads, |&cell| {
-        let prepared = &sessions[&(cell.workload, cell.extract)];
-        let (run, attr) = if cell.selection == SelectionSpec::Baseline
-            && cell.machine == MachineSpec::with_pfus(0, 0)
-        {
-            // The canonical baseline was already simulated during prepare
-            // (it pins the architectural reference) — reuse it.
-            (prepared.reference.clone(), prepared.reference_attr.clone())
-        } else {
-            let cpu = cell.machine.cpu_config();
-            let mut sink = AttrCollector::new();
-            let run = match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
-                Some(&i) => {
-                    prepared
-                        .session
-                        .run_with_observed(&selections[i].selection, cpu, &mut sink)
-                }
-                None => prepared.session.run_baseline_observed(cpu, &mut sink),
+    let restored: HashMap<String, checkpoint::RestoredCell> = match &config.checkpoint {
+        Some(path) if config.resume && path.exists() => match checkpoint::load(path, scale) {
+            Ok(map) => map,
+            Err(e) => {
+                eprintln!("[t1000-bench] ignoring unusable checkpoint: {e}");
+                HashMap::new()
             }
-            .unwrap_or_else(|e| panic!("{}: {e}", cell.workload));
-            (run, sink.attr)
+        },
+        _ => HashMap::new(),
+    };
+    let completed: Mutex<BTreeMap<usize, CellResult>> = Mutex::new(BTreeMap::new());
+    let retries = AtomicU64::new(0);
+    let cells_restored = AtomicUsize::new(0);
+    let checkpoint_writes = AtomicU32::new(0);
+    let deadline = config.wall_limit.map(|d| Instant::now() + d);
+
+    // After each completion, flush the whole completed set atomically —
+    // a kill at any instant leaves a loadable checkpoint.
+    let record_completed = |idx: usize, result: &CellResult| {
+        let mut done = completed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        done.insert(idx, result.clone());
+        if let Some(path) = &config.checkpoint {
+            let attempt = checkpoint_writes.fetch_add(1, Ordering::Relaxed) + 1;
+            if config.faults.checkpoint_write_fails(attempt) {
+                eprintln!(
+                    "[t1000-bench] injected checkpoint I/O failure (write {attempt}); continuing"
+                );
+            } else if let Err(e) = checkpoint::write(path, scale, &done) {
+                // A failed flush loses resume granularity, never results.
+                eprintln!("[t1000-bench] checkpoint write failed: {e}; continuing");
+            }
+        }
+    };
+
+    let indexed: Vec<(usize, Cell)> = cells.iter().copied().enumerate().collect();
+    let outcomes: Vec<CellOutcome> = parallel_map(&indexed, threads, |&(idx, cell)| {
+        if let Some(r) = restored.get(&checkpoint::cell_key(&cell)) {
+            cells_restored.fetch_add(1, Ordering::Relaxed);
+            let result = CellResult {
+                cell,
+                cycles: r.cycles,
+                base_instructions: r.base_instructions,
+                base_ipc: r.base_ipc,
+                reconfigurations: r.reconfigurations,
+                conf_hits: r.conf_hits,
+                ext_executed: r.ext_executed,
+                pfu_load_faults: r.pfu_load_faults,
+                branch_accuracy: r.branch_accuracy,
+                checksum: r.checksum,
+                attr: r.attr.clone(),
+            };
+            record_completed(idx, &result);
+            return CellOutcome::Completed(Box::new(result));
+        }
+        let fail = |cause: FailureCause, attempts: u32| {
+            CellOutcome::Failed(EngineError {
+                cell,
+                cause,
+                attempts,
+            })
         };
-        debug_assert!(attr.checks_out() && attr.total_cycles == run.timing.cycles);
-        assert_eq!(
-            run.sys.checksum, prepared.expected_checksum,
-            "{}: simulation diverged from the Rust reference",
-            cell.workload
-        );
-        assert_eq!(
-            run.sys, prepared.reference.sys,
-            "{}: fused run changed architectural results",
-            cell.workload
-        );
-        CellResult {
-            cell,
-            cycles: run.timing.cycles,
-            base_instructions: run.timing.base_instructions,
-            base_ipc: run.timing.base_ipc,
-            reconfigurations: run.timing.pfu.reconfigurations,
-            conf_hits: run.timing.pfu.conf_hits,
-            ext_executed: run.timing.pfu.ext_executed,
-            branch_accuracy: run.timing.branch.accuracy(),
-            checksum: run.sys.checksum,
-            attr,
+        let prepared = match &sessions[&(cell.workload, cell.extract)] {
+            Ok(p) => p,
+            Err(cause) => return fail(cause.clone(), 0),
+        };
+        let selection_key = (cell.workload, cell.extract, cell.selection);
+        if let Some(cause) = selection_failures.get(&selection_key) {
+            return fail(FailureCause::Selection(cause.to_string()), 0);
+        }
+        let mut attempt = 0u32;
+        loop {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return fail(FailureCause::WallClock, attempt);
+                }
+            }
+            attempt += 1;
+            if attempt > 1 {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(config.retry.backoff_before(attempt));
+            }
+            let result = quiet_catch_unwind(|| {
+                simulate_cell(
+                    idx,
+                    attempt,
+                    cell,
+                    prepared,
+                    &selections,
+                    &selection_index,
+                    config,
+                )
+            });
+            let cause = match result {
+                Ok(Ok(result)) => {
+                    record_completed(idx, &result);
+                    return CellOutcome::Completed(Box::new(result));
+                }
+                Ok(Err(cause)) => cause,
+                Err(msg) => FailureCause::Panic(msg),
+            };
+            if !cause.retryable() || attempt >= config.retry.max_attempts {
+                return fail(cause, attempt);
+            }
         }
     });
     let simulate_secs = t0.elapsed().as_secs_f64();
@@ -343,33 +696,58 @@ pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
     let mut selection_hits = 0;
     let mut selection_misses = 0;
     let mut selection_compute_secs = 0.0;
-    for p in sessions.values() {
+    for p in sessions.values().flatten() {
         let s = p.session.selection_cache_stats();
         selection_hits += s.hits;
         selection_misses += s.misses;
         selection_compute_secs += s.compute_secs();
     }
-    let cell_index: HashMap<Cell, usize> = cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut results: Vec<CellResult> = Vec::new();
+    let mut failures: Vec<EngineError> = Vec::new();
+    let mut cell_index: HashMap<Cell, usize> = HashMap::new();
+    for outcome in outcomes {
+        match outcome {
+            CellOutcome::Completed(r) => {
+                cell_index.insert(r.cell, results.len());
+                results.push(*r);
+            }
+            CellOutcome::Failed(e) => failures.push(e),
+        }
+    }
     let workloads = workload_infos(scale, cells);
+
+    let mut stats = EngineStats {
+        cells_requested: plan.requested(),
+        cells_simulated: results.len(),
+        selection_jobs: num_selection_jobs,
+        selection_hits,
+        selection_misses,
+        selection_compute_secs,
+        prepare_secs,
+        select_secs,
+        simulate_secs,
+        threads,
+        cells_deduped: plan.deduped(),
+        retries: retries.load(Ordering::Relaxed),
+        failed_cells: failures.len(),
+        cells_restored: cells_restored.load(Ordering::Relaxed),
+    };
+    if config.deterministic {
+        // Wall-clock is the only nondeterministic content in the
+        // artifact; zeroing it makes repeated runs byte-identical.
+        stats.selection_compute_secs = 0.0;
+        stats.prepare_secs = 0.0;
+        stats.select_secs = 0.0;
+        stats.simulate_secs = 0.0;
+    }
 
     EngineRun {
         scale,
         workloads,
         selections,
         cells: results,
-        stats: EngineStats {
-            cells_requested: plan.requested(),
-            cells_simulated: cells.len(),
-            selection_jobs: selection_keys.len(),
-            selection_hits,
-            selection_misses,
-            selection_compute_secs,
-            prepare_secs,
-            select_secs,
-            simulate_secs,
-            threads,
-            cells_deduped: plan.deduped(),
-        },
+        failures,
+        stats,
         cell_index,
         selection_index,
     }
@@ -386,27 +764,123 @@ struct PreparedSession {
     reference_attr: CycleAttribution,
 }
 
-fn prepare_session(name: &'static str, extract: ExtractConfig, scale: Scale) -> PreparedSession {
-    let workload =
-        t1000_workloads::by_name(name, scale).unwrap_or_else(|| panic!("unknown workload {name}"));
-    let program = workload.program().unwrap_or_else(|e| panic!("{name}: {e}"));
-    let session = Session::with_extract(program, extract).unwrap_or_else(|e| panic!("{name}: {e}"));
+fn exec_cause(e: t1000_core::Error, deterministic: fn(String) -> FailureCause) -> FailureCause {
+    match e {
+        t1000_core::Error::Exec(ExecError::CycleLimit(n)) => {
+            FailureCause::Timeout { max_cycles: n }
+        }
+        t1000_core::Error::SemanticsChanged { .. } => FailureCause::SemanticsChanged,
+        other => deterministic(other.to_string()),
+    }
+}
+
+fn prepare_session(
+    name: &'static str,
+    extract: ExtractConfig,
+    scale: Scale,
+    max_cycles: u64,
+) -> Result<PreparedSession, FailureCause> {
+    let workload = t1000_workloads::by_name(name, scale).ok_or(FailureCause::UnknownWorkload)?;
+    let program = workload
+        .program()
+        .map_err(|e| FailureCause::Prepare(e.to_string()))?;
+    let session = Session::with_extract(program, extract)
+        .map_err(|e| exec_cause(e, FailureCause::Prepare))?;
     // One canonical run pins the architectural reference for this session.
     let mut sink = AttrCollector::new();
+    let mut cpu = MachineSpec::with_pfus(0, 0).cpu_config();
+    cpu.max_cycles = max_cycles;
     let reference = session
-        .run_baseline_observed(MachineSpec::with_pfus(0, 0).cpu_config(), &mut sink)
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        .run_baseline_observed(cpu, &mut sink)
+        .map_err(|e| exec_cause(e, FailureCause::Prepare))?;
     let expected = workload.expected_checksum();
-    assert_eq!(
-        reference.sys.checksum, expected,
-        "{name}: simulator checksum diverges from the Rust reference"
-    );
-    PreparedSession {
+    if reference.sys.checksum != expected {
+        return Err(FailureCause::ChecksumMismatch {
+            got: reference.sys.checksum,
+            expected,
+        });
+    }
+    Ok(PreparedSession {
         session,
         expected_checksum: expected,
         reference,
         reference_attr: sink.attr,
+    })
+}
+
+/// Simulates one cell (one attempt). Injected faults fire here: `panic@N`
+/// panics before the simulation starts; `pfu@N` fails every configuration
+/// load of the cell's selection, exercising the graceful-degradation
+/// (scalar fallback) path.
+fn simulate_cell(
+    idx: usize,
+    attempt: u32,
+    cell: Cell,
+    prepared: &PreparedSession,
+    selections: &[SelectionRecord],
+    selection_index: &HashMap<(&'static str, ExtractConfig, SelectionSpec), usize>,
+    config: &EngineConfig,
+) -> Result<CellResult, FailureCause> {
+    if config.faults.cell_panics(idx, attempt) {
+        panic!("injected fault: cell {idx} attempt {attempt}");
     }
+    let (run, attr) = if cell.selection == SelectionSpec::Baseline
+        && cell.machine == MachineSpec::with_pfus(0, 0)
+    {
+        // The canonical baseline was already simulated during prepare
+        // (it pins the architectural reference) — reuse it. The prepare
+        // run used the same fuel limit, so the reuse is exact.
+        (prepared.reference.clone(), prepared.reference_attr.clone())
+    } else {
+        let mut cpu = cell.machine.cpu_config();
+        cpu.max_cycles = config.max_cycles;
+        let mut sink = AttrCollector::new();
+        let run = match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
+            Some(&i) => {
+                let record = &selections[i];
+                if config.faults.pfu_fault(idx) {
+                    let faulted: Vec<u16> =
+                        record.selection().confs.iter().map(|c| c.conf).collect();
+                    prepared.session.run_degraded_observed(
+                        record.selection(),
+                        cpu,
+                        &faulted,
+                        &mut sink,
+                    )
+                } else {
+                    prepared
+                        .session
+                        .run_with_observed(record.selection(), cpu, &mut sink)
+                }
+            }
+            None => prepared.session.run_baseline_observed(cpu, &mut sink),
+        }
+        .map_err(|e| exec_cause(e, FailureCause::Simulate))?;
+        (run, sink.attr)
+    };
+    debug_assert!(attr.checks_out() && attr.total_cycles == run.timing.cycles);
+    if run.sys.checksum != prepared.expected_checksum {
+        return Err(FailureCause::ChecksumMismatch {
+            got: run.sys.checksum,
+            expected: prepared.expected_checksum,
+        });
+    }
+    if run.sys != prepared.reference.sys {
+        return Err(FailureCause::SemanticsChanged);
+    }
+    Ok(CellResult {
+        cell,
+        cycles: run.timing.cycles,
+        base_instructions: run.timing.base_instructions,
+        base_ipc: run.timing.base_ipc,
+        reconfigurations: run.timing.pfu.reconfigurations,
+        conf_hits: run.timing.pfu.conf_hits,
+        ext_executed: run.timing.pfu.ext_executed,
+        pfu_load_faults: run.timing.pfu.load_faults,
+        branch_accuracy: run.timing.branch.accuracy(),
+        checksum: run.sys.checksum,
+        attr,
+    })
 }
 
 fn summarize_selection(
@@ -443,7 +917,9 @@ fn workload_infos(scale: Scale, cells: &[Cell]) -> Vec<WorkloadInfo> {
     let mut infos = Vec::new();
     for name in t1000_workloads::NAMES {
         if cells.iter().any(|c| c.workload == name) && seen.insert(name) {
-            let w: Workload = t1000_workloads::by_name(name, scale).unwrap();
+            let Some(w): Option<Workload> = t1000_workloads::by_name(name, scale) else {
+                continue;
+            };
             infos.push(WorkloadInfo {
                 name,
                 expected_checksum: w.expected_checksum(),
@@ -453,9 +929,14 @@ fn workload_infos(scale: Scale, cells: &[Cell]) -> Vec<WorkloadInfo> {
     infos
 }
 
-/// Convenience: execute the full `run_all` plan.
+/// Convenience: execute the full `run_all` plan on the clean path.
 pub fn execute_run_all(scale: Scale) -> EngineRun {
     execute(&crate::plan::run_all_plan(), scale)
+}
+
+/// [`execute_run_all`] with explicit robustness configuration.
+pub fn execute_run_all_with(scale: Scale, config: &EngineConfig) -> EngineRun {
+    execute_with(&crate::plan::run_all_plan(), scale, config)
 }
 
 #[cfg(test)]
@@ -479,6 +960,40 @@ mod tests {
     }
 
     #[test]
+    fn retry_backoff_is_fixed_and_deterministic() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_before(1), Duration::ZERO);
+        assert_eq!(r.backoff_before(2), Duration::from_millis(10));
+        assert_eq!(r.backoff_before(3), Duration::from_millis(50));
+        // The schedule's last entry repeats.
+        assert_eq!(r.backoff_before(9), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn failure_causes_know_their_retryability() {
+        assert!(FailureCause::Panic("boom".into()).retryable());
+        for cause in [
+            FailureCause::UnknownWorkload,
+            FailureCause::Timeout { max_cycles: 5 },
+            FailureCause::WallClock,
+            FailureCause::ChecksumMismatch {
+                got: 1,
+                expected: 2,
+            },
+            FailureCause::SemanticsChanged,
+        ] {
+            assert!(!cause.retryable(), "{cause:?} must not retry");
+        }
+    }
+
+    #[test]
+    fn quiet_catch_unwind_returns_the_message() {
+        assert_eq!(quiet_catch_unwind(|| 7), Ok(7));
+        let err = quiet_catch_unwind(|| -> u32 { panic!("kaboom {}", 1 + 1) });
+        assert_eq!(err, Err("kaboom 2".to_string()));
+    }
+
+    #[test]
     fn engine_runs_a_small_plan_and_dedups() {
         let mut plan = Plan::new();
         let cell = Cell::new(
@@ -494,17 +1009,28 @@ mod tests {
             MachineSpec::with_pfus(2, 100),
         ));
         let run = execute(&plan, Scale::Test);
+        assert!(run.failures.is_empty());
 
         // 1 baseline + 2 machine points, one selection job.
         assert_eq!(run.stats.cells_simulated, 3);
         assert_eq!(run.stats.cells_requested, 3);
         assert_eq!(run.stats.selection_jobs, 1);
         assert_eq!(run.stats.selection_misses, 1);
+        assert_eq!(run.stats.retries, 0);
+        assert_eq!(run.stats.failed_cells, 0);
 
         // Speedups are well-formed and the baseline is its own unit.
-        let s = run.speedup(cell);
+        let s = run.speedup(cell).expect("speedup");
         assert!(s > 0.5 && s < 8.0, "speedup {s}");
-        assert_eq!(run.speedup(cell.baseline_cell()), 1.0);
+        assert_eq!(run.speedup(cell.baseline_cell()), Some(1.0));
+        assert_eq!(
+            run.speedup(Cell::new(
+                "epic",
+                SelectionSpec::Greedy,
+                MachineSpec::with_pfus(2, 10)
+            )),
+            None
+        );
 
         // Checksums verified against the workload reference.
         let expected = t1000_workloads::by_name("gsm_dec", Scale::Test)
@@ -512,6 +1038,7 @@ mod tests {
             .expected_checksum();
         for c in &run.cells {
             assert_eq!(c.checksum, expected);
+            assert_eq!(c.pfu_load_faults, 0);
         }
 
         // The selection record is reachable from the cell.
@@ -538,9 +1065,59 @@ mod tests {
             .run_with(&sel, t1000_cpu::CpuConfig::with_pfus(2).reconfig(10))
             .unwrap();
 
-        assert_eq!(run.cell(cell).cycles, fused.timing.cycles);
-        assert_eq!(run.baseline(cell).cycles, base.timing.cycles);
+        assert_eq!(run.cell(cell).expect("cell").cycles, fused.timing.cycles);
+        assert_eq!(
+            run.baseline(cell).expect("baseline").cycles,
+            base.timing.cycles
+        );
         let expect = base.timing.cycles as f64 / fused.timing.cycles as f64;
-        assert!((run.speedup(cell) - expect).abs() < 1e-12);
+        assert!((run.speedup(cell).expect("speedup") - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_workload_fails_its_cells_only() {
+        let mut plan = Plan::new();
+        let bad = Cell::new(
+            "no_such_workload",
+            SelectionSpec::Greedy,
+            MachineSpec::with_pfus(2, 10),
+        );
+        let good = Cell::new(
+            "gsm_dec",
+            SelectionSpec::Greedy,
+            MachineSpec::with_pfus(2, 10),
+        );
+        plan.push(bad);
+        plan.push(good);
+        let run = execute(&plan, Scale::Test);
+        // The bad workload's baseline + fused cell fail; gsm_dec completes.
+        assert_eq!(run.stats.failed_cells, 2);
+        assert!(run
+            .failures
+            .iter()
+            .all(|e| e.cell.workload == "no_such_workload"));
+        assert!(run.speedup(good).is_some());
+        assert!(run.cell(bad).is_none());
+    }
+
+    #[test]
+    fn wall_clock_watchdog_skips_unstarted_cells() {
+        let mut plan = Plan::new();
+        plan.push(Cell::new(
+            "gsm_dec",
+            SelectionSpec::Greedy,
+            MachineSpec::with_pfus(2, 10),
+        ));
+        let config = EngineConfig {
+            wall_limit: Some(Duration::ZERO),
+            ..EngineConfig::default()
+        };
+        let run = execute_with(&plan, Scale::Test, &config);
+        assert!(run.cells.is_empty());
+        assert_eq!(run.stats.failed_cells, 2);
+        assert!(run
+            .failures
+            .iter()
+            .all(|e| e.cause == FailureCause::WallClock && e.attempts == 0));
     }
 }

@@ -403,7 +403,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
         if !is_float {
             if let Some(rest) = text.strip_prefix('-') {
                 if rest.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {

@@ -16,7 +16,14 @@
 //!
 //! Run with `--release`; full-scale runs simulate millions of cycles.
 
+// Robustness gate: library code must surface failures as typed errors,
+// not unwrap/expect panics. Tests (and the legacy panicking helpers
+// explicitly allow-listed below) are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod checkpoint;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod plan;
 pub mod results;
@@ -63,6 +70,10 @@ pub fn prepare(w: &Workload) -> Result<Prepared, Error> {
 }
 
 /// Prepares every benchmark at `scale`, in parallel (one thread each).
+// Legacy convenience for the figure binaries: workers deliberately panic
+// on broken workloads (they have no error channel), so join() only fails
+// after a panic that is itself the intended abort.
+#[allow(clippy::unwrap_used)]
 pub fn prepare_all(scale: Scale) -> Vec<Prepared> {
     let workloads = t1000_workloads::all(scale);
     std::thread::scope(|s| {
@@ -100,6 +111,19 @@ pub fn fmt_row(name: &str, cells: &[f64]) -> String {
     let mut s = format!("{name:>10}");
     for c in cells {
         s.push_str(&format!("  {c:>8.3}"));
+    }
+    s
+}
+
+/// [`fmt_row`] over possibly-missing cells: a failed measurement renders
+/// as `n/a` instead of aborting the whole table.
+pub fn fmt_row_opt(name: &str, cells: &[Option<f64>]) -> String {
+    let mut s = format!("{name:>10}");
+    for c in cells {
+        match c {
+            Some(v) => s.push_str(&format!("  {v:>8.3}")),
+            None => s.push_str(&format!("  {:>8}", "n/a")),
+        }
     }
     s
 }

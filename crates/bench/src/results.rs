@@ -6,7 +6,8 @@
 //! each simulated cell actually produced, so CI can re-check a downloaded
 //! artifact without re-running the experiments ([`validate_artifact`]).
 
-use crate::engine::{CellResult, EngineRun, SelectionRecord};
+use crate::engine::{CellResult, EngineError, EngineRun, RetryPolicy, SelectionRecord};
+use crate::fault::FaultPlan;
 use crate::json::Json;
 use crate::plan::{Cell, MachineSpec, SelectionSpec};
 use t1000_core::ExtractConfig;
@@ -20,7 +21,11 @@ use t1000_workloads::Scale;
 /// * v2 — every cell carries an `attribution` object (cycle-accounting
 ///   partition; see `docs/METRICS.md`), validated by
 ///   [`validate_artifact`].
-pub const SCHEMA_VERSION: u64 = 2;
+/// * v3 — fault tolerance: a top-level `failed_cells` array, engine
+///   `retries`/`failed_cells` counters, per-cell `pfu_load_faults`, and
+///   `speedup` becomes nullable (a cell whose baseline failed has no
+///   normaliser). See `docs/ROBUSTNESS.md`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 fn scale_str(scale: Scale) -> &'static str {
     match scale {
@@ -139,10 +144,17 @@ fn cell_json(run: &EngineRun, c: &CellResult) -> Json {
         ("cycles", Json::UInt(c.cycles)),
         ("base_instructions", Json::UInt(c.base_instructions)),
         ("base_ipc", Json::Float(c.base_ipc)),
-        ("speedup", Json::Float(run.speedup(c.cell))),
+        (
+            "speedup",
+            match run.speedup(c.cell) {
+                Some(s) => Json::Float(s),
+                None => Json::Null,
+            },
+        ),
         ("reconfigurations", Json::UInt(c.reconfigurations)),
         ("conf_hits", Json::UInt(c.conf_hits)),
         ("ext_executed", Json::UInt(c.ext_executed)),
+        ("pfu_load_faults", Json::UInt(c.pfu_load_faults)),
         ("branch_accuracy", Json::Float(c.branch_accuracy)),
         ("checksum", hex64(c.checksum)),
         ("attribution", crate::runstats::attr_json(&c.attr)),
@@ -174,6 +186,8 @@ pub fn to_json(run: &EngineRun) -> Json {
                 ("prepare_secs", Json::Float(stats.prepare_secs)),
                 ("select_secs", Json::Float(stats.select_secs)),
                 ("simulate_secs", Json::Float(stats.simulate_secs)),
+                ("retries", Json::UInt(stats.retries)),
+                ("failed_cells", Json::UInt(stats.failed_cells as u64)),
             ]),
         ),
         (
@@ -198,6 +212,21 @@ pub fn to_json(run: &EngineRun) -> Json {
             "cells",
             Json::Arr(run.cells.iter().map(|c| cell_json(run, c)).collect()),
         ),
+        (
+            "failed_cells",
+            Json::Arr(run.failures.iter().map(failure_json).collect()),
+        ),
+    ])
+}
+
+fn failure_json(e: &EngineError) -> Json {
+    Json::obj(vec![
+        ("cell", Json::Str(crate::checkpoint::cell_key(&e.cell))),
+        ("workload", Json::Str(e.cell.workload.to_string())),
+        ("cause", Json::Str(e.cause.kind().to_string())),
+        ("detail", Json::Str(e.cause.to_string())),
+        ("attempts", Json::UInt(e.attempts as u64)),
+        ("retryable", Json::Bool(e.cause.retryable())),
     ])
 }
 
@@ -206,12 +235,47 @@ pub fn write_json(run: &EngineRun, path: &std::path::Path) -> std::io::Result<()
     std::fs::write(path, to_json(run).to_string_pretty())
 }
 
+/// [`write_json`] under the retry policy, honouring injected artifact-I/O
+/// faults: each failed attempt is reported and retried on the fixed
+/// backoff schedule; the last error propagates if every attempt fails.
+pub fn write_json_with_retry(
+    run: &EngineRun,
+    path: &std::path::Path,
+    retry: &RetryPolicy,
+    faults: &FaultPlan,
+) -> std::io::Result<()> {
+    let text = to_json(run).to_string_pretty();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if attempt > 1 {
+            std::thread::sleep(retry.backoff_before(attempt));
+        }
+        let result = if faults.artifact_write_fails(attempt) {
+            Err(std::io::Error::other(format!(
+                "injected artifact I/O failure (attempt {attempt})"
+            )))
+        } else {
+            std::fs::write(path, &text)
+        };
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt < retry.max_attempts => {
+                eprintln!("[t1000-bench] artifact write attempt {attempt} failed: {e}; retrying");
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Summary returned by a successful [`validate_artifact`] call.
 #[derive(Debug, PartialEq, Eq)]
 pub struct ArtifactSummary {
     pub scale: &'static str,
     pub workloads: usize,
     pub cells: usize,
+    /// Cells the run failed to complete (schema v3 `failed_cells`).
+    pub failed_cells: usize,
 }
 
 /// Validates a `BENCH_results.json` document: schema version, structural
@@ -265,11 +329,32 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
         expected.insert(name.to_string(), reference);
     }
 
+    // Schema v3: failures are first-class artifact content. An artifact
+    // may legitimately have missing cells/speedups, but only if it also
+    // owns up to the corresponding failures.
+    let failed = doc
+        .get("failed_cells")
+        .and_then(Json::as_array)
+        .ok_or("missing failed_cells array")?;
+    for (i, f) in failed.iter().enumerate() {
+        for key in ["cell", "workload", "cause", "detail"] {
+            if f.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("failed cell {i}: bad {key}"));
+            }
+        }
+        if f.get("attempts").and_then(Json::as_u64).is_none() {
+            return Err(format!("failed cell {i}: bad attempts"));
+        }
+        if f.get("retryable").and_then(Json::as_bool).is_none() {
+            return Err(format!("failed cell {i}: bad retryable"));
+        }
+    }
+
     let cells = doc
         .get("cells")
         .and_then(Json::as_array)
         .ok_or("missing cells array")?;
-    if cells.is_empty() {
+    if cells.is_empty() && failed.is_empty() {
         return Err("cells array is empty".to_string());
     }
     for (i, c) in cells.iter().enumerate() {
@@ -297,12 +382,28 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
         if cycles == 0 {
             return Err(format!("cell {i} ({name}): zero cycles"));
         }
-        let speedup = c
-            .get("speedup")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("cell {i}: missing speedup"))?;
-        if !(speedup.is_finite() && speedup > 0.0) {
-            return Err(format!("cell {i} ({name}): bad speedup {speedup}"));
+        match c.get("speedup") {
+            Some(Json::Null) if !failed.is_empty() => {
+                // The baseline this cell normalises against failed; the
+                // failure is recorded, so a null speedup is honest.
+            }
+            Some(Json::Null) => {
+                return Err(format!(
+                    "cell {i} ({name}): null speedup but no failed cells"
+                ));
+            }
+            Some(v) => {
+                let speedup = v
+                    .as_f64()
+                    .ok_or_else(|| format!("cell {i} ({name}): bad speedup"))?;
+                if !(speedup.is_finite() && speedup > 0.0) {
+                    return Err(format!("cell {i} ({name}): bad speedup {speedup}"));
+                }
+            }
+            None => return Err(format!("cell {i}: missing speedup")),
+        }
+        if c.get("pfu_load_faults").and_then(Json::as_u64).is_none() {
+            return Err(format!("cell {i} ({name}): bad pfu_load_faults"));
         }
         // Schema v2: the attribution must partition the cell's cycles
         // exactly, over the closed stall taxonomy.
@@ -316,6 +417,7 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
         scale: scale_str(scale),
         workloads: workloads.len(),
         cells: cells.len(),
+        failed_cells: failed.len(),
     })
 }
 
@@ -333,9 +435,18 @@ fn baseline_cell(workload: &'static str) -> Cell {
     )
 }
 
+/// Formats a possibly-missing speedup: failed measurements render as
+/// `n/a` instead of aborting the report.
+fn fmt3(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3}"),
+        None => "n/a".to_string(),
+    }
+}
+
 /// Renders the `run_all` Markdown report. Byte-identical to the output
-/// the pre-engine harness produced: the figures are views over the same
-/// measurements.
+/// the pre-engine harness produced when every cell completes: the figures
+/// are views over the same measurements. Failed cells render as `n/a`.
 pub fn render_markdown(run: &EngineRun) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -360,12 +471,14 @@ pub fn render_markdown(run: &EngineRun) -> String {
     );
     let _ = writeln!(o, "|---|---:|---:|---:|");
     for &w in &names {
-        let b = run.cell(baseline_cell(w));
-        let _ = writeln!(
-            o,
-            "| {} | {} | {} | {:.2} |",
-            w, b.base_instructions, b.cycles, b.base_ipc
-        );
+        let _ = match run.cell(baseline_cell(w)) {
+            Some(b) => writeln!(
+                o,
+                "| {} | {} | {} | {:.2} |",
+                w, b.base_instructions, b.cycles, b.base_ipc
+            ),
+            None => writeln!(o, "| {w} | n/a | n/a | n/a |"),
+        };
     }
     let _ = writeln!(o);
 
@@ -379,13 +492,16 @@ pub fn render_markdown(run: &EngineRun) -> String {
     for &w in &names {
         let unl = Cell::new(w, SelectionSpec::Greedy, MachineSpec::unlimited(0));
         let two = Cell::new(w, SelectionSpec::Greedy, MachineSpec::with_pfus(2, 10));
+        let confs = run
+            .selection(unl)
+            .map_or("n/a".to_string(), |s| s.num_confs.to_string());
         let _ = writeln!(
             o,
-            "| {} | {:.3} | {:.3} | {} |",
+            "| {} | {} | {} | {} |",
             w,
-            run.speedup(unl),
-            run.speedup(two),
-            run.selection(unl).expect("greedy record").num_confs
+            fmt3(run.speedup(unl)),
+            fmt3(run.speedup(two)),
+            confs
         );
     }
     let _ = writeln!(o);
@@ -395,19 +511,21 @@ pub fn render_markdown(run: &EngineRun) -> String {
     let _ = writeln!(o, "| bench | #confs | #sites | len range |");
     let _ = writeln!(o, "|---|---:|---:|---|");
     for &w in &names {
-        let sel = run
-            .selection(Cell::new(
-                w,
-                SelectionSpec::Greedy,
-                MachineSpec::with_pfus(2, 10),
-            ))
-            .expect("greedy record");
-        let (min, max) = sel.seq_len_range();
-        let _ = writeln!(
-            o,
-            "| {} | {} | {} | {min}–{max} |",
-            w, sel.num_confs, sel.num_sites
-        );
+        let _ = match run.selection(Cell::new(
+            w,
+            SelectionSpec::Greedy,
+            MachineSpec::with_pfus(2, 10),
+        )) {
+            Some(sel) => {
+                let (min, max) = sel.seq_len_range();
+                writeln!(
+                    o,
+                    "| {} | {} | {} | {min}–{max} |",
+                    w, sel.num_confs, sel.num_sites
+                )
+            }
+            None => writeln!(o, "| {w} | n/a | n/a | n/a |"),
+        };
     }
     let _ = writeln!(o);
 
@@ -435,11 +553,11 @@ pub fn render_markdown(run: &EngineRun) -> String {
         ];
         let _ = writeln!(
             o,
-            "| {} | {:.3} | {:.3} | {:.3} |",
+            "| {} | {} | {} | {} |",
             w,
-            run.speedup(cells[0]),
-            run.speedup(cells[1]),
-            run.speedup(cells[2])
+            fmt3(run.speedup(cells[0])),
+            fmt3(run.speedup(cells[1])),
+            fmt3(run.speedup(cells[2]))
         );
     }
     let _ = writeln!(o);
@@ -448,14 +566,13 @@ pub fn render_markdown(run: &EngineRun) -> String {
     let _ = writeln!(o);
     let mut luts: Vec<u32> = Vec::new();
     for &w in &names {
-        let sel = run
-            .selection(Cell::new(
-                w,
-                SelectionSpec::selective_std(Some(4)),
-                MachineSpec::with_pfus(4, 10),
-            ))
-            .expect("selective@4 record");
-        luts.extend(sel.confs.iter().map(|c| c.luts));
+        if let Some(sel) = run.selection(Cell::new(
+            w,
+            SelectionSpec::selective_std(Some(4)),
+            MachineSpec::with_pfus(4, 10),
+        )) {
+            luts.extend(sel.confs.iter().map(|c| c.luts));
+        }
     }
     let max = luts.iter().copied().max().unwrap_or(0);
     let _ = writeln!(o, "| bucket | instructions |");
@@ -480,7 +597,7 @@ pub fn render_markdown(run: &EngineRun) -> String {
     let _ = writeln!(o, "| bench | 0 | 10 | 100 | 500 cycles |");
     let _ = writeln!(o, "|---|---:|---:|---:|---:|");
     for &w in &names {
-        let cells: Vec<f64> = [0u32, 10, 100, 500]
+        let cells: Vec<Option<f64>> = [0u32, 10, 100, 500]
             .iter()
             .map(|&c| {
                 run.speedup(Cell::new(
@@ -492,11 +609,47 @@ pub fn render_markdown(run: &EngineRun) -> String {
             .collect();
         let _ = writeln!(
             o,
-            "| {} | {:.3} | {:.3} | {:.3} | {:.3} |",
-            w, cells[0], cells[1], cells[2], cells[3]
+            "| {} | {} | {} | {} | {} |",
+            w,
+            fmt3(cells[0]),
+            fmt3(cells[1]),
+            fmt3(cells[2]),
+            fmt3(cells[3])
         );
     }
     out
+}
+
+/// Renders the per-cell failure table the CLI prints (and exits nonzero
+/// with) when a run is not fully healthy.
+pub fn render_failures(failures: &[EngineError]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let o = &mut out;
+    let _ = writeln!(o, "{} cell(s) FAILED:", failures.len());
+    let _ = writeln!(o);
+    let _ = writeln!(o, "| cell | workload | cause | attempts | detail |");
+    let _ = writeln!(o, "|---|---|---|---:|---|");
+    for e in failures {
+        let _ = writeln!(
+            o,
+            "| {} [{}] | {} | {} | {} | {} |",
+            e.cell.selection.algorithm(),
+            machine_label(&e.cell.machine),
+            e.cell.workload,
+            e.cause.kind(),
+            e.attempts,
+            e.cause
+        );
+    }
+    out
+}
+
+fn machine_label(m: &MachineSpec) -> String {
+    match m.pfus {
+        PfuCount::Fixed(n) => format!("{n} PFUs, {}cy", m.reconfig_cycles),
+        PfuCount::Unlimited => format!("unlimited PFUs, {}cy", m.reconfig_cycles),
+    }
 }
 
 #[cfg(test)]
@@ -544,7 +697,7 @@ mod tests {
         let good = to_json(&run).to_string_pretty();
 
         // Wrong schema version.
-        let bad = good.replacen("\"schema_version\": 2", "\"schema_version\": 99", 1);
+        let bad = good.replacen("\"schema_version\": 3", "\"schema_version\": 99", 1);
         assert!(validate_artifact(&bad)
             .unwrap_err()
             .contains("schema_version"));

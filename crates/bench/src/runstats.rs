@@ -114,6 +114,32 @@ pub fn validate_attribution(j: &Json, expected_cycles: Option<u64>) -> Result<()
     Ok(())
 }
 
+/// Parses an `attribution` object back into a [`CycleAttribution`],
+/// running [`validate_attribution`] first so a successfully parsed value
+/// always satisfies the partition invariant.
+pub fn attr_from_json(j: &Json, expected_cycles: Option<u64>) -> Result<CycleAttribution, String> {
+    validate_attribution(j, expected_cycles)?;
+    let field = |key: &str| -> Result<u64, String> {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("attribution missing {key}"))
+    };
+    let mut attr = CycleAttribution {
+        total_cycles: field("total_cycles")?,
+        busy_cycles: field("busy_cycles")?,
+        commit_bound_cycles: field("commit_bound_cycles")?,
+        stalls: [0; NUM_STALL_CAUSES],
+    };
+    for cause in STALL_CAUSES {
+        attr.stalls[cause.index()] = j
+            .get("stalls")
+            .and_then(|s| s.get(cause.key()))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("attribution missing stall {}", cause.key()))?;
+    }
+    Ok(attr)
+}
+
 // ---------------------------------------------------------------------
 // Per-loop roll-ups
 // ---------------------------------------------------------------------
@@ -516,23 +542,7 @@ pub fn report_from_stats(doc: &Json) -> Result<String, String> {
     let attr_doc = doc
         .get("attribution")
         .ok_or("document has no attribution (run with --attr or --stats-json)")?;
-    validate_attribution(attr_doc, Some(cycles))?;
-    let mut attr = CycleAttribution {
-        total_cycles: attr_doc.get("total_cycles").and_then(Json::as_u64).unwrap(),
-        busy_cycles: attr_doc.get("busy_cycles").and_then(Json::as_u64).unwrap(),
-        commit_bound_cycles: attr_doc
-            .get("commit_bound_cycles")
-            .and_then(Json::as_u64)
-            .unwrap(),
-        stalls: [0; NUM_STALL_CAUSES],
-    };
-    for cause in STALL_CAUSES {
-        attr.stalls[cause.index()] = attr_doc
-            .get("stalls")
-            .and_then(|s| s.get(cause.key()))
-            .and_then(Json::as_u64)
-            .unwrap();
-    }
+    let attr = attr_from_json(attr_doc, Some(cycles))?;
     let workload = doc.get("workload").and_then(Json::as_str).unwrap_or("?");
     let mut out = format!("workload: {workload}\n");
     out.push_str(&render_attr_table(&attr));

@@ -15,7 +15,8 @@
 //!                                               show chosen ext. instructions
 //! t1000 bench   <name> [--scale test|full] [--pfus N]
 //!                                               run a MediaBench-style kernel
-//! t1000 bench   --all [--scale test|full] [--json FILE]
+//! t1000 bench   --all [--scale test|full] [--json FILE] [--resume]
+//!               [--deterministic] [--inject PLAN] [--max-cycles N]
 //!                                               full experiment suite (engine)
 //! t1000 bench   --validate <BENCH_results.json>
 //!                                               re-check a results artifact
@@ -84,7 +85,8 @@ fn usage() -> String {
      \x20 t1000 profile <file>\n\
      \x20 t1000 select  <file> [--pfus N] [--greedy] [--threshold F]\n\
      \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
-     \x20 t1000 bench   --all [--scale test|full] [--json FILE]\n\
+     \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume]\n\
+     \x20               [--deterministic] [--inject PLAN] [--max-cycles N]\n\
      \x20 t1000 bench   --validate <BENCH_results.json>\n"
         .to_string()
 }
@@ -427,7 +429,11 @@ fn cmd_select(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
-    let p = parse(args, &["scale", "pfus", "json", "validate"], &["all"])?;
+    let p = parse(
+        args,
+        &["scale", "pfus", "json", "validate", "inject", "max-cycles"],
+        &["all", "resume", "deterministic"],
+    )?;
     let scale = match p.get("scale") {
         Some("full") => t1000_workloads::Scale::Full,
         Some("test") | None => t1000_workloads::Scale::Test,
@@ -437,7 +443,11 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         return bench_validate(path);
     }
     if p.flag("all") {
-        return bench_all(scale, p.get("json"));
+        let config = engine_config(&p)?;
+        return bench_all(scale, p.get("json"), &config);
+    }
+    if p.flag("resume") {
+        return err("bench: --resume requires --all (and --json FILE for the checkpoint)");
     }
     let [name] = p.positional.as_slice() else {
         return err(format!(
@@ -479,13 +489,69 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// Assembles the engine's robustness configuration from CLI flags and
+/// their environment fallbacks (`T1000_INJECT`, `T1000_MAX_CYCLES`,
+/// `T1000_WALL_LIMIT_MS`).
+fn engine_config(p: &Parsed) -> Result<t1000_bench::engine::EngineConfig, CliError> {
+    let faults = match p.get("inject") {
+        Some(text) => t1000_bench::fault::FaultPlan::parse(text)
+            .map_err(|e| CliError(format!("--inject: {e}")))?,
+        None => t1000_bench::fault::FaultPlan::from_env()
+            .map_err(|e| CliError(format!("T1000_INJECT: {e}")))?,
+    };
+    let max_cycles = match p.get("max-cycles") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CliError(format!("--max-cycles: `{v}` is not a cycle count")))?,
+        None => match std::env::var("T1000_MAX_CYCLES") {
+            Ok(v) => v
+                .parse::<u64>()
+                .map_err(|_| CliError(format!("T1000_MAX_CYCLES: `{v}` is not a cycle count")))?,
+            Err(_) => 0,
+        },
+    };
+    let wall_limit = match std::env::var("T1000_WALL_LIMIT_MS") {
+        Ok(v) => Some(std::time::Duration::from_millis(v.parse::<u64>().map_err(
+            |_| CliError(format!("T1000_WALL_LIMIT_MS: `{v}` is not milliseconds")),
+        )?)),
+        Err(_) => None,
+    };
+    Ok(t1000_bench::engine::EngineConfig {
+        max_cycles,
+        wall_limit,
+        faults,
+        deterministic: p.flag("deterministic"),
+        resume: p.flag("resume"),
+        // The checkpoint path is wired in bench_all once --json is known.
+        ..Default::default()
+    })
+}
+
 /// `bench --all`: the full experiment suite through the shared engine,
-/// optionally writing the `BENCH_results.json` artifact.
-fn bench_all(scale: t1000_workloads::Scale, json: Option<&str>) -> Result<String, CliError> {
-    let run = t1000_bench::engine::execute_run_all(scale);
+/// optionally writing the `BENCH_results.json` artifact. Cells that fail
+/// are tabulated and the command exits nonzero; completed cells are
+/// checkpointed next to the artifact so `--resume` can pick them up.
+fn bench_all(
+    scale: t1000_workloads::Scale,
+    json: Option<&str>,
+    config: &t1000_bench::engine::EngineConfig,
+) -> Result<String, CliError> {
+    let mut config = config.clone();
+    let checkpoint = json.map(|path| std::path::PathBuf::from(format!("{path}.partial")));
+    if config.resume && checkpoint.is_none() {
+        return err("bench: --resume needs --json FILE (the checkpoint lives at FILE.partial)");
+    }
+    config.checkpoint = checkpoint.clone();
+
+    let run = t1000_bench::engine::execute_run_all_with(scale, &config);
     if let Some(path) = json {
-        t1000_bench::results::write_json(&run, std::path::Path::new(path))
-            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        t1000_bench::results::write_json_with_retry(
+            &run,
+            std::path::Path::new(path),
+            &config.retry,
+            &config.faults,
+        )
+        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
     }
     let mut out = t1000_bench::results::render_markdown(&run);
     let s = &run.stats;
@@ -496,6 +562,14 @@ fn bench_all(scale: t1000_workloads::Scale, json: Option<&str>) -> Result<String
         s.cells_requested, s.cells_simulated, s.cells_deduped, s.selection_jobs, s.threads
     )
     .unwrap();
+    if s.cells_restored > 0 {
+        writeln!(
+            out,
+            "Resume: {} cell(s) restored from checkpoint.",
+            s.cells_restored
+        )
+        .unwrap();
+    }
     if let Some(path) = json {
         writeln!(
             out,
@@ -504,7 +578,21 @@ fn bench_all(scale: t1000_workloads::Scale, json: Option<&str>) -> Result<String
         )
         .unwrap();
     }
-    Ok(out)
+    if run.failures.is_empty() {
+        // Healthy run: the artifact is complete, so the checkpoint is
+        // dead weight.
+        if let Some(cp) = &checkpoint {
+            let _ = std::fs::remove_file(cp);
+        }
+        Ok(out)
+    } else {
+        // The artifact (if any) records the failures; print everything we
+        // rendered, then refuse a clean exit with the failure table.
+        print!("{out}");
+        Err(CliError(t1000_bench::results::render_failures(
+            &run.failures,
+        )))
+    }
 }
 
 /// `bench --validate FILE`: re-checks a `BENCH_results.json` artifact
@@ -514,8 +602,13 @@ fn bench_validate(path: &str) -> Result<String, CliError> {
         std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     let summary = t1000_bench::results::validate_artifact(&text)
         .map_err(|e| CliError(format!("{path}: INVALID: {e}")))?;
+    let failed = if summary.failed_cells > 0 {
+        format!(" {} failed cell(s) recorded,", summary.failed_cells)
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "{path}: OK (schema v{}, scale {}, {} workloads, {} cells, all checksums match the Rust reference)\n",
+        "{path}: OK (schema v{}, scale {}, {} workloads, {} cells,{failed} all checksums match the Rust reference)\n",
         t1000_bench::results::SCHEMA_VERSION,
         summary.scale,
         summary.workloads,
@@ -642,6 +735,55 @@ loop:
         );
         assert!(run(&s(&["bench", "--validate", &bad])).is_err());
         let _ = std::fs::remove_file(&json);
+    }
+
+    #[test]
+    fn bench_all_reports_injected_failures_and_exits_nonzero() {
+        let json = std::env::temp_dir().join(format!(
+            "t1000_cli_test_{}_faulted.json",
+            std::process::id()
+        ));
+        let json = json.to_string_lossy().into_owned();
+        // Cell 2 panics on every attempt; cell 6 loses all its PFU
+        // configurations and must degrade to scalar execution.
+        let e = run(&s(&[
+            "bench",
+            "--all",
+            "--scale",
+            "test",
+            "--json",
+            &json,
+            "--deterministic",
+            "--inject",
+            "panic@2,pfu@6",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("FAILED"), "{}", e.0);
+        assert!(e.0.contains("panic"), "{}", e.0);
+
+        // The artifact still validates: the panic is owned up to in
+        // failed_cells, and the degraded cell's results are checksum-true.
+        let ok = run(&s(&["bench", "--validate", &json])).unwrap();
+        assert!(ok.contains("OK"), "{ok}");
+        assert!(ok.contains("failed cell(s)"), "{ok}");
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(
+            text.contains("\"cause\": \"panic\""),
+            "missing failure record"
+        );
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(format!("{json}.partial"));
+    }
+
+    #[test]
+    fn bench_rejects_malformed_robustness_flags() {
+        let e = run(&s(&["bench", "--all", "--inject", "boom@1"])).unwrap_err();
+        assert!(e.0.contains("--inject"), "{}", e.0);
+        let e = run(&s(&["bench", "--all", "--max-cycles", "lots"])).unwrap_err();
+        assert!(e.0.contains("--max-cycles"), "{}", e.0);
+        // --resume without --all (or without --json) has no checkpoint.
+        assert!(run(&s(&["bench", "g721_enc", "--resume"])).is_err());
+        assert!(run(&s(&["bench", "--all", "--resume"])).is_err());
     }
 
     #[test]

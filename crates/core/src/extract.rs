@@ -174,8 +174,8 @@ pub fn valid_window(
 
     // Single-output rule: every non-final def must be dead after the run
     // unless redefined later inside it.
-    let last_pc = *window_pcs.last().unwrap();
-    let out = instrs.last().unwrap().def()?;
+    let (&last_pc, last_instr) = window_pcs.last().zip(instrs.last())?;
+    let out = last_instr.def()?;
     for (k, i) in instrs.iter().enumerate().take(instrs.len() - 1) {
         let d = i.def()?;
         let redefined_later = instrs[k + 1..].iter().any(|j| j.def() == Some(d));
@@ -216,10 +216,15 @@ pub fn maximal_sites(program: &Program, a: &Analysis, cfg_x: &ExtractConfig) -> 
     let mut out = Vec::new();
     for (b, block) in a.cfg.blocks.iter().enumerate() {
         let pcs: Vec<u32> = block.pcs().collect();
-        let instrs: Vec<Instr> = pcs
+        // Block PCs come from the program's own text, so every lookup
+        // succeeds; a malformed block is skipped rather than panicking.
+        let Ok(instrs) = pcs
             .iter()
-            .map(|&pc| program.instr_at(pc).expect("valid text"))
-            .collect();
+            .map(|&pc| program.instr_at(pc))
+            .collect::<Result<Vec<Instr>, _>>()
+        else {
+            continue;
+        };
         let mut i = 0;
         while i < instrs.len() {
             // Longest valid window starting at i that also passes the

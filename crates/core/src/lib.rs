@@ -36,6 +36,10 @@
 //! assert!(selection.num_confs() >= 1); // the sll/xor/andi run fuses
 //! ```
 
+// Robustness gate: library code must surface failures as typed errors, not
+// panics. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod canon;
 pub mod extract;
 pub mod matrix;

@@ -244,7 +244,9 @@ fn select_in_loop(
             let hits = cover_count(&sites[*si], subs, form);
             gain += hits as u64 * (info[form].len as u64 - 1) * sites[*si].exec_count;
         }
-        info.get_mut(form).unwrap().gain = gain;
+        if let Some(e) = info.get_mut(form) {
+            e.gain = gain;
+        }
     }
 
     // Build the subsequence matrix for reporting.

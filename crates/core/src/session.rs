@@ -42,8 +42,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
-use t1000_cpu::{simulate, simulate_with, CpuConfig, RunResult, TraceSink};
-use t1000_isa::{FusionMap, Program};
+use t1000_cpu::{simulate, simulate_with, simulate_with_faults, CpuConfig, RunResult, TraceSink};
+use t1000_isa::{ConfId, FusionMap, Program};
 
 /// Cache key for one selection request. `SelectConfig` itself is not
 /// `Eq`/`Hash` (it carries an `f64` threshold), so the key stores the
@@ -107,7 +107,14 @@ impl SelectionCache {
         compute: impl FnOnce() -> Selection,
     ) -> Arc<Selection> {
         let cell = {
-            let mut entries = self.entries.lock().unwrap();
+            // A panic inside `compute` never happens while the map lock is
+            // held (computation runs under the per-key OnceLock), so a
+            // poisoned mutex still guards a structurally sound map —
+            // recover the guard instead of propagating the poison.
+            let mut entries = self
+                .entries
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             Arc::clone(entries.entry(key).or_default())
         };
         let mut computed = false;
@@ -258,6 +265,53 @@ impl Session {
         sink: &mut S,
     ) -> Result<RunResult, Error> {
         simulate_with(&self.program, &selection.fusion, cpu, sink).map_err(Error::Exec)
+    }
+
+    /// Simulates the program with `selection`'s extended instructions while
+    /// the PFU configurations in `faulted_confs` fail to load. Each visit
+    /// to a faulted site gracefully degrades to the original scalar
+    /// sequence at its true latency; the visits are counted in
+    /// `timing.pfu.load_faults`. Architectural results are bit-identical to
+    /// the healthy fused run.
+    pub fn run_degraded(
+        &self,
+        selection: &Selection,
+        cpu: CpuConfig,
+        faulted_confs: &[ConfId],
+    ) -> Result<RunResult, Error> {
+        self.run_degraded_observed(selection, cpu, faulted_confs, &mut t1000_cpu::NullSink)
+    }
+
+    /// [`Session::run_degraded`] with an observability sink attached.
+    pub fn run_degraded_observed<S: TraceSink>(
+        &self,
+        selection: &Selection,
+        cpu: CpuConfig,
+        faulted_confs: &[ConfId],
+        sink: &mut S,
+    ) -> Result<RunResult, Error> {
+        simulate_with_faults(&self.program, &selection.fusion, cpu, faulted_confs, sink)
+            .map_err(Error::Exec)
+    }
+
+    /// Differential check for the graceful-degradation path: simulates the
+    /// baseline and the degraded (faulted-conf) configurations and verifies
+    /// bit-identical architectural results. Returns both runs.
+    pub fn verify_degraded(
+        &self,
+        selection: &Selection,
+        cpu: CpuConfig,
+        faulted_confs: &[ConfId],
+    ) -> Result<(RunResult, RunResult), Error> {
+        let base = self.run_baseline(CpuConfig::baseline())?;
+        let degraded = self.run_degraded(selection, cpu, faulted_confs)?;
+        if base.sys != degraded.sys {
+            return Err(Error::SemanticsChanged {
+                baseline: Box::new(base.sys),
+                fused: Box::new(degraded.sys),
+            });
+        }
+        Ok((base, degraded))
     }
 
     /// Differential check: simulates baseline and fused configurations and

@@ -65,6 +65,13 @@ pub struct CpuConfig {
     /// Safety valve: abort simulation after this many committed
     /// instructions (0 = no limit).
     pub max_instructions: u64,
+    /// Simulation fuel: abort the timing model after this many cycles
+    /// (0 = no limit). Unlike `max_instructions`, which bounds
+    /// architectural progress, `max_cycles` bounds wall-clock-equivalent
+    /// simulated time, so a workload that stops committing (or commits
+    /// pathologically slowly) still terminates with
+    /// [`ExecError::CycleLimit`](crate::func::ExecError::CycleLimit).
+    pub max_cycles: u64,
 }
 
 impl Default for CpuConfig {
@@ -86,6 +93,7 @@ impl Default for CpuConfig {
             branch: BranchModel::Perfect,
             mem: MemConfig::default(),
             max_instructions: 0,
+            max_cycles: 0,
         }
     }
 }

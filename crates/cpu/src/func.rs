@@ -66,6 +66,9 @@ pub enum ExecError {
     BadSyscall { pc: u32, code: u32 },
     /// Committed-instruction budget exhausted.
     InstrLimit(u64),
+    /// Simulation-cycle fuel exhausted (see
+    /// [`CpuConfig::max_cycles`](crate::config::CpuConfig::max_cycles)).
+    CycleLimit(u64),
 }
 
 impl std::fmt::Display for ExecError {
@@ -83,6 +86,7 @@ impl std::fmt::Display for ExecError {
                 write!(f, "unknown syscall {code} at 0x{pc:x}")
             }
             ExecError::InstrLimit(n) => write!(f, "instruction limit {n} exceeded"),
+            ExecError::CycleLimit(n) => write!(f, "cycle fuel {n} exhausted"),
         }
     }
 }
@@ -106,6 +110,11 @@ pub struct FuncCore<'a> {
     /// Committed base instructions (fused sequences count their full
     /// length, so this is identical across fusion configurations).
     pub icount: u64,
+    /// Fused-site visits that fell back to scalar execution because the
+    /// site's PFU configuration is marked faulted (graceful degradation).
+    pub conf_fault_fallbacks: u64,
+    /// PFU configurations whose loads are injected to fail.
+    faulted_confs: std::collections::HashSet<u16>,
     finished: bool,
 }
 
@@ -126,8 +135,21 @@ impl<'a> FuncCore<'a> {
             mem: Memory::with_program(program),
             sys: SyscallState::new(),
             icount: 0,
+            conf_fault_fallbacks: 0,
+            faulted_confs: std::collections::HashSet::new(),
             finished: false,
         }
+    }
+
+    /// Marks PFU configurations as failed-to-load. Any fused site using
+    /// one of them falls back to executing its original scalar sequence —
+    /// graceful degradation: an extended instruction is semantically
+    /// identical to the base sequence it replaced, so architectural
+    /// results are unchanged and the run merely pays the sequence's true
+    /// latency. Fallbacks are counted in
+    /// [`conf_fault_fallbacks`](FuncCore::conf_fault_fallbacks).
+    pub fn inject_conf_faults(&mut self, confs: impl IntoIterator<Item = u16>) {
+        self.faulted_confs.extend(confs);
     }
 
     /// Whether the program has exited.
@@ -153,6 +175,14 @@ impl<'a> FuncCore<'a> {
             return Ok(None);
         }
         if let Some(site) = self.fusion.site_at(self.pc) {
+            if self.faulted_confs.contains(&site.conf) {
+                // The site's configuration failed to load: execute the
+                // first constituent unfused. The following PCs are not
+                // site starts, so the rest of the sequence also runs
+                // scalar, at its true latency.
+                self.conf_fault_fallbacks += 1;
+                return self.step_one().map(Some);
+            }
             // Sites come from the selector, which only fuses runs inside a
             // basic block of the same program; a hand-built FusionMap whose
             // site extends past the text segment is a programming error and

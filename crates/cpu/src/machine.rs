@@ -67,10 +67,29 @@ pub fn simulate_with<S: TraceSink>(
     cfg: CpuConfig,
     sink: &mut S,
 ) -> Result<RunResult, ExecError> {
+    simulate_with_faults(program, fusion, cfg, &[], sink)
+}
+
+/// Like [`simulate_with`], but with the PFU configurations in
+/// `faulted_confs` injected to fail their loads. Every fused-site visit
+/// using a faulted configuration gracefully degrades: the original scalar
+/// sequence executes instead (paying its true multi-instruction latency),
+/// and the visit is counted in [`crate::pfu::PfuStats::load_faults`].
+/// Architectural
+/// results are bit-identical to the fused path by construction — an
+/// extended instruction is semantically equal to the sequence it replaced.
+pub fn simulate_with_faults<S: TraceSink>(
+    program: &Program,
+    fusion: &FusionMap,
+    cfg: CpuConfig,
+    faulted_confs: &[u16],
+    sink: &mut S,
+) -> Result<RunResult, ExecError> {
     let mut func = FuncCore::new(program, fusion);
+    func.inject_conf_faults(faulted_confs.iter().copied());
     let limit = cfg.max_instructions;
     let ooo = OooCore::new(cfg);
-    let timing = ooo.run_with(
+    let mut timing = ooo.run_with(
         || {
             if limit != 0 && func.icount >= limit {
                 return Err(ExecError::InstrLimit(limit));
@@ -79,6 +98,7 @@ pub fn simulate_with<S: TraceSink>(
         },
         sink,
     )?;
+    timing.pfu.load_faults = func.conf_fault_fallbacks;
     Ok(RunResult {
         timing,
         sys: func.sys,
@@ -145,6 +165,25 @@ loop:
             Err(ExecError::InstrLimit(10_000))
         ));
         assert!(execute(&p, &fusion, 5_000).is_err());
+    }
+
+    #[test]
+    fn cycle_fuel_aborts_divergent_runs() {
+        let p = assemble("main: j main\n").unwrap();
+        let fusion = FusionMap::new();
+        let mut cfg = CpuConfig::baseline();
+        cfg.max_cycles = 1_000;
+        assert!(matches!(
+            simulate(&p, &fusion, cfg),
+            Err(ExecError::CycleLimit(1_000))
+        ));
+        // A terminating program well under the budget is unaffected.
+        let q = assemble("main:\n li $v0, 10\n syscall\n").unwrap();
+        let mut roomy = CpuConfig::baseline();
+        roomy.max_cycles = 1_000_000;
+        let fueled = simulate(&q, &fusion, roomy).unwrap();
+        let free = simulate(&q, &fusion, CpuConfig::baseline()).unwrap();
+        assert_eq!(fueled.timing.cycles, free.timing.cycles);
     }
 
     #[test]

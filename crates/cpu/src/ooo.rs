@@ -17,7 +17,7 @@
 
 use crate::branch::{BranchStats, Predictor};
 use crate::config::CpuConfig;
-use crate::func::DynInstr;
+use crate::func::{DynInstr, ExecError};
 use crate::observe::{CycleClass, NullSink, StallCause, TraceEvent, TraceSink};
 use crate::pfu::{PfuArray, PfuOutcome, PfuStats};
 use std::collections::VecDeque;
@@ -145,7 +145,10 @@ impl OooCore {
 
     /// Runs the pipeline to completion over the record stream produced by
     /// `source`. `source` returns `None` when the program has finished.
-    pub fn run<E>(
+    ///
+    /// The error type must absorb [`ExecError`] so the cycle-fuel
+    /// watchdog ([`CpuConfig::max_cycles`]) can abort divergent runs.
+    pub fn run<E: From<ExecError>>(
         self,
         source: impl FnMut() -> Result<Option<DynInstr>, E>,
     ) -> Result<TimingStats, E> {
@@ -156,12 +159,18 @@ impl OooCore {
     /// pipeline events to `sink`. Monomorphized per sink type: with
     /// [`NullSink`] every instrumentation branch is compiled out and this
     /// *is* the uninstrumented pipeline.
-    pub fn run_with<E, S: TraceSink>(
+    pub fn run_with<E: From<ExecError>, S: TraceSink>(
         mut self,
         mut source: impl FnMut() -> Result<Option<DynInstr>, E>,
         sink: &mut S,
     ) -> Result<TimingStats, E> {
         loop {
+            if self.cfg.max_cycles != 0 && self.cycle >= self.cfg.max_cycles {
+                // Out of fuel: a workload that has not drained by now is
+                // treated as divergent and aborted instead of hanging the
+                // caller (the engine maps this to a `Timeout` failure).
+                return Err(ExecError::CycleLimit(self.cfg.max_cycles).into());
+            }
             let slots_before = self.slots;
             self.commit();
             // Classify eagerly (the pre-issue state is what stalled this

@@ -32,6 +32,10 @@ pub struct PfuStats {
     pub reconfigurations: u64,
     /// Tag-check hits (configuration already resident).
     pub conf_hits: u64,
+    /// Configuration loads that failed (fault injection): each such site
+    /// visit fell back to the scalar sequence instead of the fused form.
+    /// Zero on a healthy machine.
+    pub load_faults: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
