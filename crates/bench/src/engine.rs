@@ -551,11 +551,13 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
                 Ok(p) => p,
                 Err(cause) => return Err(cause.clone()),
             };
+            let Some(sspec) = spec.strategy_spec() else {
+                return Err(FailureCause::Selection(
+                    "baseline cells have no selection job".into(),
+                ));
+            };
             quiet_catch_unwind(|| {
-                let selection = match spec.select_config() {
-                    Some(cfg) => prepared.session.selective_shared(&cfg),
-                    None => prepared.session.greedy_shared(),
-                };
+                let selection = prepared.session.select_shared(&sspec);
                 summarize_selection(name, extract, spec, selection)
             })
             .map_err(FailureCause::Panic)

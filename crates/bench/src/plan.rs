@@ -10,7 +10,7 @@
 //! same job twice, no matter how many figures request it.
 
 use std::collections::HashSet;
-use t1000_core::{ExtractConfig, SelectConfig};
+use t1000_core::{ExtractConfig, SelectConfig, StrategySpec};
 use t1000_cpu::{BranchModel, CpuConfig, PfuCount, PfuReplacement};
 
 /// Which fusion map a cell simulates.
@@ -29,6 +29,9 @@ pub enum SelectionSpec {
         pfus: Option<usize>,
         gain_threshold_bits: u64,
     },
+    /// Budget-constrained knapsack selection over `t1000-hwcost` LUT
+    /// estimates (`t1000_core::BudgetKnapsack`).
+    Knapsack { lut_budget: u32 },
 }
 
 impl SelectionSpec {
@@ -43,6 +46,41 @@ impl SelectionSpec {
     /// The paper's standard selective configuration (0.5 % gain threshold).
     pub fn selective_std(pfus: Option<usize>) -> SelectionSpec {
         SelectionSpec::selective(pfus, 0.005)
+    }
+
+    /// Knapsack spec for a total-LUT budget.
+    pub fn knapsack(lut_budget: u32) -> SelectionSpec {
+        SelectionSpec::Knapsack { lut_budget }
+    }
+
+    /// The strategy the selection pipeline should run for this spec
+    /// (`None` for baseline cells, which have no selection job). This is
+    /// the bench plan's strategy axis: the returned spec doubles as the
+    /// session's memo-cache key.
+    pub fn strategy_spec(&self) -> Option<StrategySpec> {
+        match *self {
+            SelectionSpec::Baseline => None,
+            SelectionSpec::Greedy => Some(StrategySpec::Greedy),
+            SelectionSpec::Selective {
+                pfus,
+                gain_threshold_bits,
+            } => Some(StrategySpec::Selective {
+                pfus,
+                gain_threshold_bits,
+            }),
+            SelectionSpec::Knapsack { lut_budget } => {
+                Some(StrategySpec::BudgetKnapsack { lut_budget })
+            }
+        }
+    }
+
+    /// Stable strategy identifier for reports and JSON (`baseline` for
+    /// the baseline spec).
+    pub fn strategy_id(&self) -> String {
+        match self.strategy_spec() {
+            Some(s) => s.id(),
+            None => "baseline".into(),
+        }
     }
 
     /// The `SelectConfig` to hand to the selector (`None` for baseline
@@ -60,12 +98,14 @@ impl SelectionSpec {
         }
     }
 
-    /// Short name used in reports and JSON (`baseline`/`greedy`/`selective`).
+    /// Short name used in reports and JSON
+    /// (`baseline`/`greedy`/`selective`/`knapsack`).
     pub fn algorithm(&self) -> &'static str {
         match self {
             SelectionSpec::Baseline => "baseline",
             SelectionSpec::Greedy => "greedy",
             SelectionSpec::Selective { .. } => "selective",
+            SelectionSpec::Knapsack { .. } => "knapsack",
         }
     }
 }
@@ -302,6 +342,34 @@ pub fn run_all_plan() -> Plan {
     plan
 }
 
+/// LUT budgets the strategy sweep exercises: one tight enough to force
+/// the knapsack to arbitrate, one roomy enough to approach greedy.
+pub const KNAPSACK_BUDGETS: [u32; 2] = [256, 1024];
+
+/// The strategy-axis extension of [`run_all_plan`]: knapsack cells at
+/// each budget of [`KNAPSACK_BUDGETS`] on the 4-PFU machine. Kept out of
+/// [`run_all_plan`] so the default full-scale artifact stays comparable
+/// with earlier runs (the golden-equivalence guarantee); `t1000 bench
+/// --all --strategies` appends these cells.
+pub fn strategy_sweep_plan(plan: &mut Plan) {
+    for w in workload_names() {
+        for budget in KNAPSACK_BUDGETS {
+            plan.push(Cell::new(
+                w,
+                SelectionSpec::knapsack(budget),
+                MachineSpec::with_pfus(4, 10),
+            ));
+        }
+    }
+}
+
+/// [`run_all_plan`] plus the strategy sweep.
+pub fn run_all_plan_with_strategies() -> Plan {
+    let mut plan = run_all_plan();
+    strategy_sweep_plan(&mut plan);
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +425,48 @@ mod tests {
             }
         }
         assert_eq!(sel_jobs.len(), 8 * 4); // greedy, sel@2, sel@4, sel@unl
+    }
+
+    #[test]
+    fn strategy_sweep_extends_but_never_perturbs_the_run_all_plan() {
+        let base = run_all_plan();
+        let extended = run_all_plan_with_strategies();
+        // The base plan is a prefix: existing cells keep their order, so
+        // the default artifact's cell list is untouched.
+        assert_eq!(&extended.cells()[..base.cells().len()], base.cells());
+        let extra = &extended.cells()[base.cells().len()..];
+        // 8 workloads × 2 budgets, all knapsack (baselines already exist).
+        assert_eq!(extra.len(), 8 * KNAPSACK_BUDGETS.len());
+        for c in extra {
+            assert!(matches!(c.selection, SelectionSpec::Knapsack { .. }));
+            assert_eq!(c.machine, MachineSpec::with_pfus(4, 10));
+        }
+    }
+
+    #[test]
+    fn strategy_spec_maps_every_selection_spec() {
+        assert_eq!(SelectionSpec::Baseline.strategy_spec(), None);
+        assert_eq!(
+            SelectionSpec::Greedy.strategy_spec(),
+            Some(StrategySpec::Greedy)
+        );
+        assert_eq!(
+            SelectionSpec::selective_std(Some(2)).strategy_spec(),
+            Some(StrategySpec::Selective {
+                pfus: Some(2),
+                gain_threshold_bits: 0.005f64.to_bits()
+            })
+        );
+        assert_eq!(
+            SelectionSpec::knapsack(512).strategy_spec(),
+            Some(StrategySpec::BudgetKnapsack { lut_budget: 512 })
+        );
+        assert_eq!(SelectionSpec::Baseline.strategy_id(), "baseline");
+        assert_eq!(
+            SelectionSpec::knapsack(512).strategy_id(),
+            "knapsack(luts=512)"
+        );
+        assert_eq!(SelectionSpec::knapsack(512).algorithm(), "knapsack");
     }
 
     #[test]

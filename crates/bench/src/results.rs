@@ -25,7 +25,11 @@ use t1000_workloads::Scale;
 ///   `retries`/`failed_cells` counters, per-cell `pfu_load_faults`, and
 ///   `speedup` becomes nullable (a cell whose baseline failed has no
 ///   normaliser). See `docs/ROBUSTNESS.md`.
-pub const SCHEMA_VERSION: u64 = 3;
+/// * v4 — the strategy axis: every cell and selection record carries a
+///   `strategy` identifier (the selection pipeline's memo-cache key,
+///   e.g. `selective(pfus=2,threshold=0.005)`), and knapsack cells add
+///   `lut_budget`. See `docs/PIPELINE.md`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 fn scale_str(scale: Scale) -> &'static str {
     match scale {
@@ -88,7 +92,13 @@ fn machine_json(m: &MachineSpec) -> Json {
 }
 
 fn selection_spec_fields(spec: &SelectionSpec) -> Vec<(&'static str, Json)> {
-    let mut fields = vec![("algorithm", Json::Str(spec.algorithm().to_string()))];
+    let mut fields = vec![
+        ("algorithm", Json::Str(spec.algorithm().to_string())),
+        // Schema v4: the full strategy identity (algorithm + parameters)
+        // as one stable string — the same id the selection memo cache and
+        // `t1000 select --explain` use.
+        ("strategy", Json::Str(spec.strategy_id())),
+    ];
     if let Some(cfg) = spec.select_config() {
         fields.push((
             "pfus",
@@ -98,6 +108,9 @@ fn selection_spec_fields(spec: &SelectionSpec) -> Vec<(&'static str, Json)> {
             },
         ));
         fields.push(("gain_threshold", Json::Float(cfg.gain_threshold)));
+    }
+    if let SelectionSpec::Knapsack { lut_budget } = spec {
+        fields.push(("lut_budget", Json::UInt(*lut_budget as u64)));
     }
     fields
 }
@@ -405,6 +418,11 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
         if c.get("pfu_load_faults").and_then(Json::as_u64).is_none() {
             return Err(format!("cell {i} ({name}): bad pfu_load_faults"));
         }
+        // Schema v4: every cell names the strategy that produced it.
+        match c.get("strategy").and_then(Json::as_str) {
+            Some(s) if !s.is_empty() => {}
+            _ => return Err(format!("cell {i} ({name}): bad strategy")),
+        }
         // Schema v2: the attribution must partition the cell's cycles
         // exactly, over the closed stall taxonomy.
         let attr = c
@@ -697,7 +715,7 @@ mod tests {
         let good = to_json(&run).to_string_pretty();
 
         // Wrong schema version.
-        let bad = good.replacen("\"schema_version\": 3", "\"schema_version\": 99", 1);
+        let bad = good.replacen("\"schema_version\": 4", "\"schema_version\": 99", 1);
         assert!(validate_artifact(&bad)
             .unwrap_err()
             .contains("schema_version"));

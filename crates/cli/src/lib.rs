@@ -11,13 +11,18 @@
 //!                                               select + simulate (+observe)
 //! t1000 report  <stats.json>                    render the attribution table
 //! t1000 profile <file.s|.tobj>                  sim_profile-style report
-//! t1000 select  <file.s|.tobj> [--pfus N] [--greedy] [--threshold F]
+//! t1000 select  <file.s|.tobj|bench:name> [--strategy NAME] [--pfus N]
+//!               [--greedy] [--threshold F] [--lut-budget N] [--explain]
 //!                                               show chosen ext. instructions
+//!                                               (--explain: per-pass timing
+//!                                               and accept/reject decisions)
 //! t1000 bench   <name> [--scale test|full] [--pfus N]
 //!                                               run a MediaBench-style kernel
 //! t1000 bench   --all [--scale test|full] [--json FILE] [--resume]
 //!               [--deterministic] [--inject PLAN] [--max-cycles N]
-//!                                               full experiment suite (engine)
+//!               [--strategies]                  full experiment suite (engine;
+//!                                               --strategies adds the knapsack
+//!                                               sweep cells)
 //! t1000 bench   --validate <BENCH_results.json>
 //!                                               re-check a results artifact
 //! ```
@@ -29,7 +34,7 @@ pub mod args;
 
 use args::{parse, ArgError, Parsed};
 use std::fmt::Write as _;
-use t1000_core::{SelectConfig, Selection, Session};
+use t1000_core::{PipelineTrace, SelectConfig, Selection, Session, StrategySpec};
 use t1000_cpu::{CpuConfig, PfuCount};
 use t1000_isa::Program;
 
@@ -83,10 +88,11 @@ fn usage() -> String {
      \x20               [--stats-json FILE] [--trace FILE] [--attr] [--scale test|full]\n\
      \x20 t1000 report  <stats.json>\n\
      \x20 t1000 profile <file>\n\
-     \x20 t1000 select  <file> [--pfus N] [--greedy] [--threshold F]\n\
+     \x20 t1000 select  <file|bench:name> [--strategy greedy|selective|knapsack] [--pfus N]\n\
+     \x20               [--greedy] [--threshold F] [--lut-budget N] [--explain] [--scale test|full]\n\
      \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
      \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume]\n\
-     \x20               [--deterministic] [--inject PLAN] [--max-cycles N]\n\
+     \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies]\n\
      \x20 t1000 bench   --validate <BENCH_results.json>\n"
         .to_string()
 }
@@ -396,17 +402,85 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     Ok(t1000_profile::report::render(&program, &cfg, &profile))
 }
 
+/// Resolves `select`'s strategy from `--strategy`/`--greedy`/`--pfus`/
+/// `--threshold`/`--lut-budget` into the pipeline's [`StrategySpec`].
+fn strategy_spec_for(p: &Parsed, pfus: Option<usize>) -> Result<StrategySpec, CliError> {
+    let threshold = p.get_f64("threshold")?.unwrap_or(0.005);
+    let cfg = SelectConfig {
+        pfus,
+        gain_threshold: threshold,
+    };
+    let name = match p.get("strategy") {
+        Some(s) => s,
+        None if p.flag("greedy") => "greedy",
+        None => "selective",
+    };
+    match name {
+        "greedy" => Ok(StrategySpec::Greedy),
+        "selective" => Ok(StrategySpec::selective(&cfg)),
+        "knapsack" => {
+            let budget = p.get_u32("lut-budget")?.unwrap_or(256);
+            Ok(StrategySpec::knapsack(budget))
+        }
+        other => err(format!(
+            "--strategy: `{other}` is not one of greedy|selective|knapsack"
+        )),
+    }
+}
+
+/// Renders `--explain`: the per-pass timing/output table followed by the
+/// per-candidate accept/reject decisions.
+fn render_trace(out: &mut String, trace: &PipelineTrace) {
+    writeln!(out, "pipeline for strategy `{}`:", trace.strategy).unwrap();
+    writeln!(out, "{:<32} {:>9} {:>7}  note", "pass", "time", "items").unwrap();
+    for pass in &trace.passes {
+        writeln!(
+            out,
+            "{:<32} {:>6} us {:>7}  {}",
+            pass.name, pass.micros, pass.items, pass.note
+        )
+        .unwrap();
+    }
+    writeln!(out, "total: {} us", trace.total_micros()).unwrap();
+    if !trace.decisions.is_empty() {
+        writeln!(out, "decisions:").unwrap();
+        for d in &trace.decisions {
+            writeln!(
+                out,
+                "  {} pc=0x{:05x} len {}: {}",
+                if d.accepted { "accept" } else { "reject" },
+                d.pc,
+                d.len,
+                d.reason
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out).unwrap();
+}
+
 fn cmd_select(args: &[String]) -> Result<String, CliError> {
-    let p = parse(args, &["pfus", "threshold"], &["greedy"])?;
-    let [path] = p.positional.as_slice() else {
-        return err("select: expected exactly one input file");
+    let p = parse(
+        args,
+        &["pfus", "threshold", "strategy", "lut-budget", "scale"],
+        &["greedy", "explain"],
+    )?;
+    let [target] = p.positional.as_slice() else {
+        return err("select: expected exactly one input (a file or bench:<name>)");
     };
     let pfus = p.get_u32("pfus")?.map(|n| n as usize);
-    let program = load(path)?;
+    let (_, program) = load_target(target, &p)?;
     let session = Session::new(program).map_err(|e| CliError(e.to_string()))?;
-    let sel = select_for(&session, &p, pfus.or(Some(4)))?;
+    let spec = strategy_spec_for(&p, pfus.or(Some(4)))?;
 
     let mut out = String::new();
+    let sel = if p.flag("explain") {
+        let (sel, trace) = session.explain(&spec);
+        render_trace(&mut out, &trace);
+        sel
+    } else {
+        session.select(&spec)
+    };
     writeln!(
         out,
         "{} configuration(s), {} site(s)",
@@ -432,7 +506,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let p = parse(
         args,
         &["scale", "pfus", "json", "validate", "inject", "max-cycles"],
-        &["all", "resume", "deterministic"],
+        &["all", "resume", "deterministic", "strategies"],
     )?;
     let scale = match p.get("scale") {
         Some("full") => t1000_workloads::Scale::Full,
@@ -444,7 +518,10 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     }
     if p.flag("all") {
         let config = engine_config(&p)?;
-        return bench_all(scale, p.get("json"), &config);
+        return bench_all(scale, p.get("json"), &config, p.flag("strategies"));
+    }
+    if p.flag("strategies") {
+        return err("bench: --strategies requires --all");
     }
     if p.flag("resume") {
         return err("bench: --resume requires --all (and --json FILE for the checkpoint)");
@@ -535,6 +612,7 @@ fn bench_all(
     scale: t1000_workloads::Scale,
     json: Option<&str>,
     config: &t1000_bench::engine::EngineConfig,
+    strategies: bool,
 ) -> Result<String, CliError> {
     let mut config = config.clone();
     let checkpoint = json.map(|path| std::path::PathBuf::from(format!("{path}.partial")));
@@ -543,7 +621,12 @@ fn bench_all(
     }
     config.checkpoint = checkpoint.clone();
 
-    let run = t1000_bench::engine::execute_run_all_with(scale, &config);
+    let plan = if strategies {
+        t1000_bench::plan::run_all_plan_with_strategies()
+    } else {
+        t1000_bench::plan::run_all_plan()
+    };
+    let run = t1000_bench::engine::execute_with(&plan, scale, &config);
     if let Some(path) = json {
         t1000_bench::results::write_json_with_retry(
             &run,
@@ -704,6 +787,55 @@ loop:
     }
 
     #[test]
+    fn select_explain_prints_the_pass_table_and_decisions() {
+        let src = tmp("sel_explain.s", KERNEL);
+        let out = run(&s(&[
+            "select",
+            &src,
+            "--strategy",
+            "selective",
+            "--pfus",
+            "2",
+            "--explain",
+        ]))
+        .unwrap();
+        assert!(out.contains("pipeline for strategy `selective"), "{out}");
+        for pass in [
+            "BuildAnalysis",
+            "ExtractMaximalSites",
+            "ProfileWeights",
+            "SelectStrategy(selective)",
+            "LowerFusionMap",
+        ] {
+            assert!(out.contains(pass), "missing pass {pass}: {out}");
+        }
+        assert!(out.contains("decisions:"), "{out}");
+        assert!(out.contains("accept") || out.contains("reject"), "{out}");
+        // `--explain` must not change what gets selected.
+        let plain = run(&s(&["select", &src, "--pfus", "2"])).unwrap();
+        assert!(out.ends_with(&plain), "explain diverges from plain output");
+    }
+
+    #[test]
+    fn select_supports_strategy_names_and_registry_targets() {
+        let out = run(&s(&[
+            "select",
+            "bench:g721_enc",
+            "--strategy",
+            "knapsack",
+            "--lut-budget",
+            "200",
+            "--explain",
+        ]))
+        .unwrap();
+        assert!(out.contains("SelectStrategy(knapsack)"), "{out}");
+        assert!(out.contains("configuration"), "{out}");
+        let src = tmp("sel_strat.s", KERNEL);
+        let e = run(&s(&["select", &src, "--strategy", "simulated-annealing"])).unwrap_err();
+        assert!(e.0.contains("--strategy"), "{e}");
+    }
+
+    #[test]
     fn bench_runs_a_registry_kernel() {
         let out = run(&s(&["bench", "g721_enc", "--scale", "test"])).unwrap();
         assert!(out.contains("speedup"), "{out}");
@@ -773,6 +905,12 @@ loop:
         );
         let _ = std::fs::remove_file(&json);
         let _ = std::fs::remove_file(format!("{json}.partial"));
+    }
+
+    #[test]
+    fn bench_strategies_requires_all() {
+        let e = run(&s(&["bench", "g721_enc", "--strategies"])).unwrap_err();
+        assert!(e.0.contains("--strategies"), "{e}");
     }
 
     #[test]

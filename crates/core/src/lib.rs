@@ -9,10 +9,16 @@
 //! * [`extract`] — liveness-checked candidate-sequence extraction under
 //!   the 2-input/1-output port constraint;
 //! * [`canon`] — structural canonicalisation (configuration sharing);
-//! * [`select`] — the **greedy** (§4) and **selective** (§5) algorithms,
-//!   the latter built on the k×k subsequence [`matrix`];
-//! * [`session::Session`] — the end-to-end pipeline
-//!   (assemble → profile → select → simulate → verify).
+//! * [`pipeline`] — the staged selection pipeline: a typed
+//!   [`PassManager`] threading a [`SelectionCtx`] through named passes;
+//! * [`strategy`] — the pluggable [`SelectStrategy`] objects: **greedy**
+//!   (§4), **selective** (§5, built on the k×k subsequence [`matrix`]),
+//!   and the hwcost-budget-aware **knapsack**;
+//! * [`select`] — shared selection types plus source-compatible wrappers
+//!   over the pipeline;
+//! * [`session::Session`] — the end-to-end façade
+//!   (assemble → profile → select → simulate → verify), memoising
+//!   selections per [`StrategySpec`].
 //!
 //! Extracting extended instructions from a hot loop:
 //!
@@ -43,14 +49,23 @@
 pub mod canon;
 pub mod extract;
 pub mod matrix;
+pub mod pipeline;
 pub mod select;
 pub mod session;
+pub mod strategy;
 
 pub use canon::{canonicalize, CanonSeq};
 pub use extract::{maximal_sites, subwindows, Analysis, CandidateSite, ExtractConfig};
 pub use matrix::SubseqMatrix;
+pub use pipeline::{
+    run_selection, run_selection_from_program, Decision, DecisionLog, FormCost, Pass, PassManager,
+    PassOutput, PassStat, PipelineTrace, SelectionCtx,
+};
 pub use select::{greedy, selective, ChosenConf, SelectConfig, Selection};
 pub use session::{SelectionCacheStats, Session};
+pub use strategy::{
+    BudgetKnapsack, Greedy, SelectStrategy, Selective, StrategyOutcome, StrategySpec,
+};
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug)]
@@ -67,6 +82,10 @@ pub enum Error {
         baseline: Box<t1000_cpu::SyscallState>,
         fused: Box<t1000_cpu::SyscallState>,
     },
+    /// A selection pass ran without its inputs — a custom pipeline wired
+    /// the passes in an order that violates the `SelectionCtx` contract
+    /// (`docs/PIPELINE.md`). The standard pipeline never produces this.
+    Pipeline(String),
 }
 
 impl std::fmt::Display for Error {
@@ -78,6 +97,7 @@ impl std::fmt::Display for Error {
             Error::SemanticsChanged { .. } => {
                 write!(f, "selection changed architectural results")
             }
+            Error::Pipeline(msg) => write!(f, "selection pipeline: {msg}"),
         }
     }
 }

@@ -1,0 +1,639 @@
+//! The staged selection pipeline: a typed [`PassManager`] threading a
+//! [`SelectionCtx`] through named passes.
+//!
+//! The paper's selectors used to be monolithic functions; this module
+//! decomposes them into explicit, individually-timed stages so that a new
+//! selection algorithm is one type implementing
+//! [`SelectStrategy`] — everything else
+//! (analysis, candidate extraction, profile weights, hardware cost,
+//! subsequence enumeration, fusion-map lowering, caching, bench cells) is
+//! shared infrastructure. See `docs/PIPELINE.md` for the contract.
+//!
+//! Standard pass order ([`PassManager::standard`]):
+//!
+//! 1. [`BuildAnalysis`] — CFG + liveness + dynamic profile (reuses a
+//!    prebuilt [`Analysis`] when the caller already has one);
+//! 2. [`ExtractMaximalSites`] — liveness-checked maximal candidate
+//!    sequences under the port/width/depth constraints;
+//! 3. [`ProfileWeights`] — the normalisation denominator for gain shares;
+//! 4. [`HwCostModel`] — per-form LUT/depth estimates from `t1000-hwcost`;
+//! 5. [`EnumerateSubsequences`] — every valid sub-window of every maximal
+//!    site (only when the strategy asks for it);
+//! 6. [`ApplyStrategy`] — the pluggable algorithm picks concrete windows;
+//! 7. [`LowerFusionMap`] — configuration numbering and the final
+//!    [`Selection`].
+
+use crate::canon::{canonicalize, CanonSeq};
+use crate::extract::{maximal_sites, subwindows, Analysis, CandidateSite, ExtractConfig};
+use crate::select::{build_selection, Selection};
+use crate::strategy::{SelectStrategy, StrategyOutcome};
+use crate::Error;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use t1000_hwcost::{cost_of, ExtCost};
+use t1000_isa::Program;
+use t1000_profile::Weights;
+
+/// Per-form hardware cost estimate, produced by [`HwCostModel`] at
+/// candidate granularity (one entry per distinct canonical form among the
+/// maximal sites, in first-appearance order). Budget-aware strategies
+/// consume these; [`LowerFusionMap`] recomputes exact costs at the final
+/// widths of whatever windows the strategy actually chose.
+#[derive(Clone, Debug)]
+pub struct FormCost {
+    /// The canonical form.
+    pub canon: CanonSeq,
+    /// Datapath width (max over the form's maximal sites).
+    pub width: u8,
+    /// LUT/depth estimate at that width.
+    pub cost: ExtCost,
+    /// Total dynamic cycles the form's maximal sites would save.
+    pub gain: u64,
+    /// Static maximal sites sharing the form.
+    pub num_sites: usize,
+}
+
+/// One per-candidate accept/reject record from a strategy, for
+/// `t1000 select --explain`.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// First pc of the candidate window.
+    pub pc: u32,
+    /// Window length in instructions.
+    pub len: usize,
+    /// Whether the window was kept.
+    pub accepted: bool,
+    /// Human-readable justification.
+    pub reason: String,
+}
+
+/// Collects [`Decision`]s when enabled. Disabled (the default), recording
+/// is free: the closure handed to [`DecisionLog::record`] never runs, so
+/// the cached/bench paths pay nothing for explainability.
+#[derive(Debug, Default)]
+pub struct DecisionLog {
+    /// Whether decisions are being collected.
+    pub enabled: bool,
+    /// The decisions recorded so far.
+    pub decisions: Vec<Decision>,
+}
+
+impl DecisionLog {
+    /// Records the decision built by `f`, if collection is enabled.
+    pub fn record(&mut self, f: impl FnOnce() -> Decision) {
+        if self.enabled {
+            self.decisions.push(f());
+        }
+    }
+}
+
+/// The analysis slot of a [`SelectionCtx`]: either borrowed from the
+/// caller (the [`Session`](crate::Session) path — analysis built once,
+/// shared by every selection) or built by [`BuildAnalysis`].
+enum AnalysisSlot<'a> {
+    /// Not yet built; `BuildAnalysis` will run the profiling execution
+    /// bounded by `max_instructions` (0 = unbounded).
+    Missing {
+        max_instructions: u64,
+    },
+    Borrowed(&'a Analysis),
+    Owned(Box<Analysis>),
+}
+
+/// The state a selection run threads through the passes. Passes read the
+/// products of earlier passes and write their own; the field an item
+/// lands in is the contract between stages (`docs/PIPELINE.md`).
+pub struct SelectionCtx<'a> {
+    /// The program under selection.
+    pub program: &'a Program,
+    /// Extraction parameters (width/port/depth limits).
+    pub extract: ExtractConfig,
+    analysis: AnalysisSlot<'a>,
+    /// Written by [`ProfileWeights`].
+    pub weights: Option<Weights>,
+    /// Written by [`ExtractMaximalSites`].
+    pub sites: Option<Vec<CandidateSite>>,
+    /// Written by [`HwCostModel`].
+    pub form_costs: Option<Vec<FormCost>>,
+    /// Written by [`EnumerateSubsequences`]: every valid sub-window of
+    /// each maximal site (keyed by the site's first pc), paired with its
+    /// canonical form. Maximal sites start at distinct pcs, so the key is
+    /// unique.
+    pub subseqs: Option<BTreeMap<u32, Vec<(CandidateSite, CanonSeq)>>>,
+    /// Written by [`ApplyStrategy`].
+    pub outcome: Option<StrategyOutcome>,
+    /// Written by [`LowerFusionMap`].
+    pub selection: Option<Selection>,
+    /// Per-candidate decision collection (enable before running for
+    /// `--explain`).
+    pub log: DecisionLog,
+}
+
+impl<'a> SelectionCtx<'a> {
+    /// A context over a prebuilt analysis (the common, infallible path).
+    pub fn with_analysis(
+        program: &'a Program,
+        analysis: &'a Analysis,
+        extract: ExtractConfig,
+    ) -> SelectionCtx<'a> {
+        SelectionCtx {
+            program,
+            extract,
+            analysis: AnalysisSlot::Borrowed(analysis),
+            weights: None,
+            sites: None,
+            form_costs: None,
+            subseqs: None,
+            outcome: None,
+            selection: None,
+            log: DecisionLog::default(),
+        }
+    }
+
+    /// A context that builds its own analysis in [`BuildAnalysis`]; the
+    /// profiling run aborts after `max_instructions` committed
+    /// instructions (0 = unbounded).
+    pub fn from_program(
+        program: &'a Program,
+        extract: ExtractConfig,
+        max_instructions: u64,
+    ) -> SelectionCtx<'a> {
+        SelectionCtx {
+            program,
+            extract,
+            analysis: AnalysisSlot::Missing { max_instructions },
+            weights: None,
+            sites: None,
+            form_costs: None,
+            subseqs: None,
+            outcome: None,
+            selection: None,
+            log: DecisionLog::default(),
+        }
+    }
+
+    /// The analysis, if [`BuildAnalysis`] has run (or one was borrowed).
+    pub fn analysis(&self) -> Option<&Analysis> {
+        match &self.analysis {
+            AnalysisSlot::Missing { .. } => None,
+            AnalysisSlot::Borrowed(a) => Some(a),
+            AnalysisSlot::Owned(a) => Some(a),
+        }
+    }
+
+    /// The analysis. Panics if [`BuildAnalysis`] has not run — strategies
+    /// may rely on [`ApplyStrategy`] validating this before dispatching.
+    pub fn require_analysis(&self) -> &Analysis {
+        match self.analysis() {
+            Some(a) => a,
+            None => panic!("SelectionCtx: BuildAnalysis has not run"),
+        }
+    }
+
+    /// The maximal candidate sites (empty before [`ExtractMaximalSites`]).
+    pub fn sites(&self) -> &[CandidateSite] {
+        self.sites.as_deref().unwrap_or(&[])
+    }
+
+    /// The per-form cost estimates (empty before [`HwCostModel`]).
+    pub fn form_costs(&self) -> &[FormCost] {
+        self.form_costs.as_deref().unwrap_or(&[])
+    }
+
+    /// The profile weights ([`ProfileWeights`]); a neutral denominator of
+    /// one before the pass runs.
+    pub fn weights_or_default(&self) -> Weights {
+        self.weights.unwrap_or(Weights { total: 1 })
+    }
+}
+
+/// What a pass reports back for the trace: how many items it produced and
+/// a one-line summary.
+#[derive(Clone, Debug, Default)]
+pub struct PassOutput {
+    /// Items produced (sites, forms, windows, confs — pass-specific).
+    pub items: usize,
+    /// One-line human-readable summary.
+    pub note: String,
+}
+
+/// One stage of the selection pipeline.
+pub trait Pass {
+    /// Display name (stable: CI and `--explain` key on it).
+    fn name(&self) -> String;
+    /// Runs the pass over `ctx`.
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error>;
+}
+
+/// Timing and output of one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassStat {
+    /// The pass's display name.
+    pub name: String,
+    /// Wall time, microseconds.
+    pub micros: u64,
+    /// Items produced.
+    pub items: usize,
+    /// The pass's one-line summary.
+    pub note: String,
+}
+
+/// Everything `--explain` prints: per-pass wall time and item counts,
+/// plus the per-candidate decisions the strategy logged.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineTrace {
+    /// The strategy's display name.
+    pub strategy: String,
+    /// One entry per executed pass, in execution order.
+    pub passes: Vec<PassStat>,
+    /// Per-candidate accept/reject decisions (empty unless the context's
+    /// [`DecisionLog`] was enabled).
+    pub decisions: Vec<Decision>,
+}
+
+impl PipelineTrace {
+    /// Total pipeline wall time, microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.passes.iter().map(|p| p.micros).sum()
+    }
+}
+
+/// Builds the analysis if the context does not already carry one.
+pub struct BuildAnalysis;
+
+impl Pass for BuildAnalysis {
+    fn name(&self) -> String {
+        "BuildAnalysis".into()
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        let mut reused = true;
+        if let AnalysisSlot::Missing { max_instructions } = ctx.analysis {
+            let a = Analysis::build_with_limit(ctx.program, max_instructions)?;
+            ctx.analysis = AnalysisSlot::Owned(Box::new(a));
+            reused = false;
+        }
+        let a = ctx.require_analysis();
+        Ok(PassOutput {
+            items: a.cfg.blocks.len(),
+            note: format!(
+                "{} blocks, {} dynamic instructions{}",
+                a.cfg.blocks.len(),
+                a.profile.total,
+                if reused {
+                    " (reused prebuilt analysis)"
+                } else {
+                    ""
+                }
+            ),
+        })
+    }
+}
+
+/// Extracts the maximal candidate sites (`extract::maximal_sites`).
+pub struct ExtractMaximalSites;
+
+impl Pass for ExtractMaximalSites {
+    fn name(&self) -> String {
+        "ExtractMaximalSites".into()
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        let sites = {
+            let a = ctx.analysis().ok_or_else(|| {
+                Error::Pipeline("ExtractMaximalSites requires BuildAnalysis".into())
+            })?;
+            maximal_sites(ctx.program, a, &ctx.extract)
+        };
+        let mut forms: Vec<CanonSeq> = Vec::new();
+        for s in &sites {
+            let c = canonicalize(&s.instrs);
+            if !forms.contains(&c) {
+                forms.push(c);
+            }
+        }
+        let out = PassOutput {
+            items: sites.len(),
+            note: format!(
+                "{} maximal sites, {} distinct forms",
+                sites.len(),
+                forms.len()
+            ),
+        };
+        ctx.sites = Some(sites);
+        Ok(out)
+    }
+}
+
+/// Exposes the profile's normalisation denominator as a pass product.
+pub struct ProfileWeights;
+
+impl Pass for ProfileWeights {
+    fn name(&self) -> String {
+        "ProfileWeights".into()
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        let w = {
+            let a = ctx
+                .analysis()
+                .ok_or_else(|| Error::Pipeline("ProfileWeights requires BuildAnalysis".into()))?;
+            Weights::of(&a.profile)
+        };
+        ctx.weights = Some(w);
+        Ok(PassOutput {
+            items: 1,
+            note: format!("total dynamic instructions: {}", w.total),
+        })
+    }
+}
+
+/// Estimates LUT count and logic depth per distinct candidate form
+/// (`t1000-hwcost`), for budget-aware strategies and `--explain`.
+pub struct HwCostModel;
+
+impl Pass for HwCostModel {
+    fn name(&self) -> String {
+        "HwCostModel".into()
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        if ctx.sites.is_none() {
+            return Err(Error::Pipeline(
+                "HwCostModel requires ExtractMaximalSites".into(),
+            ));
+        }
+        let mut order: Vec<CanonSeq> = Vec::new();
+        let mut widths: BTreeMap<usize, u8> = BTreeMap::new();
+        let mut gains: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for s in ctx.sites() {
+            let c = canonicalize(&s.instrs);
+            let id = match order.iter().position(|f| *f == c) {
+                Some(id) => id,
+                None => {
+                    order.push(c);
+                    order.len() - 1
+                }
+            };
+            let w = widths.entry(id).or_insert(1);
+            *w = (*w).max(s.width).max(1);
+            *gains.entry(id).or_insert(0) += s.total_gain();
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        let form_costs: Vec<FormCost> = order
+            .into_iter()
+            .enumerate()
+            .map(|(id, canon)| {
+                let width = widths.get(&id).copied().unwrap_or(1);
+                let cost = cost_of(&canon.skeleton, width);
+                FormCost {
+                    canon,
+                    width,
+                    cost,
+                    gain: gains.get(&id).copied().unwrap_or(0),
+                    num_sites: counts.get(&id).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        let total_luts: u64 = form_costs.iter().map(|f| f.cost.luts as u64).sum();
+        let out = PassOutput {
+            items: form_costs.len(),
+            note: format!(
+                "{} forms costed, {} LUTs if all were built",
+                form_costs.len(),
+                total_luts
+            ),
+        };
+        ctx.form_costs = Some(form_costs);
+        Ok(out)
+    }
+}
+
+/// Enumerates every valid sub-window of every maximal site (paper Fig. 3:
+/// "extracting common subsequences instead of maximal sequences").
+/// Skipped when the strategy selects maximal sites only.
+pub struct EnumerateSubsequences {
+    /// Whether the strategy asked for subsequences.
+    pub enabled: bool,
+}
+
+impl Pass for EnumerateSubsequences {
+    fn name(&self) -> String {
+        "EnumerateSubsequences".into()
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        if !self.enabled {
+            return Ok(PassOutput {
+                items: 0,
+                note: "skipped (strategy selects maximal sites only)".into(),
+            });
+        }
+        let map = {
+            let a = ctx.analysis().ok_or_else(|| {
+                Error::Pipeline("EnumerateSubsequences requires BuildAnalysis".into())
+            })?;
+            let mut map: BTreeMap<u32, Vec<(CandidateSite, CanonSeq)>> = BTreeMap::new();
+            for s in ctx.sites() {
+                let subs: Vec<(CandidateSite, CanonSeq)> = subwindows(a, &ctx.extract, s)
+                    .into_iter()
+                    .map(|w| {
+                        let c = canonicalize(&w.instrs);
+                        (w, c)
+                    })
+                    .collect();
+                map.insert(s.pc, subs);
+            }
+            map
+        };
+        let windows: usize = map.values().map(Vec::len).sum();
+        let out = PassOutput {
+            items: windows,
+            note: format!("{} candidate windows across {} sites", windows, map.len()),
+        };
+        ctx.subseqs = Some(map);
+        Ok(out)
+    }
+}
+
+/// Runs the pluggable strategy over the accumulated context.
+pub struct ApplyStrategy<'s> {
+    /// The strategy to dispatch.
+    pub strategy: &'s dyn SelectStrategy,
+}
+
+impl Pass for ApplyStrategy<'_> {
+    fn name(&self) -> String {
+        format!("SelectStrategy({})", self.strategy.name())
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        if ctx.analysis().is_none() {
+            return Err(Error::Pipeline(
+                "ApplyStrategy requires BuildAnalysis".into(),
+            ));
+        }
+        if ctx.sites.is_none() {
+            return Err(Error::Pipeline(
+                "ApplyStrategy requires ExtractMaximalSites".into(),
+            ));
+        }
+        if ctx.weights.is_none() {
+            return Err(Error::Pipeline(
+                "ApplyStrategy requires ProfileWeights".into(),
+            ));
+        }
+        if self.strategy.needs_form_costs() && ctx.form_costs.is_none() {
+            return Err(Error::Pipeline(format!(
+                "strategy `{}` requires HwCostModel",
+                self.strategy.name()
+            )));
+        }
+        if self.strategy.needs_subsequences() && ctx.subseqs.is_none() {
+            return Err(Error::Pipeline(format!(
+                "strategy `{}` requires EnumerateSubsequences",
+                self.strategy.name()
+            )));
+        }
+        // The strategy reads the context immutably but appends to the
+        // decision log; take the log out for the duration of the call.
+        let mut log = std::mem::take(&mut ctx.log);
+        let outcome = self.strategy.select(ctx, &mut log);
+        ctx.log = log;
+        let out = PassOutput {
+            items: outcome.windows.len(),
+            note: format!(
+                "{} windows chosen, {} subsequence matrices",
+                outcome.windows.len(),
+                outcome.matrices.len()
+            ),
+        };
+        ctx.outcome = Some(outcome);
+        Ok(out)
+    }
+}
+
+/// Numbers configurations and lowers the chosen windows to the final
+/// [`Selection`] (fusion map + configuration catalogue).
+pub struct LowerFusionMap;
+
+impl Pass for LowerFusionMap {
+    fn name(&self) -> String {
+        "LowerFusionMap".into()
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        let outcome = ctx
+            .outcome
+            .take()
+            .ok_or_else(|| Error::Pipeline("LowerFusionMap requires ApplyStrategy".into()))?;
+        let selection = build_selection(outcome.windows, outcome.matrices);
+        let luts: u64 = selection.confs.iter().map(|c| c.cost.luts as u64).sum();
+        let out = PassOutput {
+            items: selection.num_confs(),
+            note: format!(
+                "{} confs, {} fused sites, {} LUTs",
+                selection.num_confs(),
+                selection.fusion.num_sites(),
+                luts
+            ),
+        };
+        ctx.selection = Some(selection);
+        Ok(out)
+    }
+}
+
+/// An ordered list of passes, run in sequence over one [`SelectionCtx`].
+pub struct PassManager<'s> {
+    strategy_name: String,
+    passes: Vec<Box<dyn Pass + 's>>,
+}
+
+impl<'s> PassManager<'s> {
+    /// An empty manager (for custom pipelines); `strategy_name` labels the
+    /// trace.
+    pub fn new(strategy_name: impl Into<String>) -> PassManager<'s> {
+        PassManager {
+            strategy_name: strategy_name.into(),
+            passes: Vec::new(),
+        }
+    }
+
+    /// Appends a pass.
+    pub fn with_pass(mut self, pass: Box<dyn Pass + 's>) -> PassManager<'s> {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The standard seven-pass pipeline around `strategy` (see the module
+    /// docs for the order).
+    pub fn standard(strategy: &'s dyn SelectStrategy) -> PassManager<'s> {
+        PassManager::new(strategy.name())
+            .with_pass(Box::new(BuildAnalysis))
+            .with_pass(Box::new(ExtractMaximalSites))
+            .with_pass(Box::new(ProfileWeights))
+            .with_pass(Box::new(HwCostModel))
+            .with_pass(Box::new(EnumerateSubsequences {
+                enabled: strategy.needs_subsequences(),
+            }))
+            .with_pass(Box::new(ApplyStrategy { strategy }))
+            .with_pass(Box::new(LowerFusionMap))
+    }
+
+    /// Runs every pass in order, timing each; drains the context's
+    /// decision log into the returned trace.
+    pub fn run(&self, ctx: &mut SelectionCtx) -> Result<PipelineTrace, Error> {
+        let mut trace = PipelineTrace {
+            strategy: self.strategy_name.clone(),
+            ..PipelineTrace::default()
+        };
+        for pass in &self.passes {
+            let t0 = Instant::now();
+            let out = pass.run(ctx)?;
+            trace.passes.push(PassStat {
+                name: pass.name(),
+                micros: t0.elapsed().as_micros() as u64,
+                items: out.items,
+                note: out.note,
+            });
+        }
+        trace.decisions = std::mem::take(&mut ctx.log.decisions);
+        Ok(trace)
+    }
+}
+
+/// Runs the standard pipeline over a prebuilt analysis. This path cannot
+/// fail: every pass contract is satisfied by construction. Set `explain`
+/// to collect per-candidate decisions in the trace.
+pub fn run_selection(
+    program: &Program,
+    analysis: &Analysis,
+    extract: &ExtractConfig,
+    strategy: &dyn SelectStrategy,
+    explain: bool,
+) -> (Selection, PipelineTrace) {
+    let mut ctx = SelectionCtx::with_analysis(program, analysis, *extract);
+    ctx.log.enabled = explain;
+    match PassManager::standard(strategy).run(&mut ctx) {
+        Ok(trace) => (ctx.selection.take().unwrap_or_default(), trace),
+        // All inputs are prebuilt and the standard order satisfies every
+        // pass contract; `BuildAnalysis` reuses the borrowed analysis.
+        Err(e) => unreachable!("standard pipeline over a prebuilt analysis failed: {e}"),
+    }
+}
+
+/// Runs the standard pipeline from a bare program: [`BuildAnalysis`]
+/// profiles it first (bounded by `max_instructions`; 0 = unbounded).
+pub fn run_selection_from_program(
+    program: &Program,
+    extract: &ExtractConfig,
+    max_instructions: u64,
+    strategy: &dyn SelectStrategy,
+    explain: bool,
+) -> Result<(Selection, PipelineTrace), Error> {
+    let mut ctx = SelectionCtx::from_program(program, *extract, max_instructions);
+    ctx.log.enabled = explain;
+    let trace = PassManager::standard(strategy).run(&mut ctx)?;
+    Ok((ctx.selection.take().unwrap_or_default(), trace))
+}

@@ -14,14 +14,22 @@
 //!    build the k×k subsequence matrix, and keep the ≤ #PFU forms with the
 //!    highest total gain across the loop — choosing a shared common
 //!    subsequence over several maximal sequences when that wins (Fig. 3).
+//!
+//! Since the pass-pipeline refactor both algorithms live behind the
+//! [`SelectStrategy`](crate::strategy::SelectStrategy) trait
+//! ([`crate::strategy::Greedy`], [`crate::strategy::Selective`]) and run
+//! through [`crate::pipeline::PassManager::standard`]; the free functions
+//! here are thin wrappers kept for source compatibility. This module
+//! retains the shared data types and the `build_selection` lowering
+//! (the `LowerFusionMap` pass).
 
 use crate::canon::{canonicalize, CanonSeq};
-use crate::extract::{maximal_sites, subwindows, Analysis, CandidateSite, ExtractConfig};
+use crate::extract::{Analysis, CandidateSite, ExtractConfig};
 use crate::matrix::SubseqMatrix;
-use std::collections::{BTreeMap, HashMap};
+use crate::pipeline::run_selection;
+use std::collections::HashMap;
 use t1000_hwcost::{cost_of, ExtCost};
 use t1000_isa::{ConfDef, ConfId, FusedSite, FusionMap, Program};
-use t1000_profile::{natural_loops, Dominators, NaturalLoop};
 
 /// Selection-algorithm parameters.
 #[derive(Clone, Copy, Debug)]
@@ -82,286 +90,31 @@ impl Selection {
 }
 
 /// The greedy algorithm (§4): every maximal candidate sequence becomes an
-/// extended instruction.
+/// extended instruction. Runs the standard pass pipeline with the
+/// [`Greedy`](crate::strategy::Greedy) strategy.
 pub fn greedy(program: &Program, a: &Analysis, cfg_x: &ExtractConfig) -> Selection {
-    let sites = maximal_sites(program, a, cfg_x);
-    build_selection(sites, Vec::new())
+    run_selection(program, a, cfg_x, &crate::strategy::Greedy, false).0
 }
 
-/// The selective algorithm (§5, Fig. 5).
+/// The selective algorithm (§5, Fig. 5). Runs the standard pass pipeline
+/// with the [`Selective`](crate::strategy::Selective) strategy.
 pub fn selective(
     program: &Program,
     a: &Analysis,
     cfg_x: &ExtractConfig,
     cfg_s: &SelectConfig,
 ) -> Selection {
-    let all_sites = maximal_sites(program, a, cfg_x);
-    let total_time = a.profile.total.max(1);
-
-    // Step 1-2: group maximal sites by form; keep forms above the gain
-    // threshold.
-    let mut by_form: BTreeMap<usize, Vec<CandidateSite>> = BTreeMap::new();
-    let mut form_ids: HashMap<CanonSeq, usize> = HashMap::new();
-    let mut forms: Vec<CanonSeq> = Vec::new();
-    for site in all_sites {
-        let c = canonicalize(&site.instrs);
-        let id = *form_ids.entry(c.clone()).or_insert_with(|| {
-            forms.push(c);
-            forms.len() - 1
-        });
-        by_form.entry(id).or_default().push(site);
-    }
-    let surviving: Vec<usize> = by_form
-        .iter()
-        .filter(|(_, sites)| {
-            let gain: u64 = sites.iter().map(|s| s.total_gain()).sum();
-            gain as f64 / total_time as f64 >= cfg_s.gain_threshold
-        })
-        .map(|(&id, _)| id)
-        .collect();
-
-    // Step 3: few enough distinct forms → select everything surviving.
-    let Some(pfu_budget) = cfg_s.pfus else {
-        let chosen: Vec<CandidateSite> = surviving
-            .iter()
-            .flat_map(|id| by_form[id].clone())
-            .collect();
-        return build_selection(chosen, Vec::new());
-    };
-    if surviving.len() <= pfu_budget {
-        let chosen: Vec<CandidateSite> = surviving
-            .iter()
-            .flat_map(|id| by_form[id].clone())
-            .collect();
-        return build_selection(chosen, Vec::new());
-    }
-
-    // Step 4: loop bodies one at a time. The paper's constraint — "the
-    // number of extended instructions selected within each loop never
-    // exceeds the number of PFUs" — must hold for *every* loop, outer
-    // loops included: if two sibling inner loops inside one outer loop
-    // chose disjoint configuration sets, every outer iteration would
-    // reload PFUs and thrashing would return at loop granularity. We
-    // therefore assign each site to its *outermost* containing loop and
-    // apply the budget there; inner-loop sites dominate the gain ranking
-    // through their execution counts. Sites outside all loops are dropped.
-    let doms = Dominators::compute(&a.cfg);
-    let loops = natural_loops(&a.cfg, &doms); // innermost first
-    let outermost_loop =
-        |block: usize| -> Option<usize> { loops.iter().rposition(|l| l.blocks.contains(&block)) };
-
-    let mut per_loop: BTreeMap<usize, Vec<CandidateSite>> = BTreeMap::new();
-    for id in &surviving {
-        for site in &by_form[id] {
-            if let Some(l) = outermost_loop(site.block) {
-                per_loop.entry(l).or_default().push(site.clone());
-            }
-        }
-    }
-
-    let mut fused: Vec<CandidateSite> = Vec::new();
-    let mut matrices = Vec::new();
-    for (l, sites) in per_loop {
-        let (mut picked, matrix) = select_in_loop(a, cfg_x, &loops[l], sites, pfu_budget);
-        fused.append(&mut picked);
-        if let Some(m) = matrix {
-            matrices.push(m);
-        }
-    }
-    build_selection(fused, matrices)
-}
-
-/// Selects at most `budget` distinct forms within one loop and returns the
-/// concrete windows to fuse (paper Fig. 5, bottom path).
-fn select_in_loop(
-    a: &Analysis,
-    cfg_x: &ExtractConfig,
-    _lp: &NaturalLoop,
-    sites: Vec<CandidateSite>,
-    budget: usize,
-) -> (Vec<CandidateSite>, Option<SubseqMatrix>) {
-    // Distinct forms among the maximal sites of this loop.
-    let mut maximal_forms: Vec<CanonSeq> = Vec::new();
-    for s in &sites {
-        let c = canonicalize(&s.instrs);
-        if !maximal_forms.contains(&c) {
-            maximal_forms.push(c);
-        }
-    }
-    if maximal_forms.len() <= budget {
-        return (sites, None);
-    }
-
-    // Too many forms: consider every valid subsequence as an alternative
-    // (paper: "extracting common subsequences instead of maximal
-    // sequences", Fig. 3).
-    // candidate form → (total dynamic gain, per-site non-overlapping hits)
-    #[derive(Default)]
-    struct FormInfo {
-        gain: u64,
-        len: usize,
-    }
-    let mut info: HashMap<CanonSeq, FormInfo> = HashMap::new();
-    let mut all_forms: Vec<CanonSeq> = Vec::new();
-    // For the matrix: every appearance (including overlapping ones).
-    let mut appearances: Vec<(CanonSeq, CanonSeq)> = Vec::new(); // (inner, outer)
-
-    let site_windows: Vec<(usize, Vec<(CandidateSite, CanonSeq)>)> = sites
-        .iter()
-        .enumerate()
-        .map(|(si, s)| {
-            let subs = subwindows(a, cfg_x, s)
-                .into_iter()
-                .map(|w| {
-                    let c = canonicalize(&w.instrs);
-                    (w, c)
-                })
-                .collect();
-            (si, subs)
-        })
-        .collect();
-
-    for (si, subs) in &site_windows {
-        let outer = canonicalize(&sites[*si].instrs);
-        for (w, c) in subs {
-            if !all_forms.contains(c) {
-                all_forms.push(c.clone());
-            }
-            let e = info.entry(c.clone()).or_default();
-            e.len = w.len();
-            if w.len() == sites[*si].len() {
-                appearances.push((c.clone(), c.clone())); // maximal
-            } else {
-                appearances.push((c.clone(), outer.clone()));
-            }
-        }
-    }
-
-    // Gains from non-overlapping coverage, form by form.
-    for form in &all_forms {
-        let mut gain = 0u64;
-        for (si, subs) in &site_windows {
-            let hits = cover_count(&sites[*si], subs, form);
-            gain += hits as u64 * (info[form].len as u64 - 1) * sites[*si].exec_count;
-        }
-        if let Some(e) = info.get_mut(form) {
-            e.gain = gain;
-        }
-    }
-
-    // Build the subsequence matrix for reporting.
-    let mut matrix = SubseqMatrix::new(all_forms.clone());
-    for (inner, outer) in &appearances {
-        if inner == outer {
-            matrix.record_maximal(inner);
-        } else {
-            matrix.record_subseq(inner, outer);
-        }
-    }
-
-    // Pick up to `budget` forms by *marginal* gain: each round adds the
-    // form whose inclusion increases the total covered saving the most,
-    // given the forms already chosen (greedy set cover). This is the
-    // paper's "highest total gain across the loop" rule, refined so that
-    // two forms covering the same instructions are not both selected.
-    let coverage_gain = |chosen: &[CanonSeq]| -> u64 {
-        site_windows
-            .iter()
-            .map(|(si, subs)| {
-                cover_site(&sites[*si], subs, chosen)
-                    .iter()
-                    .map(|w| (w.len() as u64 - 1) * sites[*si].exec_count)
-                    .sum::<u64>()
-            })
-            .sum()
-    };
-    let mut chosen: Vec<CanonSeq> = Vec::new();
-    let mut covered = 0u64;
-    for _ in 0..budget {
-        let mut best: Option<(u64, &CanonSeq)> = None;
-        for f in &all_forms {
-            if chosen.contains(f) {
-                continue;
-            }
-            let mut trial = chosen.clone();
-            trial.push(f.clone());
-            let marginal = coverage_gain(&trial).saturating_sub(covered);
-            let better = match best {
-                None => true,
-                Some((bg, bf)) => marginal > bg || (marginal == bg && info[f].len > info[bf].len),
-            };
-            if marginal > 0 && better {
-                best = Some((marginal, f));
-            }
-        }
-        let Some((marginal, f)) = best else { break };
-        covered += marginal;
-        chosen.push(f.clone());
-    }
-
-    // Rewrite each site: cover it with windows of chosen forms, longest
-    // chosen form first, left to right, non-overlapping.
-    let mut picked: Vec<CandidateSite> = Vec::new();
-    for (si, subs) in &site_windows {
-        picked.extend(cover_site(&sites[*si], subs, &chosen));
-    }
-    (picked, Some(matrix))
-}
-
-/// Number of non-overlapping occurrences of `form` in `site`, greedy
-/// left-to-right.
-fn cover_count(
-    site: &CandidateSite,
-    windows: &[(CandidateSite, CanonSeq)],
-    form: &CanonSeq,
-) -> usize {
-    let len = form.skeleton.len() as u32;
-    let mut count = 0;
-    let mut pc = site.pc;
-    let end = site.pc + 4 * site.len() as u32;
-    while pc + 4 * len <= end {
-        if windows.iter().any(|(w, c)| w.pc == pc && c == form) {
-            count += 1;
-            pc += 4 * len;
-        } else {
-            pc += 4;
-        }
-    }
-    count
-}
-
-/// Concrete windows fusing `site` with the chosen forms (longest first,
-/// left-to-right, non-overlapping).
-fn cover_site(
-    site: &CandidateSite,
-    windows: &[(CandidateSite, CanonSeq)],
-    chosen: &[CanonSeq],
-) -> Vec<CandidateSite> {
-    let mut by_len: Vec<&CanonSeq> = chosen.iter().collect();
-    by_len.sort_by_key(|c| std::cmp::Reverse(c.skeleton.len()));
-    let mut out = Vec::new();
-    let mut pc = site.pc;
-    let end = site.pc + 4 * site.len() as u32;
-    'outer: while pc < end {
-        for form in &by_len {
-            let len = form.skeleton.len() as u32;
-            if pc + 4 * len > end {
-                continue;
-            }
-            if let Some((w, _)) = windows.iter().find(|(w, c)| w.pc == pc && c == *form) {
-                out.push(w.clone());
-                pc += 4 * len;
-                continue 'outer;
-            }
-        }
-        pc += 4;
-    }
-    out
+    let strategy = crate::strategy::Selective { cfg: *cfg_s };
+    run_selection(program, a, cfg_x, &strategy, false).0
 }
 
 /// Assigns configuration ids and builds the [`FusionMap`] from the chosen
-/// windows. Windows sharing a canonical form share a configuration.
-fn build_selection(windows: Vec<CandidateSite>, matrices: Vec<SubseqMatrix>) -> Selection {
+/// windows. Windows sharing a canonical form share a configuration. This
+/// is the `LowerFusionMap` pass's implementation.
+pub(crate) fn build_selection(
+    windows: Vec<CandidateSite>,
+    matrices: Vec<SubseqMatrix>,
+) -> Selection {
     // Group by form.
     let mut order: Vec<CanonSeq> = Vec::new();
     let mut grouped: HashMap<CanonSeq, Vec<CandidateSite>> = HashMap::new();

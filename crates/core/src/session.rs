@@ -36,7 +36,9 @@
 //! ```
 
 use crate::extract::{Analysis, ExtractConfig};
-use crate::select::{greedy, selective, SelectConfig, Selection};
+use crate::pipeline::{run_selection, PipelineTrace};
+use crate::select::{SelectConfig, Selection};
+use crate::strategy::StrategySpec;
 use crate::Error;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,28 +46,6 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use t1000_cpu::{simulate, simulate_with, simulate_with_faults, CpuConfig, RunResult, TraceSink};
 use t1000_isa::{ConfId, FusionMap, Program};
-
-/// Cache key for one selection request. `SelectConfig` itself is not
-/// `Eq`/`Hash` (it carries an `f64` threshold), so the key stores the
-/// threshold's bit pattern — two configs hit the same entry exactly when
-/// they would drive the selector identically.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum SelectionKey {
-    Greedy,
-    Selective {
-        pfus: Option<usize>,
-        gain_threshold_bits: u64,
-    },
-}
-
-impl SelectionKey {
-    fn selective(cfg: &SelectConfig) -> SelectionKey {
-        SelectionKey::Selective {
-            pfus: cfg.pfus,
-            gain_threshold_bits: cfg.gain_threshold.to_bits(),
-        }
-    }
-}
 
 /// Counters describing how the session's selection cache has been used.
 /// Times are for cache *misses* only — what the selectors actually cost.
@@ -87,14 +67,15 @@ impl SelectionCacheStats {
     }
 }
 
-/// Interior memoization for `greedy()`/`selective()`. Each key's value is
-/// computed exactly once, even under concurrent access from scoped
+/// Interior memoization for selection requests, keyed by
+/// [`StrategySpec`] — the strategy id. Each key's value is computed
+/// exactly once, even under concurrent access from scoped
 /// threads: the per-key `OnceLock` makes racing callers block on the
 /// winner's computation instead of redoing it, while callers with
 /// *different* keys only contend on the brief map lookup.
 #[derive(Default)]
 struct SelectionCache {
-    entries: Mutex<HashMap<SelectionKey, Arc<OnceLock<Arc<Selection>>>>>,
+    entries: Mutex<HashMap<StrategySpec, Arc<OnceLock<Arc<Selection>>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     compute_nanos: AtomicU64,
@@ -103,7 +84,7 @@ struct SelectionCache {
 impl SelectionCache {
     fn get_or_compute(
         &self,
-        key: SelectionKey,
+        key: StrategySpec,
         compute: impl FnOnce() -> Selection,
     ) -> Arc<Selection> {
         let cell = {
@@ -143,7 +124,10 @@ impl SelectionCache {
     }
 }
 
-/// A program under study, with its static and dynamic analyses.
+/// A program under study, with its static and dynamic analyses. Since
+/// the pass-pipeline refactor this is a thin façade: selection itself
+/// lives in [`crate::pipeline`]/[`crate::strategy`]; the session owns
+/// the program, its analysis, and the memo cache keyed by strategy id.
 pub struct Session {
     program: Program,
     analysis: Analysis,
@@ -202,6 +186,45 @@ impl Session {
         &self.extract
     }
 
+    /// Runs the selection strategy `spec` describes through the pass
+    /// pipeline, sharing the memoized result — the form the experiment
+    /// engine uses. Any strategy gets caching for free: the cache is
+    /// keyed by the spec (the strategy id).
+    pub fn select_shared(&self, spec: &StrategySpec) -> Arc<Selection> {
+        let spec = *spec;
+        self.selections.get_or_compute(spec, || {
+            let strategy = spec.instantiate();
+            run_selection(
+                &self.program,
+                &self.analysis,
+                &self.extract,
+                strategy.as_ref(),
+                false,
+            )
+            .0
+        })
+    }
+
+    /// Like [`Session::select_shared`], but clones the cached selection.
+    pub fn select(&self, spec: &StrategySpec) -> Selection {
+        (*self.select_shared(spec)).clone()
+    }
+
+    /// Runs the strategy *uncached* with decision logging enabled and
+    /// returns the selection together with the pipeline trace (per-pass
+    /// wall time and item counts, per-candidate accept/reject reasons) —
+    /// the engine behind `t1000 select --explain`.
+    pub fn explain(&self, spec: &StrategySpec) -> (Selection, PipelineTrace) {
+        let strategy = spec.instantiate();
+        run_selection(
+            &self.program,
+            &self.analysis,
+            &self.extract,
+            strategy.as_ref(),
+            true,
+        )
+    }
+
     /// Runs the greedy selection algorithm (§4). Memoized: repeated calls
     /// (from any thread) compute the selection once and clone the cached
     /// result.
@@ -216,20 +239,15 @@ impl Session {
     }
 
     /// Like [`Session::greedy`], but shares the cached selection instead
-    /// of cloning it — the form the experiment engine uses.
+    /// of cloning it.
     pub fn greedy_shared(&self) -> Arc<Selection> {
-        self.selections.get_or_compute(SelectionKey::Greedy, || {
-            greedy(&self.program, &self.analysis, &self.extract)
-        })
+        self.select_shared(&StrategySpec::Greedy)
     }
 
     /// Like [`Session::selective`], but shares the cached selection
     /// instead of cloning it.
     pub fn selective_shared(&self, cfg: &SelectConfig) -> Arc<Selection> {
-        self.selections
-            .get_or_compute(SelectionKey::selective(cfg), || {
-                selective(&self.program, &self.analysis, &self.extract, cfg)
-            })
+        self.select_shared(&StrategySpec::selective(cfg))
     }
 
     /// Hit/miss/compute-time counters for the selection cache.
@@ -337,6 +355,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::select::selective;
 
     const KERNEL: &str = "
 main:

@@ -1,0 +1,673 @@
+//! Pluggable selection strategies: the algorithm slot of the pipeline.
+//!
+//! A strategy consumes the products accumulated in a
+//! [`SelectionCtx`] — maximal sites,
+//! profile weights, per-form hardware costs, optionally the enumerated
+//! subsequences — and returns the concrete windows to fuse. Everything
+//! around it (extraction, costing, lowering, caching, bench cells) is
+//! shared, so a new selection algorithm is one type implementing
+//! [`SelectStrategy`] plus a [`StrategySpec`] variant to name it.
+//!
+//! Shipped strategies:
+//!
+//! * [`Greedy`] — the paper's §4 algorithm: every maximal site fuses;
+//! * [`Selective`] — the paper's §5 algorithm (Fig. 5): gain threshold,
+//!   per-loop PFU budget, subsequence-matrix arbitration;
+//! * [`BudgetKnapsack`] — hwcost-aware: maximises estimated cycles saved
+//!   under a total-LUT area budget (0/1 knapsack over candidate forms),
+//!   in the spirit of Sovietov's instruction-set improvement algorithms.
+
+use crate::canon::{canonicalize, CanonSeq};
+use crate::extract::CandidateSite;
+use crate::matrix::SubseqMatrix;
+use crate::pipeline::{Decision, DecisionLog, SelectionCtx};
+use crate::select::SelectConfig;
+use std::collections::{BTreeMap, HashMap};
+use t1000_profile::{natural_loops, Dominators};
+
+/// What a strategy hands to `LowerFusionMap`: the concrete windows to
+/// fuse plus any subsequence matrices built while arbitrating (reported
+/// in Fig. 7-style analyses).
+#[derive(Clone, Debug, Default)]
+pub struct StrategyOutcome {
+    /// The windows to fuse (each becomes a fused site; windows sharing a
+    /// canonical form share a configuration).
+    pub windows: Vec<CandidateSite>,
+    /// Subsequence matrices of the loops the strategy had to arbitrate.
+    pub matrices: Vec<SubseqMatrix>,
+}
+
+/// A selection algorithm, pluggable into the pass pipeline.
+pub trait SelectStrategy: Sync {
+    /// Short stable name (`greedy`, `selective`, `knapsack`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether the pipeline should run `EnumerateSubsequences` before
+    /// dispatching to this strategy.
+    fn needs_subsequences(&self) -> bool {
+        false
+    }
+
+    /// Whether the pipeline must run `HwCostModel` before dispatching to
+    /// this strategy.
+    fn needs_form_costs(&self) -> bool {
+        false
+    }
+
+    /// Picks the windows to fuse. `ctx` is the accumulated pipeline state
+    /// (`ApplyStrategy` guarantees analysis, sites and weights are
+    /// present, plus whatever the `needs_*` hooks requested); `log`
+    /// collects per-candidate accept/reject decisions for `--explain`.
+    fn select(&self, ctx: &SelectionCtx, log: &mut DecisionLog) -> StrategyOutcome;
+}
+
+/// The greedy algorithm (§4): every maximal candidate sequence becomes an
+/// extended instruction.
+pub struct Greedy;
+
+impl SelectStrategy for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn select(&self, ctx: &SelectionCtx, log: &mut DecisionLog) -> StrategyOutcome {
+        let windows = ctx.sites().to_vec();
+        for s in &windows {
+            log.record(|| Decision {
+                pc: s.pc,
+                len: s.len(),
+                accepted: true,
+                reason: format!("maximal site (dynamic gain {})", s.total_gain()),
+            });
+        }
+        StrategyOutcome {
+            windows,
+            matrices: Vec::new(),
+        }
+    }
+}
+
+/// The selective algorithm (§5, Fig. 5).
+pub struct Selective {
+    /// Threshold and PFU budget.
+    pub cfg: SelectConfig,
+}
+
+impl SelectStrategy for Selective {
+    fn name(&self) -> &'static str {
+        "selective"
+    }
+
+    fn needs_subsequences(&self) -> bool {
+        // The subsequence matrix is only consulted under PFU pressure; an
+        // unlimited-PFU selective run never reaches that path.
+        self.cfg.pfus.is_some()
+    }
+
+    fn select(&self, ctx: &SelectionCtx, log: &mut DecisionLog) -> StrategyOutcome {
+        let cfg_s = &self.cfg;
+        let weights = ctx.weights_or_default();
+
+        // Step 1-2: group maximal sites by form; keep forms above the
+        // gain threshold.
+        let mut by_form: BTreeMap<usize, Vec<CandidateSite>> = BTreeMap::new();
+        let mut form_ids: HashMap<CanonSeq, usize> = HashMap::new();
+        let mut forms: Vec<CanonSeq> = Vec::new();
+        for site in ctx.sites().to_vec() {
+            let c = canonicalize(&site.instrs);
+            let id = *form_ids.entry(c.clone()).or_insert_with(|| {
+                forms.push(c);
+                forms.len() - 1
+            });
+            by_form.entry(id).or_default().push(site);
+        }
+        let surviving: Vec<usize> = by_form
+            .iter()
+            .filter(|(_, sites)| {
+                let gain: u64 = sites.iter().map(|s| s.total_gain()).sum();
+                weights.share(gain) >= cfg_s.gain_threshold
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for (id, sites) in &by_form {
+            if !surviving.contains(id) {
+                let gain: u64 = sites.iter().map(|s| s.total_gain()).sum();
+                for s in sites {
+                    log.record(|| Decision {
+                        pc: s.pc,
+                        len: s.len(),
+                        accepted: false,
+                        reason: format!(
+                            "form's gain share {:.3}% below threshold {:.3}%",
+                            weights.share(gain) * 100.0,
+                            cfg_s.gain_threshold * 100.0
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Step 3: few enough distinct forms → select everything surviving.
+        let fits = match cfg_s.pfus {
+            None => true,
+            Some(budget) => surviving.len() <= budget,
+        };
+        if fits {
+            let chosen: Vec<CandidateSite> = surviving
+                .iter()
+                .flat_map(|id| by_form[id].clone())
+                .collect();
+            for s in &chosen {
+                log.record(|| Decision {
+                    pc: s.pc,
+                    len: s.len(),
+                    accepted: true,
+                    reason: match cfg_s.pfus {
+                        None => "above gain threshold; PFUs unlimited".into(),
+                        Some(b) => format!(
+                            "above gain threshold; {} surviving forms fit {} PFUs",
+                            surviving.len(),
+                            b
+                        ),
+                    },
+                });
+            }
+            return StrategyOutcome {
+                windows: chosen,
+                matrices: Vec::new(),
+            };
+        }
+        let pfu_budget = match cfg_s.pfus {
+            Some(b) => b,
+            None => unreachable!("`fits` is true for unlimited PFUs"),
+        };
+
+        // Step 4: loop bodies one at a time. The paper's constraint — "the
+        // number of extended instructions selected within each loop never
+        // exceeds the number of PFUs" — must hold for *every* loop, outer
+        // loops included: if two sibling inner loops inside one outer loop
+        // chose disjoint configuration sets, every outer iteration would
+        // reload PFUs and thrashing would return at loop granularity. We
+        // therefore assign each site to its *outermost* containing loop and
+        // apply the budget there; inner-loop sites dominate the gain ranking
+        // through their execution counts. Sites outside all loops are
+        // dropped.
+        let a = ctx.require_analysis();
+        let doms = Dominators::compute(&a.cfg);
+        let loops = natural_loops(&a.cfg, &doms); // innermost first
+        let outermost_loop = |block: usize| -> Option<usize> {
+            loops.iter().rposition(|l| l.blocks.contains(&block))
+        };
+
+        let mut per_loop: BTreeMap<usize, Vec<CandidateSite>> = BTreeMap::new();
+        for id in &surviving {
+            for site in &by_form[id] {
+                if let Some(l) = outermost_loop(site.block) {
+                    per_loop.entry(l).or_default().push(site.clone());
+                } else {
+                    log.record(|| Decision {
+                        pc: site.pc,
+                        len: site.len(),
+                        accepted: false,
+                        reason: format!(
+                            "outside any natural loop under PFU pressure ({} forms > {} PFUs)",
+                            surviving.len(),
+                            pfu_budget
+                        ),
+                    });
+                }
+            }
+        }
+
+        let empty: Vec<(CandidateSite, CanonSeq)> = Vec::new();
+        let subseqs = ctx.subseqs.as_ref();
+        let mut fused: Vec<CandidateSite> = Vec::new();
+        let mut matrices = Vec::new();
+        for (_l, sites) in per_loop {
+            let lookup = |pc: u32| -> &[(CandidateSite, CanonSeq)] {
+                subseqs
+                    .and_then(|m| m.get(&pc))
+                    .unwrap_or(&empty)
+                    .as_slice()
+            };
+            let (mut picked, matrix) = select_in_loop(&lookup, sites, pfu_budget, log);
+            fused.append(&mut picked);
+            if let Some(m) = matrix {
+                matrices.push(m);
+            }
+        }
+        StrategyOutcome {
+            windows: fused,
+            matrices,
+        }
+    }
+}
+
+/// Selects at most `budget` distinct forms within one loop and returns the
+/// concrete windows to fuse (paper Fig. 5, bottom path). `lookup` returns
+/// the pre-enumerated valid sub-windows of a maximal site, keyed by its
+/// first pc (the `EnumerateSubsequences` pass product).
+fn select_in_loop<'a>(
+    lookup: &dyn Fn(u32) -> &'a [(CandidateSite, CanonSeq)],
+    sites: Vec<CandidateSite>,
+    budget: usize,
+    log: &mut DecisionLog,
+) -> (Vec<CandidateSite>, Option<SubseqMatrix>) {
+    // Distinct forms among the maximal sites of this loop.
+    let mut maximal_forms: Vec<CanonSeq> = Vec::new();
+    for s in &sites {
+        let c = canonicalize(&s.instrs);
+        if !maximal_forms.contains(&c) {
+            maximal_forms.push(c);
+        }
+    }
+    if maximal_forms.len() <= budget {
+        for s in &sites {
+            log.record(|| Decision {
+                pc: s.pc,
+                len: s.len(),
+                accepted: true,
+                reason: format!(
+                    "loop has {} distinct forms ≤ budget {}",
+                    maximal_forms.len(),
+                    budget
+                ),
+            });
+        }
+        return (sites, None);
+    }
+
+    // Too many forms: consider every valid subsequence as an alternative
+    // (paper: "extracting common subsequences instead of maximal
+    // sequences", Fig. 3).
+    // candidate form → (total dynamic gain, per-site non-overlapping hits)
+    #[derive(Default)]
+    struct FormInfo {
+        gain: u64,
+        len: usize,
+    }
+    let mut info: HashMap<CanonSeq, FormInfo> = HashMap::new();
+    let mut all_forms: Vec<CanonSeq> = Vec::new();
+    // For the matrix: every appearance (including overlapping ones).
+    let mut appearances: Vec<(CanonSeq, CanonSeq)> = Vec::new(); // (inner, outer)
+
+    let site_windows: Vec<(usize, &[(CandidateSite, CanonSeq)])> = sites
+        .iter()
+        .enumerate()
+        .map(|(si, s)| (si, lookup(s.pc)))
+        .collect();
+
+    for (si, subs) in &site_windows {
+        let outer = canonicalize(&sites[*si].instrs);
+        for (w, c) in *subs {
+            if !all_forms.contains(c) {
+                all_forms.push(c.clone());
+            }
+            let e = info.entry(c.clone()).or_default();
+            e.len = w.len();
+            if w.len() == sites[*si].len() {
+                appearances.push((c.clone(), c.clone())); // maximal
+            } else {
+                appearances.push((c.clone(), outer.clone()));
+            }
+        }
+    }
+
+    // Gains from non-overlapping coverage, form by form.
+    for form in &all_forms {
+        let mut gain = 0u64;
+        for (si, subs) in &site_windows {
+            let hits = cover_count(&sites[*si], subs, form);
+            gain += hits as u64 * (info[form].len as u64 - 1) * sites[*si].exec_count;
+        }
+        if let Some(e) = info.get_mut(form) {
+            e.gain = gain;
+        }
+    }
+
+    // Build the subsequence matrix for reporting.
+    let mut matrix = SubseqMatrix::new(all_forms.clone());
+    for (inner, outer) in &appearances {
+        if inner == outer {
+            matrix.record_maximal(inner);
+        } else {
+            matrix.record_subseq(inner, outer);
+        }
+    }
+
+    // Pick up to `budget` forms by *marginal* gain: each round adds the
+    // form whose inclusion increases the total covered saving the most,
+    // given the forms already chosen (greedy set cover). This is the
+    // paper's "highest total gain across the loop" rule, refined so that
+    // two forms covering the same instructions are not both selected.
+    let coverage_gain = |chosen: &[CanonSeq]| -> u64 {
+        site_windows
+            .iter()
+            .map(|(si, subs)| {
+                cover_site(&sites[*si], subs, chosen)
+                    .iter()
+                    .map(|w| (w.len() as u64 - 1) * sites[*si].exec_count)
+                    .sum::<u64>()
+            })
+            .sum()
+    };
+    let mut chosen: Vec<CanonSeq> = Vec::new();
+    let mut covered = 0u64;
+    for _ in 0..budget {
+        let mut best: Option<(u64, &CanonSeq)> = None;
+        for f in &all_forms {
+            if chosen.contains(f) {
+                continue;
+            }
+            let mut trial = chosen.clone();
+            trial.push(f.clone());
+            let marginal = coverage_gain(&trial).saturating_sub(covered);
+            let better = match best {
+                None => true,
+                Some((bg, bf)) => marginal > bg || (marginal == bg && info[f].len > info[bf].len),
+            };
+            if marginal > 0 && better {
+                best = Some((marginal, f));
+            }
+        }
+        let Some((marginal, f)) = best else { break };
+        covered += marginal;
+        chosen.push(f.clone());
+    }
+
+    // Rewrite each site: cover it with windows of chosen forms, longest
+    // chosen form first, left to right, non-overlapping.
+    let mut picked: Vec<CandidateSite> = Vec::new();
+    for (si, subs) in &site_windows {
+        let covering = cover_site(&sites[*si], subs, &chosen);
+        if covering.is_empty() {
+            log.record(|| Decision {
+                pc: sites[*si].pc,
+                len: sites[*si].len(),
+                accepted: false,
+                reason: format!(
+                    "no chosen form covers this site ({} forms won the set cover)",
+                    chosen.len()
+                ),
+            });
+        }
+        for w in &covering {
+            let round = chosen
+                .iter()
+                .position(|c| *c == canonicalize(&w.instrs))
+                .map(|r| r + 1)
+                .unwrap_or(0);
+            log.record(|| Decision {
+                pc: w.pc,
+                len: w.len(),
+                accepted: true,
+                reason: format!(
+                    "covered by set-cover pick #{round} (window of the {}-instruction site at {:#x})",
+                    sites[*si].len(),
+                    sites[*si].pc
+                ),
+            });
+        }
+        picked.extend(covering);
+    }
+    (picked, Some(matrix))
+}
+
+/// Number of non-overlapping occurrences of `form` in `site`, greedy
+/// left-to-right.
+fn cover_count(
+    site: &CandidateSite,
+    windows: &[(CandidateSite, CanonSeq)],
+    form: &CanonSeq,
+) -> usize {
+    let len = form.skeleton.len() as u32;
+    let mut count = 0;
+    let mut pc = site.pc;
+    let end = site.pc + 4 * site.len() as u32;
+    while pc + 4 * len <= end {
+        if windows.iter().any(|(w, c)| w.pc == pc && c == form) {
+            count += 1;
+            pc += 4 * len;
+        } else {
+            pc += 4;
+        }
+    }
+    count
+}
+
+/// Concrete windows fusing `site` with the chosen forms (longest first,
+/// left-to-right, non-overlapping).
+fn cover_site(
+    site: &CandidateSite,
+    windows: &[(CandidateSite, CanonSeq)],
+    chosen: &[CanonSeq],
+) -> Vec<CandidateSite> {
+    let mut by_len: Vec<&CanonSeq> = chosen.iter().collect();
+    by_len.sort_by_key(|c| std::cmp::Reverse(c.skeleton.len()));
+    let mut out = Vec::new();
+    let mut pc = site.pc;
+    let end = site.pc + 4 * site.len() as u32;
+    'outer: while pc < end {
+        for form in &by_len {
+            let len = form.skeleton.len() as u32;
+            if pc + 4 * len > end {
+                continue;
+            }
+            if let Some((w, _)) = windows.iter().find(|(w, c)| w.pc == pc && c == *form) {
+                out.push(w.clone());
+                pc += 4 * len;
+                continue 'outer;
+            }
+        }
+        pc += 4;
+    }
+    out
+}
+
+/// Hwcost-aware selection: maximise the estimated dynamic cycles saved
+/// subject to a total-LUT area budget across all chosen configurations —
+/// a 0/1 knapsack over the distinct candidate forms (exact DP, so the
+/// result is deterministic). Where [`Greedy`] builds every maximal form
+/// regardless of area, this strategy never exceeds `lut_budget`.
+pub struct BudgetKnapsack {
+    /// Total 4-input LUTs available across all PFU configurations.
+    pub lut_budget: u32,
+}
+
+impl SelectStrategy for BudgetKnapsack {
+    fn name(&self) -> &'static str {
+        "knapsack"
+    }
+
+    fn needs_form_costs(&self) -> bool {
+        true
+    }
+
+    fn select(&self, ctx: &SelectionCtx, log: &mut DecisionLog) -> StrategyOutcome {
+        let budget = self.lut_budget as u64;
+        // Items: forms that could fit alone and save cycles at all.
+        let mut items = Vec::new();
+        let mut rejected: HashMap<CanonSeq, String> = HashMap::new();
+        for f in ctx.form_costs() {
+            if f.gain == 0 {
+                rejected.insert(f.canon.clone(), "form saves no dynamic cycles".into());
+            } else if f.cost.luts as u64 > budget {
+                rejected.insert(
+                    f.canon.clone(),
+                    format!(
+                        "form alone exceeds the LUT budget ({} > {})",
+                        f.cost.luts, self.lut_budget
+                    ),
+                );
+            } else {
+                items.push(f);
+            }
+        }
+
+        // Exact 0/1 knapsack. The capacity axis is clamped to the total
+        // weight of the items, so a generous budget costs no extra work.
+        let cap = items
+            .iter()
+            .map(|f| f.cost.luts as u64)
+            .sum::<u64>()
+            .min(budget) as usize;
+        let n = items.len();
+        // dp[i][w]: best gain using the first i items within w LUTs.
+        let mut dp = vec![vec![0u64; cap + 1]; n + 1];
+        for (i, it) in items.iter().enumerate() {
+            let luts = it.cost.luts as usize;
+            for w in 0..=cap {
+                let skip = dp[i][w];
+                let take = if w >= luts {
+                    dp[i][w - luts] + it.gain
+                } else {
+                    0
+                };
+                dp[i + 1][w] = skip.max(take);
+            }
+        }
+        let mut w = cap;
+        let mut chosen: Vec<&crate::pipeline::FormCost> = Vec::new();
+        for i in (0..n).rev() {
+            if dp[i + 1][w] != dp[i][w] {
+                chosen.push(items[i]);
+                w -= items[i].cost.luts as usize;
+            }
+        }
+        chosen.reverse();
+        let spent: u64 = chosen.iter().map(|f| f.cost.luts as u64).sum();
+        debug_assert!(spent <= budget, "knapsack overspent {spent} > {budget}");
+        let chosen_forms: Vec<&CanonSeq> = chosen.iter().map(|f| &f.canon).collect();
+
+        // Fuse every maximal site whose form the knapsack kept.
+        let mut windows = Vec::new();
+        for s in ctx.sites() {
+            let c = canonicalize(&s.instrs);
+            if chosen_forms.contains(&&c) {
+                log.record(|| Decision {
+                    pc: s.pc,
+                    len: s.len(),
+                    accepted: true,
+                    reason: format!(
+                        "form kept by knapsack ({} of {} budget LUTs spent)",
+                        spent, self.lut_budget
+                    ),
+                });
+                windows.push(s.clone());
+            } else {
+                log.record(|| Decision {
+                    pc: s.pc,
+                    len: s.len(),
+                    accepted: false,
+                    reason: rejected
+                        .get(&c)
+                        .cloned()
+                        .unwrap_or_else(|| "knapsack preferred denser forms".into()),
+                });
+            }
+        }
+        StrategyOutcome {
+            windows,
+            matrices: Vec::new(),
+        }
+    }
+}
+
+/// A hashable, copyable description of a strategy: the session cache key
+/// and the bench plan's strategy axis. `f64` parameters are stored as bit
+/// patterns so the spec is `Eq`/`Hash` — two specs are the same cache
+/// entry exactly when they drive the selector identically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StrategySpec {
+    /// The greedy algorithm (§4).
+    Greedy,
+    /// The selective algorithm (§5).
+    Selective {
+        /// PFUs available (`None` = unlimited).
+        pfus: Option<usize>,
+        /// `SelectConfig::gain_threshold`, as bits.
+        gain_threshold_bits: u64,
+    },
+    /// Budget-constrained knapsack selection over `t1000-hwcost` LUT
+    /// estimates.
+    BudgetKnapsack {
+        /// Total LUT budget across all configurations.
+        lut_budget: u32,
+    },
+}
+
+impl StrategySpec {
+    /// The selective spec for a [`SelectConfig`].
+    pub fn selective(cfg: &SelectConfig) -> StrategySpec {
+        StrategySpec::Selective {
+            pfus: cfg.pfus,
+            gain_threshold_bits: cfg.gain_threshold.to_bits(),
+        }
+    }
+
+    /// The knapsack spec for a LUT budget.
+    pub fn knapsack(lut_budget: u32) -> StrategySpec {
+        StrategySpec::BudgetKnapsack { lut_budget }
+    }
+
+    /// The `SelectConfig` a selective spec encodes (`None` otherwise).
+    pub fn select_config(&self) -> Option<SelectConfig> {
+        match *self {
+            StrategySpec::Selective {
+                pfus,
+                gain_threshold_bits,
+            } => Some(SelectConfig {
+                pfus,
+                gain_threshold: f64::from_bits(gain_threshold_bits),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The strategy's short name (`greedy`/`selective`/`knapsack`).
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            StrategySpec::Greedy => "greedy",
+            StrategySpec::Selective { .. } => "selective",
+            StrategySpec::BudgetKnapsack { .. } => "knapsack",
+        }
+    }
+
+    /// A stable human-readable identifier including the parameters —
+    /// what reports and JSON artifacts carry on their strategy axis.
+    pub fn id(&self) -> String {
+        match *self {
+            StrategySpec::Greedy => "greedy".into(),
+            StrategySpec::Selective {
+                pfus,
+                gain_threshold_bits,
+            } => {
+                let t = f64::from_bits(gain_threshold_bits);
+                match pfus {
+                    Some(p) => format!("selective(pfus={p},threshold={t})"),
+                    None => format!("selective(pfus=unlimited,threshold={t})"),
+                }
+            }
+            StrategySpec::BudgetKnapsack { lut_budget } => {
+                format!("knapsack(luts={lut_budget})")
+            }
+        }
+    }
+
+    /// Builds the strategy object this spec describes.
+    pub fn instantiate(&self) -> Box<dyn SelectStrategy> {
+        match *self {
+            StrategySpec::Greedy => Box::new(Greedy),
+            StrategySpec::Selective {
+                pfus,
+                gain_threshold_bits,
+            } => Box::new(Selective {
+                cfg: SelectConfig {
+                    pfus,
+                    gain_threshold: f64::from_bits(gain_threshold_bits),
+                },
+            }),
+            StrategySpec::BudgetKnapsack { lut_budget } => Box::new(BudgetKnapsack { lut_budget }),
+        }
+    }
+}

@@ -29,6 +29,10 @@
 //! assert!(run.timing.cycles > 0);
 //! ```
 
+// Robustness gate: library code must surface failures as typed errors, not
+// panics. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod branch;
 pub mod config;
 pub mod func;

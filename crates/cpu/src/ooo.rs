@@ -225,7 +225,9 @@ impl OooCore {
                 Some(e) if e.state == EntryState::Done && e.complete_at <= self.cycle => {}
                 _ => break,
             }
-            let e = self.window.pop_front().unwrap();
+            let Some(e) = self.window.pop_front() else {
+                break;
+            };
             if e.rec.mem.is_some() {
                 self.lsq_used -= 1;
             }
@@ -394,7 +396,9 @@ impl OooCore {
             // Issue it.
             let latency = match rec_class {
                 OpClass::Load | OpClass::Store => {
-                    let (addr, is_write) = self.window[idx].rec.mem.unwrap();
+                    let Some((addr, is_write)) = self.window[idx].rec.mem else {
+                        unreachable!("load/store records carry a memory access");
+                    };
                     let lat = self.mem.data(addr, is_write);
                     if S::EVENTS && lat > self.cfg.mem.l1_hit {
                         sink.event(TraceEvent::CacheMiss {
@@ -447,7 +451,9 @@ impl OooCore {
             if rec.class == OpClass::Sys && !self.window.is_empty() {
                 break;
             }
-            let rec = self.fetch_queue.pop_front().unwrap();
+            let Some(rec) = self.fetch_queue.pop_front() else {
+                break;
+            };
             let seq = self.next_seq;
             self.next_seq += 1;
 

@@ -170,10 +170,10 @@ impl PfuArray {
             None => match self.replacement {
                 PfuReplacement::Lru => (0..self.slots.len())
                     .min_by_key(|&i| self.slots[i].last_use.max(self.slots[i].ready_at))
-                    .unwrap(),
+                    .unwrap_or(0),
                 PfuReplacement::Fifo => (0..self.slots.len())
                     .min_by_key(|&i| self.slots[i].loaded_at)
-                    .unwrap(),
+                    .unwrap_or(0),
                 PfuReplacement::Random => {
                     let mut x = self.rng;
                     x ^= x >> 12;
@@ -368,6 +368,62 @@ mod tests {
         assert_eq!(a.request(1, 30), PfuRequest::Ready { at: 30 });
         assert_eq!(a.stats().conf_hits, 1);
         assert_eq!(a.stats().reconfigurations, 0);
+    }
+
+    /// Regression guard for the `request`/`request_outcome` dedup: since
+    /// `request` is a thin wrapper collapsing `request_outcome`, driving
+    /// two identically-configured arrays through the same hit/miss/evict
+    /// sequence via either entry point must agree at every step — same
+    /// ready cycles, same residency, same statistics.
+    #[test]
+    fn request_and_request_outcome_agree_on_hit_miss_evict_sequences() {
+        let configs = [
+            (PfuCount::Fixed(0), 10, PfuReplacement::Lru),
+            (PfuCount::Fixed(1), 10, PfuReplacement::Lru),
+            (PfuCount::Fixed(2), 10, PfuReplacement::Lru),
+            (PfuCount::Fixed(2), 0, PfuReplacement::Fifo),
+            (PfuCount::Fixed(2), 7, PfuReplacement::Random),
+            (PfuCount::Unlimited, 10, PfuReplacement::Lru),
+        ];
+        for (count, reconfig, policy) in configs {
+            let mut via_request = PfuArray::with_replacement(count, reconfig, policy);
+            let mut via_outcome = PfuArray::with_replacement(count, reconfig, policy);
+            let mut now = 0u64;
+            // A thrashing sequence over 5 confs: hits, misses and
+            // evictions all occur on the 1- and 2-slot arrays.
+            for t in 0..60u64 {
+                let conf = (t % 5) as ConfId;
+                let collapsed = via_request.request(conf, now);
+                let detailed = via_outcome.request_outcome(conf, now);
+                let expected = match detailed {
+                    PfuOutcome::Hit { at } | PfuOutcome::Load { at, .. } => {
+                        PfuRequest::Ready { at }
+                    }
+                    PfuOutcome::NoPfu => PfuRequest::NoPfu,
+                };
+                assert_eq!(
+                    collapsed, expected,
+                    "step {t} diverged under {count:?}/{policy:?}"
+                );
+                for c in 0..5 {
+                    assert_eq!(
+                        via_request.is_resident(c),
+                        via_outcome.is_resident(c),
+                        "residency of conf {c} diverged at step {t} under {count:?}/{policy:?}"
+                    );
+                }
+                if let PfuRequest::Ready { at } = collapsed {
+                    now = now.max(at) + 1;
+                } else {
+                    now += 1;
+                }
+            }
+            assert_eq!(
+                via_request.stats(),
+                via_outcome.stats(),
+                "stats diverged under {count:?}/{policy:?}"
+            );
+        }
     }
 
     #[test]

@@ -126,12 +126,17 @@ pub fn elaborate(skeleton: &[Instr], width: u8) -> (Netlist, Vec<Reg>) {
             Lui => n.constant_word((i.imm as u32 & 0xffff) << 16, width),
             _ => unreachable!(),
         };
-        let def = i.def().expect("candidate ALU ops always define a register");
+        let Some(def) = i.def() else {
+            unreachable!("candidate ALU ops always define a register");
+        };
         env.insert(def, result.clone());
         last_def = Some(result);
     }
 
-    n.set_outputs(&last_def.expect("non-empty skeleton"));
+    let Some(last) = last_def else {
+        unreachable!("elaborate is never called on an empty skeleton");
+    };
+    n.set_outputs(&last);
     (n, inputs)
 }
 

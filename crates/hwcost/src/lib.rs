@@ -7,6 +7,10 @@
 //! count and LUT depth — drives the Fig. 7 area histogram and the
 //! single-cycle feasibility check used during selection.
 
+// Robustness gate: library code must surface failures as typed errors, not
+// panics. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cost;
 pub mod mapper;
 pub mod netlist;

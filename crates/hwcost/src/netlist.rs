@@ -158,8 +158,9 @@ impl Netlist {
     pub fn slt(&mut self, a: &[NodeId], b: &[NodeId], signed: bool) -> NodeId {
         // Extend by one bit so the subtraction cannot overflow.
         let (ea, eb) = if signed {
-            let sa = *a.last().expect("non-empty operand");
-            let sb = *b.last().expect("non-empty operand");
+            let (Some(&sa), Some(&sb)) = (a.last(), b.last()) else {
+                unreachable!("comparison operands are non-empty");
+            };
             (
                 a.iter().copied().chain([sa]).collect::<Vec<_>>(),
                 b.iter().copied().chain([sb]).collect::<Vec<_>>(),
@@ -172,7 +173,10 @@ impl Netlist {
             )
         };
         let diff = self.add_sub(&ea, &eb, true);
-        *diff.last().unwrap()
+        let Some(&sign) = diff.last() else {
+            unreachable!("add_sub preserves operand width");
+        };
+        sign
     }
 
     /// Left shift by a constant: pure rewiring, zero cost.
@@ -193,10 +197,9 @@ impl Netlist {
     /// Logical/arithmetic right shift by a constant: rewiring.
     pub fn shr_const(&mut self, a: &[NodeId], sh: u32, arithmetic: bool) -> Vec<NodeId> {
         let w = a.len();
-        let fill = if arithmetic {
-            *a.last().expect("non-empty")
-        } else {
-            self.constant(false)
+        let fill = match (arithmetic, a.last()) {
+            (true, Some(&sign)) => sign,
+            _ => self.constant(false),
         };
         (0..w)
             .map(|i| {

@@ -161,9 +161,9 @@ impl Cfg {
             }
         }
 
-        let entry = *by_start
-            .get(&program.entry)
-            .expect("entry must start a block");
+        let Some(&entry) = by_start.get(&program.entry) else {
+            unreachable!("the entry pc always starts a block");
+        };
         Ok(Cfg {
             blocks,
             entry,

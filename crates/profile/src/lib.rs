@@ -10,6 +10,10 @@
 //! * [`profile::ExecProfile`] — the `sim_profile` equivalent: per-
 //!   instruction execution counts and operand bitwidth profiles.
 
+// Robustness gate: library code must surface failures as typed errors, not
+// panics. Tests keep the ergonomic forms.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cfg;
 pub mod dom;
 pub mod liveness;
@@ -19,5 +23,5 @@ pub mod report;
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use dom::{natural_loops, Dominators, NaturalLoop};
 pub use liveness::{bit, Liveness, RegSet, ALL_REGS};
-pub use profile::{signed_width, ExecProfile};
+pub use profile::{signed_width, ExecProfile, Weights};
 pub use report::{hottest_blocks, instruction_mix, loop_profiles, HotBlock, InstrMix, LoopProfile};

@@ -45,7 +45,9 @@ impl Liveness {
         let mut kill = vec![0 as RegSet; n];
         for (b, block) in cfg.blocks.iter().enumerate() {
             for pc in block.pcs() {
-                let i = program.instr_at(pc).expect("CFG built over valid text");
+                let Ok(i) = program.instr_at(pc) else {
+                    unreachable!("CFG is built over valid text");
+                };
                 for u in i.uses() {
                     if kill[b] & bit(u) == 0 {
                         gen[b] |= bit(u);
@@ -87,7 +89,9 @@ impl Liveness {
             for pc in block.pcs().collect::<Vec<_>>().into_iter().rev() {
                 let idx = ((pc - program.text_base) / 4) as usize;
                 live_after[idx] = live;
-                let i = program.instr_at(pc).unwrap();
+                let Ok(i) = program.instr_at(pc) else {
+                    unreachable!("CFG is built over valid text");
+                };
                 if let Some(d) = i.def() {
                     live &= !bit(d);
                 }

@@ -99,10 +99,49 @@ impl ExecProfile {
     }
 }
 
+/// Normalised profile weights: the denominator every selection strategy
+/// divides a candidate's dynamic gain by. Extracted from [`ExecProfile`]
+/// once per pipeline run (the `ProfileWeights` pass in `t1000-core`) so
+/// strategies consume an explicit pass product instead of reaching into
+/// the raw profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Weights {
+    /// Total dynamic instructions of the profiling run, clamped to ≥ 1 so
+    /// shares are always well-defined.
+    pub total: u64,
+}
+
+impl Weights {
+    /// Weights for a collected profile.
+    pub fn of(profile: &ExecProfile) -> Weights {
+        Weights {
+            total: profile.total.max(1),
+        }
+    }
+
+    /// The share of total execution a dynamic gain of `gain` cycles
+    /// represents (the quantity the paper's 0.5 % threshold tests).
+    pub fn share(&self, gain: u64) -> f64 {
+        gain as f64 / self.total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use t1000_asm::assemble;
+
+    #[test]
+    fn weights_share_matches_manual_division() {
+        let w = Weights { total: 2000 };
+        assert_eq!(w.share(10), 10.0 / 2000.0);
+        // An empty profile still divides by one, not zero.
+        let p = assemble("main: li $v0, 10\n syscall\n").unwrap();
+        let prof = ExecProfile::collect(&p, 0).unwrap();
+        let w = Weights::of(&prof);
+        assert!(w.total >= 1);
+        assert!(w.share(0) == 0.0);
+    }
 
     #[test]
     fn signed_width_basics() {

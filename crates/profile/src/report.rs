@@ -133,7 +133,10 @@ fn loop_profile(
 /// Dynamic instruction mix by class.
 pub fn instruction_mix(program: &Program, profile: &ExecProfile) -> InstrMix {
     let mut mix = InstrMix::default();
-    for (pc, i) in program.decode_all().expect("valid text") {
+    let Ok(decoded) = program.decode_all() else {
+        return mix; // undecodable text has no classifiable mix
+    };
+    for (pc, i) in decoded {
         let n = profile.count(pc);
         match i.op.class() {
             OpClass::IntAlu => mix.alu += n,
@@ -148,6 +151,8 @@ pub fn instruction_mix(program: &Program, profile: &ExecProfile) -> InstrMix {
 }
 
 /// Renders a full text report (hot blocks, loops, instruction mix).
+// `writeln!` into a `String` is infallible; the unwraps can never fire.
+#[allow(clippy::unwrap_used)]
 pub fn render(program: &Program, cfg: &Cfg, profile: &ExecProfile) -> String {
     let mut out = String::new();
     let mix = instruction_mix(program, profile);

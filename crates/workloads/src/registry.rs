@@ -155,6 +155,59 @@ mod tests {
         assert_ne!(t.expected_checksum(), f.expected_checksum());
     }
 
+    /// `by_name`/`all` round-trip at every scale: `all` yields exactly
+    /// [`NAMES`] in order, and each entry is byte-identical to the
+    /// corresponding `by_name` build — no silently stale programs behind
+    /// the bench strategy axis.
+    #[test]
+    fn by_name_and_all_round_trip_at_every_scale() {
+        for scale in [Scale::Test, Scale::Full] {
+            let everything = all(scale);
+            assert_eq!(
+                everything.iter().map(|w| w.name).collect::<Vec<_>>(),
+                NAMES.to_vec(),
+                "all({scale:?}) must yield NAMES in order"
+            );
+            for w in &everything {
+                let again = by_name(w.name, scale)
+                    .unwrap_or_else(|| panic!("{} missing at {scale:?}", w.name));
+                assert_eq!(w.asm, again.asm, "{} asm not deterministic", w.name);
+                assert_eq!(
+                    w.expected_words, again.expected_words,
+                    "{} reference not deterministic",
+                    w.name
+                );
+            }
+        }
+    }
+
+    /// `expected_checksum` is defined, stable, and discriminating for
+    /// every workload at every scale.
+    #[test]
+    fn expected_checksums_are_stable_and_distinct_at_every_scale() {
+        let mut seen = std::collections::HashMap::new();
+        for scale in [Scale::Test, Scale::Full] {
+            for w in all(scale) {
+                let c = w.expected_checksum();
+                assert_ne!(c, 0, "{} @ {scale:?} has a zero checksum", w.name);
+                assert_eq!(
+                    c,
+                    w.expected_checksum(),
+                    "{} @ {scale:?} checksum not stable",
+                    w.name
+                );
+                if let Some((other, other_scale)) = seen.insert(c, (w.name, scale)) {
+                    panic!(
+                        "checksum collision: {} @ {scale:?} == {other} @ {other_scale:?}",
+                        w.name
+                    );
+                }
+            }
+        }
+        // Every (workload, scale) pair produced a distinct checksum.
+        assert_eq!(seen.len(), 2 * NAMES.len());
+    }
+
     #[test]
     fn names_are_unique_and_complete() {
         let mut names: Vec<_> = NAMES.to_vec();
