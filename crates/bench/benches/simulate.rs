@@ -1,0 +1,100 @@
+//! Criterion bench of cycle-level simulation host throughput, fast path
+//! on vs off (see `docs/FASTPATH.md`).
+//!
+//! Two subjects:
+//!
+//! * `loop_kernel` — a synthetic loop-dominated kernel (the fast path's
+//!   best case: one hot loop, steady after a handful of iterations);
+//! * `g721_enc` — a registry workload (the realistic case, with phase
+//!   changes and cache warm-up between steady regions).
+//!
+//! CI's `perf-smoke` job runs this bench and asserts that the fast-path
+//! mean beats the accurate-path mean on `loop_kernel`. Both variants
+//! produce bit-identical results — the bench double-checks cycle counts
+//! before measuring, so a divergence fails loudly rather than timing two
+//! different simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use t1000_cpu::{simulate, CpuConfig};
+use t1000_isa::{FusionMap, Program};
+use t1000_workloads::{by_name, Scale};
+
+/// A loop-dominated kernel: ~200k dynamic instructions, one hot body.
+fn loop_kernel() -> Program {
+    t1000_asm::assemble(
+        "
+main:
+    li   $s0, 20000
+    li   $t0, 3
+    li   $t1, 5
+loop:
+    sll  $t2, $t0, 4
+    addu $t2, $t2, $t1
+    xor  $t1, $t1, $t2
+    sll  $t3, $t1, 2
+    subu $t3, $t3, $t0
+    andi $t1, $t1, 1023
+    addu $t0, $t0, $t3
+    andi $t0, $t0, 255
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+    move $a0, $t1
+    li   $v0, 30
+    syscall
+    li   $a0, 0
+    li   $v0, 10
+    syscall
+",
+    )
+    .expect("bench kernel assembles")
+}
+
+fn configs() -> [(&'static str, CpuConfig); 2] {
+    let fast = CpuConfig::baseline();
+    let slow = CpuConfig {
+        fast_path: false,
+        ..fast
+    };
+    [("fast_path", fast), ("accurate", slow)]
+}
+
+fn bench_program(c: &mut Criterion, group: &str, p: &Program) {
+    let fusion = FusionMap::new();
+    let runs: Vec<u64> = configs()
+        .iter()
+        .map(|(_, cfg)| {
+            simulate(p, &fusion, *cfg)
+                .expect("bench program simulates")
+                .timing
+                .cycles
+        })
+        .collect();
+    assert_eq!(
+        runs[0], runs[1],
+        "{group}: fast path is not bit-identical — refusing to bench"
+    );
+    let cycles = runs[0];
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles));
+    for (name, cfg) in configs() {
+        g.bench_function(name, |b| {
+            b.iter(|| simulate(p, &fusion, cfg).expect("simulates").timing.cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_kernel(c: &mut Criterion) {
+    bench_program(c, "simulate_loop_kernel", &loop_kernel());
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let w = by_name("g721_enc", Scale::Test).expect("registry workload exists");
+    let p = w.program().expect("workload assembles");
+    bench_program(c, "simulate_g721_enc", &p);
+}
+
+criterion_group!(simulate_benches, bench_loop_kernel, bench_workload);
+criterion_main!(simulate_benches);

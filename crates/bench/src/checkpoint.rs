@@ -27,7 +27,9 @@ use t1000_cpu::CycleAttribution;
 use t1000_workloads::Scale;
 
 /// Version of the checkpoint layout. Bump on any breaking change.
-pub const CHECKPOINT_SCHEMA: u64 = 1;
+/// v2 added per-cell host throughput (`host_ns`, `sim_khz`) and the
+/// fast-path counters (`steady_loops`, `replayed_iters`, `deopts`).
+pub const CHECKPOINT_SCHEMA: u64 = 2;
 /// `kind` tag distinguishing checkpoints from result artifacts.
 pub const CHECKPOINT_KIND: &str = "t1000.bench-checkpoint";
 
@@ -61,6 +63,9 @@ pub struct RestoredCell {
     pub pfu_load_faults: u64,
     pub branch_accuracy: f64,
     pub checksum: u64,
+    pub host_ns: u64,
+    pub sim_khz: f64,
+    pub fast: t1000_cpu::FastPathStats,
     pub attr: CycleAttribution,
 }
 
@@ -86,6 +91,11 @@ fn to_json(scale: Scale, completed: &BTreeMap<usize, CellResult>) -> Json {
                             ("pfu_load_faults", Json::UInt(c.pfu_load_faults)),
                             ("branch_accuracy", Json::Float(c.branch_accuracy)),
                             ("checksum", Json::Str(format!("0x{:016x}", c.checksum))),
+                            ("host_ns", Json::UInt(c.host_ns)),
+                            ("sim_khz", Json::Float(c.sim_khz)),
+                            ("steady_loops", Json::UInt(c.fast.steady_loops)),
+                            ("replayed_iters", Json::UInt(c.fast.replayed_iters)),
+                            ("deopts", Json::UInt(c.fast.deopts)),
                             ("attribution", attr_json(&c.attr)),
                         ])
                     })
@@ -170,6 +180,13 @@ pub fn parse(text: &str, scale: Scale) -> Result<HashMap<String, RestoredCell>, 
             ext_executed: field("ext_executed")?,
             pfu_load_faults: field("pfu_load_faults")?,
             branch_accuracy: float("branch_accuracy")?,
+            host_ns: field("host_ns")?,
+            sim_khz: float("sim_khz")?,
+            fast: t1000_cpu::FastPathStats {
+                steady_loops: field("steady_loops")?,
+                replayed_iters: field("replayed_iters")?,
+                deopts: field("deopts")?,
+            },
             checksum: c
                 .get("checksum")
                 .and_then(Json::as_str)

@@ -327,9 +327,16 @@ pub struct EngineConfig {
     pub wall_limit: Option<Duration>,
     /// Deterministic fault injection (see [`crate::fault`]).
     pub faults: FaultPlan,
-    /// Zero the wall-clock seconds fields in [`EngineStats`] so repeated
-    /// runs produce byte-identical artifacts (used by `--resume` tests).
+    /// Zero the wall-clock seconds fields in [`EngineStats`] — and the
+    /// per-cell `host_ns`/`sim_khz` measurements — so repeated runs
+    /// produce byte-identical artifacts (used by `--resume` tests).
     pub deterministic: bool,
+    /// Disable the steady-state hot-loop replay fast path
+    /// ([`t1000_cpu::CpuConfig::fast_path`], on by default) for every
+    /// simulation in this run. The results are bit-identical either way;
+    /// this knob exists to measure the accurate path's host throughput
+    /// (`--no-fast-path`).
+    pub no_fast_path: bool,
     /// Flush completed cells to this checkpoint file as they finish.
     pub checkpoint: Option<PathBuf>,
     /// Restore completed cells from the checkpoint instead of
@@ -397,11 +404,30 @@ pub struct CellResult {
     pub pfu_load_faults: u64,
     pub branch_accuracy: f64,
     pub checksum: u64,
+    /// Host wall-clock nanoseconds the timing simulation took (schema
+    /// v5). Zeroed under [`EngineConfig::deterministic`].
+    pub host_ns: u64,
+    /// Host throughput in simulated kilocycles per host second (schema
+    /// v5): `cycles / host_seconds / 1000`. The CI-tracked metric.
+    pub sim_khz: f64,
+    /// Hot-loop replay fast-path counters (schema v5; all zero when the
+    /// fast path is disabled).
+    pub fast: t1000_cpu::FastPathStats,
     /// Where the cell's cycles went: every simulation runs under an
     /// aggregate [`AttrCollector`], so
     /// `attr.busy_cycles + Σ attr.stalls == cycles` for every cell —
     /// the schema artifact's mechanism check.
     pub attr: CycleAttribution,
+}
+
+/// Simulated kilocycles per host second (`cycles / host_secs / 1000`);
+/// 0 when the host time was not measured (or zeroed for determinism).
+pub fn sim_khz(cycles: u64, host_ns: u64) -> f64 {
+    if host_ns == 0 {
+        0.0
+    } else {
+        cycles as f64 * 1e6 / host_ns as f64
+    }
 }
 
 /// Engine bookkeeping: how much work the plan implied, how much was
@@ -526,7 +552,7 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
         session_keys
             .iter()
             .zip(parallel_map(&session_keys, threads, |&(name, extract)| {
-                quiet_catch_unwind(|| prepare_session(name, extract, scale, config.max_cycles))
+                quiet_catch_unwind(|| prepare_session(name, extract, scale, config))
                     .unwrap_or_else(|msg| Err(FailureCause::Panic(msg)))
             }))
             .map(|(&k, v)| (k, v))
@@ -636,6 +662,9 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
                 pfu_load_faults: r.pfu_load_faults,
                 branch_accuracy: r.branch_accuracy,
                 checksum: r.checksum,
+                host_ns: r.host_ns,
+                sim_khz: r.sim_khz,
+                fast: r.fast,
                 attr: r.attr.clone(),
             };
             record_completed(idx, &result);
@@ -741,6 +770,10 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
         stats.prepare_secs = 0.0;
         stats.select_secs = 0.0;
         stats.simulate_secs = 0.0;
+        for r in &mut results {
+            r.host_ns = 0;
+            r.sim_khz = 0.0;
+        }
     }
 
     EngineRun {
@@ -764,6 +797,9 @@ struct PreparedSession {
     reference: t1000_cpu::RunResult,
     /// Cycle attribution of the reference run (the baseline cell's attr).
     reference_attr: CycleAttribution,
+    /// Host nanoseconds the reference simulation took (the baseline
+    /// cell's `host_ns`).
+    reference_host_ns: u64,
 }
 
 fn exec_cause(e: t1000_core::Error, deterministic: fn(String) -> FailureCause) -> FailureCause {
@@ -780,7 +816,7 @@ fn prepare_session(
     name: &'static str,
     extract: ExtractConfig,
     scale: Scale,
-    max_cycles: u64,
+    config: &EngineConfig,
 ) -> Result<PreparedSession, FailureCause> {
     let workload = t1000_workloads::by_name(name, scale).ok_or(FailureCause::UnknownWorkload)?;
     let program = workload
@@ -791,10 +827,13 @@ fn prepare_session(
     // One canonical run pins the architectural reference for this session.
     let mut sink = AttrCollector::new();
     let mut cpu = MachineSpec::with_pfus(0, 0).cpu_config();
-    cpu.max_cycles = max_cycles;
+    cpu.max_cycles = config.max_cycles;
+    cpu.fast_path = !config.no_fast_path;
+    let t0 = Instant::now();
     let reference = session
         .run_baseline_observed(cpu, &mut sink)
         .map_err(|e| exec_cause(e, FailureCause::Prepare))?;
+    let reference_host_ns = t0.elapsed().as_nanos() as u64;
     let expected = workload.expected_checksum();
     if reference.sys.checksum != expected {
         return Err(FailureCause::ChecksumMismatch {
@@ -807,6 +846,7 @@ fn prepare_session(
         expected_checksum: expected,
         reference,
         reference_attr: sink.attr,
+        reference_host_ns,
     })
 }
 
@@ -826,17 +866,23 @@ fn simulate_cell(
     if config.faults.cell_panics(idx, attempt) {
         panic!("injected fault: cell {idx} attempt {attempt}");
     }
-    let (run, attr) = if cell.selection == SelectionSpec::Baseline
+    let (run, attr, host_ns) = if cell.selection == SelectionSpec::Baseline
         && cell.machine == MachineSpec::with_pfus(0, 0)
     {
         // The canonical baseline was already simulated during prepare
         // (it pins the architectural reference) — reuse it. The prepare
         // run used the same fuel limit, so the reuse is exact.
-        (prepared.reference.clone(), prepared.reference_attr.clone())
+        (
+            prepared.reference.clone(),
+            prepared.reference_attr.clone(),
+            prepared.reference_host_ns,
+        )
     } else {
         let mut cpu = cell.machine.cpu_config();
         cpu.max_cycles = config.max_cycles;
+        cpu.fast_path = !config.no_fast_path;
         let mut sink = AttrCollector::new();
+        let t0 = Instant::now();
         let run = match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
             Some(&i) => {
                 let record = &selections[i];
@@ -858,7 +904,7 @@ fn simulate_cell(
             None => prepared.session.run_baseline_observed(cpu, &mut sink),
         }
         .map_err(|e| exec_cause(e, FailureCause::Simulate))?;
-        (run, sink.attr)
+        (run, sink.attr, t0.elapsed().as_nanos() as u64)
     };
     debug_assert!(attr.checks_out() && attr.total_cycles == run.timing.cycles);
     if run.sys.checksum != prepared.expected_checksum {
@@ -881,6 +927,9 @@ fn simulate_cell(
         pfu_load_faults: run.timing.pfu.load_faults,
         branch_accuracy: run.timing.branch.accuracy(),
         checksum: run.sys.checksum,
+        host_ns,
+        sim_khz: sim_khz(run.timing.cycles, host_ns),
+        fast: run.timing.fast,
         attr,
     })
 }

@@ -29,7 +29,14 @@ use t1000_workloads::Scale;
 ///   `strategy` identifier (the selection pipeline's memo-cache key,
 ///   e.g. `selective(pfus=2,threshold=0.005)`), and knapsack cells add
 ///   `lut_budget`. See `docs/PIPELINE.md`.
-pub const SCHEMA_VERSION: u64 = 4;
+/// * v5 — host throughput: every cell records the wall-clock nanoseconds
+///   its simulation took (`host_ns`), the derived simulation rate
+///   (`sim_khz`, simulated kilocycles per host second), and the hot-loop
+///   replay fast-path counters under `fast_path`
+///   (`steady_loops`/`replayed_iters`/`deopts`). See `docs/FASTPATH.md`.
+///   `--deterministic` runs zero `host_ns`/`sim_khz` so artifacts stay
+///   byte-reproducible.
+pub const SCHEMA_VERSION: u64 = 5;
 
 fn scale_str(scale: Scale) -> &'static str {
     match scale {
@@ -170,6 +177,17 @@ fn cell_json(run: &EngineRun, c: &CellResult) -> Json {
         ("pfu_load_faults", Json::UInt(c.pfu_load_faults)),
         ("branch_accuracy", Json::Float(c.branch_accuracy)),
         ("checksum", hex64(c.checksum)),
+        // Schema v5: host throughput and fast-path engagement.
+        ("host_ns", Json::UInt(c.host_ns)),
+        ("sim_khz", Json::Float(c.sim_khz)),
+        (
+            "fast_path",
+            Json::obj(vec![
+                ("steady_loops", Json::UInt(c.fast.steady_loops)),
+                ("replayed_iters", Json::UInt(c.fast.replayed_iters)),
+                ("deopts", Json::UInt(c.fast.deopts)),
+            ]),
+        ),
         ("attribution", crate::runstats::attr_json(&c.attr)),
     ]);
     Json::obj(fields)
@@ -423,6 +441,34 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
             Some(s) if !s.is_empty() => {}
             _ => return Err(format!("cell {i} ({name}): bad strategy")),
         }
+        // Schema v5: host throughput + fast-path counters. `host_ns`
+        // may legitimately be zero (deterministic mode), and `sim_khz`
+        // must then be zero too; otherwise both must be positive and the
+        // rate must be the exact quotient of the other two fields.
+        let host_ns = c
+            .get("host_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cell {i} ({name}): bad host_ns"))?;
+        let khz = c
+            .get("sim_khz")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("cell {i} ({name}): bad sim_khz"))?;
+        if !khz.is_finite() || khz < 0.0 {
+            return Err(format!("cell {i} ({name}): bad sim_khz {khz}"));
+        }
+        if (host_ns == 0) != (khz == 0.0) {
+            return Err(format!(
+                "cell {i} ({name}): host_ns {host_ns} inconsistent with sim_khz {khz}"
+            ));
+        }
+        let fast = c
+            .get("fast_path")
+            .ok_or_else(|| format!("cell {i} ({name}): missing fast_path"))?;
+        for key in ["steady_loops", "replayed_iters", "deopts"] {
+            if fast.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("cell {i} ({name}): bad fast_path.{key}"));
+            }
+        }
         // Schema v2: the attribution must partition the cell's cycles
         // exactly, over the closed stall taxonomy.
         let attr = c
@@ -437,6 +483,108 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
         cells: cells.len(),
         failed_cells: failed.len(),
     })
+}
+
+/// Splits an `--expect` spec on top-level commas only, so strategy
+/// identifiers like `selective(pfus=2,threshold=0.005)` survive intact.
+fn split_expect(spec: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in spec.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&spec[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&spec[start..]);
+    parts
+}
+
+/// Checks declarative `--expect key=value` assertions against an artifact,
+/// replacing the fragile `grep`-on-JSON checks CI used to carry. `spec` is
+/// a comma-separated list (commas inside parentheses belong to the value,
+/// e.g. `strategy=selective(pfus=2,threshold=0.005),retries=1`).
+///
+/// Supported keys: `retries` / `failed_cells` (engine counters), `cells` /
+/// `workloads` (array lengths), `scale` (artifact scale string), and
+/// `strategy` (at least one cell was produced by that strategy id).
+/// Returns the satisfied assertions for reporting; the first unmet or
+/// malformed assertion is the error.
+pub fn check_expectations(text: &str, spec: &str) -> Result<Vec<String>, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let mut satisfied = Vec::new();
+    for part in split_expect(spec) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, want) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--expect `{part}`: expected key=value"))?;
+        match key {
+            "retries" | "failed_cells" => {
+                let got = doc
+                    .get("engine")
+                    .and_then(|e| e.get(key))
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("--expect {key}: artifact has no engine.{key}"))?;
+                let want: u64 = want
+                    .parse()
+                    .map_err(|_| format!("--expect {key}: `{want}` is not an integer"))?;
+                if got != want {
+                    return Err(format!("--expect {key}={want}: artifact records {got}"));
+                }
+            }
+            "cells" | "workloads" => {
+                let got = doc
+                    .get(key)
+                    .and_then(Json::as_array)
+                    .map(<[Json]>::len)
+                    .ok_or_else(|| format!("--expect {key}: artifact has no {key} array"))?;
+                let want: usize = want
+                    .parse()
+                    .map_err(|_| format!("--expect {key}: `{want}` is not an integer"))?;
+                if got != want {
+                    return Err(format!("--expect {key}={want}: artifact has {got}"));
+                }
+            }
+            "scale" => {
+                let got = doc
+                    .get("scale")
+                    .and_then(Json::as_str)
+                    .ok_or("--expect scale: artifact has no scale field")?;
+                if got != want {
+                    return Err(format!("--expect scale={want}: artifact records {got}"));
+                }
+            }
+            "strategy" => {
+                let cells = doc
+                    .get("cells")
+                    .and_then(Json::as_array)
+                    .ok_or("--expect strategy: artifact has no cells array")?;
+                let hit = cells
+                    .iter()
+                    .any(|c| c.get("strategy").and_then(Json::as_str) == Some(want));
+                if !hit {
+                    return Err(format!("--expect strategy={want}: no cell uses it"));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "--expect: unknown key `{other}` \
+                     (known: retries, failed_cells, cells, workloads, scale, strategy)"
+                ));
+            }
+        }
+        satisfied.push(format!("{key}={want}"));
+    }
+    Ok(satisfied)
 }
 
 // ---------------------------------------------------------------------
@@ -476,6 +624,24 @@ pub fn render_markdown(run: &EngineRun) -> String {
         o,
         "Scale: {} | machine: 4-wide OoO, 64-entry RUU, perfect branch prediction, paper caches/TLBs",
         if run.scale == Scale::Test { "test" } else { "full (paper)" }
+    );
+    // Host-time roll-up: where the run's wall clock went, per engine
+    // phase, plus the aggregate simulation rate over all measured cells
+    // (`n/a` under --deterministic, which zeroes per-cell host time).
+    let total_cycles: u64 = run.cells.iter().map(|c| c.cycles).sum();
+    let total_host_ns: u64 = run.cells.iter().map(|c| c.host_ns).sum();
+    let rate = if total_host_ns == 0 {
+        "n/a".to_string()
+    } else {
+        format!(
+            "{:.0} kHz",
+            crate::engine::sim_khz(total_cycles, total_host_ns)
+        )
+    };
+    let _ = writeln!(
+        o,
+        "Host time: prepare {:.2} s | select {:.2} s | simulate {:.2} s | aggregate sim rate {rate}",
+        run.stats.prepare_secs, run.stats.select_secs, run.stats.simulate_secs
     );
     let _ = writeln!(o);
 
@@ -715,7 +881,7 @@ mod tests {
         let good = to_json(&run).to_string_pretty();
 
         // Wrong schema version.
-        let bad = good.replacen("\"schema_version\": 4", "\"schema_version\": 99", 1);
+        let bad = good.replacen("\"schema_version\": 5", "\"schema_version\": 99", 1);
         assert!(validate_artifact(&bad)
             .unwrap_err()
             .contains("schema_version"));
@@ -737,6 +903,58 @@ mod tests {
 
         // Truncation is a parse error, not a panic.
         assert!(validate_artifact(&good[..good.len() / 2]).is_err());
+
+        // A sim_khz that disagrees with host_ns is inconsistent: zero one
+        // cell's host_ns while its (measured, nonzero) sim_khz stands.
+        let bad = good.replacen(
+            &format!("\"host_ns\": {}", run.cells[0].host_ns),
+            "\"host_ns\": 0",
+            1,
+        );
+        assert!(validate_artifact(&bad)
+            .unwrap_err()
+            .contains("inconsistent"));
+    }
+
+    #[test]
+    fn cells_record_host_throughput() {
+        let run = small_run();
+        for c in &run.cells {
+            assert!(c.host_ns > 0, "cell measured no host time");
+            assert!(c.sim_khz > 0.0 && c.sim_khz.is_finite());
+        }
+        // The baseline cell reuses the prepare-phase run — its host time
+        // is the reference simulation's, still nonzero.
+        let text = to_json(&run).to_string_pretty();
+        assert!(text.contains("\"host_ns\""));
+        assert!(text.contains("\"sim_khz\""));
+        assert!(text.contains("\"fast_path\""));
+    }
+
+    #[test]
+    fn expectations_check_replaces_grep() {
+        let run = small_run();
+        let text = to_json(&run).to_string_pretty();
+        let ok = check_expectations(
+            &text,
+            "scale=test,cells=3,workloads=1,retries=0,failed_cells=0,\
+             strategy=selective(pfus=2,threshold=0.005)",
+        )
+        .expect("all expectations hold");
+        assert_eq!(ok.len(), 6);
+        // The parenthesised strategy id survived the comma split.
+        assert!(ok.contains(&"strategy=selective(pfus=2,threshold=0.005)".to_string()));
+
+        for (spec, needle) in [
+            ("cells=99", "artifact has 3"),
+            ("strategy=knapsack(luts=1)", "no cell uses it"),
+            ("scale=full", "records test"),
+            ("bogus=1", "unknown key"),
+            ("cells", "expected key=value"),
+        ] {
+            let err = check_expectations(&text, spec).unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
     }
 
     #[test]
@@ -745,6 +963,7 @@ mod tests {
         let md = render_markdown(&run);
         for section in [
             "# T1000 experiment report",
+            "Host time: prepare ",
             "## Workloads",
             "## Figure 2 — greedy selection",
             "## §4.1 — greedy statistics",

@@ -7,7 +7,7 @@
 //! t1000 disasm  <file.s|.tobj>                  disassemble
 //! t1000 run     <file.s|.tobj|bench:name> [--pfus N|unlimited] [--reconfig C]
 //!               [--greedy] [--threshold F] [--max-instr N]
-//!               [--stats-json FILE] [--trace FILE] [--attr]
+//!               [--stats-json FILE] [--trace FILE] [--attr] [--no-fast-path]
 //!                                               select + simulate (+observe)
 //! t1000 report  <stats.json>                    render the attribution table
 //! t1000 profile <file.s|.tobj>                  sim_profile-style report
@@ -20,11 +20,13 @@
 //!                                               run a MediaBench-style kernel
 //! t1000 bench   --all [--scale test|full] [--json FILE] [--resume]
 //!               [--deterministic] [--inject PLAN] [--max-cycles N]
-//!               [--strategies]                  full experiment suite (engine;
+//!               [--strategies] [--no-fast-path] full experiment suite (engine;
 //!                                               --strategies adds the knapsack
-//!                                               sweep cells)
-//! t1000 bench   --validate <BENCH_results.json>
+//!                                               sweep cells; --no-fast-path
+//!                                               disables hot-loop replay)
+//! t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]
 //!                                               re-check a results artifact
+//!                                               (+ declarative assertions)
 //! ```
 //!
 //! All command logic lives in this library so it is unit-testable; the
@@ -85,15 +87,15 @@ fn usage() -> String {
      \x20 t1000 asm     <file.s> [--out file.tobj]\n\
      \x20 t1000 disasm  <file.s|.tobj>\n\
      \x20 t1000 run     <file|bench:name> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
-     \x20               [--stats-json FILE] [--trace FILE] [--attr] [--scale test|full]\n\
+     \x20               [--stats-json FILE] [--trace FILE] [--attr] [--scale test|full] [--no-fast-path]\n\
      \x20 t1000 report  <stats.json>\n\
      \x20 t1000 profile <file>\n\
      \x20 t1000 select  <file|bench:name> [--strategy greedy|selective|knapsack] [--pfus N]\n\
      \x20               [--greedy] [--threshold F] [--lut-budget N] [--explain] [--scale test|full]\n\
      \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
      \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume]\n\
-     \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies]\n\
-     \x20 t1000 bench   --validate <BENCH_results.json>\n"
+     \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies] [--no-fast-path]\n\
+     \x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n"
         .to_string()
 }
 
@@ -163,6 +165,9 @@ fn machine_config(p: &Parsed) -> Result<(CpuConfig, Option<usize>), CliError> {
     if let Some(m) = p.get_u32("max-instr")? {
         cfg.max_instructions = u64::from(m);
     }
+    // Escape hatch for A/B timing comparisons; results are bit-identical
+    // either way (docs/FASTPATH.md).
+    cfg.fast_path = !p.flag("no-fast-path");
     Ok((cfg, count))
 }
 
@@ -255,7 +260,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             "trace",
             "scale",
         ],
-        &["greedy", "attr"],
+        &["greedy", "attr", "no-fast-path"],
     )?;
     let [target] = p.positional.as_slice() else {
         return err("run: expected exactly one input (a file or bench:<name>)");
@@ -505,8 +510,22 @@ fn cmd_select(args: &[String]) -> Result<String, CliError> {
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let p = parse(
         args,
-        &["scale", "pfus", "json", "validate", "inject", "max-cycles"],
-        &["all", "resume", "deterministic", "strategies"],
+        &[
+            "scale",
+            "pfus",
+            "json",
+            "validate",
+            "inject",
+            "max-cycles",
+            "expect",
+        ],
+        &[
+            "all",
+            "resume",
+            "deterministic",
+            "strategies",
+            "no-fast-path",
+        ],
     )?;
     let scale = match p.get("scale") {
         Some("full") => t1000_workloads::Scale::Full,
@@ -514,7 +533,10 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         Some(other) => return err(format!("--scale: `{other}` is not test|full")),
     };
     if let Some(path) = p.get("validate") {
-        return bench_validate(path);
+        return bench_validate(path, p.get("expect"));
+    }
+    if p.get("expect").is_some() {
+        return err("bench: --expect requires --validate FILE");
     }
     if p.flag("all") {
         let config = engine_config(&p)?;
@@ -598,6 +620,7 @@ fn engine_config(p: &Parsed) -> Result<t1000_bench::engine::EngineConfig, CliErr
         wall_limit,
         faults,
         deterministic: p.flag("deterministic"),
+        no_fast_path: p.flag("no-fast-path"),
         resume: p.flag("resume"),
         // The checkpoint path is wired in bench_all once --json is known.
         ..Default::default()
@@ -678,9 +701,11 @@ fn bench_all(
     }
 }
 
-/// `bench --validate FILE`: re-checks a `BENCH_results.json` artifact
-/// against the schema and the recomputed Rust reference checksums.
-fn bench_validate(path: &str) -> Result<String, CliError> {
+/// `bench --validate FILE [--expect KEY=VALUE,...]`: re-checks a
+/// `BENCH_results.json` artifact against the schema and the recomputed
+/// Rust reference checksums, then any declarative `--expect` assertions
+/// (the robust replacement for grepping the JSON in CI).
+fn bench_validate(path: &str, expect: Option<&str>) -> Result<String, CliError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     let summary = t1000_bench::results::validate_artifact(&text)
@@ -690,13 +715,25 @@ fn bench_validate(path: &str) -> Result<String, CliError> {
     } else {
         String::new()
     };
-    Ok(format!(
+    let mut out = format!(
         "{path}: OK (schema v{}, scale {}, {} workloads, {} cells,{failed} all checksums match the Rust reference)\n",
         t1000_bench::results::SCHEMA_VERSION,
         summary.scale,
         summary.workloads,
         summary.cells
-    ))
+    );
+    if let Some(spec) = expect {
+        let satisfied = t1000_bench::results::check_expectations(&text, spec)
+            .map_err(|e| CliError(format!("{path}: EXPECTATION FAILED: {e}")))?;
+        writeln!(
+            out,
+            "expectations: {} satisfied ({})",
+            satisfied.len(),
+            satisfied.join(", ")
+        )
+        .unwrap();
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -903,6 +940,42 @@ loop:
             text.contains("\"cause\": \"panic\""),
             "missing failure record"
         );
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(format!("{json}.partial"));
+    }
+
+    #[test]
+    fn no_fast_path_is_bit_identical_from_the_cli() {
+        let src = tmp("nofast.s", KERNEL);
+        let fast = run(&s(&["run", &src, "--pfus", "2"])).unwrap();
+        let slow = run(&s(&["run", &src, "--pfus", "2", "--no-fast-path"])).unwrap();
+        assert_eq!(fast, slow, "fast path changed user-visible output");
+    }
+
+    #[test]
+    fn bench_validate_expect_asserts_on_the_artifact() {
+        let json =
+            std::env::temp_dir().join(format!("t1000_cli_test_{}_expect.json", std::process::id()));
+        let json = json.to_string_lossy().into_owned();
+        let out = run(&s(&["bench", "--all", "--scale", "test", "--json", &json])).unwrap();
+        assert!(out.contains("# T1000 experiment report"), "{out}");
+
+        let ok = run(&s(&[
+            "bench",
+            "--validate",
+            &json,
+            "--expect",
+            "scale=test,retries=0,failed_cells=0,strategy=selective(pfus=2,threshold=0.005)",
+        ]))
+        .unwrap();
+        assert!(ok.contains("expectations: 4 satisfied"), "{ok}");
+
+        let e = run(&s(&["bench", "--validate", &json, "--expect", "retries=9"])).unwrap_err();
+        assert!(e.0.contains("EXPECTATION FAILED"), "{}", e.0);
+
+        // --expect without --validate is a usage error.
+        let e = run(&s(&["bench", "--all", "--expect", "retries=0"])).unwrap_err();
+        assert!(e.0.contains("--expect requires --validate"), "{}", e.0);
         let _ = std::fs::remove_file(&json);
         let _ = std::fs::remove_file(format!("{json}.partial"));
     }

@@ -44,6 +44,7 @@ impl BranchStats {
 }
 
 /// Runtime predictor state.
+#[derive(Clone)]
 pub struct Predictor {
     model: BranchModel,
     /// 2-bit counters (0..=3; ≥2 predicts taken). Initialised weakly taken
@@ -104,6 +105,20 @@ impl Predictor {
     /// Accumulated statistics.
     pub fn stats(&self) -> BranchStats {
         self.stats
+    }
+
+    /// Steady-state equivalence with a snapshot `base` for the hot-loop
+    /// replay fast path: the counter table is unchanged (saturated loop
+    /// branches stop moving their counters) and the period produced no
+    /// mispredictions, so repeating it only advances the branch count.
+    pub(crate) fn steady_eq(&self, base: &Predictor) -> bool {
+        self.stats.mispredictions == base.stats.mispredictions && self.counters == base.counters
+    }
+
+    /// Advances by `iters` repetitions of the redirect-free period
+    /// between `base` and `self` (requires [`Predictor::steady_eq`]).
+    pub(crate) fn fast_forward(&mut self, base: &Predictor, iters: u64) {
+        self.stats.branches += (self.stats.branches - base.stats.branches) * iters;
     }
 }
 

@@ -65,6 +65,15 @@ pub struct CpuConfig {
     /// Safety valve: abort simulation after this many committed
     /// instructions (0 = no limit).
     pub max_instructions: u64,
+    /// Steady-state hot-loop replay fast path (see `docs/FASTPATH.md`):
+    /// once a loop's per-iteration pipeline behaviour converges, replay
+    /// recorded per-iteration deltas instead of re-simulating every
+    /// stage, de-opting back to the cycle-accurate path the moment the
+    /// behaviour changes. Bit-identical to the accurate path by
+    /// construction; on by default. Disable (`--no-fast-path`) to force
+    /// every cycle through the full pipeline, e.g. when benchmarking the
+    /// accurate path itself.
+    pub fast_path: bool,
     /// Simulation fuel: abort the timing model after this many cycles
     /// (0 = no limit). Unlike `max_instructions`, which bounds
     /// architectural progress, `max_cycles` bounds wall-clock-equivalent
@@ -92,6 +101,7 @@ impl Default for CpuConfig {
             pfu_replacement: PfuReplacement::Lru,
             branch: BranchModel::Perfect,
             mem: MemConfig::default(),
+            fast_path: true,
             max_instructions: 0,
             max_cycles: 0,
         }

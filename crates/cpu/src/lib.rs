@@ -50,6 +50,6 @@ pub use observe::{
     AttrCollector, CycleAttribution, CycleClass, NullSink, PcStalls, StallCause, TraceEvent,
     TraceSink, NUM_STALL_CAUSES, STALL_CAUSES,
 };
-pub use ooo::{OooCore, TimingStats};
+pub use ooo::{FastPathStats, OooCore, TimingStats};
 pub use pfu::{PfuArray, PfuOutcome, PfuReplacement, PfuStats};
 pub use syscall::{Syscall, SyscallState};

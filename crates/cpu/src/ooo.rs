@@ -26,6 +26,10 @@ use t1000_isa::OpClass;
 use t1000_isa::Reg;
 use t1000_mem::{MemHierarchy, MemStats};
 
+mod fast_path;
+
+pub use fast_path::FastPathStats;
+
 /// Final statistics of a timed run.
 #[derive(Clone, Debug)]
 pub struct TimingStats {
@@ -46,6 +50,8 @@ pub struct TimingStats {
     pub fetch_stall_cycles: u64,
     /// Branch prediction statistics.
     pub branch: BranchStats,
+    /// Hot-loop replay fast-path counters (all zero when disabled).
+    pub fast: FastPathStats,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -112,6 +118,8 @@ pub struct OooCore {
     fetch_stall_cycles: u64,
     /// Set once the trace source is exhausted.
     drained: bool,
+    /// Hot-loop replay fast path (see `ooo/fast_path.rs`).
+    fast: fast_path::FastPath,
 }
 
 impl OooCore {
@@ -121,6 +129,7 @@ impl OooCore {
             mem: MemHierarchy::new(cfg.mem),
             pfus: PfuArray::with_replacement(cfg.pfus, cfg.reconfig_cycles, cfg.pfu_replacement),
             predictor: Predictor::new(cfg.branch),
+            fast: fast_path::FastPath::new(cfg.fast_path),
             cfg,
             cycle: 0,
             window: VecDeque::new(),
@@ -164,7 +173,23 @@ impl OooCore {
         mut source: impl FnMut() -> Result<Option<DynInstr>, E>,
         sink: &mut S,
     ) -> Result<TimingStats, E> {
+        if S::EVENTS {
+            // Trace events carry absolute cycle numbers; replayed
+            // iterations would have to rewrite them. Event tracing wants
+            // every cycle simulated anyway, so the fast path stands down.
+            self.fast.enabled = false;
+        }
         loop {
+            // An iteration boundary (fetch pulled a taken branch last
+            // cycle) is handled before anything else, so a converged loop
+            // replays from exactly this between-cycles state — and the
+            // fuel check below still fires at the precise cycle it would
+            // have without the fast path.
+            if self.fast.enabled {
+                if let Some(pc) = self.fast.pending_boundary.take() {
+                    self.fast_boundary::<E, S>(pc, &mut source, sink)?;
+                }
+            }
             if self.cfg.max_cycles != 0 && self.cycle >= self.cfg.max_cycles {
                 // Out of fuel: a workload that has not drained by now is
                 // treated as divergent and aborted instead of hanging the
@@ -189,6 +214,9 @@ impl OooCore {
             }
             if let Some(class) = class {
                 sink.cycle(class);
+                if self.fast.enabled {
+                    self.fast.saw_class(class);
+                }
             }
             self.cycle += 1;
             debug_assert!(
@@ -211,6 +239,7 @@ impl OooCore {
             mem: self.mem.stats(),
             fetch_stall_cycles: self.fetch_stall_cycles,
             branch: self.predictor.stats(),
+            fast: self.fast.stats(),
         })
     }
 
@@ -556,7 +585,7 @@ impl OooCore {
             if self.fetch_queue.len() >= self.cfg.fetch_queue {
                 break;
             }
-            let Some(rec) = source()? else {
+            let Some(rec) = self.next_record(&mut *source)? else {
                 self.drained = true;
                 break;
             };
@@ -1194,6 +1223,243 @@ next:
             total <= sink.attr.stall_cycles(),
             "per-PC counters are a breakdown of the aggregate"
         );
+    }
+
+    /// The same configuration with the replay fast path forced off.
+    fn no_fast(mut cfg: CpuConfig) -> CpuConfig {
+        cfg.fast_path = false;
+        cfg
+    }
+
+    /// Asserts two runs produced bit-identical timing results (everything
+    /// except the fast-path counters themselves).
+    fn assert_identical(a: &TimingStats, b: &TimingStats) {
+        assert_eq!(a.cycles, b.cycles, "cycles diverged");
+        assert_eq!(a.slots, b.slots, "slots diverged");
+        assert_eq!(a.base_instructions, b.base_instructions);
+        assert_eq!(a.pfu, b.pfu, "PFU stats diverged");
+        assert_eq!(a.mem, b.mem, "memory stats diverged");
+        assert_eq!(a.fetch_stall_cycles, b.fetch_stall_cycles);
+        assert_eq!(a.branch, b.branch, "branch stats diverged");
+    }
+
+    #[test]
+    fn fast_path_engages_and_is_bit_identical() {
+        // A mix of steady loops: ALU-bound, dependence-bound, and one
+        // with a (cache-resident) load.
+        let mut wide = String::new();
+        for i in 0..12 {
+            wide.push_str(&format!("    addiu $t{}, $zero, {}\n", i % 4, i));
+        }
+        for body in [
+            "    addu $t0, $t0, $t0\n",
+            wide.as_str(),
+            "    lw $t1, 0($sp)\n    addu $t0, $t0, $t1\n",
+            "    mult $t0, $t0\n    mflo $t0\n",
+        ] {
+            let p = assemble(&hot_loop(body)).unwrap();
+            let fast = time(&p, &FusionMap::new(), CpuConfig::baseline());
+            let slow = time(&p, &FusionMap::new(), no_fast(CpuConfig::baseline()));
+            assert_identical(&fast, &slow);
+            assert!(
+                fast.fast.replayed_iters > 400,
+                "a 500-iteration steady loop must mostly replay, got {:?}",
+                fast.fast
+            );
+            assert_eq!(fast.fast.steady_loops, fast.fast.deopts);
+            assert_eq!(slow.fast, crate::FastPathStats::default());
+        }
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_with_pfus() {
+        // The fused hot loop from `fusion_speeds_up_dependent_chains`:
+        // steady state has resident configurations and PFU hits.
+        let src = "
+main:
+    li   $s0, 5000
+    li   $t0, 3
+    li   $t1, 5
+loop:
+    sll  $t2, $t0, 4
+    addu $t2, $t2, $t1
+    xor  $t2, $t2, $t0
+    srl  $t2, $t2, 1
+    addu $t1, $t1, $t2
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+";
+        let src = format!("{src}{EXIT}");
+        let p = assemble(&src).unwrap();
+        let start = p.symbol("loop").unwrap();
+        let skeleton: Vec<_> = (0..4).map(|k| p.instr_at(start + 4 * k).unwrap()).collect();
+        let mut fusion = FusionMap::new();
+        fusion.define(t1000_isa::ConfDef {
+            conf: 0,
+            skeleton,
+            base_cycles: 4,
+            pfu_latency: 1,
+        });
+        fusion.add_site(t1000_isa::FusedSite {
+            pc: start,
+            len: 4,
+            conf: 0,
+            inputs: vec![Reg::parse("t0").unwrap(), Reg::parse("t1").unwrap()],
+            output: Reg::parse("t2").unwrap(),
+        });
+        let fast = time(&p, &fusion, CpuConfig::with_pfus(1));
+        let slow = time(&p, &fusion, no_fast(CpuConfig::with_pfus(1)));
+        assert_identical(&fast, &slow);
+        assert!(fast.fast.replayed_iters > 4000, "{:?}", fast.fast);
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_under_bimodal_prediction() {
+        use crate::branch::BranchModel;
+        // The loop branch saturates its counter; the steady state is
+        // redirect-free and must converge.
+        let src = hot_loop("    addu $t0, $t0, $t0\n");
+        let p = assemble(&src).unwrap();
+        let mut cfg = CpuConfig::baseline();
+        cfg.branch = BranchModel::Bimodal {
+            entries: 1024,
+            penalty: 6,
+        };
+        let fast = time(&p, &FusionMap::new(), cfg);
+        let slow = time(&p, &FusionMap::new(), no_fast(cfg));
+        assert_identical(&fast, &slow);
+        assert!(fast.fast.replayed_iters > 400, "{:?}", fast.fast);
+    }
+
+    #[test]
+    fn fast_path_preserves_cycle_attribution() {
+        let src = hot_loop("    addu $t0, $t0, $t0\n    lw $t1, 0($sp)\n");
+        let p = assemble(&src).unwrap();
+        let fusion = FusionMap::new();
+        let (fast, fast_attr) = time_attr(&p, &fusion, CpuConfig::baseline());
+        let (slow, slow_attr) = time_attr(&p, &fusion, no_fast(CpuConfig::baseline()));
+        assert_identical(&fast, &slow);
+        assert!(fast.fast.replayed_iters > 400, "{:?}", fast.fast);
+        assert!(fast_attr.checks_out());
+        assert_eq!(fast_attr, slow_attr, "per-cause attribution diverged");
+    }
+
+    #[test]
+    fn fast_path_respects_the_cycle_limit() {
+        let src = hot_loop("    addu $t0, $t0, $t0\n");
+        let p = assemble(&src).unwrap();
+        let fusion = FusionMap::new();
+        let limited = |fast_path: bool| {
+            let mut cfg = CpuConfig::baseline();
+            cfg.fast_path = fast_path;
+            cfg.max_cycles = 300;
+            let mut core = FuncCore::new(&p, &fusion);
+            let mut sink = crate::observe::AttrCollector::new();
+            let err = OooCore::new(cfg)
+                .run_with(|| core.step(), &mut sink)
+                .unwrap_err();
+            (err, sink.attr)
+        };
+        let (fast_err, fast_attr) = limited(true);
+        let (slow_err, slow_attr) = limited(false);
+        assert_eq!(fast_err, ExecError::CycleLimit(300));
+        assert_eq!(fast_err, slow_err);
+        assert_eq!(
+            fast_attr, slow_attr,
+            "attribution up to the fuel limit must match"
+        );
+    }
+
+    #[test]
+    fn fast_path_deopts_on_mid_loop_disturbance_and_reconverges() {
+        // A fused hot loop whose configuration is fault-injected midway:
+        // the PFU reload (and subsequent scalar fallback) perturbs the
+        // steady state; replay must de-opt, resimulate the disturbance
+        // accurately, converge again, and still match the slow path bit
+        // for bit.
+        let src = "
+main:
+    li   $s0, 5000
+    li   $t0, 3
+    li   $t1, 5
+loop:
+    sll  $t2, $t0, 4
+    addu $t2, $t2, $t1
+    xor  $t2, $t2, $t0
+    srl  $t2, $t2, 1
+    addu $t1, $t1, $t2
+    addiu $s0, $s0, -1
+    bgtz $s0, loop
+";
+        let src = format!("{src}{EXIT}");
+        let p = assemble(&src).unwrap();
+        let start = p.symbol("loop").unwrap();
+        let skeleton: Vec<_> = (0..4).map(|k| p.instr_at(start + 4 * k).unwrap()).collect();
+        let mut fusion = FusionMap::new();
+        fusion.define(t1000_isa::ConfDef {
+            conf: 0,
+            skeleton,
+            base_cycles: 4,
+            pfu_latency: 1,
+        });
+        fusion.add_site(t1000_isa::FusedSite {
+            pc: start,
+            len: 4,
+            conf: 0,
+            inputs: vec![Reg::parse("t0").unwrap(), Reg::parse("t1").unwrap()],
+            output: Reg::parse("t2").unwrap(),
+        });
+        let run = |cfg: CpuConfig| {
+            let mut core = FuncCore::new(&p, &fusion);
+            let mut injected = false;
+            OooCore::new(cfg)
+                .run(|| {
+                    // Deep in the steady state, fault the configuration:
+                    // the next fused site falls back to scalar execution.
+                    if !injected && core.icount > 10_000 {
+                        injected = true;
+                        core.inject_conf_faults([0u16]);
+                    }
+                    core.step()
+                })
+                .unwrap()
+        };
+        let fast = run(CpuConfig::with_pfus(1));
+        let slow = run(no_fast(CpuConfig::with_pfus(1)));
+        assert_identical(&fast, &slow);
+        assert!(
+            fast.fast.deopts >= 2,
+            "the disturbance must force an extra de-opt/re-converge cycle: {:?}",
+            fast.fast
+        );
+        assert!(fast.fast.replayed_iters > 3000, "{:?}", fast.fast);
+    }
+
+    #[test]
+    fn event_sinks_disable_the_fast_path() {
+        struct EventSink(Vec<TraceEvent>);
+        impl TraceSink for EventSink {
+            const EVENTS: bool = true;
+            const ATTR: bool = false;
+            fn event(&mut self, e: TraceEvent) {
+                self.0.push(e);
+            }
+        }
+        let src = hot_loop("    addu $t0, $t0, $t0\n");
+        let p = assemble(&src).unwrap();
+        let fusion = FusionMap::new();
+        let mut core = FuncCore::new(&p, &fusion);
+        let mut sink = EventSink(Vec::new());
+        let stats = OooCore::new(CpuConfig::baseline())
+            .run_with(|| core.step(), &mut sink)
+            .unwrap();
+        assert_eq!(
+            stats.fast,
+            crate::FastPathStats::default(),
+            "events need absolute cycles; replay must stand down"
+        );
+        let plain = time(&p, &FusionMap::new(), CpuConfig::baseline());
+        assert_eq!(stats.cycles, plain.cycles);
     }
 
     #[test]

@@ -209,6 +209,54 @@ impl Cache {
             *l = Line::default();
         }
     }
+
+    /// Steady-state equivalence check for the CPU's hot-loop replay fast
+    /// path. Returns `true` when `self` is `base` advanced by one
+    /// *event-free* period: every access since `base` hit (no misses, no
+    /// write-backs, so tags, dirty bits and the rng are untouched), and
+    /// every LRU stamp either shifted uniformly by the access delta
+    /// (lines touched during the period) or stayed put at a value not
+    /// newer than `base` (lines the period never touched). Under these
+    /// conditions replaying the period any number of times leaves the
+    /// cache in a state reachable by [`Cache::fast_forward`].
+    pub fn steady_eq(&self, base: &Cache) -> bool {
+        let Some(dticks) = self.tick.checked_sub(base.tick) else {
+            return false;
+        };
+        if self.stats.accesses != base.stats.accesses + dticks
+            || self.stats.misses != base.stats.misses
+            || self.stats.writebacks != base.stats.writebacks
+            || self.rng != base.rng
+            || self.lines.len() != base.lines.len()
+        {
+            return false;
+        }
+        self.lines.iter().zip(&base.lines).all(|(l, b)| {
+            l.valid == b.valid
+                && l.dirty == b.dirty
+                && l.tag == b.tag
+                && (l.stamp == b.stamp + dticks || (l.stamp == b.stamp && b.stamp <= base.tick))
+        })
+    }
+
+    /// Advances this cache by `iters` additional repetitions of the
+    /// event-free period between `base` and `self` (which must satisfy
+    /// [`Cache::steady_eq`]): stamps of lines touched during the period
+    /// shift uniformly, untouched lines keep their stale stamps, and the
+    /// hit counters advance by the period's access count. The result is
+    /// bit-identical to simulating the period `iters` more times.
+    pub fn fast_forward(&mut self, base: &Cache, iters: u64) {
+        let dticks = self.tick - base.tick;
+        let shift = dticks * iters;
+        for l in &mut self.lines {
+            if l.stamp > base.tick {
+                l.stamp += shift;
+            }
+        }
+        self.tick += shift;
+        self.stats.accesses += shift;
+        self.stats.hits += shift;
+    }
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ impl Default for MemConfig {
 }
 
 /// Aggregate statistics snapshot for reporting.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
     pub il1: CacheStats,
     pub dl1: CacheStats,
@@ -75,6 +75,11 @@ pub struct MemStats {
 /// The memory hierarchy timing model. Data contents live elsewhere
 /// ([`crate::memory::Memory`]); this answers one question: *how many cycles
 /// does this access take?*
+///
+/// `Clone` exists so the CPU's hot-loop replay fast path can snapshot the
+/// timing state at a loop boundary and later compare/advance it
+/// ([`MemHierarchy::steady_eq`], [`MemHierarchy::fast_forward`]).
+#[derive(Clone)]
 pub struct MemHierarchy {
     cfg: MemConfig,
     il1: Cache,
@@ -167,6 +172,33 @@ impl MemHierarchy {
         self.ul2.reset_stats();
         self.itlb.reset_stats();
         self.dtlb.reset_stats();
+    }
+
+    /// Steady-state equivalence with a snapshot `base` taken earlier in
+    /// the same run: every component experienced an event-free (all-hit)
+    /// period whose repetitions can be replayed with
+    /// [`MemHierarchy::fast_forward`]. See
+    /// [`Cache::steady_eq`] for the per-component contract.
+    pub fn steady_eq(&self, base: &MemHierarchy) -> bool {
+        self.il1.steady_eq(&base.il1)
+            && self.dl1.steady_eq(&base.dl1)
+            && self.itlb.steady_eq(&base.itlb)
+            && self.dtlb.steady_eq(&base.dtlb)
+            // The unified L2 sees traffic only on L1 misses and
+            // write-backs, both absent in an event-free period, so it
+            // must be bit-identical to the snapshot.
+            && self.ul2.stats() == base.ul2.stats()
+    }
+
+    /// Advances every component by `iters` repetitions of the event-free
+    /// period between `base` and `self`, bit-identically to simulating
+    /// them. Requires [`MemHierarchy::steady_eq`]`(base)`.
+    pub fn fast_forward(&mut self, base: &MemHierarchy, iters: u64) {
+        self.il1.fast_forward(&base.il1, iters);
+        self.dl1.fast_forward(&base.dl1, iters);
+        self.itlb.fast_forward(&base.itlb, iters);
+        self.dtlb.fast_forward(&base.dtlb, iters);
+        // ul2 saw no traffic during the period: nothing to advance.
     }
 
     /// Invalidates all caches and TLBs (statistics are kept).

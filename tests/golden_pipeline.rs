@@ -476,13 +476,14 @@ fn budget_knapsack_respects_the_lut_budget_greedy_exceeds() {
     assert!(exercised >= 4, "only {exercised} workloads exercised");
 }
 
-/// Schema-compat check for the bench artifact: a v4 cell/selection object
-/// is the v3 object plus exactly the strategy-axis fields (`strategy`,
-/// and `lut_budget` on knapsack cells). Guards the "identical modulo the
-/// schema-version/strategy fields" guarantee without re-running the
-/// full-scale suite.
+/// Schema-compat check for the bench artifact: a v5 cell object is the
+/// v3 object plus exactly the strategy-axis fields (v4: `strategy`, and
+/// `lut_budget` on knapsack cells) and the host-throughput fields (v5:
+/// `host_ns`, `sim_khz`, `fast_path`). Guards the "identical modulo the
+/// schema-version/strategy/throughput fields" guarantee without
+/// re-running the full-scale suite.
 #[test]
-fn artifact_v4_adds_only_the_strategy_fields() {
+fn artifact_v5_adds_only_strategy_and_throughput_fields() {
     use t1000_bench::engine::execute;
     use t1000_bench::json::Json;
     use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
@@ -501,8 +502,8 @@ fn artifact_v4_adds_only_the_strategy_fields() {
 
     assert_eq!(
         doc.get("schema_version").and_then(Json::as_u64),
-        Some(4),
-        "strategy axis requires the v4 schema"
+        Some(5),
+        "host throughput requires the v5 schema"
     );
     let keys = |j: &Json| -> Vec<String> {
         match j {
@@ -540,14 +541,23 @@ fn artifact_v4_adds_only_the_strategy_fields() {
         let algo = c.get("algorithm").and_then(Json::as_str).unwrap();
         let strategy = c.get("strategy").and_then(Json::as_str).unwrap();
         assert!(strategy.starts_with(algo), "{strategy} vs {algo}");
-        let expected_extra: &[&str] = if algo == "knapsack" {
+        let v5 = ["host_ns", "sim_khz", "fast_path"];
+        let expected_extra: Vec<&str> = if algo == "knapsack" {
             saw_knapsack = true;
             assert_eq!(c.get("lut_budget").and_then(Json::as_u64), Some(256));
-            &["strategy", "lut_budget"]
+            ["strategy", "lut_budget"]
+                .iter()
+                .chain(&v5)
+                .copied()
+                .collect()
         } else if algo == "selective" {
-            &["strategy", "pfus", "gain_threshold"]
+            ["strategy", "pfus", "gain_threshold"]
+                .iter()
+                .chain(&v5)
+                .copied()
+                .collect()
         } else {
-            &["strategy"]
+            ["strategy"].iter().chain(&v5).copied().collect()
         };
         let extras: Vec<String> = ks
             .iter()
