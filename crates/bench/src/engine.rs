@@ -371,6 +371,38 @@ pub struct SelectionRecord {
 }
 
 impl SelectionRecord {
+    /// Builds the record summarising `selection` (one [`ConfSummary`] per
+    /// chosen configuration). Used by the engine's select phase and by
+    /// the serving layer's `select` method.
+    pub fn summarize(
+        workload: &'static str,
+        extract: ExtractConfig,
+        spec: SelectionSpec,
+        selection: Arc<Selection>,
+    ) -> SelectionRecord {
+        let confs = selection
+            .confs
+            .iter()
+            .map(|c| ConfSummary {
+                luts: c.cost.luts,
+                depth: c.cost.depth,
+                width: c.width,
+                seq_len: c.seq_len,
+                num_sites: c.num_sites,
+                total_gain: c.total_gain,
+            })
+            .collect();
+        SelectionRecord {
+            workload,
+            extract,
+            spec,
+            num_confs: selection.num_confs(),
+            num_sites: selection.fusion.num_sites(),
+            confs,
+            selection,
+        }
+    }
+
     /// Smallest/largest fused sequence length (0 if nothing was selected).
     pub fn seq_len_range(&self) -> (usize, usize) {
         let min = self.confs.iter().map(|c| c.seq_len).min().unwrap_or(0);
@@ -548,11 +580,12 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
             }
         }
     }
-    let sessions: HashMap<(&'static str, ExtractConfig), Result<PreparedSession, FailureCause>> =
+    let run_opts = config.run_options();
+    let sessions: HashMap<(&'static str, ExtractConfig), Result<CellRunner, FailureCause>> =
         session_keys
             .iter()
             .zip(parallel_map(&session_keys, threads, |&(name, extract)| {
-                quiet_catch_unwind(|| prepare_session(name, extract, scale, config))
+                quiet_catch_unwind(|| CellRunner::for_workload(name, extract, scale, &run_opts))
                     .unwrap_or_else(|msg| Err(FailureCause::Panic(msg)))
             }))
             .map(|(&k, v)| (k, v))
@@ -583,8 +616,8 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
                 ));
             };
             quiet_catch_unwind(|| {
-                let selection = prepared.session.select_shared(&sspec);
-                summarize_selection(name, extract, spec, selection)
+                let selection = prepared.session().select_shared(&sspec);
+                SelectionRecord::summarize(name, extract, spec, selection)
             })
             .map_err(FailureCause::Panic)
         });
@@ -728,7 +761,7 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
     let mut selection_misses = 0;
     let mut selection_compute_secs = 0.0;
     for p in sessions.values().flatten() {
-        let s = p.session.selection_cache_stats();
+        let s = p.session().selection_cache_stats();
         selection_hits += s.hits;
         selection_misses += s.misses;
         selection_compute_secs += s.compute_secs();
@@ -788,8 +821,63 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
     }
 }
 
-struct PreparedSession {
-    session: Session,
+/// Per-simulation knobs a [`CellRunner`] threads into every
+/// [`t1000_cpu::CpuConfig`] it builds: the cycle-fuel watchdog and the
+/// fast-path switch. Extracted from [`EngineConfig`] so the runner can
+/// serve requests that carry their own limits (the `t1000 serve` daemon).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct RunOptions {
+    /// Cycle fuel per simulation (0 = unlimited); exhaustion fails the
+    /// cell with [`FailureCause::Timeout`].
+    pub max_cycles: u64,
+    /// Disable the hot-loop replay fast path (results are bit-identical
+    /// either way; see `docs/FASTPATH.md`).
+    pub no_fast_path: bool,
+}
+
+impl EngineConfig {
+    /// The per-simulation slice of this engine configuration.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            max_cycles: self.max_cycles,
+            no_fast_path: self.no_fast_path,
+        }
+    }
+}
+
+/// Runs experiment cells for one prepared program, outside any batch
+/// plan — the per-cell execution engine extracted from the engine's
+/// phase machinery so that long-running services can call it one
+/// request at a time ([`crate::plan::Cell`] in, [`CellResult`] out).
+///
+/// A runner owns a profiled [`Session`] plus the canonical baseline
+/// (PFU-less) reference run, which pins the architectural checksum every
+/// fused simulation is verified against. The batch engine builds one per
+/// (workload, extract) in its prepare phase; the `t1000 serve` daemon
+/// builds them on demand from a process-wide
+/// [`t1000_core::SessionStore`] and keeps them warm across requests.
+///
+/// ```
+/// use t1000_bench::engine::{CellRunner, RunOptions};
+/// use t1000_bench::plan::{Cell, MachineSpec, SelectionSpec};
+/// use t1000_core::ExtractConfig;
+/// use t1000_workloads::Scale;
+///
+/// let opts = RunOptions::default();
+/// let runner =
+///     CellRunner::for_workload("gsm_dec", ExtractConfig::default(), Scale::Test, &opts).unwrap();
+/// let cell = Cell::new(
+///     "gsm_dec",
+///     SelectionSpec::selective_std(Some(2)),
+///     MachineSpec::with_pfus(2, 10),
+/// );
+/// let result = runner.run_cell(cell, &opts).unwrap();
+/// assert!(result.cycles < runner.baseline_cycles()); // fusion pays off
+/// assert_eq!(result.checksum, runner.expected_checksum()); // and verifies
+/// assert!(result.attr.checks_out()); // every cycle attributed
+/// ```
+pub struct CellRunner {
+    session: Arc<Session>,
     expected_checksum: u64,
     /// The canonical baseline run: pins the architectural reference every
     /// fused run is verified against, and doubles as the default
@@ -800,6 +888,9 @@ struct PreparedSession {
     /// Host nanoseconds the reference simulation took (the baseline
     /// cell's `host_ns`).
     reference_host_ns: u64,
+    /// The options the reference run used; the reference is only reused
+    /// for baseline cells requested under identical options.
+    prepare_opts: RunOptions,
 }
 
 fn exec_cause(e: t1000_core::Error, deterministic: fn(String) -> FailureCause) -> FailureCause {
@@ -812,53 +903,273 @@ fn exec_cause(e: t1000_core::Error, deterministic: fn(String) -> FailureCause) -
     }
 }
 
-fn prepare_session(
-    name: &'static str,
-    extract: ExtractConfig,
-    scale: Scale,
-    config: &EngineConfig,
-) -> Result<PreparedSession, FailureCause> {
-    let workload = t1000_workloads::by_name(name, scale).ok_or(FailureCause::UnknownWorkload)?;
-    let program = workload
-        .program()
-        .map_err(|e| FailureCause::Prepare(e.to_string()))?;
-    let session = Session::with_extract(program, extract)
-        .map_err(|e| exec_cause(e, FailureCause::Prepare))?;
-    // One canonical run pins the architectural reference for this session.
-    let mut sink = AttrCollector::new();
-    let mut cpu = MachineSpec::with_pfus(0, 0).cpu_config();
-    cpu.max_cycles = config.max_cycles;
-    cpu.fast_path = !config.no_fast_path;
-    let t0 = Instant::now();
-    let reference = session
-        .run_baseline_observed(cpu, &mut sink)
-        .map_err(|e| exec_cause(e, FailureCause::Prepare))?;
-    let reference_host_ns = t0.elapsed().as_nanos() as u64;
-    let expected = workload.expected_checksum();
-    if reference.sys.checksum != expected {
-        return Err(FailureCause::ChecksumMismatch {
-            got: reference.sys.checksum,
-            expected,
-        });
+impl CellRunner {
+    /// Prepares a runner for a registry workload: assemble, profile,
+    /// simulate the canonical baseline, and verify its checksum against
+    /// the workload's bit-exact Rust reference.
+    pub fn for_workload(
+        name: &'static str,
+        extract: ExtractConfig,
+        scale: Scale,
+        opts: &RunOptions,
+    ) -> Result<CellRunner, FailureCause> {
+        let workload =
+            t1000_workloads::by_name(name, scale).ok_or(FailureCause::UnknownWorkload)?;
+        let program = workload
+            .program()
+            .map_err(|e| FailureCause::Prepare(e.to_string()))?;
+        let session = Session::with_extract(program, extract)
+            .map_err(|e| exec_cause(e, FailureCause::Prepare))?;
+        CellRunner::from_session(Arc::new(session), Some(workload.expected_checksum()), opts)
     }
-    Ok(PreparedSession {
-        session,
-        expected_checksum: expected,
-        reference,
-        reference_attr: sink.attr,
-        reference_host_ns,
-    })
+
+    /// Prepares a runner for an already-built session (the serving path:
+    /// the session typically comes from a shared
+    /// [`t1000_core::SessionStore`]). Runs the canonical baseline; when
+    /// `expected_checksum` is `None` — an ad-hoc program with no external
+    /// reference — the baseline run's own checksum becomes the
+    /// expectation every fused run must reproduce.
+    pub fn from_session(
+        session: Arc<Session>,
+        expected_checksum: Option<u64>,
+        opts: &RunOptions,
+    ) -> Result<CellRunner, FailureCause> {
+        // One canonical run pins the architectural reference.
+        let mut sink = AttrCollector::new();
+        let cpu = Self::cpu_for(&MachineSpec::with_pfus(0, 0), opts);
+        let t0 = Instant::now();
+        let reference = session
+            .run_baseline_observed(cpu, &mut sink)
+            .map_err(|e| exec_cause(e, FailureCause::Prepare))?;
+        let reference_host_ns = t0.elapsed().as_nanos() as u64;
+        let expected = expected_checksum.unwrap_or(reference.sys.checksum);
+        if reference.sys.checksum != expected {
+            return Err(FailureCause::ChecksumMismatch {
+                got: reference.sys.checksum,
+                expected,
+            });
+        }
+        Ok(CellRunner {
+            session,
+            expected_checksum: expected,
+            reference,
+            reference_attr: sink.attr,
+            reference_host_ns,
+            prepare_opts: *opts,
+        })
+    }
+
+    /// The underlying (shared) session.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// The checksum every run of this program must produce.
+    pub fn expected_checksum(&self) -> u64 {
+        self.expected_checksum
+    }
+
+    /// Cycles of the canonical (PFU-less, default-machine) baseline run —
+    /// the normaliser for speedups on default-machine cells.
+    pub fn baseline_cycles(&self) -> u64 {
+        self.reference.timing.cycles
+    }
+
+    fn cpu_for(machine: &MachineSpec, opts: &RunOptions) -> t1000_cpu::CpuConfig {
+        let mut cpu = machine.cpu_config();
+        cpu.max_cycles = opts.max_cycles;
+        cpu.fast_path = !opts.no_fast_path;
+        cpu
+    }
+
+    /// Resolves `spec`'s selection through the session's memo cache,
+    /// panic-isolated (a selector panic becomes [`FailureCause::Panic`]).
+    /// Baseline specs have no selection job and fail typed.
+    pub fn select(&self, spec: &SelectionSpec) -> Result<Arc<Selection>, FailureCause> {
+        let Some(sspec) = spec.strategy_spec() else {
+            return Err(FailureCause::Selection(
+                "baseline cells have no selection job".into(),
+            ));
+        };
+        quiet_catch_unwind(|| self.session.select_shared(&sspec)).map_err(FailureCause::Panic)
+    }
+
+    /// Simulates `cell` with a pre-resolved `selection` (`None` =
+    /// baseline). This is the batch engine's entry point: the engine
+    /// resolves selections in its select phase, so a simulation never
+    /// touches the memo cache and cache counters stay deterministic
+    /// under `--resume`. The canonical baseline cell reuses the
+    /// reference run when `opts` match the prepare-time options.
+    pub fn run_cell_with(
+        &self,
+        cell: Cell,
+        selection: Option<&Selection>,
+        opts: &RunOptions,
+    ) -> Result<CellResult, FailureCause> {
+        let (run, attr, host_ns) = if selection.is_none()
+            && cell.selection == SelectionSpec::Baseline
+            && cell.machine == MachineSpec::with_pfus(0, 0)
+            && *opts == self.prepare_opts
+        {
+            // The canonical baseline was already simulated during prepare
+            // (it pins the architectural reference) — reuse it. The
+            // prepare run used the same options, so the reuse is exact.
+            (
+                self.reference.clone(),
+                self.reference_attr.clone(),
+                self.reference_host_ns,
+            )
+        } else {
+            let cpu = Self::cpu_for(&cell.machine, opts);
+            let mut sink = AttrCollector::new();
+            let t0 = Instant::now();
+            let run = match selection {
+                Some(s) => self.session.run_with_observed(s, cpu, &mut sink),
+                None => self.session.run_baseline_observed(cpu, &mut sink),
+            }
+            .map_err(|e| exec_cause(e, FailureCause::Simulate))?;
+            (run, sink.attr, t0.elapsed().as_nanos() as u64)
+        };
+        self.finish(cell, run, attr, host_ns)
+    }
+
+    /// Simulates `cell` with every configuration of `selection` failing
+    /// to load — the graceful-degradation (scalar fallback) path the
+    /// engine's `pfu@N` fault injection exercises.
+    pub fn run_cell_degraded(
+        &self,
+        cell: Cell,
+        selection: &Selection,
+        opts: &RunOptions,
+    ) -> Result<CellResult, FailureCause> {
+        let cpu = Self::cpu_for(&cell.machine, opts);
+        let faulted: Vec<u16> = selection.confs.iter().map(|c| c.conf).collect();
+        let mut sink = AttrCollector::new();
+        let t0 = Instant::now();
+        let run = self
+            .session
+            .run_degraded_observed(selection, cpu, &faulted, &mut sink)
+            .map_err(|e| exec_cause(e, FailureCause::Simulate))?;
+        self.finish(cell, run, sink.attr, t0.elapsed().as_nanos() as u64)
+    }
+
+    /// Simulates `cell`, resolving its selection through the session's
+    /// memo cache first — the one-call form for callers outside a batch
+    /// plan (cache hits/misses are recorded, which is exactly what the
+    /// serving layer's `cache_stats` wants to observe).
+    pub fn run_cell(&self, cell: Cell, opts: &RunOptions) -> Result<CellResult, FailureCause> {
+        let selection = match cell.selection {
+            SelectionSpec::Baseline => None,
+            _ => Some(self.select(&cell.selection)?),
+        };
+        self.run_cell_with(cell, selection.as_deref(), opts)
+    }
+
+    /// [`CellRunner::run_cell`] under the engine's full robustness
+    /// machinery: `catch_unwind` panic isolation, bounded deterministic
+    /// retry for transient causes, and an optional wall-clock deadline
+    /// checked before each attempt ([`FailureCause::WallClock`] when it
+    /// has passed). The daemon's per-request execution path.
+    // The error carries the full cell key on purpose (callers report it
+    // without keeping the request around); one per request, never hot.
+    #[allow(clippy::result_large_err)]
+    pub fn run_cell_isolated(
+        &self,
+        cell: Cell,
+        opts: &RunOptions,
+        retry: &RetryPolicy,
+        deadline: Option<Instant>,
+    ) -> Result<CellResult, EngineError> {
+        let selection = match cell.selection {
+            SelectionSpec::Baseline => None,
+            _ => match self.select(&cell.selection) {
+                Ok(s) => Some(s),
+                Err(cause) => {
+                    return Err(EngineError {
+                        cell,
+                        cause,
+                        attempts: 0,
+                    })
+                }
+            },
+        };
+        let mut attempt = 0u32;
+        loop {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(EngineError {
+                        cell,
+                        cause: FailureCause::WallClock,
+                        attempts: attempt,
+                    });
+                }
+            }
+            attempt += 1;
+            if attempt > 1 {
+                std::thread::sleep(retry.backoff_before(attempt));
+            }
+            let cause =
+                match quiet_catch_unwind(|| self.run_cell_with(cell, selection.as_deref(), opts)) {
+                    Ok(Ok(result)) => return Ok(result),
+                    Ok(Err(cause)) => cause,
+                    Err(msg) => FailureCause::Panic(msg),
+                };
+            if !cause.retryable() || attempt >= retry.max_attempts {
+                return Err(EngineError {
+                    cell,
+                    cause,
+                    attempts: attempt,
+                });
+            }
+        }
+    }
+
+    /// Verification + measurement extraction shared by every run path.
+    fn finish(
+        &self,
+        cell: Cell,
+        run: t1000_cpu::RunResult,
+        attr: CycleAttribution,
+        host_ns: u64,
+    ) -> Result<CellResult, FailureCause> {
+        debug_assert!(attr.checks_out() && attr.total_cycles == run.timing.cycles);
+        if run.sys.checksum != self.expected_checksum {
+            return Err(FailureCause::ChecksumMismatch {
+                got: run.sys.checksum,
+                expected: self.expected_checksum,
+            });
+        }
+        if run.sys != self.reference.sys {
+            return Err(FailureCause::SemanticsChanged);
+        }
+        Ok(CellResult {
+            cell,
+            cycles: run.timing.cycles,
+            base_instructions: run.timing.base_instructions,
+            base_ipc: run.timing.base_ipc,
+            reconfigurations: run.timing.pfu.reconfigurations,
+            conf_hits: run.timing.pfu.conf_hits,
+            ext_executed: run.timing.pfu.ext_executed,
+            pfu_load_faults: run.timing.pfu.load_faults,
+            branch_accuracy: run.timing.branch.accuracy(),
+            checksum: run.sys.checksum,
+            host_ns,
+            sim_khz: sim_khz(run.timing.cycles, host_ns),
+            fast: run.timing.fast,
+            attr,
+        })
+    }
 }
 
-/// Simulates one cell (one attempt). Injected faults fire here: `panic@N`
-/// panics before the simulation starts; `pfu@N` fails every configuration
-/// load of the cell's selection, exercising the graceful-degradation
-/// (scalar fallback) path.
+/// Simulates one cell (one attempt) for the batch engine. Injected faults
+/// fire here: `panic@N` panics before the simulation starts; `pfu@N`
+/// fails every configuration load of the cell's selection, exercising the
+/// graceful-degradation (scalar fallback) path.
 fn simulate_cell(
     idx: usize,
     attempt: u32,
     cell: Cell,
-    prepared: &PreparedSession,
+    runner: &CellRunner,
     selections: &[SelectionRecord],
     selection_index: &HashMap<(&'static str, ExtractConfig, SelectionSpec), usize>,
     config: &EngineConfig,
@@ -866,100 +1177,17 @@ fn simulate_cell(
     if config.faults.cell_panics(idx, attempt) {
         panic!("injected fault: cell {idx} attempt {attempt}");
     }
-    let (run, attr, host_ns) = if cell.selection == SelectionSpec::Baseline
-        && cell.machine == MachineSpec::with_pfus(0, 0)
-    {
-        // The canonical baseline was already simulated during prepare
-        // (it pins the architectural reference) — reuse it. The prepare
-        // run used the same fuel limit, so the reuse is exact.
-        (
-            prepared.reference.clone(),
-            prepared.reference_attr.clone(),
-            prepared.reference_host_ns,
-        )
-    } else {
-        let mut cpu = cell.machine.cpu_config();
-        cpu.max_cycles = config.max_cycles;
-        cpu.fast_path = !config.no_fast_path;
-        let mut sink = AttrCollector::new();
-        let t0 = Instant::now();
-        let run = match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
-            Some(&i) => {
-                let record = &selections[i];
-                if config.faults.pfu_fault(idx) {
-                    let faulted: Vec<u16> =
-                        record.selection().confs.iter().map(|c| c.conf).collect();
-                    prepared.session.run_degraded_observed(
-                        record.selection(),
-                        cpu,
-                        &faulted,
-                        &mut sink,
-                    )
-                } else {
-                    prepared
-                        .session
-                        .run_with_observed(record.selection(), cpu, &mut sink)
-                }
+    let opts = config.run_options();
+    match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
+        Some(&i) => {
+            let record = &selections[i];
+            if config.faults.pfu_fault(idx) {
+                runner.run_cell_degraded(cell, record.selection(), &opts)
+            } else {
+                runner.run_cell_with(cell, Some(record.selection()), &opts)
             }
-            None => prepared.session.run_baseline_observed(cpu, &mut sink),
         }
-        .map_err(|e| exec_cause(e, FailureCause::Simulate))?;
-        (run, sink.attr, t0.elapsed().as_nanos() as u64)
-    };
-    debug_assert!(attr.checks_out() && attr.total_cycles == run.timing.cycles);
-    if run.sys.checksum != prepared.expected_checksum {
-        return Err(FailureCause::ChecksumMismatch {
-            got: run.sys.checksum,
-            expected: prepared.expected_checksum,
-        });
-    }
-    if run.sys != prepared.reference.sys {
-        return Err(FailureCause::SemanticsChanged);
-    }
-    Ok(CellResult {
-        cell,
-        cycles: run.timing.cycles,
-        base_instructions: run.timing.base_instructions,
-        base_ipc: run.timing.base_ipc,
-        reconfigurations: run.timing.pfu.reconfigurations,
-        conf_hits: run.timing.pfu.conf_hits,
-        ext_executed: run.timing.pfu.ext_executed,
-        pfu_load_faults: run.timing.pfu.load_faults,
-        branch_accuracy: run.timing.branch.accuracy(),
-        checksum: run.sys.checksum,
-        host_ns,
-        sim_khz: sim_khz(run.timing.cycles, host_ns),
-        fast: run.timing.fast,
-        attr,
-    })
-}
-
-fn summarize_selection(
-    workload: &'static str,
-    extract: ExtractConfig,
-    spec: SelectionSpec,
-    selection: Arc<Selection>,
-) -> SelectionRecord {
-    let confs = selection
-        .confs
-        .iter()
-        .map(|c| ConfSummary {
-            luts: c.cost.luts,
-            depth: c.cost.depth,
-            width: c.width,
-            seq_len: c.seq_len,
-            num_sites: c.num_sites,
-            total_gain: c.total_gain,
-        })
-        .collect();
-    SelectionRecord {
-        workload,
-        extract,
-        spec,
-        num_confs: selection.num_confs(),
-        num_sites: selection.fusion.num_sites(),
-        confs,
-        selection,
+        None => runner.run_cell_with(cell, None, &opts),
     }
 }
 

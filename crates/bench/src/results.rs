@@ -122,7 +122,9 @@ fn selection_spec_fields(spec: &SelectionSpec) -> Vec<(&'static str, Json)> {
     fields
 }
 
-fn selection_json(r: &SelectionRecord) -> Json {
+/// One selection record as a schema-v5 `selections[]` entry. Public so
+/// the serving layer's `select` method can emit the identical document.
+pub fn selection_json(r: &SelectionRecord) -> Json {
     let (min_len, max_len) = r.seq_len_range();
     let mut fields = vec![("workload", Json::Str(r.workload.to_string()))];
     fields.extend(selection_spec_fields(&r.spec));
@@ -156,6 +158,14 @@ fn selection_json(r: &SelectionRecord) -> Json {
 }
 
 fn cell_json(run: &EngineRun, c: &CellResult) -> Json {
+    cell_result_json(c, run.speedup(c.cell))
+}
+
+/// One cell's measurements as a schema-v5 `cells[]` entry (`speedup` is
+/// relative to the caller's baseline; `None` → JSON `null`). Public so
+/// the serving layer's `run` method can emit documents bit-identical to
+/// the batch artifact's.
+pub fn cell_result_json(c: &CellResult, speedup: Option<f64>) -> Json {
     let mut fields = vec![("workload", Json::Str(c.cell.workload.to_string()))];
     fields.extend(selection_spec_fields(&c.cell.selection));
     fields.extend([
@@ -166,7 +176,7 @@ fn cell_json(run: &EngineRun, c: &CellResult) -> Json {
         ("base_ipc", Json::Float(c.base_ipc)),
         (
             "speedup",
-            match run.speedup(c.cell) {
+            match speedup {
                 Some(s) => Json::Float(s),
                 None => Json::Null,
             },

@@ -6,7 +6,7 @@
 //! t1000 asm     <file.s> [--out file.tobj]      assemble to a text object
 //! t1000 disasm  <file.s|.tobj>                  disassemble
 //! t1000 run     <file.s|.tobj|bench:name> [--pfus N|unlimited] [--reconfig C]
-//!               [--greedy] [--threshold F] [--max-instr N]
+//!               [--greedy] [--threshold F] [--max-instr N] [--scale test|full]
 //!               [--stats-json FILE] [--trace FILE] [--attr] [--no-fast-path]
 //!                                               select + simulate (+observe)
 //! t1000 report  <stats.json>                    render the attribution table
@@ -27,12 +27,16 @@
 //! t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]
 //!                                               re-check a results artifact
 //!                                               (+ declarative assertions)
+//! t1000 serve   [--socket PATH] [--workers N] [--queue N]
+//!                                               JSON-RPC selection/simulation
+//!                                               daemon (docs/SERVING.md)
 //! ```
 //!
 //! All command logic lives in this library so it is unit-testable; the
 //! binary is a two-line wrapper.
 
 pub mod args;
+pub mod serve;
 
 use args::{parse, ArgError, Parsed};
 use std::fmt::Write as _;
@@ -62,6 +66,40 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
 }
 
+// Per-subcommand option tables, shared between the `parse` calls and the
+// help-drift test so an option cannot exist without `usage()` naming it.
+const ASM_VALUE_OPTS: &[&str] = &["out"];
+const RUN_VALUE_OPTS: &[&str] = &[
+    "pfus",
+    "reconfig",
+    "threshold",
+    "max-instr",
+    "stats-json",
+    "trace",
+    "scale",
+];
+const RUN_FLAG_OPTS: &[&str] = &["greedy", "attr", "no-fast-path"];
+const SELECT_VALUE_OPTS: &[&str] = &["pfus", "threshold", "strategy", "lut-budget", "scale"];
+const SELECT_FLAG_OPTS: &[&str] = &["greedy", "explain"];
+const BENCH_VALUE_OPTS: &[&str] = &[
+    "scale",
+    "pfus",
+    "json",
+    "validate",
+    "inject",
+    "max-cycles",
+    "expect",
+];
+const BENCH_FLAG_OPTS: &[&str] = &[
+    "all",
+    "resume",
+    "deterministic",
+    "strategies",
+    "no-fast-path",
+];
+pub(crate) const SERVE_VALUE_OPTS: &[&str] = &["socket", "workers", "queue"];
+pub(crate) const SERVE_FLAGS: &[&str] = &[];
+
 /// Entry point: executes `args` and returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(cmd) = args.first().map(String::as_str) else {
@@ -76,6 +114,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "profile" => cmd_profile(rest),
         "select" => cmd_select(rest),
         "bench" => cmd_bench(rest),
+        "serve" => serve::cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command `{other}` (try `t1000 help`)")),
     }
@@ -95,7 +134,8 @@ fn usage() -> String {
      \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
      \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume]\n\
      \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies] [--no-fast-path]\n\
-     \x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n"
+     \x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n\
+     \x20 t1000 serve   [--socket PATH] [--workers N] [--queue N]  (JSON-RPC daemon; docs/SERVING.md)\n"
         .to_string()
 }
 
@@ -116,7 +156,7 @@ fn load_str(path: &str, src: &str) -> Result<Program, CliError> {
 }
 
 fn cmd_asm(args: &[String]) -> Result<String, CliError> {
-    let p = parse(args, &["out"], &[])?;
+    let p = parse(args, ASM_VALUE_OPTS, &[])?;
     let [path] = p.positional.as_slice() else {
         return err("asm: expected exactly one input file");
     };
@@ -249,19 +289,7 @@ fn observed_run(
 }
 
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
-    let p = parse(
-        args,
-        &[
-            "pfus",
-            "reconfig",
-            "threshold",
-            "max-instr",
-            "stats-json",
-            "trace",
-            "scale",
-        ],
-        &["greedy", "attr", "no-fast-path"],
-    )?;
+    let p = parse(args, RUN_VALUE_OPTS, RUN_FLAG_OPTS)?;
     let [target] = p.positional.as_slice() else {
         return err("run: expected exactly one input (a file or bench:<name>)");
     };
@@ -465,11 +493,7 @@ fn render_trace(out: &mut String, trace: &PipelineTrace) {
 }
 
 fn cmd_select(args: &[String]) -> Result<String, CliError> {
-    let p = parse(
-        args,
-        &["pfus", "threshold", "strategy", "lut-budget", "scale"],
-        &["greedy", "explain"],
-    )?;
+    let p = parse(args, SELECT_VALUE_OPTS, SELECT_FLAG_OPTS)?;
     let [target] = p.positional.as_slice() else {
         return err("select: expected exactly one input (a file or bench:<name>)");
     };
@@ -508,25 +532,7 @@ fn cmd_select(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
-    let p = parse(
-        args,
-        &[
-            "scale",
-            "pfus",
-            "json",
-            "validate",
-            "inject",
-            "max-cycles",
-            "expect",
-        ],
-        &[
-            "all",
-            "resume",
-            "deterministic",
-            "strategies",
-            "no-fast-path",
-        ],
-    )?;
+    let p = parse(args, BENCH_VALUE_OPTS, BENCH_FLAG_OPTS)?;
     let scale = match p.get("scale") {
         Some("full") => t1000_workloads::Scale::Full,
         Some("test") | None => t1000_workloads::Scale::Test,
@@ -776,6 +782,56 @@ loop:
         let out = run(&[]).unwrap();
         assert!(out.contains("usage:"));
         assert!(run(&s(&["help"])).unwrap().contains("t1000 bench"));
+    }
+
+    /// Golden test pinning `t1000 --help` byte-for-byte: any help change
+    /// must be deliberate (and mirrored in the docs).
+    #[test]
+    fn help_output_matches_the_golden_text() {
+        let golden = "t1000 — configurable extended instructions toolchain\n\
+usage:\n\
+\x20 t1000 asm     <file.s> [--out file.tobj]\n\
+\x20 t1000 disasm  <file.s|.tobj>\n\
+\x20 t1000 run     <file|bench:name> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
+\x20               [--stats-json FILE] [--trace FILE] [--attr] [--scale test|full] [--no-fast-path]\n\
+\x20 t1000 report  <stats.json>\n\
+\x20 t1000 profile <file>\n\
+\x20 t1000 select  <file|bench:name> [--strategy greedy|selective|knapsack] [--pfus N]\n\
+\x20               [--greedy] [--threshold F] [--lut-budget N] [--explain] [--scale test|full]\n\
+\x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
+\x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume]\n\
+\x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies] [--no-fast-path]\n\
+\x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n\
+\x20 t1000 serve   [--socket PATH] [--workers N] [--queue N]  (JSON-RPC daemon; docs/SERVING.md)\n";
+        assert_eq!(run(&s(&["--help"])).unwrap(), golden);
+        assert_eq!(run(&s(&["help"])).unwrap(), golden);
+    }
+
+    /// Anti-drift check: every option a subcommand parses must be named
+    /// in `usage()` (the tables are shared with the `parse` calls, so an
+    /// undocumented option cannot slip in).
+    #[test]
+    fn every_parsed_option_appears_in_usage() {
+        let usage = usage();
+        let tables: &[(&str, &[&str])] = &[
+            ("asm", ASM_VALUE_OPTS),
+            ("run", RUN_VALUE_OPTS),
+            ("run", RUN_FLAG_OPTS),
+            ("select", SELECT_VALUE_OPTS),
+            ("select", SELECT_FLAG_OPTS),
+            ("bench", BENCH_VALUE_OPTS),
+            ("bench", BENCH_FLAG_OPTS),
+            ("serve", SERVE_VALUE_OPTS),
+            ("serve", SERVE_FLAGS),
+        ];
+        for (cmd, opts) in tables {
+            for opt in *opts {
+                assert!(
+                    usage.contains(&format!("--{opt}")),
+                    "{cmd}: --{opt} is parsed but missing from usage()"
+                );
+            }
+        }
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use pipeline::{
     PassOutput, PassStat, PipelineTrace, SelectionCtx,
 };
 pub use select::{greedy, selective, ChosenConf, SelectConfig, Selection};
-pub use session::{SelectionCacheStats, Session};
+pub use session::{program_hash, SelectionCacheStats, Session, SessionStore, SessionStoreStats};
 pub use strategy::{
     BudgetKnapsack, Greedy, SelectStrategy, Selective, StrategyOutcome, StrategySpec,
 };

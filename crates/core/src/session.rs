@@ -124,6 +124,152 @@ impl SelectionCache {
     }
 }
 
+/// Stable 64-bit identity of a program: FNV-1a over its canonical text
+/// object form ([`t1000_isa::write_object`]). Two programs hash equal
+/// exactly when their object text is byte-identical, so the hash is
+/// independent of how the program was obtained (source file, registry
+/// workload, inline request body).
+///
+/// ```
+/// use t1000_core::program_hash;
+/// let p = t1000_asm::assemble("main: li $v0, 10\n syscall\n").unwrap();
+/// assert_eq!(program_hash(&p), program_hash(&p.clone()));
+/// ```
+pub fn program_hash(program: &Program) -> u64 {
+    let text = t1000_isa::write_object(program);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Counters describing how a [`SessionStore`] has been used.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStoreStats {
+    /// Programs analysed (profiling runs performed) — store misses. A
+    /// failed analysis counts too: its error is cached like a result.
+    pub analyses: u64,
+    /// Requests answered by an already-stored session (or by waiting on a
+    /// concurrent analysis of the same program).
+    pub hits: u64,
+}
+
+/// A process-wide store of [`Session`]s keyed by
+/// ([`program_hash`], [`ExtractConfig`]) — the serving layer's shared
+/// memo-cache. Each program is assembled into a session (profiled,
+/// analysed) exactly once, even under concurrent requests from many
+/// clients: the per-key `OnceLock` makes racing callers block on the
+/// winner's analysis instead of redoing it (the same discipline as the
+/// per-session `SelectionCache`). Analysis *failures* are cached as
+/// typed strings, so a known-bad program never re-runs its analysis
+/// either.
+///
+/// ```
+/// use t1000_core::{ExtractConfig, SessionStore};
+/// let store = SessionStore::new();
+/// let program = t1000_asm::assemble("main: li $v0, 10\n syscall\n").unwrap();
+/// let a = store.get_or_build(&program, ExtractConfig::default(), 0).unwrap();
+/// let b = store.get_or_build(&program, ExtractConfig::default(), 0).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // one analysis, shared
+/// let stats = store.stats();
+/// assert_eq!((stats.analyses, stats.hits), (1, 1));
+/// ```
+#[derive(Default)]
+pub struct SessionStore {
+    #[allow(clippy::type_complexity)]
+    entries: Mutex<HashMap<(u64, ExtractConfig), Arc<OnceLock<Result<Arc<Session>, String>>>>>,
+    analyses: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl SessionStore {
+    pub fn new() -> SessionStore {
+        SessionStore::default()
+    }
+
+    /// Returns the stored session for `program` under `extract`, building
+    /// (assembling + profiling, bounded by `max_instructions`; 0 =
+    /// unbounded) it on first request. The limit applies only to the
+    /// builder — later requests for the same key share whatever the first
+    /// one built, regardless of their own limit.
+    pub fn get_or_build(
+        &self,
+        program: &Program,
+        extract: ExtractConfig,
+        max_instructions: u64,
+    ) -> Result<Arc<Session>, String> {
+        let key = (program_hash(program), extract);
+        let cell = {
+            // Like `SelectionCache`: the analysis never runs while the map
+            // lock is held, so a poisoned mutex still guards a
+            // structurally sound map.
+            let mut entries = self
+                .entries
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(entries.entry(key).or_default())
+        };
+        let mut computed = false;
+        let result = cell.get_or_init(|| {
+            computed = true;
+            Session::with_limits(program.clone(), extract, max_instructions)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        });
+        if computed {
+            self.analyses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Analysis/hit counters.
+    pub fn stats(&self) -> SessionStoreStats {
+        SessionStoreStats {
+            analyses: self.analyses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Distinct programs stored (successful analyses only).
+    pub fn len(&self) -> usize {
+        self.sessions().len()
+    }
+
+    /// True when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every stored session, for aggregation (e.g. summing their
+    /// [`SelectionCacheStats`] into a process-wide `cache_stats` view).
+    pub fn sessions(&self) -> Vec<Arc<Session>> {
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        entries
+            .values()
+            .filter_map(|cell| cell.get().and_then(|r| r.as_ref().ok()).cloned())
+            .collect()
+    }
+
+    /// The selection-cache counters summed over every stored session.
+    pub fn selection_totals(&self) -> SelectionCacheStats {
+        let mut total = SelectionCacheStats::default();
+        for s in self.sessions() {
+            let st = s.selection_cache_stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.compute_nanos += st.compute_nanos;
+        }
+        total
+    }
+}
+
 /// A program under study, with its static and dynamic analyses. Since
 /// the pass-pipeline refactor this is a thin façade: selection itself
 /// lives in [`crate::pipeline`]/[`crate::strategy`]; the session owns
@@ -520,6 +666,78 @@ loop:
                 "threads must share one cached Selection"
             );
         }
+    }
+
+    #[test]
+    fn session_store_analyses_each_program_once_under_concurrency() {
+        let store = SessionStore::new();
+        let program = t1000_asm::assemble(KERNEL).unwrap();
+        let sessions: Vec<Arc<Session>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| store.get_or_build(&program, ExtractConfig::default(), 0)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap().unwrap())
+                .collect()
+        });
+        let stats = store.stats();
+        assert_eq!(stats.analyses, 1, "raced threads re-analysed the program");
+        assert_eq!(stats.hits, 7);
+        for s in &sessions[1..] {
+            assert!(
+                Arc::ptr_eq(&sessions[0], s),
+                "threads must share one Session"
+            );
+        }
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn session_store_keys_distinguish_programs_and_extract_configs() {
+        let store = SessionStore::new();
+        let a = t1000_asm::assemble(KERNEL).unwrap();
+        let b = t1000_asm::assemble("main: li $v0, 10\n syscall\n").unwrap();
+        assert_ne!(program_hash(&a), program_hash(&b));
+        store.get_or_build(&a, ExtractConfig::default(), 0).unwrap();
+        store.get_or_build(&b, ExtractConfig::default(), 0).unwrap();
+        let narrow = ExtractConfig {
+            max_len: 2,
+            ..ExtractConfig::default()
+        };
+        store.get_or_build(&a, narrow, 0).unwrap();
+        assert_eq!(store.stats().analyses, 3);
+        assert_eq!(store.len(), 3);
+        // Selection totals aggregate across every stored session.
+        store
+            .get_or_build(&a, ExtractConfig::default(), 0)
+            .unwrap()
+            .greedy_shared();
+        store
+            .get_or_build(&b, ExtractConfig::default(), 0)
+            .unwrap()
+            .greedy_shared();
+        assert_eq!(store.selection_totals().misses, 2);
+    }
+
+    #[test]
+    fn session_store_caches_analysis_failures() {
+        let store = SessionStore::new();
+        // An infinite loop: profiling aborts at the instruction limit, and
+        // the failure is cached — the second request does not re-analyse.
+        let bad = t1000_asm::assemble("main: j main\n").unwrap();
+        let e1 = store
+            .get_or_build(&bad, ExtractConfig::default(), 1000)
+            .err()
+            .expect("infinite program must fail analysis");
+        let e2 = store
+            .get_or_build(&bad, ExtractConfig::default(), 1000)
+            .err()
+            .expect("cached failure expected");
+        assert_eq!(e1, e2);
+        let stats = store.stats();
+        assert_eq!((stats.analyses, stats.hits), (1, 1));
+        assert!(store.is_empty(), "failed analyses are not sessions");
     }
 
     #[test]

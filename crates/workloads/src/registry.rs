@@ -6,7 +6,7 @@ use t1000_asm::AsmError;
 use t1000_isa::Program;
 
 /// Workload size.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Scale {
     /// Small inputs for unit/integration tests (tens of thousands of
     /// dynamic instructions).
