@@ -367,7 +367,11 @@ pub struct SelectionRecord {
     pub num_confs: usize,
     pub num_sites: usize,
     pub confs: Vec<ConfSummary>,
-    selection: Arc<Selection>,
+    /// The materialized selection. `Some` when this process ran the
+    /// selection job itself; `None` when the record was reconstructed
+    /// from another process's summaries (the shard-merge path), where
+    /// only the summary fields are needed to render the artifact.
+    selection: Option<Arc<Selection>>,
 }
 
 impl SelectionRecord {
@@ -399,7 +403,31 @@ impl SelectionRecord {
             num_confs: selection.num_confs(),
             num_sites: selection.fusion.num_sites(),
             confs,
-            selection,
+            selection: Some(selection),
+        }
+    }
+
+    /// Rebuilds a record from summary data alone — the shard-merge path,
+    /// where the selection job ran in a worker process and only its
+    /// summaries travelled over the wire. The record renders into the
+    /// artifact identically to one built by [`SelectionRecord::summarize`]
+    /// in-process; [`SelectionRecord::selection`] returns `None`.
+    pub fn from_summaries(
+        workload: &'static str,
+        extract: ExtractConfig,
+        spec: SelectionSpec,
+        num_confs: usize,
+        num_sites: usize,
+        confs: Vec<ConfSummary>,
+    ) -> SelectionRecord {
+        SelectionRecord {
+            workload,
+            extract,
+            spec,
+            num_confs,
+            num_sites,
+            confs,
+            selection: None,
         }
     }
 
@@ -415,9 +443,10 @@ impl SelectionRecord {
         self.confs.iter().map(|c| c.total_gain).sum()
     }
 
-    /// The underlying selection (for callers needing the full catalogue).
-    pub fn selection(&self) -> &Selection {
-        &self.selection
+    /// The underlying selection, when this process materialized it
+    /// (`None` for records rebuilt from wire summaries).
+    pub fn selection(&self) -> Option<&Selection> {
+        self.selection.as_deref()
     }
 }
 
@@ -450,6 +479,30 @@ pub struct CellResult {
     /// `attr.busy_cycles + Σ attr.stalls == cycles` for every cell —
     /// the schema artifact's mechanism check.
     pub attr: CycleAttribution,
+}
+
+impl CellResult {
+    /// Re-attaches `cell` to measurements restored from a checkpoint —
+    /// shared by the engine's `--resume` path and the shard
+    /// coordinator's resume-under-sharding path.
+    pub fn from_restored(cell: Cell, r: &checkpoint::RestoredCell) -> CellResult {
+        CellResult {
+            cell,
+            cycles: r.cycles,
+            base_instructions: r.base_instructions,
+            base_ipc: r.base_ipc,
+            reconfigurations: r.reconfigurations,
+            conf_hits: r.conf_hits,
+            ext_executed: r.ext_executed,
+            pfu_load_faults: r.pfu_load_faults,
+            branch_accuracy: r.branch_accuracy,
+            checksum: r.checksum,
+            host_ns: r.host_ns,
+            sim_khz: r.sim_khz,
+            fast: r.fast,
+            attr: r.attr.clone(),
+        }
+    }
 }
 
 /// Simulated kilocycles per host second (`cycles / host_secs / 1000`);
@@ -514,6 +567,41 @@ pub struct WorkloadInfo {
 }
 
 impl EngineRun {
+    /// Assembles a run from parts produced elsewhere — the shard
+    /// coordinator's merge path, where cells and selection summaries
+    /// arrive from worker processes. Indexes are rebuilt here, so the
+    /// assembled run answers [`EngineRun::cell`]/[`EngineRun::speedup`]/
+    /// [`EngineRun::selection`] exactly like one produced by
+    /// [`execute_with`]; callers are responsible for supplying `cells`,
+    /// `selections` and `failures` in the same (plan/canonical) order an
+    /// in-process run would, which is what makes merged artifacts
+    /// byte-identical.
+    pub fn assemble(
+        scale: Scale,
+        workloads: Vec<WorkloadInfo>,
+        selections: Vec<SelectionRecord>,
+        cells: Vec<CellResult>,
+        failures: Vec<EngineError>,
+        stats: EngineStats,
+    ) -> EngineRun {
+        let cell_index = cells.iter().enumerate().map(|(i, c)| (c.cell, i)).collect();
+        let selection_index = selections
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.workload, s.extract, s.spec), i))
+            .collect();
+        EngineRun {
+            scale,
+            workloads,
+            selections,
+            cells,
+            failures,
+            stats,
+            cell_index,
+            selection_index,
+        }
+    }
+
     /// The measurements for `cell`, or `None` if the cell was not in the
     /// executed plan or failed.
     pub fn cell(&self, cell: Cell) -> Option<&CellResult> {
@@ -564,6 +652,26 @@ pub fn execute(plan: &Plan, scale: Scale) -> EngineRun {
     execute_with(plan, scale, &EngineConfig::default())
 }
 
+/// The plan's distinct selection jobs in canonical order: first
+/// appearance over the cells, then the selection-only extras, baseline
+/// specs excluded. Both the engine's select phase and the shard
+/// coordinator/worker wire protocol index selection jobs by position in
+/// this list, which is why it is derived from the plan alone.
+pub fn selection_keys(plan: &Plan) -> Vec<(&'static str, ExtractConfig, SelectionSpec)> {
+    let mut keys: Vec<(&'static str, ExtractConfig, SelectionSpec)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let cell_keys = plan
+        .cells()
+        .iter()
+        .map(|c| (c.workload, c.extract, c.selection));
+    for key in cell_keys.chain(plan.selection_only().iter().copied()) {
+        if key.2 != SelectionSpec::Baseline && seen.insert(key) {
+            keys.push(key);
+        }
+    }
+    keys
+}
+
 /// [`execute`] with explicit robustness configuration.
 pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineRun {
     let threads = num_threads();
@@ -594,16 +702,7 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
 
     // ---- Phase 2: run each distinct selection job once. ----------------
     let t0 = Instant::now();
-    let mut selection_keys: Vec<(&'static str, ExtractConfig, SelectionSpec)> = Vec::new();
-    {
-        let mut seen = std::collections::HashSet::new();
-        let cell_keys = cells.iter().map(|c| (c.workload, c.extract, c.selection));
-        for key in cell_keys.chain(plan.selection_only().iter().copied()) {
-            if key.2 != SelectionSpec::Baseline && seen.insert(key) {
-                selection_keys.push(key);
-            }
-        }
-    }
+    let selection_keys = selection_keys(plan);
     let selection_results: Vec<Result<SelectionRecord, FailureCause>> =
         parallel_map(&selection_keys, threads, |&(name, extract, spec)| {
             let prepared = match &sessions[&(name, extract)] {
@@ -684,22 +783,7 @@ pub fn execute_with(plan: &Plan, scale: Scale, config: &EngineConfig) -> EngineR
     let outcomes: Vec<CellOutcome> = parallel_map(&indexed, threads, |&(idx, cell)| {
         if let Some(r) = restored.get(&checkpoint::cell_key(&cell)) {
             cells_restored.fetch_add(1, Ordering::Relaxed);
-            let result = CellResult {
-                cell,
-                cycles: r.cycles,
-                base_instructions: r.base_instructions,
-                base_ipc: r.base_ipc,
-                reconfigurations: r.reconfigurations,
-                conf_hits: r.conf_hits,
-                ext_executed: r.ext_executed,
-                pfu_load_faults: r.pfu_load_faults,
-                branch_accuracy: r.branch_accuracy,
-                checksum: r.checksum,
-                host_ns: r.host_ns,
-                sim_khz: r.sim_khz,
-                fast: r.fast,
-                attr: r.attr.clone(),
-            };
+            let result = CellResult::from_restored(cell, r);
             record_completed(idx, &result);
             return CellOutcome::Completed(Box::new(result));
         }
@@ -1177,21 +1261,36 @@ fn simulate_cell(
     if config.faults.cell_panics(idx, attempt) {
         panic!("injected fault: cell {idx} attempt {attempt}");
     }
+    if config.faults.cell_aborts(idx) {
+        // A real crash, not an unwind: `catch_unwind` cannot see this.
+        // The shard coordinator's worker-respawn path is what survives it.
+        eprintln!("[t1000-bench] injected abort: cell {idx}");
+        std::process::abort();
+    }
     let opts = config.run_options();
     match selection_index.get(&(cell.workload, cell.extract, cell.selection)) {
         Some(&i) => {
             let record = &selections[i];
+            let Some(selection) = record.selection() else {
+                return Err(FailureCause::Selection(
+                    "selection record has no materialized selection".into(),
+                ));
+            };
             if config.faults.pfu_fault(idx) {
-                runner.run_cell_degraded(cell, record.selection(), &opts)
+                runner.run_cell_degraded(cell, selection, &opts)
             } else {
-                runner.run_cell_with(cell, Some(record.selection()), &opts)
+                runner.run_cell_with(cell, Some(selection), &opts)
             }
         }
         None => runner.run_cell_with(cell, None, &opts),
     }
 }
 
-fn workload_infos(scale: Scale, cells: &[Cell]) -> Vec<WorkloadInfo> {
+/// Identity/reference rows for every registry workload `cells` touches,
+/// in registry order — the artifact's `workloads` array. Public so the
+/// shard coordinator can compute it from the plan without running
+/// anything.
+pub fn workload_infos(scale: Scale, cells: &[Cell]) -> Vec<WorkloadInfo> {
     let mut seen = std::collections::HashSet::new();
     let mut infos = Vec::new();
     for name in t1000_workloads::NAMES {

@@ -203,6 +203,71 @@ pub fn cell_result_json(c: &CellResult, speedup: Option<f64>) -> Json {
     Json::obj(fields)
 }
 
+/// Parses a schema-v5 `cells[]` document back into a [`CellResult`] for
+/// `cell` — the inverse of [`cell_result_json`], used by the shard
+/// coordinator to merge per-cell documents streamed from worker
+/// processes. The caller supplies the expected [`Cell`] (the coordinator
+/// knows it from the cell's global plan index), so only the measurement
+/// fields and the attribution are read; `speedup` is ignored (the merged
+/// run recomputes it against its own baseline). Every numeric field
+/// round-trips exactly: integers are exact in the JSON layer and floats
+/// are printed shortest-round-trip.
+pub fn cell_result_from_json(doc: &Json, cell: Cell) -> Result<CellResult, String> {
+    let u64f = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cell document: bad {key}"))
+    };
+    let f64f = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("cell document: bad {key}"))
+    };
+    let got = doc.get("workload").and_then(Json::as_str);
+    if got != Some(cell.workload) {
+        return Err(format!(
+            "cell document: workload {got:?} does not match plan cell {}",
+            cell.workload
+        ));
+    }
+    let cycles = u64f("cycles")?;
+    let fast = doc
+        .get("fast_path")
+        .ok_or("cell document: missing fast_path")?;
+    let fastf = |key: &str| -> Result<u64, String> {
+        fast.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cell document: bad fast_path.{key}"))
+    };
+    let attr = doc
+        .get("attribution")
+        .ok_or("cell document: missing attribution")?;
+    Ok(CellResult {
+        cell,
+        cycles,
+        base_instructions: u64f("base_instructions")?,
+        base_ipc: f64f("base_ipc")?,
+        reconfigurations: u64f("reconfigurations")?,
+        conf_hits: u64f("conf_hits")?,
+        ext_executed: u64f("ext_executed")?,
+        pfu_load_faults: u64f("pfu_load_faults")?,
+        branch_accuracy: f64f("branch_accuracy")?,
+        checksum: doc
+            .get("checksum")
+            .and_then(Json::as_str)
+            .and_then(parse_hex64)
+            .ok_or("cell document: bad checksum")?,
+        host_ns: u64f("host_ns")?,
+        sim_khz: f64f("sim_khz")?,
+        fast: t1000_cpu::FastPathStats {
+            steady_loops: fastf("steady_loops")?,
+            replayed_iters: fastf("replayed_iters")?,
+            deopts: fastf("deopts")?,
+        },
+        attr: crate::runstats::attr_from_json(attr, Some(cycles))?,
+    })
+}
+
 /// Builds the schema-versioned `BENCH_results.json` document.
 pub fn to_json(run: &EngineRun) -> Json {
     let stats = &run.stats;
@@ -522,11 +587,26 @@ fn split_expect(spec: &str) -> Vec<&str> {
 /// e.g. `strategy=selective(pfus=2,threshold=0.005),retries=1`).
 ///
 /// Supported keys: `retries` / `failed_cells` (engine counters), `cells` /
-/// `workloads` (array lengths), `scale` (artifact scale string), and
-/// `strategy` (at least one cell was produced by that strategy id).
+/// `workloads` (array lengths), `scale` (artifact scale string),
+/// `strategy` (at least one cell was produced by that strategy id),
+/// `total_sim_khz` (the aggregate simulation rate over all cells —
+/// `Σ cycles / Σ host_secs / 1000` — is at least the given value; `0`
+/// holds for `--deterministic` artifacts, whose host time is zeroed), and
+/// `shards=N` (the run's shard topology, read from the
+/// `<artifact>.shards.json` sidecar a coordinator run writes).
 /// Returns the satisfied assertions for reporting; the first unmet or
 /// malformed assertion is the error.
 pub fn check_expectations(text: &str, spec: &str) -> Result<Vec<String>, String> {
+    check_expectations_with(text, None, spec)
+}
+
+/// [`check_expectations`] with the shard sidecar document (the contents of
+/// `<artifact>.shards.json`, when present) for topology keys.
+pub fn check_expectations_with(
+    text: &str,
+    sidecar: Option<&str>,
+    spec: &str,
+) -> Result<Vec<String>, String> {
     let doc = Json::parse(text).map_err(|e| e.to_string())?;
     let mut satisfied = Vec::new();
     for part in split_expect(spec) {
@@ -585,10 +665,60 @@ pub fn check_expectations(text: &str, spec: &str) -> Result<Vec<String>, String>
                     return Err(format!("--expect strategy={want}: no cell uses it"));
                 }
             }
+            "total_sim_khz" => {
+                let want: f64 = want
+                    .parse()
+                    .map_err(|_| format!("--expect {key}: `{want}` is not a number"))?;
+                let cells = doc
+                    .get("cells")
+                    .and_then(Json::as_array)
+                    .ok_or("--expect total_sim_khz: artifact has no cells array")?;
+                let mut cycles = 0u64;
+                let mut host_ns = 0u64;
+                for (i, c) in cells.iter().enumerate() {
+                    cycles += c
+                        .get("cycles")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("--expect total_sim_khz: cell {i}: bad cycles"))?;
+                    host_ns += c
+                        .get("host_ns")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("--expect total_sim_khz: cell {i}: bad host_ns"))?;
+                }
+                let got = crate::engine::sim_khz(cycles, host_ns);
+                if got < want {
+                    return Err(format!(
+                        "--expect total_sim_khz={want}: aggregate rate is {got:.0} kHz"
+                    ));
+                }
+            }
+            "shards" => {
+                let text =
+                    sidecar.ok_or("--expect shards: no <artifact>.shards.json sidecar found")?;
+                let side =
+                    Json::parse(text).map_err(|e| format!("--expect shards: bad sidecar: {e}"))?;
+                match side.get("kind").and_then(Json::as_str) {
+                    Some("t1000.bench-shards") => {}
+                    other => {
+                        return Err(format!("--expect shards: bad sidecar kind {other:?}"));
+                    }
+                }
+                let got = side
+                    .get("shards")
+                    .and_then(Json::as_u64)
+                    .ok_or("--expect shards: sidecar has no shards field")?;
+                let want: u64 = want
+                    .parse()
+                    .map_err(|_| format!("--expect {key}: `{want}` is not an integer"))?;
+                if got != want {
+                    return Err(format!("--expect shards={want}: sidecar records {got}"));
+                }
+            }
             other => {
                 return Err(format!(
                     "--expect: unknown key `{other}` \
-                     (known: retries, failed_cells, cells, workloads, scale, strategy)"
+                     (known: retries, failed_cells, cells, workloads, scale, strategy, \
+                      total_sim_khz, shards)"
                 ));
             }
         }
@@ -963,6 +1093,47 @@ mod tests {
             ("cells", "expected key=value"),
         ] {
             let err = check_expectations(&text, spec).unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn cell_documents_round_trip_through_the_wire_parser() {
+        let run = small_run();
+        for c in &run.cells {
+            let doc = cell_result_json(c, None);
+            let back = cell_result_from_json(&doc, c.cell).expect("wire parse");
+            // Re-rendering proves every field round-tripped exactly.
+            assert_eq!(
+                cell_result_json(&back, None).to_string_compact(),
+                doc.to_string_compact()
+            );
+        }
+        // A document attached to the wrong plan cell is a typed error,
+        // not a silent misattribution.
+        let doc = cell_result_json(&run.cells[0], None);
+        let other = Cell::new("epic", SelectionSpec::Greedy, MachineSpec::unlimited(0));
+        assert!(cell_result_from_json(&doc, other).is_err());
+    }
+
+    #[test]
+    fn topology_expectations_read_the_sidecar_and_roll_up() {
+        let run = small_run();
+        let text = to_json(&run).to_string_pretty();
+        let sidecar = r#"{"schema_version": 1, "kind": "t1000.bench-shards", "shards": 4}"#;
+        let ok = check_expectations_with(&text, Some(sidecar), "shards=4,total_sim_khz=0")
+            .expect("topology expectations hold");
+        assert_eq!(ok.len(), 2);
+        // A measured run clears a real (modest) throughput bar...
+        check_expectations_with(&text, Some(sidecar), "total_sim_khz=1").expect("measured rate");
+        // ...an absurd bar fails, and topology mismatches are caught.
+        for (side, spec, needle) in [
+            (Some(sidecar), "total_sim_khz=1e18", "aggregate rate"),
+            (Some(sidecar), "shards=2", "records 4"),
+            (None, "shards=4", "sidecar"),
+            (Some("{}"), "shards=4", "bad sidecar kind"),
+        ] {
+            let err = check_expectations_with(&text, side, spec).unwrap_err();
             assert!(err.contains(needle), "{spec}: {err}");
         }
     }

@@ -24,10 +24,17 @@
 //!                                               --strategies adds the knapsack
 //!                                               sweep cells; --no-fast-path
 //!                                               disables hot-loop replay)
+//!               [--shards N]                    partition the plan across N
+//!                                               worker processes and merge a
+//!                                               byte-identical artifact
 //! t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]
 //!                                               re-check a results artifact
 //!                                               (+ declarative assertions)
-//! t1000 serve   [--socket PATH] [--workers N] [--queue N]
+//! t1000 worker                                  shard worker: one run_shard
+//!                                               JSON-RPC request on stdin,
+//!                                               streamed results on stdout
+//!                                               (spawned by bench --shards)
+//! t1000 serve   [--socket PATH] [--tcp HOST:PORT] [--workers N] [--queue N]
 //!                                               JSON-RPC selection/simulation
 //!                                               daemon (docs/SERVING.md)
 //! ```
@@ -89,6 +96,7 @@ const BENCH_VALUE_OPTS: &[&str] = &[
     "inject",
     "max-cycles",
     "expect",
+    "shards",
 ];
 const BENCH_FLAG_OPTS: &[&str] = &[
     "all",
@@ -97,7 +105,7 @@ const BENCH_FLAG_OPTS: &[&str] = &[
     "strategies",
     "no-fast-path",
 ];
-pub(crate) const SERVE_VALUE_OPTS: &[&str] = &["socket", "workers", "queue"];
+pub(crate) const SERVE_VALUE_OPTS: &[&str] = &["socket", "tcp", "workers", "queue"];
 pub(crate) const SERVE_FLAGS: &[&str] = &[];
 
 /// Entry point: executes `args` and returns the text to print.
@@ -114,6 +122,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "profile" => cmd_profile(rest),
         "select" => cmd_select(rest),
         "bench" => cmd_bench(rest),
+        "worker" => cmd_worker(rest),
         "serve" => serve::cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command `{other}` (try `t1000 help`)")),
@@ -132,10 +141,11 @@ fn usage() -> String {
      \x20 t1000 select  <file|bench:name> [--strategy greedy|selective|knapsack] [--pfus N]\n\
      \x20               [--greedy] [--threshold F] [--lut-budget N] [--explain] [--scale test|full]\n\
      \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
-     \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume]\n\
+     \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume] [--shards N]\n\
      \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies] [--no-fast-path]\n\
      \x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n\
-     \x20 t1000 serve   [--socket PATH] [--workers N] [--queue N]  (JSON-RPC daemon; docs/SERVING.md)\n"
+     \x20 t1000 worker  (internal: shard worker spawned by `bench --shards`; JSON-RPC on stdio)\n\
+     \x20 t1000 serve   [--socket PATH] [--tcp HOST:PORT] [--workers N] [--queue N]  (JSON-RPC daemon; docs/SERVING.md)\n"
         .to_string()
 }
 
@@ -531,6 +541,21 @@ fn cmd_select(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `t1000 worker`: the shard-worker half of `bench --all --shards N`.
+/// Reads one `run_shard` JSON-RPC request on stdin and streams per-cell
+/// results on stdout; spawned (never typed by hand) by the coordinator.
+fn cmd_worker(args: &[String]) -> Result<String, CliError> {
+    if !args.is_empty() {
+        return err("worker: takes no arguments (it reads one JSON-RPC request on stdin)");
+    }
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    match t1000_bench::shard::run_worker(stdin.lock(), &mut stdout) {
+        0 => Ok(String::new()),
+        _ => err("worker: bad request (error envelope written to stdout)"),
+    }
+}
+
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let p = parse(args, BENCH_VALUE_OPTS, BENCH_FLAG_OPTS)?;
     let scale = match p.get("scale") {
@@ -544,9 +569,17 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     if p.get("expect").is_some() {
         return err("bench: --expect requires --validate FILE");
     }
+    let shards = match p.get_u32("shards")? {
+        Some(0) => return err("bench: --shards must be at least 1"),
+        Some(n) => Some(n as usize),
+        None => None,
+    };
     if p.flag("all") {
         let config = engine_config(&p)?;
-        return bench_all(scale, p.get("json"), &config, p.flag("strategies"));
+        return bench_all(scale, p.get("json"), &config, p.flag("strategies"), shards);
+    }
+    if shards.is_some() {
+        return err("bench: --shards requires --all");
     }
     if p.flag("strategies") {
         return err("bench: --strategies requires --all");
@@ -642,6 +675,7 @@ fn bench_all(
     json: Option<&str>,
     config: &t1000_bench::engine::EngineConfig,
     strategies: bool,
+    shards: Option<usize>,
 ) -> Result<String, CliError> {
     let mut config = config.clone();
     let checkpoint = json.map(|path| std::path::PathBuf::from(format!("{path}.partial")));
@@ -650,12 +684,27 @@ fn bench_all(
     }
     config.checkpoint = checkpoint.clone();
 
+    let plan_name = if strategies {
+        "run_all_strategies"
+    } else {
+        "run_all"
+    };
     let plan = if strategies {
         t1000_bench::plan::run_all_plan_with_strategies()
     } else {
         t1000_bench::plan::run_all_plan()
     };
-    let run = t1000_bench::engine::execute_with(&plan, scale, &config);
+    let (run, sidecar) = match shards {
+        Some(n) => {
+            let sharded = t1000_bench::shard::run_sharded(&plan, plan_name, scale, n, &config)
+                .map_err(|e| CliError(format!("bench: {e}")))?;
+            (sharded.run, Some(sharded.sidecar))
+        }
+        None => (
+            t1000_bench::engine::execute_with(&plan, scale, &config),
+            None,
+        ),
+    };
     if let Some(path) = json {
         t1000_bench::results::write_json_with_retry(
             &run,
@@ -664,6 +713,11 @@ fn bench_all(
             &config.faults,
         )
         .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        if let Some(sidecar) = &sidecar {
+            let sidecar_path = format!("{path}.shards.json");
+            std::fs::write(&sidecar_path, sidecar.to_string_pretty())
+                .map_err(|e| CliError(format!("cannot write {sidecar_path}: {e}")))?;
+        }
     }
     let mut out = t1000_bench::results::render_markdown(&run);
     let s = &run.stats;
@@ -682,6 +736,25 @@ fn bench_all(
         )
         .unwrap();
     }
+    if let Some(sidecar) = &sidecar {
+        let u = |k: &str| {
+            sidecar
+                .get(k)
+                .and_then(t1000_bench::json::Json::as_u64)
+                .unwrap_or(0)
+        };
+        let retried = sidecar
+            .get("retried_cells")
+            .and_then(t1000_bench::json::Json::as_array)
+            .map_or(0, <[t1000_bench::json::Json]>::len);
+        writeln!(
+            out,
+            "Sharded: {} worker process(es), {} crash(es), {retried} cell(s) retried.",
+            u("shards"),
+            u("worker_crashes"),
+        )
+        .unwrap();
+    }
     if let Some(path) = json {
         writeln!(
             out,
@@ -689,6 +762,9 @@ fn bench_all(
             t1000_bench::results::SCHEMA_VERSION
         )
         .unwrap();
+        if sidecar.is_some() {
+            writeln!(out, "Wrote {path}.shards.json (shard topology).").unwrap();
+        }
     }
     if run.failures.is_empty() {
         // Healthy run: the artifact is complete, so the checkpoint is
@@ -729,8 +805,12 @@ fn bench_validate(path: &str, expect: Option<&str>) -> Result<String, CliError> 
         summary.cells
     );
     if let Some(spec) = expect {
-        let satisfied = t1000_bench::results::check_expectations(&text, spec)
-            .map_err(|e| CliError(format!("{path}: EXPECTATION FAILED: {e}")))?;
+        // Topology keys (`shards=N`) assert on the coordinator's sidecar,
+        // written next to the artifact by `bench --all --shards N`.
+        let sidecar = std::fs::read_to_string(format!("{path}.shards.json")).ok();
+        let satisfied =
+            t1000_bench::results::check_expectations_with(&text, sidecar.as_deref(), spec)
+                .map_err(|e| CliError(format!("{path}: EXPECTATION FAILED: {e}")))?;
         writeln!(
             out,
             "expectations: {} satisfied ({})",
@@ -799,10 +879,11 @@ usage:\n\
 \x20 t1000 select  <file|bench:name> [--strategy greedy|selective|knapsack] [--pfus N]\n\
 \x20               [--greedy] [--threshold F] [--lut-budget N] [--explain] [--scale test|full]\n\
 \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
-\x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume]\n\
+\x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume] [--shards N]\n\
 \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies] [--no-fast-path]\n\
 \x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n\
-\x20 t1000 serve   [--socket PATH] [--workers N] [--queue N]  (JSON-RPC daemon; docs/SERVING.md)\n";
+\x20 t1000 worker  (internal: shard worker spawned by `bench --shards`; JSON-RPC on stdio)\n\
+\x20 t1000 serve   [--socket PATH] [--tcp HOST:PORT] [--workers N] [--queue N]  (JSON-RPC daemon; docs/SERVING.md)\n";
         assert_eq!(run(&s(&["--help"])).unwrap(), golden);
         assert_eq!(run(&s(&["help"])).unwrap(), golden);
     }
@@ -1040,6 +1121,19 @@ usage:\n\
     fn bench_strategies_requires_all() {
         let e = run(&s(&["bench", "g721_enc", "--strategies"])).unwrap_err();
         assert!(e.0.contains("--strategies"), "{e}");
+    }
+
+    #[test]
+    fn bench_shards_requires_all_and_a_positive_count() {
+        let e = run(&s(&["bench", "g721_enc", "--shards", "2"])).unwrap_err();
+        assert!(e.0.contains("--shards requires --all"), "{e}");
+        let e = run(&s(&["bench", "--all", "--shards", "0"])).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run(&s(&["bench", "--all", "--shards", "many"])).unwrap_err();
+        assert!(e.0.contains("--shards"), "{e}");
+        // `worker` is stdin-driven and takes no arguments.
+        let e = run(&s(&["worker", "extra"])).unwrap_err();
+        assert!(e.0.contains("worker"), "{e}");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! # `t1000 serve` — selection-as-a-service
 //!
 //! A daemon that accepts concurrent selection/simulation requests over a
-//! newline-delimited JSON-RPC protocol (stdio or a Unix socket) and
-//! answers with schema-v5-compatible result documents. The full wire
-//! protocol — methods, schemas, error codes, shedding semantics — is
-//! specified in `docs/SERVING.md`.
+//! newline-delimited JSON-RPC protocol (stdio, a Unix socket, or — with
+//! `--tcp HOST:PORT` — a TCP listener speaking the identical wire
+//! contract) and answers with schema-v5-compatible result documents. The
+//! full wire protocol — methods, schemas, error codes, shedding
+//! semantics — is specified in `docs/SERVING.md`.
 //!
 //! The serving pipeline reuses the experiment engine's machinery one
 //! request at a time instead of one batch plan at a time:
@@ -53,7 +54,8 @@
 use crate::args::parse;
 use crate::CliError;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
@@ -453,9 +455,9 @@ pub struct Server {
     retry: RetryPolicy,
     started: Instant,
     shutting_down: AtomicBool,
-    /// Socket path to self-connect to on shutdown, waking the blocked
-    /// accept loop (set by the socket transport).
-    wake_path: Mutex<Option<String>>,
+    /// Listener to self-connect to on shutdown, waking the blocked
+    /// accept loop (set by the socket/TCP transports).
+    wake: Mutex<Option<WakeTarget>>,
     received: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -474,7 +476,7 @@ impl Server {
             retry: RetryPolicy::default(),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
-            wake_path: Mutex::new(None),
+            wake: Mutex::new(None),
             received: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -734,10 +736,16 @@ impl Server {
     fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::Relaxed);
         self.queue.close();
-        // Wake the accept loop so the socket transport can exit; the
+        // Wake the accept loop so the socket/TCP transport can exit; the
         // dummy connection carries no requests.
-        if let Some(path) = lock(&self.wake_path).clone() {
-            let _ = UnixStream::connect(path);
+        match lock(&self.wake).clone() {
+            Some(WakeTarget::Unix(path)) => {
+                let _ = UnixStream::connect(path);
+            }
+            Some(WakeTarget::Tcp(addr)) => {
+                let _ = TcpStream::connect(addr);
+            }
+            None => {}
         }
     }
 
@@ -818,6 +826,43 @@ impl Server {
 // Transports
 // ---------------------------------------------------------------------
 
+/// Where `begin_shutdown` self-connects to unblock the accept loop.
+#[derive(Clone)]
+enum WakeTarget {
+    Unix(String),
+    Tcp(SocketAddr),
+}
+
+/// The two byte-stream transports, unified so `serve_connection` (and
+/// therefore the wire contract) is written exactly once. Both halves of
+/// a connection come from `try_clone`; the read timeout lets idle
+/// readers notice shutdown.
+trait ServeStream: Read + Sized + Send {
+    type Writer: Write + Send + 'static;
+    fn split_writer(&self) -> std::io::Result<Self::Writer>;
+    fn set_timeout(&self, timeout: Duration) -> std::io::Result<()>;
+}
+
+impl ServeStream for UnixStream {
+    type Writer = UnixStream;
+    fn split_writer(&self) -> std::io::Result<UnixStream> {
+        self.try_clone()
+    }
+    fn set_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+impl ServeStream for TcpStream {
+    type Writer = TcpStream;
+    fn split_writer(&self) -> std::io::Result<TcpStream> {
+        self.try_clone()
+    }
+    fn set_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
 fn worker_loop(server: &Server) {
     while let Some(job) = server.queue.pop() {
         let resp = server.execute(&job.work);
@@ -857,7 +902,7 @@ fn serve_socket(server: &Server, path: &str) -> Result<String, CliError> {
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)
         .map_err(|e| CliError(format!("serve: cannot bind {path}: {e}")))?;
-    *lock(&server.wake_path) = Some(path.to_string());
+    *lock(&server.wake) = Some(WakeTarget::Unix(path.to_string()));
     eprintln!(
         "[t1000-serve] listening on {path} ({} worker(s), queue capacity {})",
         server.workers, server.queue.capacity
@@ -879,11 +924,49 @@ fn serve_socket(server: &Server, path: &str) -> Result<String, CliError> {
     Ok(format!("[t1000-serve] {}\n", server.summary()))
 }
 
-fn serve_connection(server: &Server, stream: UnixStream) {
+/// TCP transport: same wire contract and connection lifecycle as the Unix
+/// socket, reachable from other hosts. A bare port binds loopback
+/// (`127.0.0.1:PORT`) — exposing the daemon beyond the local machine is
+/// an explicit `HOST:PORT` choice (there is no authentication; see the
+/// security note in `docs/SERVING.md`). Port `0` asks the OS for a free
+/// port; the chosen address is in the startup banner on stderr.
+fn serve_tcp(server: &Server, spec: &str) -> Result<String, CliError> {
+    let addr = if spec.contains(':') {
+        spec.to_string()
+    } else {
+        format!("127.0.0.1:{spec}")
+    };
+    let listener = TcpListener::bind(&addr)
+        .map_err(|e| CliError(format!("serve: cannot bind tcp {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError(format!("serve: tcp {addr}: {e}")))?;
+    *lock(&server.wake) = Some(WakeTarget::Tcp(local));
+    eprintln!(
+        "[t1000-serve] listening on tcp://{local} ({} worker(s), queue capacity {})",
+        server.workers, server.queue.capacity
+    );
+    std::thread::scope(|s| {
+        for _ in 0..server.workers {
+            s.spawn(|| worker_loop(server));
+        }
+        for stream in listener.incoming() {
+            if server.is_shutting_down() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            s.spawn(move || serve_connection(server, stream));
+        }
+        server.queue.close();
+    });
+    Ok(format!("[t1000-serve] {}\n", server.summary()))
+}
+
+fn serve_connection<S: ServeStream>(server: &Server, stream: S) {
     // A finite read timeout lets idle connection readers notice shutdown
     // instead of blocking the process exit forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let Ok(write_half) = stream.try_clone() else {
+    let _ = stream.set_timeout(Duration::from_millis(200));
+    let Ok(write_half) = stream.split_writer() else {
         return;
     };
     let out: Out = Arc::new(Mutex::new(Box::new(write_half)));
@@ -913,7 +996,7 @@ fn serve_connection(server: &Server, stream: UnixStream) {
     }
 }
 
-/// `t1000 serve [--socket PATH] [--workers N] [--queue N]`.
+/// `t1000 serve [--socket PATH] [--tcp HOST:PORT] [--workers N] [--queue N]`.
 pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let p = parse(args, crate::SERVE_VALUE_OPTS, crate::SERVE_FLAGS)?;
     if !p.positional.is_empty() {
@@ -935,9 +1018,14 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         workers,
         queue_capacity,
     });
-    match p.get("socket") {
-        Some(path) => serve_socket(&server, path),
-        None => serve_stdio(&server),
+    match (p.get("socket"), p.get("tcp")) {
+        (Some(_), Some(_)) => Err(CliError(
+            "serve: --socket and --tcp are mutually exclusive (one listener per daemon)"
+                .to_string(),
+        )),
+        (Some(path), None) => serve_socket(&server, path),
+        (None, Some(addr)) => serve_tcp(&server, addr),
+        (None, None) => serve_stdio(&server),
     }
 }
 

@@ -249,6 +249,77 @@ fn shutdown_drains_and_exits() {
     assert!(daemon.wait_for_exit(Duration::from_secs(10)), "no exit");
 }
 
+/// The TCP transport speaks the identical wire contract as the Unix
+/// socket: bind loopback on an OS-assigned port (parsed from the startup
+/// banner), run a scripted session over `TcpStream`, shut down cleanly.
+#[test]
+fn tcp_transport_speaks_the_same_wire_contract() {
+    let mut child = Command::new(bin())
+        .args(["serve", "--tcp", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tcp daemon");
+    // The banner carries the OS-chosen port: "... listening on tcp://ADDR ...".
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("banner") == 0 {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("daemon exited before announcing its TCP address");
+        }
+        if let Some(rest) = line.split("listening on tcp://").nth(1) {
+            break rest.split_whitespace().next().expect("addr").to_string();
+        }
+    };
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut ask = |line: &str| -> Json {
+        writeln!(stream, "{line}").expect("send");
+        stream.flush().expect("flush");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        Json::parse(resp.trim()).unwrap_or_else(|e| panic!("bad response `{resp}`: {e}"))
+    };
+
+    let status = ask(r#"{"id": 1, "method": "status"}"#);
+    assert!(result(&status).get("uptime_ms").is_some());
+
+    let run = ask(
+        r#"{"id": 2, "method": "run", "params": {"workload": "gsm_dec", "strategy": "selective", "pfus": 2}}"#,
+    );
+    let cell = result(&run).get("cell").expect("cell");
+    assert!(cell.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(
+        cell.get("checksum").and_then(Json::as_str).map(str::len),
+        Some(18)
+    );
+
+    let resp = ask("{not json");
+    assert_eq!(error_code(&resp), 400);
+
+    let down = ask(r#"{"id": 3, "method": "shutdown"}"#);
+    assert_eq!(
+        result(&down).get("shutting_down").and_then(Json::as_bool),
+        Some(true)
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("tcp daemon did not exit after shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success());
+}
+
 #[test]
 fn stdio_transport_runs_a_scripted_session() {
     let mut child = Command::new(bin())

@@ -62,7 +62,9 @@ pub use pipeline::{
     PassOutput, PassStat, PipelineTrace, SelectionCtx,
 };
 pub use select::{greedy, selective, ChosenConf, SelectConfig, Selection};
-pub use session::{program_hash, SelectionCacheStats, Session, SessionStore, SessionStoreStats};
+pub use session::{
+    program_hash, stable_hash64, SelectionCacheStats, Session, SessionStore, SessionStoreStats,
+};
 pub use strategy::{
     BudgetKnapsack, Greedy, SelectStrategy, Selective, StrategyOutcome, StrategySpec,
 };

@@ -124,11 +124,33 @@ impl SelectionCache {
     }
 }
 
-/// Stable 64-bit identity of a program: FNV-1a over its canonical text
-/// object form ([`t1000_isa::write_object`]). Two programs hash equal
-/// exactly when their object text is byte-identical, so the hash is
-/// independent of how the program was obtained (source file, registry
-/// workload, inline request body).
+/// The workspace's stable 64-bit content hash: FNV-1a over `bytes`.
+/// Deliberately *not* `std::hash::Hasher` — `DefaultHasher` is free to
+/// change between Rust releases and between processes, while every key
+/// derived from this function (program identities, shard wire
+/// checksums) must agree across independently started worker processes
+/// and across builds. The constants are the standard FNV-1a offset
+/// basis and prime.
+///
+/// ```
+/// use t1000_core::stable_hash64;
+/// assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(stable_hash64(b"a"), stable_hash64(b"b"));
+/// ```
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Stable 64-bit identity of a program: [`stable_hash64`] over its
+/// canonical text object form ([`t1000_isa::write_object`]). Two
+/// programs hash equal exactly when their object text is
+/// byte-identical, so the hash is independent of how the program was
+/// obtained (source file, registry workload, inline request body).
 ///
 /// ```
 /// use t1000_core::program_hash;
@@ -136,13 +158,7 @@ impl SelectionCache {
 /// assert_eq!(program_hash(&p), program_hash(&p.clone()));
 /// ```
 pub fn program_hash(program: &Program) -> u64 {
-    let text = t1000_isa::write_object(program);
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    stable_hash64(t1000_isa::write_object(program).as_bytes())
 }
 
 /// Counters describing how a [`SessionStore`] has been used.
