@@ -592,8 +592,9 @@ fn split_expect(spec: &str) -> Vec<&str> {
 /// `total_sim_khz` (the aggregate simulation rate over all cells —
 /// `Σ cycles / Σ host_secs / 1000` — is at least the given value; `0`
 /// holds for `--deterministic` artifacts, whose host time is zeroed), and
-/// `shards=N` (the run's shard topology, read from the
-/// `<artifact>.shards.json` sidecar a coordinator run writes).
+/// `shards=N` / `remotes=N` (the run's shard topology and remote endpoint
+/// count, read from the `<artifact>.shards.json` sidecar a coordinator run
+/// writes; a sidecar without a `remotes` field counts as 0).
 /// Returns the satisfied assertions for reporting; the first unmet or
 /// malformed assertion is the error.
 pub fn check_expectations(text: &str, spec: &str) -> Result<Vec<String>, String> {
@@ -692,33 +693,39 @@ pub fn check_expectations_with(
                     ));
                 }
             }
-            "shards" => {
-                let text =
-                    sidecar.ok_or("--expect shards: no <artifact>.shards.json sidecar found")?;
+            "shards" | "remotes" => {
+                let text = sidecar.ok_or_else(|| {
+                    format!("--expect {key}: no <artifact>.shards.json sidecar found")
+                })?;
                 let side =
-                    Json::parse(text).map_err(|e| format!("--expect shards: bad sidecar: {e}"))?;
+                    Json::parse(text).map_err(|e| format!("--expect {key}: bad sidecar: {e}"))?;
                 match side.get("kind").and_then(Json::as_str) {
                     Some("t1000.bench-shards") => {}
                     other => {
-                        return Err(format!("--expect shards: bad sidecar kind {other:?}"));
+                        return Err(format!("--expect {key}: bad sidecar kind {other:?}"));
                     }
                 }
-                let got = side
-                    .get("shards")
-                    .and_then(Json::as_u64)
-                    .ok_or("--expect shards: sidecar has no shards field")?;
+                // `remotes` was added in sidecar schema v2; older sidecars
+                // simply lack the field (local-only runs record 0).
+                let got = match side.get(key).and_then(Json::as_u64) {
+                    Some(n) => n,
+                    None if key == "remotes" => 0,
+                    None => {
+                        return Err(format!("--expect {key}: sidecar has no {key} field"));
+                    }
+                };
                 let want: u64 = want
                     .parse()
                     .map_err(|_| format!("--expect {key}: `{want}` is not an integer"))?;
                 if got != want {
-                    return Err(format!("--expect shards={want}: sidecar records {got}"));
+                    return Err(format!("--expect {key}={want}: sidecar records {got}"));
                 }
             }
             other => {
                 return Err(format!(
                     "--expect: unknown key `{other}` \
                      (known: retries, failed_cells, cells, workloads, scale, strategy, \
-                      total_sim_khz, shards)"
+                      total_sim_khz, shards, remotes)"
                 ));
             }
         }
@@ -1121,9 +1128,14 @@ mod tests {
         let run = small_run();
         let text = to_json(&run).to_string_pretty();
         let sidecar = r#"{"schema_version": 1, "kind": "t1000.bench-shards", "shards": 4}"#;
+        let v2 =
+            r#"{"schema_version": 2, "kind": "t1000.bench-shards", "shards": 4, "remotes": 2}"#;
         let ok = check_expectations_with(&text, Some(sidecar), "shards=4,total_sim_khz=0")
             .expect("topology expectations hold");
         assert_eq!(ok.len(), 2);
+        check_expectations_with(&text, Some(v2), "shards=4,remotes=2").expect("remote topology");
+        // A v1 sidecar (no remotes field) reads as a local-only run.
+        check_expectations_with(&text, Some(sidecar), "remotes=0").expect("v1 defaults to 0");
         // A measured run clears a real (modest) throughput bar...
         check_expectations_with(&text, Some(sidecar), "total_sim_khz=1").expect("measured rate");
         // ...an absurd bar fails, and topology mismatches are caught.
@@ -1132,6 +1144,8 @@ mod tests {
             (Some(sidecar), "shards=2", "records 4"),
             (None, "shards=4", "sidecar"),
             (Some("{}"), "shards=4", "bad sidecar kind"),
+            (Some(v2), "remotes=3", "records 2"),
+            (None, "remotes=1", "sidecar"),
         ] {
             let err = check_expectations_with(&text, side, spec).unwrap_err();
             assert!(err.contains(needle), "{spec}: {err}");

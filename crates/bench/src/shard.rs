@@ -41,20 +41,33 @@
 //! replacement worker (with `abort@N` injections stripped) and maps
 //! anything still missing into [`FailureCause::Panic`] on the schema-v3
 //! `failed_cells` path. See `docs/SERVING.md` and `docs/ARCHITECTURE.md`.
+//!
+//! With `--remote HOST:PORT[,…]` the same request/event stream travels
+//! over TCP to `t1000 serve --tcp` endpoints (method `run_shard`) instead
+//! of child pipes. Every network interaction is wrapped in an explicit
+//! fault-tolerance layer — connect retry with capped exponential backoff
+//! and deterministic jitter, a `ping` handshake before every dispatch,
+//! idle-stream and soft-deadline watchdogs — and unaccounted cells walk a
+//! degradation ladder: surviving remote endpoints first, then local child
+//! workers, so a bench never fails merely because the network did. The
+//! `net@`/`netdrop@`/`netstall@` [`FaultPlan`] arms make each rung
+//! testable without a real flaky network (see `docs/ROBUSTNESS.md`).
 
 use crate::checkpoint;
 use crate::engine::{
     self, CellResult, ConfSummary, EngineConfig, EngineError, EngineRun, EngineStats, FailureCause,
-    SelectionRecord,
+    RetryPolicy, SelectionRecord,
 };
 use crate::fault::FaultPlan;
 use crate::json::Json;
 use crate::plan::{Cell, Plan, SelectionSpec};
 use crate::results;
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::io::{BufRead, Write};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use t1000_core::{stable_hash64, ExtractConfig};
 use t1000_workloads::Scale;
 
@@ -234,6 +247,9 @@ pub fn cause_from_wire(kind: &str, payload: &str) -> Result<FailureCause, String
 /// global selection-key indices the worker must compute *in addition* to
 /// the jobs its assigned cells already imply — needed under `--resume`,
 /// where a fully-restored group still owes its selection records.
+/// `retries`/`backoff_ms` forward the coordinator's [`RetryPolicy`] so
+/// every worker's in-cell retry behaviour matches (`backoff_ms` 0 means
+/// "use the default schedule").
 pub fn shard_request(
     plan_name: &str,
     scale: Scale,
@@ -262,6 +278,11 @@ pub fn shard_request(
                 ("no_fast_path", Json::Bool(config.no_fast_path)),
                 ("max_cycles", Json::UInt(config.max_cycles)),
                 ("inject", Json::Str(faults.render())),
+                ("retries", Json::UInt(u64::from(config.retry.max_attempts))),
+                (
+                    "backoff_ms",
+                    Json::UInt(config.retry.backoff_override_ms.unwrap_or(0)),
+                ),
             ]),
         ),
     ])
@@ -363,6 +384,31 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
         other => return Err(format!("expected method run_shard, got {other:?}")),
     }
     let params = req.get("params").ok_or("missing params")?;
+    let job = parse_shard_params(params)?;
+    let mut emit = |doc: Json| -> Result<(), String> {
+        writeln!(output, "{}", doc.to_string_compact()).map_err(|e| e.to_string())
+    };
+    execute_shard(&job, &Json::UInt(0), &mut emit)?;
+    output.flush().map_err(|e| e.to_string())
+}
+
+/// One validated `run_shard` request: the plan (rebuilt from its wire
+/// name), the assigned global cell/selection-key indices, and the engine
+/// knobs. Shared by the `t1000 worker` child-process entry point and the
+/// `t1000 serve` `run_shard` method — both parse with
+/// [`parse_shard_params`] and execute with [`execute_shard`].
+pub struct ShardJob {
+    pub plan: Plan,
+    pub scale: Scale,
+    pub indices: Vec<usize>,
+    pub key_indices: Vec<usize>,
+    pub config: EngineConfig,
+}
+
+/// Validates the `params` object of a `run_shard` request into a
+/// [`ShardJob`]. Rejects unknown plans, bad scales, and out-of-range
+/// indices with messages suitable for an error envelope.
+pub fn parse_shard_params(params: &Json) -> Result<ShardJob, String> {
     let plan_name = params
         .get("plan")
         .and_then(Json::as_str)
@@ -373,7 +419,7 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
         Some("full") => Scale::Full,
         other => return Err(format!("bad scale {other:?}")),
     };
-    let cells = plan.cells();
+    let n_cells = plan.cells().len();
     let mut indices: Vec<usize> = Vec::new();
     for v in params
         .get("cells")
@@ -381,15 +427,12 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
         .ok_or("missing cells")?
     {
         let i = v.as_u64().ok_or("bad cell index")? as usize;
-        if i >= cells.len() {
-            return Err(format!(
-                "cell index {i} out of range (plan has {})",
-                cells.len()
-            ));
+        if i >= n_cells {
+            return Err(format!("cell index {i} out of range (plan has {n_cells})"));
         }
         indices.push(i);
     }
-    let keys = engine::selection_keys(&plan);
+    let n_keys = engine::selection_keys(&plan).len();
     let mut key_indices: Vec<usize> = Vec::new();
     for v in params
         .get("selections")
@@ -397,10 +440,9 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
         .unwrap_or(&[])
     {
         let k = v.as_u64().ok_or("bad selection index")? as usize;
-        if k >= keys.len() {
+        if k >= n_keys {
             return Err(format!(
-                "selection index {k} out of range (plan has {})",
-                keys.len()
+                "selection index {k} out of range (plan has {n_keys})"
             ));
         }
         key_indices.push(k);
@@ -409,6 +451,14 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
         Some(text) => FaultPlan::parse(text)?,
         None => FaultPlan::none(),
     };
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = params.get("retries").and_then(Json::as_u64) {
+        retry.max_attempts = (n as u32).max(1);
+    }
+    match params.get("backoff_ms").and_then(Json::as_u64) {
+        Some(0) | None => {}
+        Some(ms) => retry.backoff_override_ms = Some(ms),
+    }
     let config = EngineConfig {
         max_cycles: params.get("max_cycles").and_then(Json::as_u64).unwrap_or(0),
         deterministic: params
@@ -420,8 +470,30 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
             .and_then(Json::as_bool)
             .unwrap_or(false),
         faults,
+        retry,
         ..EngineConfig::default()
     };
+    Ok(ShardJob {
+        plan,
+        scale,
+        indices,
+        key_indices,
+        config,
+    })
+}
+
+/// Executes a parsed [`ShardJob`] on an in-process engine and streams the
+/// `selection`/`cell`/`cell_failed` events plus the final result envelope
+/// (echoing `id`) through `emit` — the worker-side half of the shard wire
+/// protocol, transport-agnostic so the child-process worker and the TCP
+/// `run_shard` method share it verbatim.
+pub fn execute_shard(
+    job: &ShardJob,
+    id: &Json,
+    emit: &mut dyn FnMut(Json) -> Result<(), String>,
+) -> Result<(), String> {
+    let cells = job.plan.cells();
+    let keys = engine::selection_keys(&job.plan);
 
     // The sub-plan: assigned cells pushed in global order. For the
     // coordinator's group-atomic partitions this reproduces exactly the
@@ -429,29 +501,26 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
     // its users); for arbitrary assignments the plan machinery adds the
     // implied baselines, which are simulated but filtered out below.
     let mut sub = Plan::new();
-    for &i in &indices {
+    for &i in &job.indices {
         sub.push(cells[i]);
     }
     // Explicitly-requested selection jobs (resume path). `push_selection`
     // appends the implied baseline cell after the assigned ones, so the
     // fault plan's local indices stay valid; the extra baseline result is
     // filtered from the wire by the assigned-set check below.
-    for &k in &key_indices {
+    for &k in &job.key_indices {
         let (workload, extract, spec) = keys[k];
         sub.push_selection(workload, extract, spec);
     }
-    let run = engine::execute_with(&sub, scale, &config);
+    let run = engine::execute_with(&sub, job.scale, &job.config);
 
     // Map everything back to global numbering before it hits the wire.
     let global_cell: HashMap<Cell, usize> =
         cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let global_selection: HashMap<(&'static str, ExtractConfig, SelectionSpec), usize> =
         keys.into_iter().enumerate().map(|(i, k)| (k, i)).collect();
-    let assigned: HashSet<usize> = indices.iter().copied().collect();
+    let assigned: HashSet<usize> = job.indices.iter().copied().collect();
 
-    let mut emit = |doc: Json| -> Result<(), String> {
-        writeln!(output, "{}", doc.to_string_compact()).map_err(|e| e.to_string())
-    };
     for s in &run.selections {
         if let Some(&gi) = global_selection.get(&(s.workload, s.extract, s.spec)) {
             emit(selection_event(gi, s))?;
@@ -471,7 +540,7 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
     }
     let stats = &run.stats;
     emit(Json::obj(vec![
-        ("id", Json::UInt(0)),
+        ("id", id.clone()),
         (
             "result",
             Json::obj(vec![
@@ -487,8 +556,7 @@ fn worker_serve(line: &str, output: &mut impl Write) -> Result<(), String> {
                 ),
             ]),
         ),
-    ]))?;
-    output.flush().map_err(|e| e.to_string())
+    ]))
 }
 
 // ---------------------------------------------------------------------
@@ -815,6 +883,322 @@ impl MergeState {
 }
 
 // ---------------------------------------------------------------------
+// Remote transport
+// ---------------------------------------------------------------------
+
+/// Environment override for the idle-stream watchdog (milliseconds of
+/// silence on an open remote stream before the dispatch is abandoned and
+/// its cells fall to the next rung of the degradation ladder).
+pub const REMOTE_IDLE_ENV: &str = "T1000_REMOTE_IDLE_MS";
+/// Environment override for the per-shard soft deadline (milliseconds a
+/// whole remote dispatch may take, unset = none).
+pub const REMOTE_DEADLINE_ENV: &str = "T1000_REMOTE_DEADLINE_MS";
+
+/// Where one wave entry's work executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WorkerTarget {
+    /// A `t1000 worker` child process on this machine.
+    Local,
+    /// The remote `t1000 serve --tcp` endpoint at `RemoteState::addrs[i]`.
+    Remote(usize),
+}
+
+/// Per-endpoint dispatch accounting, reported in the `.shards.json`
+/// sidecar's `endpoints` array.
+#[derive(Clone, Copy, Debug, Default)]
+struct EndpointStats {
+    dispatches: u64,
+    connect_retries: u64,
+    failures: u64,
+}
+
+/// The remote endpoint pool: addresses, per-endpoint counters, and the
+/// two stream watchdog knobs.
+struct RemoteState {
+    addrs: Vec<String>,
+    stats: Mutex<Vec<EndpointStats>>,
+    /// Max silence on an open stream before the dispatch is abandoned.
+    idle: Duration,
+    /// Optional soft deadline for one whole shard dispatch.
+    deadline: Option<Duration>,
+}
+
+impl RemoteState {
+    fn new(addrs: &[String]) -> RemoteState {
+        let ms = |env: &str| {
+            std::env::var(env)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        RemoteState {
+            addrs: addrs.to_vec(),
+            stats: Mutex::new(vec![EndpointStats::default(); addrs.len()]),
+            idle: Duration::from_millis(ms(REMOTE_IDLE_ENV).unwrap_or(120_000)),
+            deadline: ms(REMOTE_DEADLINE_ENV).map(Duration::from_millis),
+        }
+    }
+}
+
+/// A line-oriented reader over one remote dispatch's TCP stream. Reads in
+/// short timeout slices so two watchdogs can interleave: an *idle* timer
+/// (time since the last byte arrived) and an optional overall *deadline*
+/// — together they turn a hung network into a typed, retryable error
+/// instead of a stuck coordinator. Buffers raw bytes and splits on `\n`
+/// itself, so a read timeout mid-line never loses partial data.
+struct RemoteReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RemoteReader {
+    fn new(stream: TcpStream) -> Result<RemoteReader, String> {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .map_err(|e| format!("setting read timeout: {e}"))?;
+        Ok(RemoteReader {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), String> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("writing request: {e}"))
+    }
+
+    /// Next newline-terminated line; `Ok(None)` is a clean EOF. `stalled`
+    /// simulates a `netstall@` fault: reads are skipped entirely, so the
+    /// genuine idle-watchdog branch is what fires.
+    fn read_line(
+        &mut self,
+        idle: Duration,
+        deadline: Option<Instant>,
+        stalled: bool,
+    ) -> Result<Option<String>, String> {
+        let mut last_byte = Instant::now();
+        loop {
+            if !stalled {
+                if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                    return Ok(Some(String::from_utf8_lossy(&line[..pos]).into_owned()));
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err("shard soft deadline exceeded".to_string());
+                }
+            }
+            if last_byte.elapsed() >= idle {
+                return Err(format!("stream idle for {} ms", idle.as_millis()));
+            }
+            if stalled {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    let rest = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    return Ok(Some(rest));
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    last_byte = Instant::now();
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(format!("reading stream: {e}")),
+            }
+        }
+    }
+}
+
+/// TCP connect + `ping` handshake against one endpoint: proves the peer
+/// is a live, accepting `t1000 serve` before any work is dispatched (and
+/// doubles as the between-waves health probe). Consumes the ping response
+/// — it must never reach the merge loop, where any `result` document
+/// reads as a final envelope — and rejects endpoints that are draining
+/// for shutdown.
+fn connect_and_handshake(addr: &str) -> Result<RemoteReader, String> {
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr}"))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, Duration::from_secs(1))
+        .map_err(|e| format!("connecting: {e}"))?;
+    let mut reader = RemoteReader::new(stream)?;
+    let ping = Json::obj(vec![
+        ("id", Json::UInt(0)),
+        ("method", Json::Str("ping".to_string())),
+    ]);
+    reader.write_line(&ping.to_string_compact())?;
+    let line = reader
+        .read_line(Duration::from_secs(5), None, false)?
+        .ok_or("connection closed during handshake")?;
+    let doc = Json::parse(&line).map_err(|e| format!("bad ping response: {e}"))?;
+    let result = doc
+        .get("result")
+        .ok_or_else(|| format!("ping rejected: {line}"))?;
+    if result.get("pong").and_then(Json::as_bool) != Some(true) {
+        return Err("peer is not a t1000 serve endpoint".to_string());
+    }
+    if result.get("shutting_down").and_then(Json::as_bool) == Some(true) {
+        return Err("endpoint is shutting down".to_string());
+    }
+    Ok(reader)
+}
+
+/// Wait before remote connect attempt `attempt` (1-based; attempt 1 never
+/// waits): the shared [`RetryPolicy`] schedule as the base, doubled per
+/// prior failure and capped at 2 s, plus *deterministic* jitter hashed
+/// from (shard, attempt) — concurrent shards never retry in lock-step,
+/// yet every run waits identically, keeping fault-injected runs
+/// reproducible.
+fn net_backoff(retry: &RetryPolicy, shard: usize, attempt: u32) -> Duration {
+    if attempt <= 1 {
+        return Duration::ZERO;
+    }
+    let base = (retry.backoff_before(attempt).as_millis() as u64).max(1);
+    let capped = base.saturating_mul(1u64 << (attempt - 2).min(6)).min(2_000);
+    let jitter =
+        stable_hash64(format!("net-backoff:{shard}:{attempt}").as_bytes()) % (capped / 2 + 1);
+    Duration::from_millis(capped + jitter)
+}
+
+/// Dispatches one shard's work to a remote endpoint and merges the
+/// streamed events — the remote counterpart of [`drive_one`], plus the
+/// fault-tolerance layer: connect retry with [`net_backoff`], the
+/// [`connect_and_handshake`] health probe, idle/deadline stream
+/// watchdogs, and the injected `net*@` arms (fired only when
+/// `inject_net`, i.e. on first-wave dispatches — retries run clean).
+#[allow(clippy::too_many_arguments)]
+fn drive_remote(
+    ctx: &WaveCtx<'_>,
+    remote: &RemoteState,
+    endpoint: usize,
+    shard: usize,
+    cells: &[usize],
+    keys: &[usize],
+    faults: &FaultPlan,
+    inject_net: bool,
+    flush: &(dyn Fn(&MergeState) + Sync),
+) -> Result<(), String> {
+    let addr = remote
+        .addrs
+        .get(endpoint)
+        .ok_or("endpoint index out of range")?;
+    let retry = ctx.config.retry;
+    let fail = |msg: String| -> Result<(), String> {
+        lock(&remote.stats)[endpoint].failures += 1;
+        Err(format!("tcp://{addr}: {msg}"))
+    };
+
+    let mut reader = None;
+    let mut last_err = String::new();
+    for attempt in 1..=retry.max_attempts {
+        let wait = net_backoff(&retry, shard, attempt);
+        if attempt > 1 {
+            std::thread::sleep(wait);
+            lock(&remote.stats)[endpoint].connect_retries += 1;
+        }
+        if inject_net && ctx.config.faults.net_connect_fails(shard, attempt) {
+            last_err = format!("injected connect refusal (attempt {attempt})");
+            continue;
+        }
+        match connect_and_handshake(addr) {
+            Ok(r) => {
+                reader = Some(r);
+                break;
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    let Some(mut reader) = reader else {
+        return fail(format!(
+            "connect failed after {} attempt(s): {last_err}",
+            retry.max_attempts
+        ));
+    };
+    lock(&remote.stats)[endpoint].dispatches += 1;
+
+    let request = shard_request(ctx.plan_name, ctx.scale, cells, keys, ctx.config, faults);
+    if let Err(e) = reader.write_line(&request.to_string_compact()) {
+        return fail(e);
+    }
+
+    let drop_midstream = inject_net && ctx.config.faults.net_drop(shard);
+    let stalled = inject_net && ctx.config.faults.net_stall(shard);
+    // An injected stall still times out via the *real* watchdog branch —
+    // just quickly, so chaos tests stay fast.
+    let idle = if stalled {
+        remote.idle.min(Duration::from_millis(250))
+    } else {
+        remote.idle
+    };
+    let deadline = remote.deadline.map(|d| Instant::now() + d);
+
+    let mut done = false;
+    let mut refusal = None;
+    loop {
+        let line = match reader.read_line(idle, deadline, stalled) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) => return fail(e),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut m = lock(ctx.merge);
+        match m.on_line(&line) {
+            Ok(WireLine::Cell) => {
+                flush(&m);
+                drop(m);
+                if drop_midstream {
+                    // First cell merged; the "network" now cuts the
+                    // stream. Everything unmerged heals downstream.
+                    return fail("injected mid-stream disconnect".to_string());
+                }
+            }
+            Ok(WireLine::Event) => {}
+            Ok(WireLine::Done(s)) => {
+                drop(m);
+                let mut t = lock(ctx.totals);
+                t.retries += s.retries;
+                t.prepare_secs += s.prepare_secs;
+                t.select_secs += s.select_secs;
+                t.simulate_secs += s.simulate_secs;
+                t.selection_compute_secs += s.selection_compute_secs;
+                done = true;
+                // Unlike a child worker, the serve connection stays open
+                // after the final envelope — break, don't wait for EOF.
+                break;
+            }
+            Ok(WireLine::Failed(msg)) => {
+                refusal = Some(msg);
+                break;
+            }
+            Err(e) => eprintln!("[t1000-bench] shard {shard}: rejected remote line: {e}"),
+        }
+    }
+    if let Some(msg) = refusal {
+        return fail(format!("endpoint rejected the request: {msg}"));
+    }
+    if !done {
+        return fail("stream ended without a final response".to_string());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Coordinator
 // ---------------------------------------------------------------------
 
@@ -839,6 +1223,20 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// One shard's dispatch: its assigned global cells and selection keys,
+/// the worker-local fault plan, the execution target, and whether the
+/// coordinator-side `net*@` arms may fire (first-wave dispatches only —
+/// every retry rung runs with injection disarmed, so each network fault
+/// fires at most once and the run always heals).
+struct WaveEntry {
+    shard: usize,
+    cells: Vec<usize>,
+    keys: Vec<usize>,
+    faults: FaultPlan,
+    target: WorkerTarget,
+    inject_net: bool,
+}
+
 /// Executes `plan` (named `plan_name` on the wire) across `shards`
 /// worker processes and merges the streamed results. Honors the
 /// coordinator-side parts of `config` — checkpoint/resume, fault
@@ -847,12 +1245,20 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// every worker. Workers run single-threaded (`T1000_THREADS=1`): the
 /// process is the unit of parallelism, so `--shards N` vs `--shards 1`
 /// is an apples-to-apples scaling comparison.
+///
+/// With a non-empty `remotes` list, first-wave shard `s` is dispatched to
+/// endpoint `s % remotes.len()` over TCP instead of a child process, and
+/// unaccounted work walks the degradation ladder: re-dispatch to each
+/// surviving (ping-healthy) remote endpoint, then fall back to a local
+/// child worker — the artifact stays byte-identical to the all-local run
+/// whichever rung completes the cells.
 pub fn run_sharded(
     plan: &Plan,
     plan_name: &str,
     scale: Scale,
     shards: usize,
     config: &EngineConfig,
+    remotes: &[String],
 ) -> Result<ShardedRun, String> {
     let shards = shards.max(1);
     if !plan.selection_only().is_empty() {
@@ -938,40 +1344,101 @@ pub fn run_sharded(
         totals: &totals,
     };
 
-    let wave: Vec<(usize, Vec<usize>, Vec<usize>, FaultPlan)> = assignment
+    let remote = RemoteState::new(remotes);
+    let n_remotes = remote.addrs.len();
+    let mut degradations: Vec<String> = Vec::new();
+
+    let wave: Vec<WaveEntry> = assignment
         .into_iter()
         .zip(key_assignment)
         .enumerate()
         .filter(|(_, (cells, keys))| !cells.is_empty() || !keys.is_empty())
         .map(|(s, (cells, keys))| {
             let local = local_faults(&config.faults, plan.cells(), &cells);
-            (s, cells, keys, local)
+            let target = if n_remotes > 0 {
+                WorkerTarget::Remote(s % n_remotes)
+            } else {
+                WorkerTarget::Local
+            };
+            WaveEntry {
+                shard: s,
+                cells,
+                keys,
+                faults: local,
+                target,
+                inject_net: n_remotes > 0,
+            }
         })
         .collect();
-    let crashed = drive_wave(&ctx, &wave, &flush);
+    let crashed = drive_wave(&ctx, &remote, &wave, &flush);
     let mut worker_crashes = crashed.len();
 
-    // Crash recovery: every cell (and selection record) still
-    // unaccounted for is retried on one replacement worker, with
-    // process-abort injections stripped so the retry can complete.
-    // Anything missing after that is reported on the schema-v3
-    // `failed_cells` path.
-    let mut retried: Vec<usize> = Vec::new();
-    let (missing, missing_sel) = {
+    // Crash recovery — the degradation ladder. Rung 1 (remote runs
+    // only): re-dispatch everything unaccounted for to each surviving
+    // endpoint in turn, health-probed first, until the run heals. Rung 2:
+    // one local replacement child worker. Both rungs strip process-abort
+    // injections and run with network injection disarmed so the retry can
+    // complete; anything still missing after the ladder is reported on
+    // the schema-v3 `failed_cells` path.
+    let mut retried: BTreeSet<usize> = BTreeSet::new();
+    let (mut missing, mut missing_sel) = {
         let m = lock(&merge);
         (m.missing(), m.missing_selections())
     };
+    if n_remotes > 0 && (!missing.is_empty() || !missing_sel.is_empty()) {
+        let stripped = config.faults.without_aborts();
+        for endpoint in 0..n_remotes {
+            if missing.is_empty() && missing_sel.is_empty() {
+                break;
+            }
+            let addr = &remote.addrs[endpoint];
+            if let Err(e) = connect_and_handshake(addr) {
+                eprintln!("[t1000-bench] tcp://{addr}: unhealthy, skipping retry rung: {e}");
+                continue;
+            }
+            eprintln!(
+                "[t1000-bench] {} cell(s) and {} selection(s) unaccounted for; retrying on surviving endpoint tcp://{addr}",
+                missing.len(),
+                missing_sel.len()
+            );
+            degradations.push(format!("remote_retry:tcp://{addr}"));
+            let local = local_faults(&stripped, plan.cells(), &missing);
+            retried.extend(missing.iter().copied());
+            let entry = WaveEntry {
+                shard: shards,
+                cells: missing,
+                keys: missing_sel,
+                faults: local,
+                target: WorkerTarget::Remote(endpoint),
+                inject_net: false,
+            };
+            worker_crashes += drive_wave(&ctx, &remote, &[entry], &flush).len();
+            let m = lock(&merge);
+            missing = m.missing();
+            missing_sel = m.missing_selections();
+        }
+    }
     if !missing.is_empty() || !missing_sel.is_empty() {
         eprintln!(
             "[t1000-bench] {} cell(s) and {} selection(s) unaccounted for after the first wave; retrying on a fresh worker",
             missing.len(),
             missing_sel.len()
         );
+        if n_remotes > 0 {
+            degradations.push("local_fallback".to_string());
+        }
         let stripped = config.faults.without_aborts();
         let local = local_faults(&stripped, plan.cells(), &missing);
-        retried = missing.clone();
-        let retry_wave = vec![(shards, missing, missing_sel, local)];
-        worker_crashes += drive_wave(&ctx, &retry_wave, &flush).len();
+        retried.extend(missing.iter().copied());
+        let entry = WaveEntry {
+            shard: shards,
+            cells: missing,
+            keys: missing_sel,
+            faults: local,
+            target: WorkerTarget::Local,
+            inject_net: false,
+        };
+        worker_crashes += drive_wave(&ctx, &remote, &[entry], &flush).len();
         let mut m = lock(&merge);
         for i in m.missing() {
             m.fail(
@@ -988,9 +1455,13 @@ pub fn run_sharded(
     let merge = merge
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let endpoint_stats = remote
+        .stats
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let run = merge.finish(plan, totals, config.deterministic);
     let sidecar = Json::obj(vec![
-        ("schema_version", Json::UInt(1)),
+        ("schema_version", Json::UInt(2)),
         ("kind", Json::Str("t1000.bench-shards".to_string())),
         ("shards", Json::UInt(shards as u64)),
         (
@@ -1003,23 +1474,65 @@ pub fn run_sharded(
             "retried_cells",
             Json::Arr(retried.iter().map(|&i| Json::UInt(i as u64)).collect()),
         ),
+        ("remotes", Json::UInt(n_remotes as u64)),
+        (
+            "endpoints",
+            Json::Arr(
+                remote
+                    .addrs
+                    .iter()
+                    .zip(&endpoint_stats)
+                    .map(|(addr, s)| {
+                        Json::obj(vec![
+                            ("addr", Json::Str(addr.clone())),
+                            ("dispatches", Json::UInt(s.dispatches)),
+                            ("connect_retries", Json::UInt(s.connect_retries)),
+                            ("failures", Json::UInt(s.failures)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "degradations",
+            Json::Arr(degradations.into_iter().map(Json::Str).collect()),
+        ),
     ]);
     Ok(ShardedRun { run, sidecar })
 }
 
-/// Spawns one worker per wave entry, drives them concurrently, and
-/// returns the shard labels whose workers crashed (nonzero exit, or EOF
-/// before the final response).
+/// Drives one wave's entries concurrently — child workers and remote
+/// dispatches alike — and returns the shard labels that failed (crashed
+/// worker, refused connection, dropped or stalled stream).
 fn drive_wave(
     ctx: &WaveCtx<'_>,
-    wave: &[(usize, Vec<usize>, Vec<usize>, FaultPlan)],
+    remote: &RemoteState,
+    wave: &[WaveEntry],
     flush: &(dyn Fn(&MergeState) + Sync),
 ) -> Vec<usize> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = wave
             .iter()
-            .map(|(shard, cells, keys, faults)| {
-                scope.spawn(move || (*shard, drive_one(ctx, *shard, cells, keys, faults, flush)))
+            .map(|e| {
+                scope.spawn(move || {
+                    let result = match e.target {
+                        WorkerTarget::Local => {
+                            drive_one(ctx, e.shard, &e.cells, &e.keys, &e.faults, flush)
+                        }
+                        WorkerTarget::Remote(i) => drive_remote(
+                            ctx,
+                            remote,
+                            i,
+                            e.shard,
+                            &e.cells,
+                            &e.keys,
+                            &e.faults,
+                            e.inject_net,
+                            flush,
+                        ),
+                    };
+                    (e.shard, result)
+                })
             })
             .collect();
         handles
@@ -1360,6 +1873,144 @@ mod tests {
         let code = run_worker(&b"{\"method\":\"nope\"}\n"[..], &mut out);
         assert_ne!(code, 0);
         assert!(String::from_utf8(out).unwrap().contains("\"error\""));
+    }
+
+    #[test]
+    fn net_backoff_is_deterministic_capped_and_jittered() {
+        let retry = RetryPolicy::default();
+        assert_eq!(net_backoff(&retry, 0, 1), Duration::ZERO);
+        for shard in 0..4 {
+            for attempt in 2..10 {
+                let a = net_backoff(&retry, shard, attempt);
+                let b = net_backoff(&retry, shard, attempt);
+                assert_eq!(a, b, "same inputs must wait identically");
+                // Cap 2 s + jitter ≤ half the capped base.
+                assert!(a <= Duration::from_millis(3_000), "{a:?}");
+                assert!(a > Duration::ZERO);
+            }
+        }
+        // Jitter decorrelates shards: not every shard waits the same.
+        let waits: HashSet<Duration> = (0..8).map(|s| net_backoff(&retry, s, 3)).collect();
+        assert!(waits.len() > 1, "jitter must vary across shards");
+        // A flat --backoff-ms override feeds the exponential base.
+        let flat = RetryPolicy {
+            backoff_override_ms: Some(4),
+            ..RetryPolicy::default()
+        };
+        assert!(net_backoff(&flat, 0, 2) >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn retry_policy_rides_the_shard_request() {
+        let tuned = EngineConfig {
+            retry: RetryPolicy {
+                max_attempts: 5,
+                backoff_override_ms: Some(7),
+                ..RetryPolicy::default()
+            },
+            ..det_config()
+        };
+        let req = shard_request(
+            "run_all",
+            Scale::Test,
+            &[0],
+            &[],
+            &tuned,
+            &FaultPlan::none(),
+        );
+        let job = parse_shard_params(req.get("params").unwrap()).unwrap();
+        assert_eq!(job.config.retry.max_attempts, 5);
+        assert_eq!(job.config.retry.backoff_override_ms, Some(7));
+        // A request without the fields (an older coordinator) gets the
+        // defaults — backoff_ms 0 on the wire means "default schedule".
+        let req = shard_request(
+            "run_all",
+            Scale::Test,
+            &[0],
+            &[],
+            &det_config(),
+            &FaultPlan::none(),
+        );
+        let job = parse_shard_params(req.get("params").unwrap()).unwrap();
+        assert_eq!(job.config.retry, RetryPolicy::default());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        // Merge accounting never loses or double-counts a cell, whatever
+        // the transport does: each shard's stream may arrive whole, be
+        // cut after its first cell (netdrop), vanish entirely (connect
+        // refusal / stall), or be delivered twice (a retry racing its
+        // supposedly-dead predecessor). Healing by re-delivering whatever
+        // is still missing always converges on the byte-identical
+        // artifact — the invariant the degradation ladder leans on.
+        #[test]
+        fn merge_accounting_survives_arbitrary_transport_faults(
+            outcomes in prop::collection::vec(0u8..4, 3)
+        ) {
+            let plan = small_plan();
+            let run = execute_with(&plan, Scale::Test, &det_config());
+            prop_assert!(run.failures.is_empty());
+            let reference = to_json(&run).to_string_pretty();
+            let global_cell: HashMap<Cell, usize> = plan
+                .cells()
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i))
+                .collect();
+            let cell_lines: BTreeMap<usize, String> = run
+                .cells
+                .iter()
+                .map(|c| (global_cell[&c.cell], cell_event(global_cell[&c.cell], c).to_string_compact()))
+                .collect();
+            let global_selection: HashMap<_, usize> = engine::selection_keys(&plan)
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| (k, i))
+                .collect();
+            let sel_lines: BTreeMap<usize, String> = run
+                .selections
+                .iter()
+                .map(|s| {
+                    let k = global_selection[&(s.workload, s.extract, s.spec)];
+                    (k, selection_event(k, s).to_string_compact())
+                })
+                .collect();
+
+            let all: Vec<usize> = (0..plan.cells().len()).collect();
+            let all_keys: Vec<usize> = (0..sel_lines.len()).collect();
+            let parts = partition(&plan, &all, 3);
+            let key_parts = partition_selections(&plan, &all_keys, 3);
+
+            let mut merge = MergeState::new(&plan, Scale::Test);
+            for (shard, &outcome) in outcomes.iter().enumerate() {
+                let deliveries = if outcome == 3 { 2 } else { 1 };
+                for _ in 0..deliveries {
+                    if outcome == 2 {
+                        continue; // total loss: nothing arrives
+                    }
+                    for &k in &key_parts[shard] {
+                        merge.on_line(&sel_lines[&k]).unwrap();
+                    }
+                    for (n, &gi) in parts[shard].iter().enumerate() {
+                        merge.on_line(&cell_lines[&gi]).unwrap();
+                        if outcome == 1 && n == 0 {
+                            break; // stream cut after the first cell
+                        }
+                    }
+                }
+            }
+            // Heal: exactly what the ladder re-dispatches.
+            for gi in merge.missing() {
+                merge.on_line(&cell_lines[&gi]).unwrap();
+            }
+            for k in merge.missing_selections() {
+                merge.on_line(&sel_lines[&k]).unwrap();
+            }
+            prop_assert_eq!(merge.completed().len(), plan.cells().len());
+            let healed = merge.finish(&plan, ShardStats::default(), true);
+            prop_assert_eq!(to_json(&healed).to_string_pretty(), reference);
+        }
     }
 
     #[test]

@@ -22,8 +22,18 @@
 //!   behind a bounded queue — when the queue is full the request is shed
 //!   immediately with a `429`-style [`code::QUEUE_FULL`] error instead of
 //!   building an unbounded backlog. Control requests (`status`,
-//!   `cache_stats`, `shutdown`) are answered inline by the connection
-//!   reader and are never queued or shed.
+//!   `cache_stats`, `ping`, `shutdown`) are answered inline by the
+//!   connection reader and are never queued or shed (`ping` answers even
+//!   while draining — it is the remote coordinator's health probe);
+//! * `run_shard` — the remote-shard method behind
+//!   `t1000 bench --shards N --remote` — executes inline on its
+//!   connection's reader thread, streaming the worker wire protocol
+//!   ([`t1000_bench::shard::execute_shard`]) back over the same
+//!   connection: `selection`/`cell`/`cell_failed` event lines, then the
+//!   final id-echoing result envelope. A dedicated connection per
+//!   dispatch keeps streams unentangled, and because the reader thread
+//!   runs inside the transport's scoped-thread join, `shutdown` drains
+//!   in-flight shard streams before the process exits.
 //!
 //! [`Server::handle_line`] is the transport-free synchronous core, usable
 //! for tests and embedding:
@@ -64,6 +74,7 @@ use t1000_bench::engine::{CellRunner, FailureCause, RetryPolicy, RunOptions, Sel
 use t1000_bench::json::Json;
 use t1000_bench::plan::{Cell, MachineSpec, SelectionSpec};
 use t1000_bench::results::{cell_result_json, selection_json, SCHEMA_VERSION};
+use t1000_bench::shard;
 use t1000_core::{program_hash, ExtractConfig, SessionStore};
 use t1000_isa::Program;
 use t1000_workloads::Scale;
@@ -212,6 +223,12 @@ struct Job {
 enum Routed {
     Inline(Json),
     Work(Box<WorkRequest>),
+    /// A validated `run_shard` request: executed inline on the connection
+    /// reader thread, streaming its events back over the connection.
+    Shard {
+        id: Json,
+        job: Box<shard::ShardJob>,
+    },
 }
 
 fn p_get<'a>(params: Option<&'a Json>, key: &str) -> Option<&'a Json> {
@@ -464,6 +481,11 @@ pub struct Server {
     shed: AtomicU64,
     deadline_exceeded: AtomicU64,
     malformed: AtomicU64,
+    /// `run_shard` streams currently executing (the drain-on-shutdown
+    /// regression test polls this via `status`).
+    shard_active: AtomicU64,
+    /// `run_shard` streams completed successfully.
+    shard_done: AtomicU64,
 }
 
 impl Server {
@@ -483,6 +505,8 @@ impl Server {
             shed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            shard_active: AtomicU64::new(0),
+            shard_done: AtomicU64::new(0),
         }
     }
 
@@ -499,6 +523,21 @@ impl Server {
         let resp = match self.route(line) {
             Routed::Inline(resp) => resp,
             Routed::Work(work) => self.execute(&work),
+            Routed::Shard { id, job } => {
+                // Streamed method: the "response" is the whole event
+                // stream, newline-joined, ending in the final envelope
+                // (or the error envelope).
+                let mut lines: Vec<String> = Vec::new();
+                let outcome = self.run_shard_stream(&id, &job, &mut |doc| {
+                    lines.push(doc.to_string_compact());
+                    Ok(())
+                });
+                if let Some(resp) = outcome {
+                    self.record(&resp);
+                    lines.push(resp.to_string_compact());
+                }
+                return lines.join("\n");
+            }
         };
         self.record(&resp);
         resp.to_string_compact()
@@ -533,6 +572,48 @@ impl Server {
                     write_response(out, &resp);
                 }
             }
+            Routed::Shard { id, job } => {
+                // Inline on this connection's reader thread: one dispatch
+                // per connection means events never interleave, and the
+                // transport's scoped join drains us through shutdown.
+                let mut emit = |doc: Json| -> Result<(), String> {
+                    write_response(out, &doc);
+                    Ok(())
+                };
+                if let Some(resp) = self.run_shard_stream(&id, &job, &mut emit) {
+                    self.record(&resp);
+                    write_response(out, &resp);
+                }
+            }
+        }
+    }
+
+    /// Executes a `run_shard` job, streaming the worker wire protocol
+    /// through `emit`. On success the final result envelope has already
+    /// been emitted and `None` is returned; on failure the error envelope
+    /// to send is returned instead.
+    fn run_shard_stream(
+        &self,
+        id: &Json,
+        job: &shard::ShardJob,
+        emit: &mut dyn FnMut(Json) -> Result<(), String>,
+    ) -> Option<Json> {
+        self.shard_active.fetch_add(1, Ordering::Relaxed);
+        let result = shard::execute_shard(job, id, emit);
+        self.shard_active.fetch_sub(1, Ordering::Relaxed);
+        match result {
+            Ok(()) => {
+                self.shard_done.fetch_add(1, Ordering::Relaxed);
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(msg) => Some(error_response(
+                id,
+                code::CELL_FAILED,
+                "shard_failed",
+                &msg,
+                vec![],
+            )),
         }
     }
 
@@ -565,6 +646,42 @@ impl Server {
         let work_method = match method {
             "status" => return Routed::Inline(ok_response(&id, self.status_json())),
             "cache_stats" => return Routed::Inline(ok_response(&id, self.cache_stats_json())),
+            // The remote coordinator's health probe: answered inline,
+            // even while draining — the `shutting_down` flag is how a
+            // probing coordinator learns to dispatch elsewhere.
+            "ping" => {
+                return Routed::Inline(ok_response(
+                    &id,
+                    Json::obj(vec![
+                        ("pong", Json::Bool(true)),
+                        ("shutting_down", Json::Bool(self.is_shutting_down())),
+                    ]),
+                ))
+            }
+            "run_shard" => {
+                if self.is_shutting_down() {
+                    return Routed::Inline(error_response(
+                        &id,
+                        code::SHUTTING_DOWN,
+                        "shutting_down",
+                        "server is shutting down",
+                        vec![],
+                    ));
+                }
+                return match shard::parse_shard_params(req.get("params").unwrap_or(&Json::Null)) {
+                    Ok(job) => Routed::Shard {
+                        id,
+                        job: Box::new(job),
+                    },
+                    Err(msg) => Routed::Inline(error_response(
+                        &id,
+                        code::BAD_REQUEST,
+                        "bad_request",
+                        &msg,
+                        vec![],
+                    )),
+                };
+            }
             "shutdown" => {
                 self.begin_shutdown();
                 return Routed::Inline(ok_response(
@@ -783,6 +900,19 @@ impl Server {
                     (
                         "malformed",
                         Json::UInt(self.malformed.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "shard_streams",
+                Json::obj(vec![
+                    (
+                        "active",
+                        Json::UInt(self.shard_active.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "completed",
+                        Json::UInt(self.shard_done.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -1176,6 +1306,48 @@ mod tests {
             result(&status).get("shutting_down").and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn ping_answers_inline_even_while_draining() {
+        let server = Server::new(&ServeConfig::default());
+        let resp = j(&server.handle_line(r#"{"id": 1, "method": "ping"}"#));
+        let r = result(&resp);
+        assert_eq!(r.get("pong").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("shutting_down").and_then(Json::as_bool), Some(false));
+        server.handle_line(r#"{"id": 2, "method": "shutdown"}"#);
+        let resp = j(&server.handle_line(r#"{"id": 3, "method": "ping"}"#));
+        let r = result(&resp);
+        assert_eq!(r.get("pong").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("shutting_down").and_then(Json::as_bool), Some(true));
+        // run_shard, unlike ping, is refused while draining.
+        let resp = j(&server.handle_line(
+            r#"{"id": 4, "method": "run_shard", "params": {"plan": "run_all", "scale": "test", "cells": [0]}}"#,
+        ));
+        assert_eq!(error_code(&resp), code::SHUTTING_DOWN);
+    }
+
+    #[test]
+    fn run_shard_streams_the_worker_protocol() {
+        let server = Server::new(&ServeConfig::default());
+        // Bad params earn a single typed 400 line.
+        let resp =
+            j(&server
+                .handle_line(r#"{"id": 1, "method": "run_shard", "params": {"plan": "nope"}}"#));
+        assert_eq!(error_code(&resp), code::BAD_REQUEST);
+        // A small dispatch: event lines, then an id-echoing envelope.
+        let out = server.handle_line(
+            r#"{"id": 42, "method": "run_shard", "params": {"plan": "run_all", "scale": "test", "cells": [0, 1], "deterministic": true}}"#,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.len() >= 2, "{out}");
+        let last = j(lines.last().unwrap());
+        assert_eq!(last.get("id").and_then(Json::as_u64), Some(42));
+        assert!(last.get("result").is_some(), "{out}");
+        let status = j(&server.handle_line(r#"{"id": 5, "method": "status"}"#));
+        let streams = result(&status).get("shard_streams").unwrap();
+        assert_eq!(streams.get("completed").and_then(Json::as_u64), Some(1));
+        assert_eq!(streams.get("active").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! End-to-end tests for `t1000 bench --all --shards N --remote ...`: a
+//! real coordinator dispatching shards to real `t1000 serve --tcp`
+//! daemons over loopback, checked for byte-identity against the
+//! in-process engine — including under injected network faults
+//! (`net@shard`, `netdrop@shard`) and a dead endpoint, where the
+//! degradation ladder must heal the run without changing a byte of the
+//! artifact.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use t1000_bench::engine::{execute_with, EngineConfig};
+use t1000_bench::json::Json;
+use t1000_bench::plan::run_all_plan;
+use t1000_bench::results::to_json;
+use t1000_workloads::Scale;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_t1000")
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("t1000_remote_{}_{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// The canonical single-process artifact text (`--deterministic`, test
+/// scale), computed once in-process for every test in this binary.
+fn reference() -> &'static str {
+    static REF: OnceLock<String> = OnceLock::new();
+    REF.get_or_init(|| {
+        let config = EngineConfig {
+            deterministic: true,
+            ..EngineConfig::default()
+        };
+        let run = execute_with(&run_all_plan(), Scale::Test, &config);
+        assert!(run.failures.is_empty(), "reference run must be healthy");
+        to_json(&run).to_string_pretty()
+    })
+}
+
+/// A `t1000 serve --tcp 127.0.0.1:0` daemon on an OS-assigned loopback
+/// port, parsed from the startup banner. Killed (and reaped) on drop.
+struct Endpoint {
+    child: Child,
+    addr: String,
+}
+
+impl Endpoint {
+    fn spawn() -> Endpoint {
+        let mut child = Command::new(bin())
+            .args(["serve", "--tcp", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn serve endpoint");
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            if stderr.read_line(&mut line).expect("banner") == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("endpoint exited before announcing its TCP address");
+            }
+            if let Some(rest) = line.split("listening on tcp://").nth(1) {
+                break rest.split_whitespace().next().expect("addr").to_string();
+            }
+        };
+        // Drain the rest of stderr in the background so the daemon never
+        // blocks on a full pipe while streaming shard after shard.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while stderr.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                sink.clear();
+            }
+        });
+        Endpoint { child, addr }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs `t1000 bench --all --scale test --deterministic --json <path>`
+/// with `extra` appended; returns (success, stdout+stderr).
+fn bench_all(path: &str, extra: &[&str]) -> (bool, String) {
+    let mut args = vec![
+        "bench",
+        "--all",
+        "--scale",
+        "test",
+        "--deterministic",
+        "--json",
+        path,
+    ];
+    args.extend_from_slice(extra);
+    let out = Command::new(bin()).args(&args).output().expect("run bench");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn sidecar(path: &str) -> Json {
+    Json::parse(&read(&format!("{path}.shards.json"))).expect("sidecar parses")
+}
+
+fn degradations(sc: &Json) -> Vec<String> {
+    sc.get("degradations")
+        .and_then(Json::as_array)
+        .expect("degradations array")
+        .iter()
+        .map(|d| d.as_str().expect("degradation string").to_string())
+        .collect()
+}
+
+fn cleanup(path: &str) {
+    for p in [
+        path.to_string(),
+        format!("{path}.partial"),
+        format!("{path}.shards.json"),
+    ] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Two healthy loopback endpoints, four shards round-robined across
+/// them: the merged artifact is byte-identical to the single-process
+/// run, the sidecar records the topology, and `--expect remotes=2`
+/// asserts it through `bench --validate`.
+#[test]
+fn remote_artifacts_are_byte_identical_and_validated() {
+    let a = Endpoint::spawn();
+    let b = Endpoint::spawn();
+    let remote = format!("{},{}", a.addr, b.addr);
+    let path = tmp("identity.json");
+
+    let (ok, log) = bench_all(&path, &["--shards", "4", "--remote", &remote]);
+    assert!(ok, "remote run failed:\n{log}");
+    assert!(log.contains("Remote: 2 endpoint(s)"), "{log}");
+    assert_eq!(read(&path), reference(), "remote artifact diverges");
+
+    let sc = sidecar(&path);
+    assert_eq!(sc.get("remotes").and_then(Json::as_u64), Some(2));
+    assert!(
+        degradations(&sc).is_empty(),
+        "healthy run degraded: {}",
+        sc.to_string_compact()
+    );
+    let endpoints = sc.get("endpoints").and_then(Json::as_array).unwrap();
+    assert_eq!(endpoints.len(), 2);
+    let dispatches: u64 = endpoints
+        .iter()
+        .map(|e| e.get("dispatches").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(
+        dispatches,
+        4,
+        "every shard must go over the wire: {}",
+        sc.to_string_compact()
+    );
+
+    let out = Command::new(bin())
+        .args([
+            "bench",
+            "--validate",
+            &path,
+            "--expect",
+            "remotes=2,shards=4,failed_cells=0",
+        ])
+        .output()
+        .expect("validate");
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("expectations: 3 satisfied"), "{text}");
+    cleanup(&path);
+}
+
+/// Chaos round: shard 1's stream is cut mid-flight (`netdrop@1`). The
+/// coordinator's merge accounting spots the unaccounted cells and
+/// re-dispatches them to a surviving endpoint; the healed artifact is
+/// byte-identical and the sidecar records the degradation.
+#[test]
+fn mid_stream_disconnect_heals_to_the_identical_artifact() {
+    let a = Endpoint::spawn();
+    let b = Endpoint::spawn();
+    let remote = format!("{},{}", a.addr, b.addr);
+    let path = tmp("netdrop.json");
+
+    let (ok, log) = bench_all(
+        &path,
+        &[
+            "--shards",
+            "2",
+            "--remote",
+            &remote,
+            "--inject",
+            "netdrop@1",
+        ],
+    );
+    assert!(ok, "healed run must succeed:\n{log}");
+    assert!(log.contains("retrying on surviving endpoint"), "{log}");
+    assert_eq!(read(&path), reference(), "healed artifact diverges");
+
+    let sc = sidecar(&path);
+    let degr = degradations(&sc);
+    assert!(
+        degr.iter().any(|d| d.starts_with("remote_retry:tcp://")),
+        "expected a remote retry rung, got {degr:?}"
+    );
+    assert!(
+        sc.get("worker_crashes").and_then(Json::as_u64).unwrap() >= 1,
+        "{}",
+        sc.to_string_compact()
+    );
+    assert!(
+        !sc.get("retried_cells")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty(),
+        "sidecar must list the retried cells"
+    );
+    cleanup(&path);
+}
+
+/// Connect-refusal chaos: shard 0's first two connect attempts fail
+/// (`net@0x2`), the third — still inside the transport's retry/backoff
+/// loop — succeeds. No degradation rung fires; the sidecar counts the
+/// connect retries.
+#[test]
+fn connect_refusal_is_retried_with_backoff() {
+    let a = Endpoint::spawn();
+    let path = tmp("netretry.json");
+
+    let (ok, log) = bench_all(
+        &path,
+        &[
+            "--shards",
+            "2",
+            "--remote",
+            &a.addr,
+            "--inject",
+            "net@0x2",
+            "--backoff-ms",
+            "1",
+        ],
+    );
+    assert!(ok, "retried run must succeed:\n{log}");
+    assert_eq!(read(&path), reference(), "retried artifact diverges");
+
+    let sc = sidecar(&path);
+    assert!(
+        degradations(&sc).is_empty(),
+        "no rung should fire: {}",
+        sc.to_string_compact()
+    );
+    let endpoints = sc.get("endpoints").and_then(Json::as_array).unwrap();
+    assert!(
+        endpoints[0]
+            .get("connect_retries")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 2,
+        "{}",
+        sc.to_string_compact()
+    );
+    cleanup(&path);
+}
+
+/// A dead endpoint (connection refused on every attempt) exhausts the
+/// remote rungs and the coordinator degrades to local child workers —
+/// still producing the byte-identical artifact.
+#[test]
+fn dead_endpoint_degrades_to_local_workers() {
+    let path = tmp("dead.json");
+    let (ok, log) = bench_all(
+        &path,
+        &[
+            "--shards",
+            "2",
+            "--remote",
+            "127.0.0.1:1",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "1",
+        ],
+    );
+    assert!(ok, "degraded run must succeed:\n{log}");
+    assert!(log.contains("retrying on a fresh worker"), "{log}");
+    assert_eq!(read(&path), reference(), "degraded artifact diverges");
+
+    let sc = sidecar(&path);
+    assert!(
+        degradations(&sc).contains(&"local_fallback".to_string()),
+        "{}",
+        sc.to_string_compact()
+    );
+    assert_eq!(sc.get("remotes").and_then(Json::as_u64), Some(1));
+    cleanup(&path);
+}
