@@ -98,6 +98,7 @@ fn bench_selection(c: &mut Criterion) {
                 &SelectConfig {
                     pfus: Some(2),
                     gain_threshold: 0.005,
+                    reload_weight: 0.0,
                 },
             )
             .num_confs()

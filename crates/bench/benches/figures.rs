@@ -38,6 +38,7 @@ fn bench_fig6(c: &mut Criterion) {
                 let sel = p.session.selective(&SelectConfig {
                     pfus: Some(2),
                     gain_threshold: 0.005,
+                    reload_weight: 0.0,
                 });
                 run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10))
                     .timing
@@ -58,6 +59,7 @@ fn bench_fig7(c: &mut Criterion) {
             let sel = p.session.selective(&SelectConfig {
                 pfus: Some(4),
                 gain_threshold: 0.005,
+                reload_weight: 0.0,
             });
             sel.confs.iter().map(|c| c.cost.luts).max()
         })
@@ -84,6 +86,7 @@ fn bench_reconfig_sweep(c: &mut Criterion) {
     let sel = p.session.selective(&SelectConfig {
         pfus: Some(2),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     g.bench_function("selective_500cy", |b| {
         b.iter(|| {

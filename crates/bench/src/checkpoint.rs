@@ -29,7 +29,10 @@ use t1000_workloads::Scale;
 /// Version of the checkpoint layout. Bump on any breaking change.
 /// v2 added per-cell host throughput (`host_ns`, `sim_khz`) and the
 /// fast-path counters (`steady_loops`, `replayed_iters`, `deopts`).
-pub const CHECKPOINT_SCHEMA: u64 = 2;
+/// v3 added the config-plane reload counters (`pfu_prefetch_hits`,
+/// `pfu_hidden_reload_cycles`, `pfu_exposed_reload_cycles`,
+/// `pfu_stream_words`).
+pub const CHECKPOINT_SCHEMA: u64 = 3;
 /// `kind` tag distinguishing checkpoints from result artifacts.
 pub const CHECKPOINT_KIND: &str = "t1000.bench-checkpoint";
 
@@ -61,6 +64,10 @@ pub struct RestoredCell {
     pub conf_hits: u64,
     pub ext_executed: u64,
     pub pfu_load_faults: u64,
+    pub pfu_prefetch_hits: u64,
+    pub pfu_hidden_reload_cycles: u64,
+    pub pfu_exposed_reload_cycles: u64,
+    pub pfu_stream_words: u64,
     pub branch_accuracy: f64,
     pub checksum: u64,
     pub host_ns: u64,
@@ -89,6 +96,16 @@ fn to_json(scale: Scale, completed: &BTreeMap<usize, CellResult>) -> Json {
                             ("conf_hits", Json::UInt(c.conf_hits)),
                             ("ext_executed", Json::UInt(c.ext_executed)),
                             ("pfu_load_faults", Json::UInt(c.pfu_load_faults)),
+                            ("pfu_prefetch_hits", Json::UInt(c.pfu_prefetch_hits)),
+                            (
+                                "pfu_hidden_reload_cycles",
+                                Json::UInt(c.pfu_hidden_reload_cycles),
+                            ),
+                            (
+                                "pfu_exposed_reload_cycles",
+                                Json::UInt(c.pfu_exposed_reload_cycles),
+                            ),
+                            ("pfu_stream_words", Json::UInt(c.pfu_stream_words)),
                             ("branch_accuracy", Json::Float(c.branch_accuracy)),
                             ("checksum", Json::Str(format!("0x{:016x}", c.checksum))),
                             ("host_ns", Json::UInt(c.host_ns)),
@@ -179,6 +196,10 @@ pub fn parse(text: &str, scale: Scale) -> Result<HashMap<String, RestoredCell>, 
             conf_hits: field("conf_hits")?,
             ext_executed: field("ext_executed")?,
             pfu_load_faults: field("pfu_load_faults")?,
+            pfu_prefetch_hits: field("pfu_prefetch_hits")?,
+            pfu_hidden_reload_cycles: field("pfu_hidden_reload_cycles")?,
+            pfu_exposed_reload_cycles: field("pfu_exposed_reload_cycles")?,
+            pfu_stream_words: field("pfu_stream_words")?,
             branch_accuracy: float("branch_accuracy")?,
             host_ns: field("host_ns")?,
             sim_khz: float("sim_khz")?,

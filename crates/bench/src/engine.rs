@@ -506,6 +506,18 @@ pub struct CellResult {
     /// PFU configuration loads that failed and fell back to the scalar
     /// sequence (nonzero only under `pfu@N` fault injection).
     pub pfu_load_faults: u64,
+    /// Demand uses whose configuration was already streaming (or loaded)
+    /// in a shadow plane when the extended instruction arrived (schema
+    /// v6; nonzero only with `--pfu-prefetch`/`--pfu-planes 2`).
+    pub pfu_prefetch_hits: u64,
+    /// Reload cycles overlapped with useful execution by the
+    /// config-plane model (schema v6).
+    pub pfu_hidden_reload_cycles: u64,
+    /// Reload cycles the pipeline actually stalled for (schema v6).
+    pub pfu_exposed_reload_cycles: u64,
+    /// Total configuration-stream words fetched across all reloads
+    /// (schema v6).
+    pub pfu_stream_words: u64,
     pub branch_accuracy: f64,
     pub checksum: u64,
     /// Host wall-clock nanoseconds the timing simulation took (schema
@@ -538,6 +550,10 @@ impl CellResult {
             conf_hits: r.conf_hits,
             ext_executed: r.ext_executed,
             pfu_load_faults: r.pfu_load_faults,
+            pfu_prefetch_hits: r.pfu_prefetch_hits,
+            pfu_hidden_reload_cycles: r.pfu_hidden_reload_cycles,
+            pfu_exposed_reload_cycles: r.pfu_exposed_reload_cycles,
+            pfu_stream_words: r.pfu_stream_words,
             branch_accuracy: r.branch_accuracy,
             checksum: r.checksum,
             host_ns: r.host_ns,
@@ -1278,6 +1294,10 @@ impl CellRunner {
             conf_hits: run.timing.pfu.conf_hits,
             ext_executed: run.timing.pfu.ext_executed,
             pfu_load_faults: run.timing.pfu.load_faults,
+            pfu_prefetch_hits: run.timing.pfu.prefetch_hits,
+            pfu_hidden_reload_cycles: run.timing.pfu.hidden_reload_cycles,
+            pfu_exposed_reload_cycles: run.timing.pfu.exposed_reload_cycles,
+            pfu_stream_words: run.timing.pfu.stream_words,
             branch_accuracy: run.timing.branch.accuracy(),
             checksum: run.sys.checksum,
             host_ns,

@@ -28,10 +28,17 @@ pub enum SelectionSpec {
     Selective {
         pfus: Option<usize>,
         gain_threshold_bits: u64,
+        /// `SelectConfig::reload_weight` as bits (`0` = off, identical to
+        /// the pre-reload-objective spec).
+        reload_weight_bits: u64,
     },
     /// Budget-constrained knapsack selection over `t1000-hwcost` LUT
     /// estimates (`t1000_core::BudgetKnapsack`).
-    Knapsack { lut_budget: u32 },
+    Knapsack {
+        lut_budget: u32,
+        /// Reload-traffic weight as bits (`0` = off).
+        reload_weight_bits: u64,
+    },
 }
 
 impl SelectionSpec {
@@ -40,6 +47,20 @@ impl SelectionSpec {
         SelectionSpec::Selective {
             pfus,
             gain_threshold_bits: gain_threshold.to_bits(),
+            reload_weight_bits: 0,
+        }
+    }
+
+    /// Selective spec with the §5.3 reload-traffic charge.
+    pub fn selective_reload(
+        pfus: Option<usize>,
+        gain_threshold: f64,
+        reload_weight: f64,
+    ) -> SelectionSpec {
+        SelectionSpec::Selective {
+            pfus,
+            gain_threshold_bits: gain_threshold.to_bits(),
+            reload_weight_bits: reload_weight.to_bits(),
         }
     }
 
@@ -50,7 +71,10 @@ impl SelectionSpec {
 
     /// Knapsack spec for a total-LUT budget.
     pub fn knapsack(lut_budget: u32) -> SelectionSpec {
-        SelectionSpec::Knapsack { lut_budget }
+        SelectionSpec::Knapsack {
+            lut_budget,
+            reload_weight_bits: 0,
+        }
     }
 
     /// The strategy the selection pipeline should run for this spec
@@ -64,13 +88,19 @@ impl SelectionSpec {
             SelectionSpec::Selective {
                 pfus,
                 gain_threshold_bits,
+                reload_weight_bits,
             } => Some(StrategySpec::Selective {
                 pfus,
                 gain_threshold_bits,
+                reload_weight_bits,
             }),
-            SelectionSpec::Knapsack { lut_budget } => {
-                Some(StrategySpec::BudgetKnapsack { lut_budget })
-            }
+            SelectionSpec::Knapsack {
+                lut_budget,
+                reload_weight_bits,
+            } => Some(StrategySpec::BudgetKnapsack {
+                lut_budget,
+                reload_weight_bits,
+            }),
         }
     }
 
@@ -90,9 +120,11 @@ impl SelectionSpec {
             SelectionSpec::Selective {
                 pfus,
                 gain_threshold_bits,
+                reload_weight_bits,
             } => Some(SelectConfig {
                 pfus,
                 gain_threshold: f64::from_bits(gain_threshold_bits),
+                reload_weight: f64::from_bits(reload_weight_bits),
             }),
             _ => None,
         }
@@ -120,6 +152,14 @@ pub struct MachineSpec {
     pub replacement: PfuReplacement,
     pub branch: BranchModel,
     pub issue_width: Option<u32>,
+    /// Configuration planes per PFU (1 = single-plane blocking loads;
+    /// 2 = double-buffered shadow plane).
+    pub pfu_planes: u32,
+    /// Next-configuration prefetch depth (0 = off).
+    pub pfu_prefetch: u32,
+    /// Stream-compression ratio (cycles per word) as bits, `0` = off —
+    /// stored as a bit pattern so the spec stays `Eq`/`Hash`.
+    pub conf_compress_bits: u64,
 }
 
 impl MachineSpec {
@@ -131,6 +171,9 @@ impl MachineSpec {
             replacement: PfuReplacement::Lru,
             branch: BranchModel::Perfect,
             issue_width: None,
+            pfu_planes: 1,
+            pfu_prefetch: 0,
+            conf_compress_bits: 0,
         }
     }
 
@@ -142,17 +185,29 @@ impl MachineSpec {
         }
     }
 
+    /// This spec with the reconfiguration-hiding knobs set: `planes`
+    /// configuration planes per PFU, `prefetch` upcoming `Conf` tags
+    /// prefetched from the fetch stream, and (when > 0) `conf_compress`
+    /// reload cycles per stream word instead of the flat penalty.
+    pub fn config_plane(self, planes: u32, prefetch: u32, conf_compress: f64) -> MachineSpec {
+        MachineSpec {
+            pfu_planes: planes,
+            pfu_prefetch: prefetch,
+            conf_compress_bits: conf_compress.to_bits(),
+            ..self
+        }
+    }
+
     /// The baseline machine this spec's speedups are normalised against:
     /// the identical core with the PFU array removed. Branch model and
     /// issue width are preserved — a bimodal or narrow T1000 is compared
-    /// against a bimodal or narrow superscalar.
+    /// against a bimodal or narrow superscalar. The config-plane knobs
+    /// are stripped with the rest of the PFU hardware.
     pub fn baseline_of(&self) -> MachineSpec {
         MachineSpec {
-            pfus: PfuCount::Fixed(0),
-            reconfig_cycles: 0,
-            replacement: PfuReplacement::Lru,
             branch: self.branch,
             issue_width: self.issue_width,
+            ..MachineSpec::with_pfus(0, 0)
         }
     }
 
@@ -163,6 +218,9 @@ impl MachineSpec {
             reconfig_cycles: self.reconfig_cycles,
             pfu_replacement: self.replacement,
             branch: self.branch,
+            pfu_planes: self.pfu_planes,
+            pfu_prefetch: self.pfu_prefetch,
+            conf_compress: f64::from_bits(self.conf_compress_bits),
             ..CpuConfig::default()
         };
         if let Some(w) = self.issue_width {
@@ -288,6 +346,29 @@ impl Plan {
     /// Requests that were answered by an already-planned cell.
     pub fn deduped(&self) -> usize {
         self.deduped
+    }
+
+    /// This plan with every PFU-bearing machine rewritten to carry the
+    /// reconfiguration-hiding knobs (`t1000 bench --pfu-planes` /
+    /// `--pfu-prefetch` / `--conf-compress`). Baseline (0-PFU) machines
+    /// are left untouched — each rewritten cell re-implies the same
+    /// normaliser, so speedups stay comparable to the default artifact.
+    pub fn with_config_plane(&self, planes: u32, prefetch: u32, conf_compress: f64) -> Plan {
+        let mut out = Plan::new();
+        for c in &self.cells {
+            if c.selection == SelectionSpec::Baseline {
+                continue; // re-implied by the cells that use it
+            }
+            let mut cell = *c;
+            if cell.machine.pfus != PfuCount::Fixed(0) {
+                cell.machine = cell.machine.config_plane(planes, prefetch, conf_compress);
+            }
+            out.push(cell);
+        }
+        for (w, x, s) in &self.selection_only {
+            out.push_selection(w, *x, *s);
+        }
+        out
     }
 }
 
@@ -454,12 +535,16 @@ mod tests {
             SelectionSpec::selective_std(Some(2)).strategy_spec(),
             Some(StrategySpec::Selective {
                 pfus: Some(2),
-                gain_threshold_bits: 0.005f64.to_bits()
+                gain_threshold_bits: 0.005f64.to_bits(),
+                reload_weight_bits: 0,
             })
         );
         assert_eq!(
             SelectionSpec::knapsack(512).strategy_spec(),
-            Some(StrategySpec::BudgetKnapsack { lut_budget: 512 })
+            Some(StrategySpec::BudgetKnapsack {
+                lut_budget: 512,
+                reload_weight_bits: 0,
+            })
         );
         assert_eq!(SelectionSpec::Baseline.strategy_id(), "baseline");
         assert_eq!(
@@ -467,6 +552,21 @@ mod tests {
             "knapsack(luts=512)"
         );
         assert_eq!(SelectionSpec::knapsack(512).algorithm(), "knapsack");
+    }
+
+    #[test]
+    fn config_plane_knobs_flow_into_cpu_config_and_not_the_baseline() {
+        let m = MachineSpec::with_pfus(2, 10).config_plane(2, 3, 0.25);
+        let cfg = m.cpu_config();
+        assert_eq!(cfg.pfu_planes, 2);
+        assert_eq!(cfg.pfu_prefetch, 3);
+        assert!((cfg.conf_compress - 0.25).abs() < 1e-12);
+        let b = m.baseline_of();
+        assert_eq!(b.pfu_planes, 1);
+        assert_eq!(b.pfu_prefetch, 0);
+        assert_eq!(b.conf_compress_bits, 0);
+        // Default knobs leave the spec equal to the legacy constructor.
+        assert_eq!(m.config_plane(1, 0, 0.0), MachineSpec::with_pfus(2, 10));
     }
 
     #[test]

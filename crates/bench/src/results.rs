@@ -36,7 +36,14 @@ use t1000_workloads::Scale;
 ///   (`steady_loops`/`replayed_iters`/`deopts`). See `docs/FASTPATH.md`.
 ///   `--deterministic` runs zero `host_ns`/`sim_khz` so artifacts stay
 ///   byte-reproducible.
-pub const SCHEMA_VERSION: u64 = 5;
+/// * v6 — the config-plane model: every cell carries the PFU reload
+///   counters `pfu_prefetch_hits`, `pfu_hidden_reload_cycles`,
+///   `pfu_exposed_reload_cycles` and `pfu_stream_words`; the `machine`
+///   object records the reconfiguration-hiding knobs (`pfu_planes`,
+///   `pfu_prefetch`, `conf_compress`) and understands the `static` and
+///   `gshare` branch models. Default knobs measure identically to v5 —
+///   the new counters are simply zero. See `docs/METRICS.md`.
+pub const SCHEMA_VERSION: u64 = 6;
 
 fn scale_str(scale: Scale) -> &'static str {
     match scale {
@@ -77,8 +84,17 @@ fn machine_json(m: &MachineSpec) -> Json {
     };
     let branch = match m.branch {
         BranchModel::Perfect => Json::Str("perfect".to_string()),
+        BranchModel::Static { penalty } => Json::obj(vec![
+            ("model", Json::Str("static".to_string())),
+            ("penalty", Json::UInt(penalty as u64)),
+        ]),
         BranchModel::Bimodal { entries, penalty } => Json::obj(vec![
             ("model", Json::Str("bimodal".to_string())),
+            ("entries", Json::UInt(entries as u64)),
+            ("penalty", Json::UInt(penalty as u64)),
+        ]),
+        BranchModel::Gshare { entries, penalty } => Json::obj(vec![
+            ("model", Json::Str("gshare".to_string())),
             ("entries", Json::UInt(entries as u64)),
             ("penalty", Json::UInt(penalty as u64)),
         ]),
@@ -94,6 +110,13 @@ fn machine_json(m: &MachineSpec) -> Json {
                 Some(w) => Json::UInt(w as u64),
                 None => Json::Null,
             },
+        ),
+        // Schema v6: the reconfiguration-hiding knobs.
+        ("pfu_planes", Json::UInt(m.pfu_planes as u64)),
+        ("pfu_prefetch", Json::UInt(m.pfu_prefetch as u64)),
+        (
+            "conf_compress",
+            Json::Float(f64::from_bits(m.conf_compress_bits)),
         ),
     ])
 }
@@ -115,14 +138,19 @@ fn selection_spec_fields(spec: &SelectionSpec) -> Vec<(&'static str, Json)> {
             },
         ));
         fields.push(("gain_threshold", Json::Float(cfg.gain_threshold)));
+        // Schema v6: the reload charge, only when active (reload-free
+        // documents keep the v5 field set).
+        if cfg.reload_weight > 0.0 {
+            fields.push(("reload_weight", Json::Float(cfg.reload_weight)));
+        }
     }
-    if let SelectionSpec::Knapsack { lut_budget } = spec {
+    if let SelectionSpec::Knapsack { lut_budget, .. } = spec {
         fields.push(("lut_budget", Json::UInt(*lut_budget as u64)));
     }
     fields
 }
 
-/// One selection record as a schema-v5 `selections[]` entry. Public so
+/// One selection record as a schema-v6 `selections[]` entry. Public so
 /// the serving layer's `select` method can emit the identical document.
 pub fn selection_json(r: &SelectionRecord) -> Json {
     let (min_len, max_len) = r.seq_len_range();
@@ -161,7 +189,7 @@ fn cell_json(run: &EngineRun, c: &CellResult) -> Json {
     cell_result_json(c, run.speedup(c.cell))
 }
 
-/// One cell's measurements as a schema-v5 `cells[]` entry (`speedup` is
+/// One cell's measurements as a schema-v6 `cells[]` entry (`speedup` is
 /// relative to the caller's baseline; `None` → JSON `null`). Public so
 /// the serving layer's `run` method can emit documents bit-identical to
 /// the batch artifact's.
@@ -185,6 +213,17 @@ pub fn cell_result_json(c: &CellResult, speedup: Option<f64>) -> Json {
         ("conf_hits", Json::UInt(c.conf_hits)),
         ("ext_executed", Json::UInt(c.ext_executed)),
         ("pfu_load_faults", Json::UInt(c.pfu_load_faults)),
+        // Schema v6: config-plane reload accounting.
+        ("pfu_prefetch_hits", Json::UInt(c.pfu_prefetch_hits)),
+        (
+            "pfu_hidden_reload_cycles",
+            Json::UInt(c.pfu_hidden_reload_cycles),
+        ),
+        (
+            "pfu_exposed_reload_cycles",
+            Json::UInt(c.pfu_exposed_reload_cycles),
+        ),
+        ("pfu_stream_words", Json::UInt(c.pfu_stream_words)),
         ("branch_accuracy", Json::Float(c.branch_accuracy)),
         ("checksum", hex64(c.checksum)),
         // Schema v5: host throughput and fast-path engagement.
@@ -203,7 +242,7 @@ pub fn cell_result_json(c: &CellResult, speedup: Option<f64>) -> Json {
     Json::obj(fields)
 }
 
-/// Parses a schema-v5 `cells[]` document back into a [`CellResult`] for
+/// Parses a schema-v6 `cells[]` document back into a [`CellResult`] for
 /// `cell` — the inverse of [`cell_result_json`], used by the shard
 /// coordinator to merge per-cell documents streamed from worker
 /// processes. The caller supplies the expected [`Cell`] (the coordinator
@@ -251,6 +290,10 @@ pub fn cell_result_from_json(doc: &Json, cell: Cell) -> Result<CellResult, Strin
         conf_hits: u64f("conf_hits")?,
         ext_executed: u64f("ext_executed")?,
         pfu_load_faults: u64f("pfu_load_faults")?,
+        pfu_prefetch_hits: u64f("pfu_prefetch_hits")?,
+        pfu_hidden_reload_cycles: u64f("pfu_hidden_reload_cycles")?,
+        pfu_exposed_reload_cycles: u64f("pfu_exposed_reload_cycles")?,
+        pfu_stream_words: u64f("pfu_stream_words")?,
         branch_accuracy: f64f("branch_accuracy")?,
         checksum: doc
             .get("checksum")
@@ -511,6 +554,17 @@ pub fn validate_artifact(text: &str) -> Result<ArtifactSummary, String> {
         if c.get("pfu_load_faults").and_then(Json::as_u64).is_none() {
             return Err(format!("cell {i} ({name}): bad pfu_load_faults"));
         }
+        // Schema v6: the config-plane reload counters must be present.
+        for key in [
+            "pfu_prefetch_hits",
+            "pfu_hidden_reload_cycles",
+            "pfu_exposed_reload_cycles",
+            "pfu_stream_words",
+        ] {
+            if c.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("cell {i} ({name}): bad {key}"));
+            }
+        }
         // Schema v4: every cell names the strategy that produced it.
         match c.get("strategy").and_then(Json::as_str) {
             Some(s) if !s.is_empty() => {}
@@ -594,7 +648,11 @@ fn split_expect(spec: &str) -> Vec<&str> {
 /// holds for `--deterministic` artifacts, whose host time is zeroed), and
 /// `shards=N` / `remotes=N` (the run's shard topology and remote endpoint
 /// count, read from the `<artifact>.shards.json` sidecar a coordinator run
-/// writes; a sidecar without a `remotes` field counts as 0).
+/// writes; a sidecar without a `remotes` field counts as 0),
+/// `schema=N` (the artifact's exact `schema_version`), and
+/// `pfu_prefetch_hits=N` (the config-plane prefetch hit count summed over
+/// all cells is at least `N` — the CI hook proving reconfiguration hiding
+/// actually engaged on a prefetch-enabled run).
 /// Returns the satisfied assertions for reporting; the first unmet or
 /// malformed assertion is the error.
 pub fn check_expectations(text: &str, spec: &str) -> Result<Vec<String>, String> {
@@ -693,6 +751,38 @@ pub fn check_expectations_with(
                     ));
                 }
             }
+            "schema" => {
+                let got = doc
+                    .get("schema_version")
+                    .and_then(Json::as_u64)
+                    .ok_or("--expect schema: artifact has no schema_version")?;
+                let want: u64 = want
+                    .parse()
+                    .map_err(|_| format!("--expect {key}: `{want}` is not an integer"))?;
+                if got != want {
+                    return Err(format!("--expect schema={want}: artifact records {got}"));
+                }
+            }
+            "pfu_prefetch_hits" => {
+                let want: u64 = want
+                    .parse()
+                    .map_err(|_| format!("--expect {key}: `{want}` is not an integer"))?;
+                let cells = doc
+                    .get("cells")
+                    .and_then(Json::as_array)
+                    .ok_or("--expect pfu_prefetch_hits: artifact has no cells array")?;
+                let mut got = 0u64;
+                for (i, c) in cells.iter().enumerate() {
+                    got += c.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                        format!("--expect pfu_prefetch_hits: cell {i}: bad {key}")
+                    })?;
+                }
+                if got < want {
+                    return Err(format!(
+                        "--expect pfu_prefetch_hits={want}: cells record only {got}"
+                    ));
+                }
+            }
             "shards" | "remotes" => {
                 let text = sidecar.ok_or_else(|| {
                     format!("--expect {key}: no <artifact>.shards.json sidecar found")
@@ -725,7 +815,7 @@ pub fn check_expectations_with(
                 return Err(format!(
                     "--expect: unknown key `{other}` \
                      (known: retries, failed_cells, cells, workloads, scale, strategy, \
-                      total_sim_khz, shards, remotes)"
+                      total_sim_khz, schema, pfu_prefetch_hits, shards, remotes)"
                 ));
             }
         }
@@ -1028,7 +1118,7 @@ mod tests {
         let good = to_json(&run).to_string_pretty();
 
         // Wrong schema version.
-        let bad = good.replacen("\"schema_version\": 5", "\"schema_version\": 99", 1);
+        let bad = good.replacen("\"schema_version\": 6", "\"schema_version\": 99", 1);
         assert!(validate_artifact(&bad)
             .unwrap_err()
             .contains("schema_version"));
@@ -1085,10 +1175,10 @@ mod tests {
         let ok = check_expectations(
             &text,
             "scale=test,cells=3,workloads=1,retries=0,failed_cells=0,\
-             strategy=selective(pfus=2,threshold=0.005)",
+             strategy=selective(pfus=2,threshold=0.005),schema=6,pfu_prefetch_hits=0",
         )
         .expect("all expectations hold");
-        assert_eq!(ok.len(), 6);
+        assert_eq!(ok.len(), 8);
         // The parenthesised strategy id survived the comma split.
         assert!(ok.contains(&"strategy=selective(pfus=2,threshold=0.005)".to_string()));
 
@@ -1096,6 +1186,10 @@ mod tests {
             ("cells=99", "artifact has 3"),
             ("strategy=knapsack(luts=1)", "no cell uses it"),
             ("scale=full", "records test"),
+            ("schema=5", "records 6"),
+            // A default (prefetch-off) run records zero hits, so any
+            // positive floor must fail.
+            ("pfu_prefetch_hits=1", "record only 0"),
             ("bogus=1", "unknown key"),
             ("cells", "expected key=value"),
         ] {

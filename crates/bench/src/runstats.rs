@@ -359,6 +359,16 @@ pub fn event_json(e: &TraceEvent) -> Json {
             ("pc", hex64(pc as u64)),
             ("conf", Json::UInt(conf as u64)),
         ]),
+        TraceEvent::ConfPrefetch {
+            cycle,
+            conf,
+            ready_at,
+        } => Json::obj(vec![
+            ("type", Json::Str("conf_prefetch".to_string())),
+            ("cycle", Json::UInt(cycle)),
+            ("conf", Json::UInt(conf as u64)),
+            ("ready_at", Json::UInt(ready_at)),
+        ]),
         TraceEvent::CacheMiss {
             cycle,
             addr,

@@ -4,7 +4,7 @@
 //! The coordinator (`t1000 bench --all --shards N`) partitions the plan's
 //! cells deterministically ([`partition`]), spawns `N` `t1000 worker`
 //! processes — each a full engine with its own `SessionStore`, pinned to
-//! one OS thread — and merges the per-cell schema-v5 documents they
+//! one OS thread — and merges the per-cell schema-v6 documents they
 //! stream back over newline-delimited JSON-RPC framing (the same framing
 //! `t1000 serve` speaks). The merge ([`MergeState`]) verifies every
 //! document twice — a wire checksum ([`t1000_core::stable_hash64`] of the
@@ -288,7 +288,7 @@ pub fn shard_request(
     ])
 }
 
-/// A worker's per-cell event: the global index, the schema-v5 cell
+/// A worker's per-cell event: the global index, the schema-v6 cell
 /// document (`speedup` null — the coordinator recomputes it against the
 /// merged baseline), and the wire checksum: [`stable_hash64`] over the
 /// document's compact rendering, verified at merge time.
@@ -309,7 +309,7 @@ pub fn cell_event(index: usize, result: &CellResult) -> Json {
 }
 
 /// A worker's per-selection event: the global selection-key index and the
-/// record's schema-v5 summary document.
+/// record's schema-v6 summary document.
 pub fn selection_event(index: usize, record: &SelectionRecord) -> Json {
     Json::obj(vec![
         ("method", Json::Str("selection".to_string())),

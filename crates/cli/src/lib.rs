@@ -88,13 +88,24 @@ const RUN_VALUE_OPTS: &[&str] = &[
     "pfus",
     "reconfig",
     "threshold",
+    "reload-weight",
     "max-instr",
     "stats-json",
     "trace",
     "scale",
+    "pfu-planes",
+    "pfu-prefetch",
+    "conf-compress",
 ];
 const RUN_FLAG_OPTS: &[&str] = &["greedy", "attr", "no-fast-path"];
-const SELECT_VALUE_OPTS: &[&str] = &["pfus", "threshold", "strategy", "lut-budget", "scale"];
+const SELECT_VALUE_OPTS: &[&str] = &[
+    "pfus",
+    "threshold",
+    "strategy",
+    "lut-budget",
+    "reload-weight",
+    "scale",
+];
 const SELECT_FLAG_OPTS: &[&str] = &["greedy", "explain"];
 const BENCH_VALUE_OPTS: &[&str] = &[
     "scale",
@@ -108,6 +119,9 @@ const BENCH_VALUE_OPTS: &[&str] = &[
     "remote",
     "retries",
     "backoff-ms",
+    "pfu-planes",
+    "pfu-prefetch",
+    "conf-compress",
 ];
 const BENCH_FLAG_OPTS: &[&str] = &[
     "all",
@@ -146,14 +160,16 @@ fn usage() -> String {
      \x20 t1000 asm     <file.s> [--out file.tobj]\n\
      \x20 t1000 disasm  <file.s|.tobj>\n\
      \x20 t1000 run     <file|bench:name> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
+     \x20               [--reload-weight W] [--pfu-planes 1|2] [--pfu-prefetch N] [--conf-compress R]\n\
      \x20               [--stats-json FILE] [--trace FILE] [--attr] [--scale test|full] [--no-fast-path]\n\
      \x20 t1000 report  <stats.json>\n\
      \x20 t1000 profile <file>\n\
      \x20 t1000 select  <file|bench:name> [--strategy greedy|selective|knapsack] [--pfus N]\n\
-     \x20               [--greedy] [--threshold F] [--lut-budget N] [--explain] [--scale test|full]\n\
-     \x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
+     \x20               [--greedy] [--threshold F] [--lut-budget N] [--reload-weight W] [--explain] [--scale test|full]\n\
+     \x20 t1000 bench   <name> [--scale test|full] [--pfus N] [--pfu-planes 1|2] [--pfu-prefetch N] [--conf-compress R]\n\
      \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume] [--shards N]\n\
      \x20               [--remote HOST:PORT,...] [--retries N] [--backoff-ms M]\n\
+     \x20               [--pfu-planes 1|2] [--pfu-prefetch N] [--conf-compress R]\n\
      \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies] [--no-fast-path]\n\
      \x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n\
      \x20 t1000 worker  (internal: shard worker spawned by `bench --shards`; JSON-RPC on stdio)\n\
@@ -227,6 +243,22 @@ fn machine_config(p: &Parsed) -> Result<(CpuConfig, Option<usize>), CliError> {
     if let Some(m) = p.get_u32("max-instr")? {
         cfg.max_instructions = u64::from(m);
     }
+    // Reconfiguration-hiding knobs (docs/METRICS.md, schema v6).
+    if let Some(n) = p.get_u32("pfu-planes")? {
+        if !(1..=2).contains(&n) {
+            return err("--pfu-planes must be 1 or 2");
+        }
+        cfg.pfu_planes = n;
+    }
+    if let Some(n) = p.get_u32("pfu-prefetch")? {
+        cfg.pfu_prefetch = n;
+    }
+    if let Some(r) = p.get_f64("conf-compress")? {
+        if !(r > 0.0 && r.is_finite()) {
+            return err("--conf-compress must be a positive ratio (cycles per stream word)");
+        }
+        cfg.conf_compress = r;
+    }
     // Escape hatch for A/B timing comparisons; results are bit-identical
     // either way (docs/FASTPATH.md).
     cfg.fast_path = !p.flag("no-fast-path");
@@ -241,6 +273,7 @@ fn select_for(session: &Session, p: &Parsed, pfus: Option<usize>) -> Result<Sele
         session.selective(&SelectConfig {
             pfus,
             gain_threshold: threshold,
+            reload_weight: p.get_f64("reload-weight")?.unwrap_or(0.0),
         })
     })
 }
@@ -458,12 +491,15 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
 }
 
 /// Resolves `select`'s strategy from `--strategy`/`--greedy`/`--pfus`/
-/// `--threshold`/`--lut-budget` into the pipeline's [`StrategySpec`].
+/// `--threshold`/`--lut-budget`/`--reload-weight` into the pipeline's
+/// [`StrategySpec`].
 fn strategy_spec_for(p: &Parsed, pfus: Option<usize>) -> Result<StrategySpec, CliError> {
     let threshold = p.get_f64("threshold")?.unwrap_or(0.005);
+    let reload_weight = p.get_f64("reload-weight")?.unwrap_or(0.0);
     let cfg = SelectConfig {
         pfus,
         gain_threshold: threshold,
+        reload_weight,
     };
     let name = match p.get("strategy") {
         Some(s) => s,
@@ -475,7 +511,7 @@ fn strategy_spec_for(p: &Parsed, pfus: Option<usize>) -> Result<StrategySpec, Cl
         "selective" => Ok(StrategySpec::selective(&cfg)),
         "knapsack" => {
             let budget = p.get_u32("lut-budget")?.unwrap_or(256);
-            Ok(StrategySpec::knapsack(budget))
+            Ok(StrategySpec::knapsack_reload(budget, reload_weight))
         }
         other => err(format!(
             "--strategy: `{other}` is not one of greedy|selective|knapsack"
@@ -601,6 +637,19 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         }
         None => Vec::new(),
     };
+    let planes = match p.get_u32("pfu-planes")? {
+        Some(n) if !(1..=2).contains(&n) => return err("--pfu-planes must be 1 or 2"),
+        Some(n) => n,
+        None => 1,
+    };
+    let prefetch = p.get_u32("pfu-prefetch")?.unwrap_or(0);
+    let compress = match p.get_f64("conf-compress")? {
+        Some(r) if !(r > 0.0 && r.is_finite()) => {
+            return err("--conf-compress must be a positive ratio (cycles per stream word)");
+        }
+        Some(r) => r,
+        None => 0.0,
+    };
     if p.flag("all") {
         if !remotes.is_empty() && shards.is_none() {
             return err("bench: --remote requires --shards N");
@@ -613,6 +662,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
             p.flag("strategies"),
             shards,
             &remotes,
+            (planes, prefetch, compress),
         );
     }
     if shards.is_some() {
@@ -656,9 +706,14 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let sel = session.selective(&SelectConfig {
         pfus: Some(pfus),
         gain_threshold: 0.005,
+        ..SelectConfig::default()
     });
+    let mut cfg = CpuConfig::with_pfus(pfus);
+    cfg.pfu_planes = planes;
+    cfg.pfu_prefetch = prefetch;
+    cfg.conf_compress = compress;
     let run = session
-        .run_with(&sel, CpuConfig::with_pfus(pfus))
+        .run_with(&sel, cfg)
         .map_err(|e| CliError(e.to_string()))?;
     Ok(format!(
         "{name} ({:?}): baseline {} cycles, T1000/{pfus}-PFU {} cycles, speedup {:.3}x, {} confs, checksum ok\n",
@@ -743,6 +798,7 @@ fn bench_all(
     strategies: bool,
     shards: Option<usize>,
     remotes: &[String],
+    (planes, prefetch, compress): (u32, u32, f64),
 ) -> Result<String, CliError> {
     let mut config = config.clone();
     let checkpoint = json.map(|path| std::path::PathBuf::from(format!("{path}.partial")));
@@ -756,11 +812,16 @@ fn bench_all(
     } else {
         "run_all"
     };
-    let plan = if strategies {
+    let mut plan = if strategies {
         t1000_bench::plan::run_all_plan_with_strategies()
     } else {
         t1000_bench::plan::run_all_plan()
     };
+    // Default knobs keep the untouched plan object, so the artifact stays
+    // byte-identical to pre-v6 runs (cell order included).
+    if (planes, prefetch, compress) != (1, 0, 0.0) {
+        plan = plan.with_config_plane(planes, prefetch, compress);
+    }
     let (run, sidecar) = match shards {
         Some(n) => {
             let sharded =
@@ -953,14 +1014,16 @@ usage:\n\
 \x20 t1000 asm     <file.s> [--out file.tobj]\n\
 \x20 t1000 disasm  <file.s|.tobj>\n\
 \x20 t1000 run     <file|bench:name> [--pfus N|unlimited] [--reconfig C] [--greedy] [--threshold F] [--max-instr N]\n\
+\x20               [--reload-weight W] [--pfu-planes 1|2] [--pfu-prefetch N] [--conf-compress R]\n\
 \x20               [--stats-json FILE] [--trace FILE] [--attr] [--scale test|full] [--no-fast-path]\n\
 \x20 t1000 report  <stats.json>\n\
 \x20 t1000 profile <file>\n\
 \x20 t1000 select  <file|bench:name> [--strategy greedy|selective|knapsack] [--pfus N]\n\
-\x20               [--greedy] [--threshold F] [--lut-budget N] [--explain] [--scale test|full]\n\
-\x20 t1000 bench   <name> [--scale test|full] [--pfus N]\n\
+\x20               [--greedy] [--threshold F] [--lut-budget N] [--reload-weight W] [--explain] [--scale test|full]\n\
+\x20 t1000 bench   <name> [--scale test|full] [--pfus N] [--pfu-planes 1|2] [--pfu-prefetch N] [--conf-compress R]\n\
 \x20 t1000 bench   --all [--scale test|full] [--json FILE] [--resume] [--shards N]\n\
 \x20               [--remote HOST:PORT,...] [--retries N] [--backoff-ms M]\n\
+\x20               [--pfu-planes 1|2] [--pfu-prefetch N] [--conf-compress R]\n\
 \x20               [--deterministic] [--inject PLAN] [--max-cycles N] [--strategies] [--no-fast-path]\n\
 \x20 t1000 bench   --validate <BENCH_results.json> [--expect KEY=VALUE,...]\n\
 \x20 t1000 worker  (internal: shard worker spawned by `bench --shards`; JSON-RPC on stdio)\n\

@@ -3,7 +3,7 @@
 //! A daemon that accepts concurrent selection/simulation requests over a
 //! newline-delimited JSON-RPC protocol (stdio, a Unix socket, or — with
 //! `--tcp HOST:PORT` — a TCP listener speaking the identical wire
-//! contract) and answers with schema-v5-compatible result documents. The
+//! contract) and answers with schema-v6-compatible result documents. The
 //! full wire protocol — methods, schemas, error codes, shedding
 //! semantics — is specified in `docs/SERVING.md`.
 //!
@@ -335,7 +335,7 @@ fn parse_work(id: &Json, method: WorkMethod, params: Option<&Json>) -> Result<Wo
         None => MachineSpec::with_pfus(pfus, 10),
         Some(m) if matches!(m, Json::Obj(_)) => {
             let reconfig = p_u64(Some(m), "reconfig_cycles")?.unwrap_or(10) as u32;
-            match m.get("pfus") {
+            let base = match m.get("pfus") {
                 None => MachineSpec::with_pfus(pfus, reconfig),
                 Some(v) if v.as_str() == Some("unlimited") => MachineSpec::unlimited(reconfig),
                 Some(v) => match v.as_u64() {
@@ -344,7 +344,19 @@ fn parse_work(id: &Json, method: WorkMethod, params: Option<&Json>) -> Result<Wo
                         return Err("`machine.pfus` must be a count or \"unlimited\"".into());
                     }
                 },
+            };
+            // Reconfiguration-hiding knobs (schema v6); defaults keep the
+            // legacy blocking-load machine.
+            let planes = p_u64(Some(m), "pfu_planes")?.unwrap_or(1) as u32;
+            if !(1..=2).contains(&planes) {
+                return Err("`machine.pfu_planes` must be 1 or 2".into());
             }
+            let prefetch = p_u64(Some(m), "pfu_prefetch")?.unwrap_or(0) as u32;
+            let compress = p_f64(Some(m), "conf_compress")?.unwrap_or(0.0);
+            if !(compress >= 0.0 && compress.is_finite()) {
+                return Err("`machine.conf_compress` must be a non-negative ratio".into());
+            }
+            base.config_plane(planes, prefetch, compress)
         }
         Some(_) => return Err("`machine` must be an object".into()),
     };

@@ -59,7 +59,7 @@ pub use extract::{maximal_sites, subwindows, Analysis, CandidateSite, ExtractCon
 pub use matrix::SubseqMatrix;
 pub use pipeline::{
     run_selection, run_selection_from_program, Decision, DecisionLog, FormCost, Pass, PassManager,
-    PassOutput, PassStat, PipelineTrace, SelectionCtx,
+    PassOutput, PassStat, PipelineTrace, PruneInfeasible, SelectionCtx, MAX_FEASIBLE_DEPTH,
 };
 pub use select::{greedy, selective, ChosenConf, SelectConfig, Selection};
 pub use session::{

@@ -16,11 +16,15 @@
 //! 2. [`ExtractMaximalSites`] — liveness-checked maximal candidate
 //!    sequences under the port/width/depth constraints;
 //! 3. [`ProfileWeights`] — the normalisation denominator for gain shares;
-//! 4. [`HwCostModel`] — per-form LUT/depth estimates from `t1000-hwcost`;
-//! 5. [`EnumerateSubsequences`] — every valid sub-window of every maximal
+//! 4. [`HwCostModel`] — per-form LUT/depth/stream-size estimates from
+//!    `t1000-hwcost`;
+//! 5. [`PruneInfeasible`] — drops forms whose mapped logic depth exceeds
+//!    the PFU stage budget (paper §6 discards the sequences its CAD flow
+//!    cannot close timing on);
+//! 6. [`EnumerateSubsequences`] — every valid sub-window of every maximal
 //!    site (only when the strategy asks for it);
-//! 6. [`ApplyStrategy`] — the pluggable algorithm picks concrete windows;
-//! 7. [`LowerFusionMap`] — configuration numbering and the final
+//! 7. [`ApplyStrategy`] — the pluggable algorithm picks concrete windows;
+//! 8. [`LowerFusionMap`] — configuration numbering and the final
 //!    [`Selection`].
 
 use crate::canon::{canonicalize, CanonSeq};
@@ -30,7 +34,7 @@ use crate::strategy::{SelectStrategy, StrategyOutcome};
 use crate::Error;
 use std::collections::BTreeMap;
 use std::time::Instant;
-use t1000_hwcost::{cost_of, ExtCost};
+use t1000_hwcost::{cost_of, ExtCost, SINGLE_CYCLE_DEPTH};
 use t1000_isa::Program;
 use t1000_profile::Weights;
 
@@ -47,6 +51,10 @@ pub struct FormCost {
     pub width: u8,
     /// LUT/depth estimate at that width.
     pub cost: ExtCost,
+    /// Configuration-stream size in words (what a PFU reload moves),
+    /// derived from the LUT count. Reload-aware strategies charge
+    /// expected reload traffic with it.
+    pub stream_words: u32,
     /// Total dynamic cycles the form's maximal sites would save.
     pub gain: u64,
     /// Static maximal sites sharing the form.
@@ -391,6 +399,7 @@ impl Pass for HwCostModel {
                     canon,
                     width,
                     cost,
+                    stream_words: t1000_hwcost::stream_words(cost.luts),
                     gain: gains.get(&id).copied().unwrap_or(0),
                     num_sites: counts.get(&id).copied().unwrap_or(0),
                 }
@@ -406,6 +415,89 @@ impl Pass for HwCostModel {
             ),
         };
         ctx.form_costs = Some(form_costs);
+        Ok(out)
+    }
+}
+
+/// Mapped logic depth beyond which a form is infeasible regardless of
+/// what the strategy would pay for it: four single-cycle stages. The
+/// selector already tolerates multi-cycle PFU latencies (the out-of-order
+/// core hides them, §3.1), but a form deeper than this cannot close
+/// timing in the reconfigurable array the paper's CAD flow targets (§6
+/// drops such sequences after the Xilinx run).
+pub const MAX_FEASIBLE_DEPTH: u32 = 4 * SINGLE_CYCLE_DEPTH;
+
+/// Drops candidate forms — and the maximal sites carrying them — whose
+/// mapped LUT depth exceeds the PFU stage budget. Runs between
+/// [`HwCostModel`] (which produces the depths) and
+/// [`EnumerateSubsequences`] (so infeasible maximal sites never spawn
+/// sub-windows). Rejections land in the [`DecisionLog`] for
+/// `t1000 select --explain`.
+///
+/// Extraction already applies a per-site depth check at each site's own
+/// width; this pass is the backstop at *form* granularity, where the cost
+/// is recomputed at the maximum width over all sites sharing the form and
+/// can therefore come out deeper.
+pub struct PruneInfeasible {
+    /// Maximum LUT levels a form may occupy ([`MAX_FEASIBLE_DEPTH`] in the
+    /// standard pipeline).
+    pub max_depth: u32,
+}
+
+impl Default for PruneInfeasible {
+    fn default() -> PruneInfeasible {
+        PruneInfeasible {
+            max_depth: MAX_FEASIBLE_DEPTH,
+        }
+    }
+}
+
+impl Pass for PruneInfeasible {
+    fn name(&self) -> String {
+        "PruneInfeasible".into()
+    }
+
+    fn run(&self, ctx: &mut SelectionCtx) -> Result<PassOutput, Error> {
+        let costs = ctx
+            .form_costs
+            .take()
+            .ok_or_else(|| Error::Pipeline("PruneInfeasible requires HwCostModel".into()))?;
+        let (kept, dropped): (Vec<FormCost>, Vec<FormCost>) = costs
+            .into_iter()
+            .partition(|f| f.cost.depth <= self.max_depth);
+        if !dropped.is_empty() {
+            // Remove the sites whose canonical form was pruned, logging a
+            // per-candidate reject for each.
+            let sites = ctx.sites.take().unwrap_or_default();
+            let mut surviving = Vec::with_capacity(sites.len());
+            for s in sites {
+                let c = canonicalize(&s.instrs);
+                match dropped.iter().find(|f| f.canon == c) {
+                    Some(f) => ctx.log.record(|| Decision {
+                        pc: s.pc,
+                        len: s.instrs.len(),
+                        accepted: false,
+                        reason: format!(
+                            "infeasible: form depth {} LUT levels exceeds the stage \
+                             budget of {} at width {}",
+                            f.cost.depth, self.max_depth, f.width
+                        ),
+                    }),
+                    None => surviving.push(s),
+                }
+            }
+            ctx.sites = Some(surviving);
+        }
+        let out = PassOutput {
+            items: kept.len(),
+            note: format!(
+                "{} forms feasible, {} dropped (depth > {})",
+                kept.len(),
+                dropped.len(),
+                self.max_depth
+            ),
+        };
+        ctx.form_costs = Some(kept);
         Ok(out)
     }
 }
@@ -566,7 +658,7 @@ impl<'s> PassManager<'s> {
         self
     }
 
-    /// The standard seven-pass pipeline around `strategy` (see the module
+    /// The standard eight-pass pipeline around `strategy` (see the module
     /// docs for the order).
     pub fn standard(strategy: &'s dyn SelectStrategy) -> PassManager<'s> {
         PassManager::new(strategy.name())
@@ -574,6 +666,7 @@ impl<'s> PassManager<'s> {
             .with_pass(Box::new(ExtractMaximalSites))
             .with_pass(Box::new(ProfileWeights))
             .with_pass(Box::new(HwCostModel))
+            .with_pass(Box::new(PruneInfeasible::default()))
             .with_pass(Box::new(EnumerateSubsequences {
                 enabled: strategy.needs_subsequences(),
             }))
@@ -636,4 +729,106 @@ pub fn run_selection_from_program(
     ctx.log.enabled = explain;
     let trace = PassManager::standard(strategy).run(&mut ctx)?;
     Ok((ctx.selection.take().unwrap_or_default(), trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL: &str = "
+main:
+    li   $t0, 50
+    li   $t1, 0
+loop:
+    sll  $t2, $t0, 2
+    addu $t2, $t2, $t0
+    xor  $t2, $t2, $t1
+    addu $t1, $t1, $t2
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    move $a0, $t1
+    li   $v0, 30
+    syscall
+    li   $v0, 10
+    syscall
+";
+
+    /// Runs the front half of the pipeline (through `HwCostModel`) over
+    /// `KERNEL` so pruning can be exercised in isolation.
+    fn costed_ctx(program: &Program) -> SelectionCtx<'_> {
+        let mut ctx = SelectionCtx::from_program(program, ExtractConfig::default(), 0);
+        for pass in [
+            Box::new(BuildAnalysis) as Box<dyn Pass>,
+            Box::new(ExtractMaximalSites),
+            Box::new(ProfileWeights),
+            Box::new(HwCostModel),
+        ] {
+            pass.run(&mut ctx).unwrap();
+        }
+        ctx
+    }
+
+    #[test]
+    fn form_costs_carry_stream_sizes() {
+        let program = t1000_asm::assemble(KERNEL).unwrap();
+        let ctx = costed_ctx(&program);
+        assert!(!ctx.form_costs().is_empty());
+        for f in ctx.form_costs() {
+            assert_eq!(f.stream_words, t1000_hwcost::stream_words(f.cost.luts));
+            assert!(
+                f.stream_words > 0,
+                "frame overhead makes every stream nonzero"
+            );
+        }
+    }
+
+    #[test]
+    fn default_budget_prunes_nothing_extraction_admits() {
+        // Extraction already bounds per-site depth at 8 levels; the
+        // form-granularity backstop at 32 must be vacuous here, so the
+        // standard pipeline's results are unchanged by its insertion.
+        let program = t1000_asm::assemble(KERNEL).unwrap();
+        let mut ctx = costed_ctx(&program);
+        let before = ctx.form_costs().len();
+        let sites_before = ctx.sites().len();
+        let out = PruneInfeasible::default().run(&mut ctx).unwrap();
+        assert_eq!(out.items, before);
+        assert_eq!(ctx.form_costs().len(), before);
+        assert_eq!(ctx.sites().len(), sites_before);
+    }
+
+    #[test]
+    fn tight_budget_drops_forms_and_their_sites_with_reasons() {
+        let program = t1000_asm::assemble(KERNEL).unwrap();
+        let mut ctx = costed_ctx(&program);
+        ctx.log.enabled = true;
+        let max_depth = ctx.form_costs().iter().map(|f| f.cost.depth).max().unwrap();
+        assert!(max_depth > 0, "kernel must contain non-trivial logic");
+        let doomed: usize = ctx
+            .form_costs()
+            .iter()
+            .filter(|f| f.cost.depth >= max_depth)
+            .map(|f| f.num_sites)
+            .sum();
+        let sites_before = ctx.sites().len();
+        PruneInfeasible {
+            max_depth: max_depth - 1,
+        }
+        .run(&mut ctx)
+        .unwrap();
+        assert!(ctx.form_costs().iter().all(|f| f.cost.depth < max_depth));
+        assert_eq!(ctx.sites().len(), sites_before - doomed);
+        assert_eq!(ctx.log.decisions.len(), doomed);
+        for d in &ctx.log.decisions {
+            assert!(!d.accepted);
+            assert!(d.reason.contains("infeasible"), "reason: {}", d.reason);
+        }
+    }
+
+    #[test]
+    fn prune_without_costs_is_a_contract_error() {
+        let program = t1000_asm::assemble(KERNEL).unwrap();
+        let mut ctx = SelectionCtx::from_program(&program, ExtractConfig::default(), 0);
+        assert!(PruneInfeasible::default().run(&mut ctx).is_err());
+    }
 }

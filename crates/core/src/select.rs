@@ -40,6 +40,15 @@ pub struct SelectConfig {
     /// Minimum share of total dynamic execution a form must save to be
     /// considered (paper: 0.5 %).
     pub gain_threshold: f64,
+    /// Weight of expected reload traffic charged against a candidate
+    /// form's gain (the §5.3 objective: reconfiguration is not free, so a
+    /// form that saves cycles but drags a large configuration stream
+    /// through the reload port can lose to a cheaper one). `0.0` (the
+    /// default) disables the charge and reproduces the paper's main
+    /// selective algorithm exactly. The charge per form is
+    /// `reload_weight × stream_words × transition points` — see
+    /// [`crate::strategy`] for the transition model each stage uses.
+    pub reload_weight: f64,
 }
 
 impl Default for SelectConfig {
@@ -47,6 +56,7 @@ impl Default for SelectConfig {
         SelectConfig {
             pfus: Some(4),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         }
     }
 }
@@ -63,6 +73,9 @@ pub struct ChosenConf {
     /// PFU execution latency in cycles (1 unless the extraction config
     /// allows deeper, multi-cycle logic).
     pub latency: u32,
+    /// Configuration-stream size in words (what a PFU reload moves),
+    /// derived from the LUT count at the final width.
+    pub stream_words: u32,
     /// Instructions fused per execution.
     pub seq_len: usize,
     /// Static code sites rewritten to use this configuration.
@@ -141,12 +154,14 @@ pub(crate) fn build_selection(
         let seq_len = canon.skeleton.len();
         let cost = cost_of(&canon.skeleton, width);
         let latency = cost.depth.div_ceil(t1000_hwcost::SINGLE_CYCLE_DEPTH).max(1);
+        let stream_words = t1000_hwcost::stream_words(cost.luts);
         fusion.define(ConfDef {
             conf,
             skeleton: canon.skeleton.clone(),
             base_cycles: seq_len as u32,
             pfu_latency: latency,
         });
+        fusion.set_stream_words(conf, stream_words);
         for s in sites {
             fusion.add_site(FusedSite {
                 pc: s.pc,
@@ -162,6 +177,7 @@ pub(crate) fn build_selection(
             canon,
             width,
             latency,
+            stream_words,
             seq_len,
             num_sites: sites.len(),
             total_gain: sites.iter().map(|s| s.total_gain()).sum(),
@@ -256,6 +272,7 @@ loop:
             &SelectConfig {
                 pfus: None,
                 gain_threshold: 0.005,
+                reload_weight: 0.0,
             },
         );
         assert!(sel.num_confs() >= 3);
@@ -272,6 +289,7 @@ loop:
                 &SelectConfig {
                     pfus: Some(budget),
                     gain_threshold: 0.005,
+                    reload_weight: 0.0,
                 },
             );
             // One loop → at most `budget` distinct configurations.
@@ -297,6 +315,7 @@ loop:
             &SelectConfig {
                 pfus: Some(1),
                 gain_threshold: 0.005,
+                reload_weight: 0.0,
             },
         );
         assert_eq!(sel.num_confs(), 1);
@@ -316,6 +335,7 @@ loop:
             &SelectConfig {
                 pfus: Some(8),
                 gain_threshold: 0.005,
+                reload_weight: 0.0,
             },
         );
         assert!(relaxed.matrices.is_empty());
@@ -326,6 +346,7 @@ loop:
             &SelectConfig {
                 pfus: Some(1),
                 gain_threshold: 0.005,
+                reload_weight: 0.0,
             },
         );
         assert_eq!(pressured.matrices.len(), 1);
@@ -345,6 +366,7 @@ loop:
             &SelectConfig {
                 pfus: Some(2),
                 gain_threshold: 0.5,
+                reload_weight: 0.0,
             },
         );
         assert_eq!(sel.num_confs(), 0);

@@ -546,6 +546,7 @@ loop:
         let sel = s.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         assert!(sel.num_confs() >= 1);
         let (base, fused) = s.verify_selection(&sel, CpuConfig::with_pfus(2)).unwrap();
@@ -576,6 +577,7 @@ loop:
         let sel = s.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         let mut fused_sink = AttrCollector::new();
         let fused = s
@@ -599,6 +601,7 @@ loop:
         let sel = s.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         let base = s.run_baseline(CpuConfig::baseline()).unwrap();
         let g_run = s
@@ -615,6 +618,7 @@ loop:
         let cfg = SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         };
         let uncached = selective(s.program(), s.analysis(), s.extract_config(), &cfg);
         let first = s.selective(&cfg);
@@ -635,18 +639,22 @@ loop:
         s.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         s.selective(&SelectConfig {
             pfus: Some(4),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         s.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.01,
+            reload_weight: 0.0,
         });
         s.selective(&SelectConfig {
             pfus: None,
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         assert_eq!(s.selection_cache_stats().misses, 5);
         assert_eq!(s.selection_cache_stats().hits, 0);
@@ -654,6 +662,7 @@ loop:
         s.selective(&SelectConfig {
             pfus: None,
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         assert_eq!(s.selection_cache_stats().misses, 5);
         assert_eq!(s.selection_cache_stats().hits, 2);
@@ -665,6 +674,7 @@ loop:
         let cfg = SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         };
         let selections: Vec<std::sync::Arc<Selection>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8)

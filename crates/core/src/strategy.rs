@@ -23,7 +23,27 @@ use crate::matrix::SubseqMatrix;
 use crate::pipeline::{Decision, DecisionLog, SelectionCtx};
 use crate::select::SelectConfig;
 use std::collections::{BTreeMap, HashMap};
+use t1000_hwcost::cost_of;
 use t1000_profile::{natural_loops, Dominators};
+
+/// Expected reload traffic of a candidate form, in cycles, charged
+/// against its dynamic gain (the §5.3 reload-aware objective): `weight` ×
+/// stream words × transition points. Each transition point is a place
+/// where the configuration may have been evicted and must be pulled back
+/// through the reload port; the stream size scales what one such reload
+/// moves. The weight knob converts words×transitions into cycles (its
+/// calibration depends on the memory system feeding the reconfiguration
+/// unit, so it is a parameter, not a constant).
+fn reload_penalty(weight: f64, stream_words: u32, transitions: usize) -> u64 {
+    (weight * stream_words as f64 * transitions as f64).round() as u64
+}
+
+/// Configuration-stream size of `canon` at the widest of `sites`' widths
+/// (the width lowering will build it at).
+fn form_stream_words(canon: &CanonSeq, sites: &[CandidateSite]) -> u32 {
+    let w = sites.iter().map(|s| s.width).max().unwrap_or(1).max(1);
+    t1000_hwcost::stream_words(cost_of(&canon.skeleton, w).luts)
+}
 
 /// What a strategy hands to `LowerFusionMap`: the concrete windows to
 /// fuse plus any subsequence matrices built while arbitrating (reported
@@ -121,24 +141,39 @@ impl SelectStrategy for Selective {
             });
             by_form.entry(id).or_default().push(site);
         }
+        // Reload-adjusted gain per form (§5.3): with `reload_weight` on,
+        // every static site is a transition point — control reaching it
+        // may find the configuration evicted — so the expected reload
+        // traffic grows with the site count and the stream size.
+        let effective_gain = |id: usize, sites: &[CandidateSite]| -> u64 {
+            let gain: u64 = sites.iter().map(|s| s.total_gain()).sum();
+            if cfg_s.reload_weight > 0.0 {
+                let words = form_stream_words(&forms[id], sites);
+                gain.saturating_sub(reload_penalty(cfg_s.reload_weight, words, sites.len()))
+            } else {
+                gain
+            }
+        };
         let surviving: Vec<usize> = by_form
             .iter()
-            .filter(|(_, sites)| {
-                let gain: u64 = sites.iter().map(|s| s.total_gain()).sum();
-                weights.share(gain) >= cfg_s.gain_threshold
-            })
+            .filter(|(&id, sites)| weights.share(effective_gain(id, sites)) >= cfg_s.gain_threshold)
             .map(|(&id, _)| id)
             .collect();
-        for (id, sites) in &by_form {
-            if !surviving.contains(id) {
-                let gain: u64 = sites.iter().map(|s| s.total_gain()).sum();
+        for (&id, sites) in &by_form {
+            if !surviving.contains(&id) {
+                let gain = effective_gain(id, sites);
                 for s in sites {
                     log.record(|| Decision {
                         pc: s.pc,
                         len: s.len(),
                         accepted: false,
                         reason: format!(
-                            "form's gain share {:.3}% below threshold {:.3}%",
+                            "form's {}gain share {:.3}% below threshold {:.3}%",
+                            if cfg_s.reload_weight > 0.0 {
+                                "reload-adjusted "
+                            } else {
+                                ""
+                            },
                             weights.share(gain) * 100.0,
                             cfg_s.gain_threshold * 100.0
                         ),
@@ -230,7 +265,8 @@ impl SelectStrategy for Selective {
                     .unwrap_or(&empty)
                     .as_slice()
             };
-            let (mut picked, matrix) = select_in_loop(&lookup, sites, pfu_budget, log);
+            let (mut picked, matrix) =
+                select_in_loop(&lookup, sites, pfu_budget, cfg_s.reload_weight, log);
             fused.append(&mut picked);
             if let Some(m) = matrix {
                 matrices.push(m);
@@ -251,6 +287,7 @@ fn select_in_loop<'a>(
     lookup: &dyn Fn(u32) -> &'a [(CandidateSite, CanonSeq)],
     sites: Vec<CandidateSite>,
     budget: usize,
+    reload_weight: f64,
     log: &mut DecisionLog,
 ) -> (Vec<CandidateSite>, Option<SubseqMatrix>) {
     // Distinct forms among the maximal sites of this loop.
@@ -351,10 +388,17 @@ fn select_in_loop<'a>(
             })
             .sum()
     };
+    // Reload charge per pick (§5.3): a chosen form must be streamed into
+    // a PFU whenever control enters this loop region after an eviction,
+    // so an expensive-to-load form needs that much more covered gain to
+    // win a slot. The charge gates the choice only; `covered` keeps
+    // tracking actual coverage so later marginals stay exact.
+    let mut words_cache: HashMap<CanonSeq, u32> = HashMap::new();
     let mut chosen: Vec<CanonSeq> = Vec::new();
     let mut covered = 0u64;
     for _ in 0..budget {
-        let mut best: Option<(u64, &CanonSeq)> = None;
+        // (net marginal after the reload charge, raw marginal, form)
+        let mut best: Option<(u64, u64, &CanonSeq)> = None;
         for f in &all_forms {
             if chosen.contains(f) {
                 continue;
@@ -362,15 +406,23 @@ fn select_in_loop<'a>(
             let mut trial = chosen.clone();
             trial.push(f.clone());
             let marginal = coverage_gain(&trial).saturating_sub(covered);
+            let net = if reload_weight > 0.0 {
+                let words = *words_cache
+                    .entry(f.clone())
+                    .or_insert_with(|| form_stream_words(f, &sites));
+                marginal.saturating_sub(reload_penalty(reload_weight, words, 1))
+            } else {
+                marginal
+            };
             let better = match best {
                 None => true,
-                Some((bg, bf)) => marginal > bg || (marginal == bg && info[f].len > info[bf].len),
+                Some((bn, _, bf)) => net > bn || (net == bn && info[f].len > info[bf].len),
             };
-            if marginal > 0 && better {
-                best = Some((marginal, f));
+            if net > 0 && better {
+                best = Some((net, marginal, f));
             }
         }
-        let Some((marginal, f)) = best else { break };
+        let Some((_, marginal, f)) = best else { break };
         covered += marginal;
         chosen.push(f.clone());
     }
@@ -472,6 +524,11 @@ fn cover_site(
 pub struct BudgetKnapsack {
     /// Total 4-input LUTs available across all PFU configurations.
     pub lut_budget: u32,
+    /// Weight of expected reload traffic charged against each item's
+    /// gain before the knapsack runs (§5.3): the item's value becomes
+    /// `gain − reload_weight × stream_words × num_sites`. `0.0` (the
+    /// default) values items by raw gain.
+    pub reload_weight: f64,
 }
 
 impl SelectStrategy for BudgetKnapsack {
@@ -485,10 +542,20 @@ impl SelectStrategy for BudgetKnapsack {
 
     fn select(&self, ctx: &SelectionCtx, log: &mut DecisionLog) -> StrategyOutcome {
         let budget = self.lut_budget as u64;
-        // Items: forms that could fit alone and save cycles at all.
-        let mut items = Vec::new();
+        // Items: forms that could fit alone and save cycles at all, valued
+        // at their reload-adjusted gain.
+        let mut items: Vec<(&crate::pipeline::FormCost, u64)> = Vec::new();
         let mut rejected: HashMap<CanonSeq, String> = HashMap::new();
         for f in ctx.form_costs() {
+            let value = if self.reload_weight > 0.0 {
+                f.gain.saturating_sub(reload_penalty(
+                    self.reload_weight,
+                    f.stream_words,
+                    f.num_sites,
+                ))
+            } else {
+                f.gain
+            };
             if f.gain == 0 {
                 rejected.insert(f.canon.clone(), "form saves no dynamic cycles".into());
             } else if f.cost.luts as u64 > budget {
@@ -499,8 +566,17 @@ impl SelectStrategy for BudgetKnapsack {
                         f.cost.luts, self.lut_budget
                     ),
                 );
+            } else if value == 0 {
+                rejected.insert(
+                    f.canon.clone(),
+                    format!(
+                        "expected reload traffic ({} words × {} sites × weight {}) \
+                         outweighs the dynamic gain {}",
+                        f.stream_words, f.num_sites, self.reload_weight, f.gain
+                    ),
+                );
             } else {
-                items.push(f);
+                items.push((f, value));
             }
         }
 
@@ -508,18 +584,18 @@ impl SelectStrategy for BudgetKnapsack {
         // weight of the items, so a generous budget costs no extra work.
         let cap = items
             .iter()
-            .map(|f| f.cost.luts as u64)
+            .map(|(f, _)| f.cost.luts as u64)
             .sum::<u64>()
             .min(budget) as usize;
         let n = items.len();
-        // dp[i][w]: best gain using the first i items within w LUTs.
+        // dp[i][w]: best value using the first i items within w LUTs.
         let mut dp = vec![vec![0u64; cap + 1]; n + 1];
-        for (i, it) in items.iter().enumerate() {
+        for (i, (it, value)) in items.iter().enumerate() {
             let luts = it.cost.luts as usize;
             for w in 0..=cap {
                 let skip = dp[i][w];
                 let take = if w >= luts {
-                    dp[i][w - luts] + it.gain
+                    dp[i][w - luts] + value
                 } else {
                     0
                 };
@@ -530,8 +606,8 @@ impl SelectStrategy for BudgetKnapsack {
         let mut chosen: Vec<&crate::pipeline::FormCost> = Vec::new();
         for i in (0..n).rev() {
             if dp[i + 1][w] != dp[i][w] {
-                chosen.push(items[i]);
-                w -= items[i].cost.luts as usize;
+                chosen.push(items[i].0);
+                w -= items[i].0.cost.luts as usize;
             }
         }
         chosen.reverse();
@@ -587,12 +663,18 @@ pub enum StrategySpec {
         pfus: Option<usize>,
         /// `SelectConfig::gain_threshold`, as bits.
         gain_threshold_bits: u64,
+        /// `SelectConfig::reload_weight`, as bits (`0` = off; `0.0`
+        /// encodes to `0`, so legacy specs and reload-free specs are the
+        /// same cache entry).
+        reload_weight_bits: u64,
     },
     /// Budget-constrained knapsack selection over `t1000-hwcost` LUT
     /// estimates.
     BudgetKnapsack {
         /// Total LUT budget across all configurations.
         lut_budget: u32,
+        /// `BudgetKnapsack::reload_weight`, as bits (`0` = off).
+        reload_weight_bits: u64,
     },
 }
 
@@ -602,12 +684,24 @@ impl StrategySpec {
         StrategySpec::Selective {
             pfus: cfg.pfus,
             gain_threshold_bits: cfg.gain_threshold.to_bits(),
+            reload_weight_bits: cfg.reload_weight.to_bits(),
         }
     }
 
-    /// The knapsack spec for a LUT budget.
+    /// The knapsack spec for a LUT budget (no reload charge).
     pub fn knapsack(lut_budget: u32) -> StrategySpec {
-        StrategySpec::BudgetKnapsack { lut_budget }
+        StrategySpec::BudgetKnapsack {
+            lut_budget,
+            reload_weight_bits: 0,
+        }
+    }
+
+    /// The knapsack spec with a reload-traffic charge (§5.3).
+    pub fn knapsack_reload(lut_budget: u32, reload_weight: f64) -> StrategySpec {
+        StrategySpec::BudgetKnapsack {
+            lut_budget,
+            reload_weight_bits: reload_weight.to_bits(),
+        }
     }
 
     /// The `SelectConfig` a selective spec encodes (`None` otherwise).
@@ -616,9 +710,11 @@ impl StrategySpec {
             StrategySpec::Selective {
                 pfus,
                 gain_threshold_bits,
+                reload_weight_bits,
             } => Some(SelectConfig {
                 pfus,
                 gain_threshold: f64::from_bits(gain_threshold_bits),
+                reload_weight: f64::from_bits(reload_weight_bits),
             }),
             _ => None,
         }
@@ -636,20 +732,38 @@ impl StrategySpec {
     /// A stable human-readable identifier including the parameters —
     /// what reports and JSON artifacts carry on their strategy axis.
     pub fn id(&self) -> String {
+        // The `,reload=R` suffix appears only when the charge is active,
+        // so reload-free ids — and therefore artifact strategy axes and
+        // cache keys — are byte-identical to what they were before the
+        // reload-aware objective existed.
+        let reload_suffix = |bits: u64| -> String {
+            let r = f64::from_bits(bits);
+            if r > 0.0 {
+                format!(",reload={r}")
+            } else {
+                String::new()
+            }
+        };
         match *self {
             StrategySpec::Greedy => "greedy".into(),
             StrategySpec::Selective {
                 pfus,
                 gain_threshold_bits,
+                reload_weight_bits,
             } => {
                 let t = f64::from_bits(gain_threshold_bits);
+                let r = reload_suffix(reload_weight_bits);
                 match pfus {
-                    Some(p) => format!("selective(pfus={p},threshold={t})"),
-                    None => format!("selective(pfus=unlimited,threshold={t})"),
+                    Some(p) => format!("selective(pfus={p},threshold={t}{r})"),
+                    None => format!("selective(pfus=unlimited,threshold={t}{r})"),
                 }
             }
-            StrategySpec::BudgetKnapsack { lut_budget } => {
-                format!("knapsack(luts={lut_budget})")
+            StrategySpec::BudgetKnapsack {
+                lut_budget,
+                reload_weight_bits,
+            } => {
+                let r = reload_suffix(reload_weight_bits);
+                format!("knapsack(luts={lut_budget}{r})")
             }
         }
     }
@@ -661,13 +775,21 @@ impl StrategySpec {
             StrategySpec::Selective {
                 pfus,
                 gain_threshold_bits,
+                reload_weight_bits,
             } => Box::new(Selective {
                 cfg: SelectConfig {
                     pfus,
                     gain_threshold: f64::from_bits(gain_threshold_bits),
+                    reload_weight: f64::from_bits(reload_weight_bits),
                 },
             }),
-            StrategySpec::BudgetKnapsack { lut_budget } => Box::new(BudgetKnapsack { lut_budget }),
+            StrategySpec::BudgetKnapsack {
+                lut_budget,
+                reload_weight_bits,
+            } => Box::new(BudgetKnapsack {
+                lut_budget,
+                reload_weight: f64::from_bits(reload_weight_bits),
+            }),
         }
     }
 }

@@ -41,6 +41,7 @@ l2:
     let sel = s.selective(&SelectConfig {
         pfus: Some(1),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     // One config per loop: two distinct configurations in total.
     assert_eq!(sel.num_confs(), 2, "{:?}", sel.confs);
@@ -134,6 +135,7 @@ cold:
     let sel = s.selective(&SelectConfig {
         pfus: Some(4),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     // Only the hot loop's form(s) survive; the cold loop's gain share is
     // ~3/20000 ≪ 0.5%.
@@ -185,6 +187,7 @@ l2:
     let sel = s.selective(&SelectConfig {
         pfus: Some(1),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     assert_eq!(sel.num_confs(), 1, "identical chains must share a config");
     assert_eq!(sel.fusion.num_sites(), 2);

@@ -113,6 +113,7 @@ loop:
             s.selective(&SelectConfig {
                 pfus: Some(2),
                 gain_threshold: 0.005,
+                reload_weight: 0.0,
             })
             .confs
             .iter()

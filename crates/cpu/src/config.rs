@@ -58,6 +58,19 @@ pub struct CpuConfig {
     pub reconfig_cycles: u32,
     /// PFU configuration replacement policy (the paper uses LRU).
     pub pfu_replacement: PfuReplacement,
+    /// Configuration planes per PFU: 1 = the paper's blocking reload
+    /// model, 2 = double-buffered (a shadow plane loads in the
+    /// background while the active plane keeps executing).
+    pub pfu_planes: u32,
+    /// Next-config prefetch depth: how many distinct upcoming `Conf`
+    /// tags in the fetch queue may trigger background configuration
+    /// loads each cycle (0 = no prefetch, the paper's model).
+    pub pfu_prefetch: u32,
+    /// Configuration-stream compression ratio (0 < R ≤ 1): when set,
+    /// each configuration's reload latency is derived from its
+    /// compressed stream size (words × R cycles) instead of the flat
+    /// `reconfig_cycles`. 0.0 disables per-configuration latencies.
+    pub conf_compress: f64,
     /// Branch prediction model (the paper assumes perfect prediction).
     pub branch: BranchModel,
     /// Memory system parameters.
@@ -99,6 +112,9 @@ impl Default for CpuConfig {
             pfus: PfuCount::Fixed(2),
             reconfig_cycles: 10,
             pfu_replacement: PfuReplacement::Lru,
+            pfu_planes: 1,
+            pfu_prefetch: 0,
+            conf_compress: 0.0,
             branch: BranchModel::Perfect,
             mem: MemConfig::default(),
             fast_path: true,
@@ -153,6 +169,9 @@ mod tests {
         assert_eq!(c.commit_width, 4);
         assert_eq!(c.ruu_size, 64);
         assert_eq!(c.reconfig_cycles, 10);
+        assert_eq!(c.pfu_planes, 1, "single plane is the paper default");
+        assert_eq!(c.pfu_prefetch, 0, "prefetch off by default");
+        assert_eq!(c.conf_compress, 0.0, "flat reload latency by default");
     }
 
     #[test]

@@ -88,7 +88,33 @@ pub fn simulate_with_faults<S: TraceSink>(
     let mut func = FuncCore::new(program, fusion);
     func.inject_conf_faults(faulted_confs.iter().copied());
     let limit = cfg.max_instructions;
-    let ooo = OooCore::new(cfg);
+    let mut ooo = OooCore::new(cfg);
+    // Per-configuration stream sizes (recorded by the selector from the
+    // hardware-cost model) feed the reload-traffic counter always, and
+    // the reload latencies when stream compression is enabled.
+    if let Some(max_conf) = fusion.defs().map(|d| d.conf).max() {
+        let mut words = vec![0u32; max_conf as usize + 1];
+        for d in fusion.defs() {
+            if let Some(w) = fusion.stream_words(d.conf) {
+                words[d.conf as usize] = w;
+            }
+        }
+        let load_cycles = (cfg.conf_compress > 0.0).then(|| {
+            words
+                .iter()
+                .map(|&w| {
+                    // Configurations with no recorded stream size keep
+                    // the flat latency.
+                    if w == 0 {
+                        cfg.reconfig_cycles
+                    } else {
+                        crate::pfu::compressed_reload_cycles(w, cfg.conf_compress)
+                    }
+                })
+                .collect()
+        });
+        ooo.set_conf_tables(words, load_cycles);
+    }
     let mut timing = ooo.run_with(
         || {
             if limit != 0 && func.icount >= limit {

@@ -12,8 +12,15 @@
 //!   `busy_cycles + Σ stalls == total cycles` holds by construction
 //!   ([`CycleAttribution::checks_out`]).
 //! * **Event traces** — discrete pipeline events ([`TraceEvent`]: PFU
-//!   configuration loads/evictions/hits, cache misses, branch redirects)
-//!   for JSON-lines emission by a caller-supplied sink.
+//!   configuration loads/evictions/hits/prefetches, cache misses, branch
+//!   redirects) for JSON-lines emission by a caller-supplied sink.
+//!
+//! The `Reconfig` stall cause stays a single bucket — a cycle either
+//! blocked on a configuration load or it did not. The hidden/exposed
+//! split of reload *traffic* (cycles of load overlap bought by prefetch
+//! and double-buffered planes) is carried by the PFU counters instead
+//! (`PfuStats::hidden_reload_cycles` / `exposed_reload_cycles`), so the
+//! closed taxonomy is untouched by the config-plane model.
 //!
 //! Both are *zero-cost when disabled*: [`OooCore::run`] is monomorphized
 //! over the sink, and [`NullSink`] sets the associated `const` flags
@@ -207,6 +214,16 @@ pub enum TraceEvent {
     },
     /// Dispatch-stage tag check hit: `conf` already resident.
     ConfHit { cycle: u64, pc: u32, conf: ConfId },
+    /// Next-config prefetch (`--pfu-prefetch`): a background load of
+    /// `conf` started for an upcoming `Conf` tag seen in the fetch
+    /// queue; it lands at `ready_at`. If the configuration is demanded
+    /// before then, only the remainder is exposed (see
+    /// `PfuStats::hidden_reload_cycles`).
+    ConfPrefetch {
+        cycle: u64,
+        conf: ConfId,
+        ready_at: u64,
+    },
     /// A fetch (`fetch == true`) or data access missed in the L1 cache
     /// (or its TLB) and paid `latency` cycles in total.
     CacheMiss {

@@ -21,9 +21,9 @@ use crate::func::{DynInstr, ExecError};
 use crate::observe::{CycleClass, NullSink, StallCause, TraceEvent, TraceSink};
 use crate::pfu::{PfuArray, PfuOutcome, PfuStats};
 use std::collections::VecDeque;
-use t1000_isa::OpClass;
 #[cfg(test)]
 use t1000_isa::Reg;
+use t1000_isa::{ConfId, OpClass};
 use t1000_mem::{MemHierarchy, MemStats};
 
 mod fast_path;
@@ -125,9 +125,12 @@ pub struct OooCore {
 impl OooCore {
     /// Builds a timing core.
     pub fn new(cfg: CpuConfig) -> OooCore {
+        let mut pfus =
+            PfuArray::with_replacement(cfg.pfus, cfg.reconfig_cycles, cfg.pfu_replacement);
+        pfus.set_planes(cfg.pfu_planes);
         OooCore {
             mem: MemHierarchy::new(cfg.mem),
-            pfus: PfuArray::with_replacement(cfg.pfus, cfg.reconfig_cycles, cfg.pfu_replacement),
+            pfus,
             predictor: Predictor::new(cfg.branch),
             fast: fast_path::FastPath::new(cfg.fast_path),
             cfg,
@@ -459,9 +462,54 @@ impl OooCore {
         }
     }
 
+    /// Installs the per-configuration stream-size and (optional) load
+    /// latency tables, both indexed by `ConfId` — derived by the machine
+    /// layer from the fusion map's hardware-cost data. Must be called
+    /// before the run starts.
+    pub fn set_conf_tables(&mut self, words: Vec<u32>, load_cycles: Option<Vec<u32>>) {
+        self.pfus.set_stream_words(words);
+        if let Some(table) = load_cycles {
+            self.pfus.set_load_cycles(table);
+        }
+    }
+
+    /// Next-config prefetch (`--pfu-prefetch N`): scan the fetch queue
+    /// for the first N *distinct* upcoming `Conf` tags and start
+    /// background loads for any that are absent. Runs even while
+    /// dispatch is held on a demand load — overlapping that hold with
+    /// the next configuration's transfer is the point.
+    fn prefetch_confs<S: TraceSink>(&mut self, sink: &mut S) {
+        let depth = self.cfg.pfu_prefetch as usize;
+        let mut upcoming: Vec<ConfId> = Vec::with_capacity(depth);
+        for rec in &self.fetch_queue {
+            if let Some(conf) = rec.conf {
+                if !upcoming.contains(&conf) {
+                    upcoming.push(conf);
+                    if upcoming.len() >= depth {
+                        break;
+                    }
+                }
+            }
+        }
+        for conf in upcoming {
+            if let Some(ready_at) = self.pfus.prefetch(conf, self.cycle) {
+                if S::EVENTS {
+                    sink.event(TraceEvent::ConfPrefetch {
+                        cycle: self.cycle,
+                        conf,
+                        ready_at,
+                    });
+                }
+            }
+        }
+    }
+
     /// Move instructions from the fetch queue into the RUU, renaming their
     /// source operands to producer sequence numbers.
     fn dispatch<S: TraceSink>(&mut self, sink: &mut S) {
+        if self.cfg.pfu_prefetch > 0 {
+            self.prefetch_confs(sink);
+        }
         if self.cycle < self.dispatch_ready_at {
             return;
         }
@@ -620,7 +668,10 @@ impl OooCore {
             // on the committed path — wrong-path fetch is modelled as lost
             // fetch cycles, the standard trace-driven approximation).
             if let Some(taken) = rec.taken {
-                let penalty = self.predictor.observe(rec.pc, taken);
+                // Direction heuristics key on the branch displacement:
+                // negative = backward (loop-closing).
+                let backward = rec.instr.imm < 0;
+                let penalty = self.predictor.observe(rec.pc, taken, backward);
                 if penalty > 0 {
                     let redirect_until = self.cycle + 1 + u64::from(penalty);
                     if S::ATTR && redirect_until > self.fetch_ready_at {

@@ -40,6 +40,33 @@ impl ExtCost {
     pub fn single_cycle(&self) -> bool {
         self.depth <= SINGLE_CYCLE_DEPTH
     }
+
+    /// Configuration-stream size of this instruction in words (see
+    /// [`stream_words`]).
+    pub fn stream_words(&self) -> u32 {
+        stream_words(self.luts)
+    }
+}
+
+/// Configuration-stream words per mapped 4-LUT. A 4-LUT holds 16 bits of
+/// truth table plus routing/carry-mode bits; partial-reconfiguration frames
+/// in XC4000-class parts spend roughly two 16-bit words per occupied LUT
+/// once interconnect programming is included.
+pub const STREAM_WORDS_PER_LUT: u32 = 2;
+
+/// Fixed per-configuration overhead in words: frame addressing, the ID tag
+/// the PFU matches against `Conf` fields (§2.2), and I/O port binding.
+/// Charged even for logic-free (pure-wiring) configurations — routing a
+/// shifter's permutation still has to be programmed.
+pub const STREAM_FRAME_WORDS: u32 = 8;
+
+/// Size of the configuration stream for an instruction mapped onto `luts`
+/// 4-LUTs, in words. This is what the reconfiguration unit actually moves
+/// when (re)loading a PFU, so per-configuration reload latency scales with
+/// it rather than with a single flat machine constant (paper §5.3 charges
+/// reload cost per configuration).
+pub fn stream_words(luts: u32) -> u32 {
+    luts * STREAM_WORDS_PER_LUT + STREAM_FRAME_WORDS
 }
 
 /// Elaborates `skeleton` at datapath width `width` and returns the netlist
@@ -286,5 +313,24 @@ mod tests {
     #[should_panic(expected = "non-ALU op")]
     fn memory_ops_are_rejected() {
         cost_of(&[Instr::itype(Op::Lw, r(10), r(8), 0)], 16);
+    }
+
+    #[test]
+    fn stream_size_scales_with_luts_plus_frame_overhead() {
+        assert_eq!(stream_words(0), STREAM_FRAME_WORDS);
+        assert_eq!(
+            stream_words(105),
+            105 * STREAM_WORDS_PER_LUT + STREAM_FRAME_WORDS
+        );
+        let skeleton = vec![
+            Instr::rtype(Op::Addu, r(10), r(8), r(9)),
+            Instr::rtype(Op::Xor, r(10), r(10), r(8)),
+        ];
+        let c = cost_of(&skeleton, 18);
+        assert_eq!(c.stream_words(), stream_words(c.luts));
+        // A pure-wiring configuration still programs routing.
+        let shifty = cost_of(&[Instr::shift(Op::Sll, r(10), r(8), 3)], 16);
+        assert_eq!(shifty.luts, 0);
+        assert!(shifty.stream_words() > 0);
     }
 }

@@ -15,6 +15,9 @@ pub mod cost;
 pub mod mapper;
 pub mod netlist;
 
-pub use cost::{cost_of, elaborate, ExtCost, SINGLE_CYCLE_DEPTH};
+pub use cost::{
+    cost_of, elaborate, stream_words, ExtCost, SINGLE_CYCLE_DEPTH, STREAM_FRAME_WORDS,
+    STREAM_WORDS_PER_LUT,
+};
 pub use mapper::{map_to_luts, LutMapping};
 pub use netlist::{Gate, Netlist, NodeId};

@@ -71,6 +71,12 @@ pub struct ConfDef {
 pub struct FusionMap {
     sites: BTreeMap<u32, FusedSite>,
     defs: BTreeMap<ConfId, ConfDef>,
+    /// Configuration-stream sizes in words, recorded by the selector from
+    /// the hardware-cost model (LUT count → words). A side table — like
+    /// `ConfDef::pfu_latency`, it is hwcost-derived metadata the machine
+    /// side consumes (per-configuration reload latencies under stream
+    /// compression, and the `stream_words` reload-traffic counter).
+    stream_words: BTreeMap<ConfId, u32>,
 }
 
 impl FusionMap {
@@ -144,6 +150,17 @@ impl FusionMap {
     /// The configuration definition for `conf`.
     pub fn def(&self, conf: ConfId) -> Option<&ConfDef> {
         self.defs.get(&conf)
+    }
+
+    /// Records the configuration-stream size of `conf` in words (from the
+    /// hardware-cost model's LUT mapping).
+    pub fn set_stream_words(&mut self, conf: ConfId, words: u32) {
+        self.stream_words.insert(conf, words);
+    }
+
+    /// Configuration-stream size of `conf` in words, if recorded.
+    pub fn stream_words(&self, conf: ConfId) -> Option<u32> {
+        self.stream_words.get(&conf).copied()
     }
 
     /// All sites in PC order.
@@ -260,5 +277,19 @@ mod tests {
     #[test]
     fn end_pc_accounts_for_length() {
         assert_eq!(demo_site(0x100, 1, 3).end_pc(), 0x10c);
+    }
+
+    #[test]
+    fn stream_words_are_a_per_conf_side_table() {
+        let mut m = FusionMap::new();
+        m.define(demo_def(1));
+        assert_eq!(
+            m.stream_words(1),
+            None,
+            "unset until the selector records it"
+        );
+        m.set_stream_words(1, 72);
+        assert_eq!(m.stream_words(1), Some(72));
+        assert_eq!(m.stream_words(2), None);
     }
 }

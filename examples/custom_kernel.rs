@@ -89,6 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let selective = session.selective(&SelectConfig {
         pfus: Some(1),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     println!("selective (1 PFU) kept {}:", selective.num_confs());
     for c in &selective.confs {

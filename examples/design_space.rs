@@ -45,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sel = session.selective(&SelectConfig {
             pfus: Some(pfus),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         print!("{pfus:>8}");
         for penalty in PENALTIES {

@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sel = session.selective(&SelectConfig {
         pfus: Some(4),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     let program = session.program();
 

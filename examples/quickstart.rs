@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let selection = session.selective(&SelectConfig {
         pfus: Some(2),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     println!(
         "selected {} extended instruction(s):",

@@ -40,6 +40,7 @@ fn attribution_partitions_every_kernel_exactly() {
         let sel = session.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         let mut fused_sink = AttrCollector::new();
         let fused = session
@@ -80,6 +81,7 @@ fn greedy_pays_more_reconfiguration_stalls_than_selective() {
         let selective = session.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         let mut s_sink = AttrCollector::new();
         session

@@ -35,6 +35,7 @@ fn fusion_preserves_semantics_everywhere() {
         let selective = p.session.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         // run_verified asserts output/checksum/exit-code equality.
         run_verified(&p, &greedy, CpuConfig::unlimited_pfus().reconfig(0));
@@ -51,6 +52,7 @@ fn base_instruction_counts_are_fusion_invariant() {
         let sel = p.session.selective(&SelectConfig {
             pfus: Some(4),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         let run = run_verified(&p, &sel, CpuConfig::with_pfus(4).reconfig(10));
         assert_eq!(
@@ -75,6 +77,7 @@ fn pfu_counters_are_consistent() {
         let sel = p.session.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         let run = run_verified(&p, &sel, CpuConfig::with_pfus(2).reconfig(10));
         let pfu = run.timing.pfu;

@@ -55,6 +55,7 @@ fn every_registry_workload_is_bit_identical_both_ways() {
         let sel = session.selective(&SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         for (label, cfg) in [
             ("baseline", CpuConfig::baseline()),
@@ -155,6 +156,7 @@ proptest! {
         let sel = session.selective(&SelectConfig {
             pfus: Some(pfus),
             gain_threshold: 0.001,
+            reload_weight: 0.0,
         });
         let cfg = CpuConfig::with_pfus(pfus).reconfig(10);
         let fusion = sel.fusion.clone();

@@ -322,12 +322,14 @@ mod golden {
             let seq_len = canon.skeleton.len();
             let cost = cost_of(&canon.skeleton, width);
             let latency = cost.depth.div_ceil(t1000_hwcost::SINGLE_CYCLE_DEPTH).max(1);
+            let stream_words = t1000_hwcost::stream_words(cost.luts);
             fusion.define(ConfDef {
                 conf,
                 skeleton: canon.skeleton.clone(),
                 base_cycles: seq_len as u32,
                 pfu_latency: latency,
             });
+            fusion.set_stream_words(conf, stream_words);
             for s in sites {
                 fusion.add_site(FusedSite {
                     pc: s.pc,
@@ -344,6 +346,7 @@ mod golden {
                 width,
                 latency,
                 seq_len,
+                stream_words,
                 num_sites: sites.len(),
                 total_gain: sites.iter().map(|s| s.total_gain()).sum(),
             });
@@ -367,6 +370,7 @@ fn specs() -> Vec<(String, Option<SelectConfig>)> {
             Some(SelectConfig {
                 pfus,
                 gain_threshold: 0.005,
+                reload_weight: 0.0,
             }),
         ));
     }
@@ -375,6 +379,7 @@ fn specs() -> Vec<(String, Option<SelectConfig>)> {
         Some(SelectConfig {
             pfus: Some(2),
             gain_threshold: 0.01,
+            reload_weight: 0.0,
         }),
     ));
     v
@@ -476,14 +481,18 @@ fn budget_knapsack_respects_the_lut_budget_greedy_exceeds() {
     assert!(exercised >= 4, "only {exercised} workloads exercised");
 }
 
-/// Schema-compat check for the bench artifact: a v5 cell object is the
+/// Schema-compat check for the bench artifact: a v6 cell object is the
 /// v3 object plus exactly the strategy-axis fields (v4: `strategy`, and
-/// `lut_budget` on knapsack cells) and the host-throughput fields (v5:
-/// `host_ns`, `sim_khz`, `fast_path`). Guards the "identical modulo the
-/// schema-version/strategy/throughput fields" guarantee without
-/// re-running the full-scale suite.
+/// `lut_budget` on knapsack cells), the host-throughput fields (v5:
+/// `host_ns`, `sim_khz`, `fast_path`), and the config-plane reload
+/// counters (v6: `pfu_prefetch_hits`, `pfu_hidden_reload_cycles`,
+/// `pfu_exposed_reload_cycles`, `pfu_stream_words`). Guards the
+/// "identical modulo the schema-version/strategy/throughput/reload
+/// fields" guarantee without re-running the full-scale suite — and, on a
+/// default (single-plane, no-prefetch) machine, pins every new counter
+/// except the stream-size tally to zero.
 #[test]
-fn artifact_v5_adds_only_strategy_and_throughput_fields() {
+fn artifact_v6_adds_only_strategy_throughput_and_reload_fields() {
     use t1000_bench::engine::execute;
     use t1000_bench::json::Json;
     use t1000_bench::plan::{Cell, MachineSpec, Plan, SelectionSpec};
@@ -502,8 +511,8 @@ fn artifact_v5_adds_only_strategy_and_throughput_fields() {
 
     assert_eq!(
         doc.get("schema_version").and_then(Json::as_u64),
-        Some(5),
-        "host throughput requires the v5 schema"
+        Some(6),
+        "the config-plane counters require the v6 schema"
     );
     let keys = |j: &Json| -> Vec<String> {
         match j {
@@ -541,24 +550,44 @@ fn artifact_v5_adds_only_strategy_and_throughput_fields() {
         let algo = c.get("algorithm").and_then(Json::as_str).unwrap();
         let strategy = c.get("strategy").and_then(Json::as_str).unwrap();
         assert!(strategy.starts_with(algo), "{strategy} vs {algo}");
+        // v6 counters sit between `pfu_load_faults` and `branch_accuracy`,
+        // i.e. before the v5 throughput tail in key order.
+        let v6 = [
+            "pfu_prefetch_hits",
+            "pfu_hidden_reload_cycles",
+            "pfu_exposed_reload_cycles",
+            "pfu_stream_words",
+        ];
         let v5 = ["host_ns", "sim_khz", "fast_path"];
         let expected_extra: Vec<&str> = if algo == "knapsack" {
             saw_knapsack = true;
             assert_eq!(c.get("lut_budget").and_then(Json::as_u64), Some(256));
             ["strategy", "lut_budget"]
                 .iter()
+                .chain(&v6)
                 .chain(&v5)
                 .copied()
                 .collect()
         } else if algo == "selective" {
             ["strategy", "pfus", "gain_threshold"]
                 .iter()
+                .chain(&v6)
                 .chain(&v5)
                 .copied()
                 .collect()
         } else {
-            ["strategy"].iter().chain(&v5).copied().collect()
+            ["strategy"].iter().chain(&v6).chain(&v5).copied().collect()
         };
+        // A default machine has a single plane and no prefetch: nothing
+        // can be hidden, so every reload counter except the stream-size
+        // tally must be zero.
+        for k in ["pfu_prefetch_hits", "pfu_hidden_reload_cycles"] {
+            assert_eq!(
+                c.get(k).and_then(Json::as_u64),
+                Some(0),
+                "default machine recorded nonzero {k}"
+            );
+        }
         let extras: Vec<String> = ks
             .iter()
             .filter(|k| !v3_cell.contains(&k.as_str()))

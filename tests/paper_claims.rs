@@ -18,6 +18,7 @@ fn selective(p: &Prepared, pfus: Option<usize>) -> Selection {
     p.session.selective(&SelectConfig {
         pfus,
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     })
 }
 

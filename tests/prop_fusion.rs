@@ -65,7 +65,7 @@ proptest! {
 
         for sel in [
             session.greedy(),
-            session.selective(&SelectConfig { pfus: Some(pfus), gain_threshold: 0.001 }),
+            session.selective(&SelectConfig { pfus: Some(pfus), gain_threshold: 0.001, reload_weight: 0.0 }),
         ] {
             let run = session
                 .run_with(&sel, CpuConfig::with_pfus(pfus).reconfig(10))
@@ -101,7 +101,7 @@ proptest! {
     fn selective_never_exceeds_pfu_budget_per_loop(body in arb_body(), budget in 1usize..4) {
         let src = program(&body, 40);
         let session = Session::from_asm(&src).unwrap();
-        let sel = session.selective(&SelectConfig { pfus: Some(budget), gain_threshold: 0.001 });
+        let sel = session.selective(&SelectConfig { pfus: Some(budget), gain_threshold: 0.001, reload_weight: 0.0 });
         // This program has a single loop, so the total number of distinct
         // configurations must respect the budget.
         prop_assert!(

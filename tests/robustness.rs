@@ -230,7 +230,7 @@ proptest! {
     fn pfu_fault_fallback_is_bit_identical(body in arb_body(), fault_mask in any::<u64>()) {
         let src = program(&body, 40);
         let session = Session::from_asm(&src).expect("random program must assemble");
-        let sel = session.selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.001 });
+        let sel = session.selective(&SelectConfig { pfus: Some(2), gain_threshold: 0.001, reload_weight: 0.0 });
         let cpu = CpuConfig::with_pfus(2).reconfig(10);
 
         let baseline = session.run_baseline(CpuConfig::baseline()).unwrap();

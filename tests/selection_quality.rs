@@ -19,6 +19,7 @@ fn selective_captures_most_of_greedy_potential_at_four_pfus() {
         let s = p.session.selective(&SelectConfig {
             pfus: Some(4),
             gain_threshold: 0.005,
+            reload_weight: 0.0,
         });
         let best = speedup(
             &p,
@@ -67,6 +68,7 @@ loop:
     let sel = session.selective(&SelectConfig {
         pfus: Some(1),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     assert_eq!(sel.num_confs(), 1);
     let estimated: u64 = sel.confs.iter().map(|c| c.total_gain).sum();
@@ -88,6 +90,7 @@ fn tighter_thresholds_select_fewer_forms() {
         let sel = p.session.selective(&SelectConfig {
             pfus: None,
             gain_threshold: threshold,
+            reload_weight: 0.0,
         });
         assert!(
             sel.num_confs() <= prev,
@@ -135,6 +138,7 @@ fn multicycle_extraction_extends_coverage_without_breaking_semantics() {
     let sel = session.selective(&SelectConfig {
         pfus: Some(4),
         gain_threshold: 0.005,
+        reload_weight: 0.0,
     });
     let (base, fused) = session
         .verify_selection(&sel, CpuConfig::with_pfus(4))
